@@ -1,0 +1,192 @@
+"""A1-A3 — ablations on the claims the paper asserts without plots.
+
+* TS-GREEDY (k=1) vs exhaustive enumeration on a small instance
+  (Section 6.2: "comparable to exhaustive enumeration in most cases");
+* the widening parameter k (the paper uses k=1 throughout);
+* the contribution of each of TS-GREEDY's two steps;
+* pairwise-only co-access information (Section 4.1: keeping only
+  pairwise edges "does not significantly affect the quality of the
+  final solution") — checked by comparing the TS-GREEDY layout's
+  *simulated* time against full striping, since the simulator plays the
+  true multi-way interleaving the pairwise graph abstracts.
+"""
+
+from conftest import write_result
+
+from repro.benchdb import ctrl, tpch
+from repro.core.fullstripe import full_striping
+from repro.experiments import common
+from repro.experiments.ablations import (
+    run_greedy_vs_exhaustive,
+    run_k_sweep,
+    run_step_roles,
+)
+from repro.experiments.common import format_table
+from repro.workload.access import analyze_workload
+
+
+def test_greedy_vs_exhaustive(benchmark):
+    result = benchmark.pedantic(run_greedy_vs_exhaustive, rounds=1,
+                                iterations=1)
+    write_result("ablation_greedy_vs_exhaustive", format_table(
+        ["method", "cost", "layouts costed"],
+        [["TS-GREEDY (k=1)", f"{result.greedy_cost:.3f}",
+          result.greedy_evaluations],
+         ["exhaustive", f"{result.exhaustive_cost:.3f}",
+          result.exhaustive_evaluations]]))
+    benchmark.extra_info["quality_ratio"] = round(result.quality_ratio,
+                                                  4)
+    # "comparable to exhaustive": within 10% of optimal.
+    assert result.quality_ratio <= 1.10
+
+
+def test_k_sweep(benchmark):
+    result = benchmark.pedantic(run_k_sweep, rounds=1, iterations=1)
+    write_result("ablation_k_sweep", format_table(
+        ["k", "cost", "evaluations", "seconds"],
+        [[k, f"{cost:.2f}", evals, f"{secs:.2f}"]
+         for k, cost, evals, secs in result.rows]))
+    costs = {k: cost for k, cost, _, _ in result.rows}
+    evals = {k: e for k, _, e, _ in result.rows}
+    # Larger k explores strictly more layouts per move...
+    assert evals[2] > evals[1]
+    # ...without materially improving over k=1 (the paper's finding).
+    assert costs[2] >= 0.8 * costs[1]
+
+
+def test_step_roles(benchmark):
+    result = benchmark.pedantic(run_step_roles, rounds=1, iterations=1)
+    write_result("ablation_step_roles", format_table(
+        ["variant", "estimated cost (s)"],
+        [["full striping", f"{result.full_striping_cost:.1f}"],
+         ["step 1 only (partition)",
+          f"{result.partition_only_cost:.1f}"],
+         ["step 2 only (greedy from round-robin)",
+          f"{result.greedy_only_cost:.1f}"],
+         ["TS-GREEDY (both steps)", f"{result.ts_greedy_cost:.1f}"]]))
+    # Both steps together beat full striping and the partition-only
+    # starting point; the greedy step is what recovers parallelism.
+    assert result.ts_greedy_cost < result.full_striping_cost
+    assert result.ts_greedy_cost < result.partition_only_cost
+    assert result.ts_greedy_cost <= result.greedy_only_cost * 1.05
+
+
+def test_temp_aware_model_reduces_absolute_error(benchmark):
+    """The paper blames its validation failures on ignoring temp I/O.
+    In our noise-free setting temp I/O is a near-constant offset that
+    cannot flip rankings, but it *does* make the blind model
+    underestimate sort-heavy statements; the temp-aware extension must
+    close that gap (and not regress rank agreement)."""
+    from repro.experiments.ablations import run_temp_aware_error
+
+    result = benchmark.pedantic(run_temp_aware_error, rounds=1,
+                                iterations=1)
+    write_result("ablation_temp_aware", (
+        "sort-heavy workload, full striping:\n"
+        f"  simulated total:        {result.actual_total_s:8.1f}s\n"
+        f"  temp-blind estimate:    {result.blind_total_s:8.1f}s "
+        f"(mean rel. error {result.blind_mean_rel_error:.2f})\n"
+        f"  temp-aware estimate:    {result.aware_total_s:8.1f}s "
+        f"(mean rel. error {result.aware_mean_rel_error:.2f})"))
+    benchmark.extra_info["blind_err"] = round(
+        result.blind_mean_rel_error, 3)
+    benchmark.extra_info["aware_err"] = round(
+        result.aware_mean_rel_error, 3)
+    assert result.aware_mean_rel_error < result.blind_mean_rel_error
+    assert result.blind_total_s < result.actual_total_s
+    assert abs(result.aware_total_s - result.actual_total_s) < \
+        abs(result.blind_total_s - result.actual_total_s)
+
+
+def test_concurrency_extension_end_to_end(benchmark):
+    """The future-work extension, validated by concurrent simulation:
+    for two always-overlapping report scans, the concurrency-aware
+    advisor separates the scanned tables and its layout beats the
+    sequential advisor's (full striping) under *simulated concurrent*
+    execution."""
+    from repro.experiments.concurrency import run_concurrency_study
+
+    result = benchmark.pedantic(run_concurrency_study, rounds=1,
+                                iterations=1)
+    write_result("ablation_concurrency", (
+        "two always-overlapping scans, simulated concurrently:\n"
+        f"  sequential advisor's layout (full striping): "
+        f"{result.sequential_layout_s:.2f}s\n"
+        f"  concurrency-aware layout (tables separated): "
+        f"{result.aware_layout_s:.2f}s\n"
+        f"  improvement: {result.improvement_pct:.0f}%"))
+    benchmark.extra_info["improvement_pct"] = round(
+        result.improvement_pct, 1)
+    assert result.tables_disjoint
+    assert result.aware_layout_s < result.sequential_layout_s
+
+
+def test_greedy_vs_generic_annealing(benchmark):
+    """Section 6's design decision, quantified: domain-blind simulated
+    annealing with 2.5x TS-GREEDY's evaluation budget still cannot find
+    the lineitem/orders separation — the layout landscape's valleys
+    (co-location cost spikes at 1 shared disk) defeat single-move
+    generic search, which is exactly why the paper built a two-step
+    heuristic instead."""
+    from repro.core.annealing import annealing_search
+    from repro.core.costmodel import WorkloadCostEvaluator
+    from repro.core.greedy import TsGreedySearch
+    from repro.workload.access import analyze_workload
+    from repro.workload.access_graph import build_access_graph
+
+    def run():
+        db = tpch.tpch_database()
+        farm = common.paper_farm()
+        analyzed = analyze_workload(tpch.tpch22_workload(), db)
+        sizes = db.object_sizes()
+        evaluator = WorkloadCostEvaluator(analyzed, farm,
+                                          sorted(sizes))
+        graph = build_access_graph(analyzed, db)
+        greedy = TsGreedySearch(farm, evaluator, sizes).search(graph)
+        annealed = annealing_search(
+            farm, evaluator, sizes, seed=1,
+            iterations=int(2.5 * greedy.evaluations))
+        return greedy, annealed
+
+    greedy, annealed = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result("ablation_annealing", format_table(
+        ["method", "cost (s)", "layouts costed"],
+        [["TS-GREEDY", f"{greedy.cost:.1f}", greedy.evaluations],
+         ["simulated annealing (2.5x budget)",
+          f"{annealed.cost:.1f}", annealed.evaluations]]))
+    benchmark.extra_info["greedy_cost"] = round(greedy.cost, 1)
+    benchmark.extra_info["annealing_cost"] = round(annealed.cost, 1)
+    assert greedy.cost < annealed.cost
+
+
+def test_pairwise_graph_sufficiency(benchmark):
+    """Section 4.1's simplification: pairwise co-access info suffices.
+
+    The access graph only keeps pairwise weights, yet Q3-style plans
+    co-access three objects at once.  If the pairwise abstraction were
+    lossy in a way that mattered, the TS-GREEDY layout (driven by the
+    graph) would not beat full striping under the *simulator* (which
+    plays the true multi-way interleave).  It does.
+    """
+    from repro.core.advisor import LayoutAdvisor
+
+    def run():
+        db = tpch.tpch_database()
+        farm = common.paper_farm()
+        workload = ctrl.wk_ctrl1()
+        advisor = LayoutAdvisor(db, farm)
+        analyzed = advisor.analyze(workload)
+        recommendation = advisor.recommend(analyzed)
+        sim = common.simulator()
+        full = sim.run(analyzed,
+                       full_striping(db.object_sizes(), farm))
+        separated = sim.run(analyzed, recommendation.layout)
+        return common.improvement_pct(full.total_seconds,
+                                      separated.total_seconds)
+
+    actual_improvement = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result("ablation_pairwise_graph",
+                 f"WK-CTRL1 simulated improvement of the graph-driven "
+                 f"layout: {actual_improvement:.0f}% (> 0 means the "
+                 f"pairwise abstraction held)")
+    assert actual_improvement > 10

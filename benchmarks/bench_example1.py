@@ -1,0 +1,29 @@
+"""EX1 — Example 1: Q3/Q10 speedup on the separated layout.
+
+Paper: Q3 ~44% and Q10 ~36% faster with lineitem (5 disks) and orders
+(3 disks) separated, versus full striping over all 8 drives.
+"""
+
+from conftest import write_result
+
+from repro.experiments.common import format_table
+from repro.experiments.example1 import run_example1
+
+
+def test_example1(benchmark):
+    result = benchmark.pedantic(run_example1, rounds=1, iterations=1)
+    benchmark.extra_info["q3_improvement_pct"] = \
+        round(result.q3_improvement_pct, 1)
+    benchmark.extra_info["q10_improvement_pct"] = \
+        round(result.q10_improvement_pct, 1)
+    write_result("example1", format_table(
+        ["query", "full striping (s)", "separated (s)", "improvement",
+         "paper"],
+        [["Q3", f"{result.q3_full_s:.2f}",
+          f"{result.q3_separated_s:.2f}",
+          f"{result.q3_improvement_pct:.0f}%", "44%"],
+         ["Q10", f"{result.q10_full_s:.2f}",
+          f"{result.q10_separated_s:.2f}",
+          f"{result.q10_improvement_pct:.0f}%", "36%"]]))
+    assert result.q3_improvement_pct > 15.0
+    assert result.q10_improvement_pct > 0.0

@@ -1,0 +1,28 @@
+"""EX5 — Example 5: the cost model's L1/L2/L3 ordering.
+
+Paper: for a 300-block / 150-block merge join on 3 identical disks,
+cost(L3 disjoint) < cost(L1 full striping) < cost(L2 partial overlap),
+with closed forms 150/T, 150/T + 100·S and 225/T + 150·S.
+"""
+
+import pytest
+from conftest import write_result
+
+from repro.experiments.common import format_table
+from repro.experiments.example5 import run_example5
+
+
+def test_example5(benchmark):
+    result = benchmark.pedantic(run_example5, rounds=3, iterations=1)
+    write_result("example5", format_table(
+        ["layout", "cost model (s)", "paper closed form (s)"],
+        [["L1 (full striping)", f"{result.l1_cost_s:.3f}",
+          f"{result.l1_expected_s:.3f}"],
+         ["L2 (partial overlap)", f"{result.l2_cost_s:.3f}",
+          f"{result.l2_expected_s:.3f}"],
+         ["L3 (disjoint)", f"{result.l3_cost_s:.3f}",
+          f"{result.l3_expected_s:.3f}"]]))
+    assert result.ordering_holds
+    assert result.l1_cost_s == pytest.approx(result.l1_expected_s)
+    assert result.l2_cost_s == pytest.approx(result.l2_expected_s)
+    assert result.l3_cost_s == pytest.approx(result.l3_expected_s)

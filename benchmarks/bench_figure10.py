@@ -1,0 +1,28 @@
+"""F10 — Figure 10: TS-GREEDY vs FULL STRIPING, five workloads.
+
+Paper shape: WK-CTRL1/WK-CTRL2 improve by well over 25%, TPCH-22 ~20%
+(lineitem/orders and partsupp/part separate), SALES-45 ~38% (the two
+dominant tables separate), APB-800 ~0% (no co-access between its large
+tables, TS-GREEDY converges to full striping).
+"""
+
+from conftest import write_result
+
+from repro.experiments.common import format_table
+from repro.experiments.figure10 import PAPER_SHAPE, run_figure10
+
+
+def test_figure10(benchmark):
+    result = benchmark.pedantic(run_figure10, rounds=1, iterations=1)
+    rows = [[name, f"{pct:.0f}%", PAPER_SHAPE[name]]
+            for name, pct in result.improvements.items()]
+    write_result("figure10", format_table(
+        ["workload", "estimated improvement", "paper"], rows))
+    for name, pct in result.improvements.items():
+        benchmark.extra_info[name] = round(pct, 1)
+    improvements = result.improvements
+    assert improvements["WK-CTRL1"] > 25
+    assert improvements["WK-CTRL2"] >= 20
+    assert 10 <= improvements["TPCH-22"] <= 45
+    assert improvements["SALES-45"] > 25
+    assert abs(improvements["APB-800"]) < 2

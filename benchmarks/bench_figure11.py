@@ -1,0 +1,37 @@
+"""F11 — Figure 11: TS-GREEDY running time vs number of disks.
+
+Paper: disks doubled from 4 to 64 for TPCH-22, APB-800 and SALES-45;
+runtime ratio to the 4-disk run grows slightly more than quadratically
+(~6x per doubling).  The default bench sweeps to 32 disks (set
+``REPRO_BENCH_FULL=1`` for the full 64) — the *ratios* are the result,
+not the absolute seconds.
+"""
+
+from conftest import full_scale, write_result
+
+from repro.experiments.common import format_table
+from repro.experiments.figure11 import run_figure11
+
+
+def test_figure11(benchmark):
+    disk_counts = (4, 8, 16, 32, 64) if full_scale() else (4, 8, 16, 32)
+    result = benchmark.pedantic(
+        run_figure11, kwargs={"disk_counts": disk_counts},
+        rounds=1, iterations=1)
+    rows = []
+    for name in result.seconds:
+        ratios = result.ratios(name)
+        rows.append([name] + [f"{r:.1f}x" for r in ratios])
+        benchmark.extra_info[name] = [round(r, 1) for r in ratios]
+    write_result("figure11", format_table(
+        ["workload"] + [f"{m} disks" for m in result.disk_counts],
+        rows) + "\npaper: ~6x per doubling")
+    # Quadratic-ish growth: each doubling costs between 2x and 16x.
+    for name in result.seconds:
+        ratios = result.ratios(name)
+        for prev, cur in zip(ratios, ratios[1:]):
+            assert cur / max(prev, 1e-9) > 1.5
+    # And the last point must be clearly super-linear overall.
+    for name in result.seconds:
+        span = result.disk_counts[-1] / result.disk_counts[0]
+        assert result.ratios(name)[-1] > span

@@ -1,0 +1,44 @@
+"""F12 — Figure 12: TS-GREEDY running time vs number of objects.
+
+Paper: TPCH1G replicated N = 1..6 times with 88-query workloads whose
+table names are randomly remapped across copies; 8 disks fixed.  The
+runtime ratio to N=1 grows quadratically (~40x at N=6).  The default
+bench sweeps N = 1..4 (set ``REPRO_BENCH_FULL=1`` for the full 1..6).
+"""
+
+from conftest import full_scale, write_result
+
+from repro.experiments.common import format_table
+from repro.experiments.figure12 import run_figure12
+
+
+def test_figure12(benchmark):
+    factors = (1, 2, 3, 4, 5, 6) if full_scale() else (1, 2, 3, 4)
+    result = benchmark.pedantic(
+        run_figure12, kwargs={"factors": factors}, rounds=1,
+        iterations=1)
+    ratios = result.ratios()
+    rows = [[f"N={n}", objects, f"{seconds:.2f}s", f"{ratio:.1f}x"]
+            for n, objects, seconds, ratio
+            in zip(result.factors, result.n_objects, result.seconds,
+                   ratios)]
+    write_result("figure12", format_table(
+        ["copies", "objects", "search time", "ratio to N=1"],
+        rows) + "\npaper: ~40x at N=6 (quadratic in objects)")
+    benchmark.extra_info["ratios"] = [round(r, 1) for r in ratios]
+    # Super-linear growth in the object count.
+    assert ratios[-1] > result.factors[-1]
+
+
+def test_figure12_search_only(benchmark):
+    """Micro-benchmark: one TS-GREEDY search at N=2 (stable timing)."""
+    from repro.benchdb import tpch
+    from repro.core.advisor import LayoutAdvisor
+    from repro.experiments import common
+
+    db = tpch.replicated_database(2, with_indexes=False)
+    advisor = LayoutAdvisor(db, common.paper_farm(8))
+    analyzed = advisor.analyze(tpch.tpch88_workload(2))
+
+    benchmark.pedantic(lambda: advisor.recommend(analyzed),
+                       rounds=3, iterations=1)

@@ -1,0 +1,43 @@
+"""T2 — Table 2: estimated vs actual improvement per TPC-H query.
+
+Paper (actual / estimated): Q3 44/54, Q9 30/40, Q10 36/51, Q12 32/55,
+Q18 16/31, Q21 40/9 (the buffering misestimate), TPCH-22 overall 25/20.
+The shape to reproduce: estimates track actuals for lineitem/orders-
+dominated queries, overshooting somewhat, and Q21's estimate is far
+below its actual gain because the model ignores buffer hits on the
+repeated lineitem accesses.
+"""
+
+from conftest import write_result
+
+from repro.experiments.common import format_table
+from repro.experiments.table2 import PAPER_NUMBERS, run_table2
+
+
+def test_table2(benchmark):
+    result = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    rows = []
+    for row in result.rows:
+        paper = PAPER_NUMBERS[row.query]
+        rows.append([row.query, f"{row.actual_improvement_pct:.0f}%",
+                     f"{row.estimated_improvement_pct:.0f}%",
+                     f"{paper[0]}%", f"{paper[1]}%"])
+    paper = PAPER_NUMBERS["TPCH-22"]
+    rows.append(["TPCH-22", f"{result.overall_actual_pct:.0f}%",
+                 f"{result.overall_estimated_pct:.0f}%",
+                 f"{paper[0]}%", f"{paper[1]}%"])
+    write_result("table2", format_table(
+        ["query", "actual (sim)", "estimated", "paper actual",
+         "paper estimated"], rows))
+    q3 = result.row("Q3")
+    benchmark.extra_info["q3_actual"] = round(
+        q3.actual_improvement_pct, 1)
+    benchmark.extra_info["q3_estimated"] = round(
+        q3.estimated_improvement_pct, 1)
+    # Shape assertions: Q3/Q12 improve strongly in both views; the
+    # model overshoots on Q3; Q21's actual gain exceeds its estimate
+    # (the paper's buffering failure mode).
+    assert q3.actual_improvement_pct > 15
+    assert q3.estimated_improvement_pct > q3.actual_improvement_pct
+    q21 = result.row("Q21")
+    assert q21.actual_improvement_pct > q21.estimated_improvement_pct

@@ -1,0 +1,39 @@
+"""WS — WK-SCALE(N): advisor cost vs workload size (Table 1's third
+scaling axis; the paper introduces the workloads without plotting them).
+
+Expected shape: analysis time linear in the statement count; search
+time sub-linear thanks to subplan-signature compression.
+"""
+
+from conftest import full_scale, write_result
+
+from repro.experiments.common import format_table
+from repro.experiments.wkscale import run_wkscale
+
+
+def test_wkscale(benchmark):
+    sizes = (100, 200, 400, 800, 1600, 3200) if full_scale() \
+        else (100, 200, 400, 800)
+    result = benchmark.pedantic(run_wkscale, kwargs={"sizes": sizes},
+                                rounds=1, iterations=1)
+    rows = []
+    for n, analysis, search, compressed, raw in zip(
+            result.sizes, result.analysis_seconds,
+            result.search_seconds, result.compressed_subplans,
+            result.raw_subplans):
+        rows.append([n, f"{analysis:.2f}s", f"{search:.2f}s",
+                     f"{compressed}/{raw}"])
+    write_result("wkscale", format_table(
+        ["queries", "analysis", "search", "subplans (unique/raw)"],
+        rows))
+    # Analysis scales ~linearly: 8x queries cost at most ~16x.
+    span = result.sizes[-1] / result.sizes[0]
+    analysis_growth = result.analysis_seconds[-1] \
+        / max(result.analysis_seconds[0], 1e-9)
+    assert analysis_growth < 2.5 * span
+    # Search grows sub-linearly in raw statements (compression).
+    search_growth = result.search_seconds[-1] \
+        / max(result.search_seconds[0], 1e-9)
+    assert search_growth < span
+    # Compression is real: unique signatures < raw subplans.
+    assert result.compressed_subplans[-1] < result.raw_subplans[-1]

@@ -1,0 +1,38 @@
+"""Shared benchmark utilities.
+
+Each benchmark regenerates one of the paper's tables or figures and
+writes the paper-style rows to ``benchmarks/results/<name>.txt`` (and
+key numbers into pytest-benchmark's ``extra_info``), so the artifacts
+survive pytest's output capturing.
+
+Set ``REPRO_BENCH_FULL=1`` to run the full-size scalability sweeps
+(64 disks / 6 replicas); the default keeps a complete run in minutes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def full_scale() -> bool:
+    """Whether to run the full-size (paper-scale) sweeps."""
+    return os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a paper-style result table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    # Also echo it so `pytest -s` shows the table live.
+    print(f"\n=== {name} ===\n{text}")
+
+
+@pytest.fixture
+def record_result():
+    """Fixture handing benchmarks the result writer."""
+    return write_result

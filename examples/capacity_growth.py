@@ -1,0 +1,40 @@
+"""Scenario: planning a storage purchase ("how many disks do we need?").
+
+The disk-drive file the advisor takes as input "need not be existing
+disk drives" (Section 3) — so the DBA can ask what the workload's I/O
+response time would be on hypothetical farms before buying hardware.
+This example sweeps the farm from 2 to 16 drives for the SALES-45
+workload and reports, per size, the estimated cost under full striping
+and under the TS-GREEDY recommendation — showing where extra spindles
+stop paying and layout starts mattering.
+
+Run:  python examples/capacity_growth.py
+"""
+
+from repro import LayoutAdvisor, full_striping, winbench_farm
+from repro.benchdb import sales
+
+
+def main() -> None:
+    db = sales.sales_database()
+    workload = sales.sales45_workload()
+    print(f"{'disks':>5s} {'full striping (s)':>18s} "
+          f"{'ts-greedy (s)':>14s} {'improvement':>12s}")
+    previous = None
+    for m in (2, 4, 8, 12, 16):
+        farm = winbench_farm(m)
+        advisor = LayoutAdvisor(db, farm)
+        analyzed = advisor.analyze(workload)
+        rec = advisor.recommend(analyzed)
+        print(f"{m:5d} {rec.current_cost:18.1f} "
+              f"{rec.estimated_cost:14.1f} "
+              f"{rec.improvement_pct:11.0f}%")
+        if previous is not None and previous > 0:
+            gain = 100 * (previous - rec.estimated_cost) / previous
+            print(f"      (+{m - previous_m} disks bought "
+                  f"{gain:.0f}% over the previous farm)")
+        previous, previous_m = rec.estimated_cost, m
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Legacy setuptools entry point.
+
+Kept so that ``pip install -e .`` works in offline environments without
+the ``wheel`` package (PEP 517 editable builds need it); metadata mirrors
+pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Automating Layout of Relational Databases' "
+        "(ICDE 2003): a workload-aware database layout advisor."
+    ),
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    entry_points={
+        "console_scripts": ["repro-advisor = repro.cli:main"],
+    },
+)

@@ -1,0 +1,106 @@
+"""repro — reproduction of *Automating Layout of Relational Databases*
+(Agrawal, Chaudhuri, Das, Narasayya; ICDE 2003).
+
+A workload-aware database layout advisor: it analyzes a SQL workload's
+execution plans, builds a co-access graph, and searches for an assignment
+of tables/indexes to disk drives that trades I/O parallelism against the
+random-I/O penalty of co-locating co-accessed objects — together with
+every substrate the paper relied on (SQL parser, cost-based optimizer,
+catalog, disk models, and an I/O simulator standing in for the paper's
+measured SQL Server testbed).
+
+Quickstart::
+
+    from repro import LayoutAdvisor, winbench_farm
+    from repro.benchdb import tpch
+
+    db = tpch.tpch_database()
+    advisor = LayoutAdvisor(db, winbench_farm(8))
+    rec = advisor.recommend(tpch.tpch22_workload())
+    print(rec.improvement_pct, rec.layout.describe())
+"""
+
+from repro.errors import (
+    CatalogError,
+    ConstraintError,
+    LayoutError,
+    PlanningError,
+    ReproError,
+    SimulationError,
+    SqlSyntaxError,
+    WorkloadError,
+)
+from repro.catalog import (
+    Column,
+    ColumnStats,
+    Database,
+    DbObject,
+    Histogram,
+    Index,
+    MaterializedView,
+    ObjectKind,
+    Table,
+)
+from repro.storage import (
+    Availability,
+    BLOCK_BYTES,
+    DiskFarm,
+    DiskSpec,
+    uniform_farm,
+    winbench_farm,
+)
+from repro.workload import (
+    AccessGraph,
+    AnalyzedWorkload,
+    ConcurrencySpec,
+    Statement,
+    Workload,
+    analyze_workload,
+    build_access_graph,
+    load_trace,
+)
+from repro.optimizer import Planner, explain, plan_statement
+from repro.core import (
+    AvailabilityRequirement,
+    CoLocated,
+    ConstraintSet,
+    CostModel,
+    Layout,
+    LayoutAdvisor,
+    MaxDataMovement,
+    Recommendation,
+    TsGreedySearch,
+    WorkloadCostEvaluator,
+    exhaustive_search,
+    full_striping,
+    random_layout,
+    stripe_fractions,
+)
+from repro.simulator import SimulationReport, WorkloadSimulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "ReproError", "CatalogError", "SqlSyntaxError", "PlanningError",
+    "LayoutError", "ConstraintError", "SimulationError", "WorkloadError",
+    # catalog
+    "Column", "ColumnStats", "Database", "DbObject", "Histogram", "Index",
+    "MaterializedView", "ObjectKind", "Table",
+    # storage
+    "Availability", "BLOCK_BYTES", "DiskFarm", "DiskSpec", "uniform_farm",
+    "winbench_farm",
+    # workload
+    "AccessGraph", "AnalyzedWorkload", "ConcurrencySpec", "Statement",
+    "Workload", "analyze_workload", "build_access_graph", "load_trace",
+    # optimizer
+    "Planner", "explain", "plan_statement",
+    # core
+    "AvailabilityRequirement", "CoLocated", "ConstraintSet", "CostModel",
+    "Layout", "LayoutAdvisor", "MaxDataMovement", "Recommendation",
+    "TsGreedySearch", "WorkloadCostEvaluator", "exhaustive_search",
+    "full_striping", "random_layout", "stripe_fractions",
+    # simulator
+    "SimulationReport", "WorkloadSimulator",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Benchmark databases and workload generators.
+
+Synthetic stand-ins for the paper's three test databases and their
+workloads:
+
+* :mod:`repro.benchdb.tpch` — TPC-H at SF 1 (the paper's TPCH1G), the
+  22 benchmark queries, a qgen-style parameter generator, and the
+  TPCH1G-N table-replication used in the scalability experiment;
+* :mod:`repro.benchdb.apb` — an APB-1-like star schema (40 tables,
+  ~250 MB) and the APB-800 workload generator;
+* :mod:`repro.benchdb.sales` — a SALES-like operational database
+  (50 tables, ~5 GB) and the SALES-45 workload;
+* :mod:`repro.benchdb.ctrl` — the WK-CTRL1 / WK-CTRL2 controlled
+  workloads;
+* :mod:`repro.benchdb.synth` — synthetic SELECT workloads over TPC-H
+  (the validation experiment's 25-query workloads);
+* :mod:`repro.benchdb.scale` — WK-SCALE(N) workloads of 100..3200
+  queries;
+* :mod:`repro.benchdb.oltp` — a DML-heavy OLTP mix exercising the
+  write paths (beyond the paper's read-only benchmarks).
+"""
+
+from repro.benchdb import apb, ctrl, oltp, sales, scale, synth, tpch
+
+__all__ = ["apb", "ctrl", "oltp", "sales", "scale", "synth", "tpch"]

@@ -1,0 +1,149 @@
+"""An APB-1-like OLAP star schema and the APB-800 workload.
+
+The paper's APB database is ~250 MB with about 40 tables; its decisive
+property for the layout experiment is structural: "the database has two
+large tables and several small tables; however no queries co-access the
+two large tables", which is why TS-GREEDY recommends the same layout as
+FULL STRIPING there (Figure 10's null result).
+
+We model the two APB-1 fact tables (current activity and history),
+four first-class dimensions (product, customer, channel, time) and a
+tail of small auxiliary tables to reach 40 tables total.  The APB-800
+generator draws 800 star-join aggregation queries, each over exactly one
+fact table.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.catalog.schema import Column, Database, Table
+from repro.catalog.stats import ColumnStats
+from repro.workload.workload import Workload
+
+#: Number of auxiliary tables filling out the 40-table catalog.
+N_AUX_TABLES = 34
+
+
+def _col(name: str, width: int, ndv: int,
+         lo: float | None = None, hi: float | None = None) -> Column:
+    return Column(name, width, ColumnStats(ndv=ndv, lo=lo, hi=hi))
+
+
+def apb_database() -> Database:
+    """The APB-1-like catalog (40 tables, ~250 MB)."""
+    product = Table("product", 9_000, [
+        _col("product_id", 4, 9_000, 1, 9_000),
+        _col("product_class", 12, 900),
+        _col("product_group", 12, 100),
+        _col("product_family", 12, 20),
+        _col("product_division", 12, 5),
+    ], clustered_on=["product_id"])
+    customer = Table("customer", 900, [
+        _col("customer_id", 4, 900, 1, 900),
+        _col("retailer_id", 4, 90, 1, 90),
+        _col("customer_region", 12, 9),
+    ], clustered_on=["customer_id"])
+    channel = Table("channel", 9, [
+        _col("channel_id", 4, 9, 1, 9),
+        _col("channel_name", 16, 9),
+    ], clustered_on=["channel_id"])
+    timedim = Table("timedim", 24, [
+        _col("time_id", 4, 24, 1, 24),
+        _col("month_of_year", 4, 12, 1, 12),
+        _col("quarter", 4, 8, 1, 8),
+        _col("year", 4, 2, 1995, 1996),
+    ], clustered_on=["time_id"])
+    # The two large tables: current activity and history.
+    actvars = Table("actvars", 1_300_000, [
+        _col("customer_id", 4, 900, 1, 900),
+        _col("product_id", 4, 9_000, 1, 9_000),
+        _col("channel_id", 4, 9, 1, 9),
+        _col("time_id", 4, 24, 1, 24),
+        _col("units_sold", 8, 10_000, 0, 10_000),
+        _col("dollar_sales", 8, 500_000, 0, 500_000),
+        _col("dollar_cost", 8, 400_000, 0, 400_000),
+        _col("units_returned", 8, 1_000, 0, 1_000),
+        _col("dollar_margin", 8, 300_000, 0, 300_000),
+        _col("promo_flag", 4, 2, 0, 1),
+        _col("batch_code", 24, 50_000),
+        _col("act_seq", 4, 1_300_000, 1, 1_300_000),
+    ], clustered_on=["act_seq"])
+    histvars = Table("histvars", 1_100_000, [
+        _col("customer_id", 4, 900, 1, 900),
+        _col("product_id", 4, 9_000, 1, 9_000),
+        _col("channel_id", 4, 9, 1, 9),
+        _col("time_id", 4, 24, 1, 24),
+        _col("units_budget", 8, 10_000, 0, 10_000),
+        _col("dollar_budget", 8, 500_000, 0, 500_000),
+        _col("units_forecast", 8, 10_000, 0, 10_000),
+        _col("dollar_forecast", 8, 500_000, 0, 500_000),
+        _col("scenario_code", 20, 4),
+        _col("hist_seq", 4, 1_100_000, 1, 1_100_000),
+    ], clustered_on=["hist_seq"])
+    aux_tables = []
+    rng = random.Random(1998)  # APB-1 release II vintage
+    for index in range(1, N_AUX_TABLES + 1):
+        rows = rng.choice([100, 250, 500, 1_000, 2_500, 5_000])
+        aux_tables.append(Table(f"aux{index:02d}", rows, [
+            _col(f"aux{index:02d}_id", 4, rows, 1, rows),
+            _col(f"aux{index:02d}_code", 12, max(1, rows // 10)),
+            _col(f"aux{index:02d}_value", 8, rows, 0, rows),
+        ], clustered_on=[f"aux{index:02d}_id"]))
+    return Database("apb", [product, customer, channel, timedim,
+                            actvars, histvars] + aux_tables)
+
+
+_FACTS = {
+    "actvars": ("a", ["units_sold", "dollar_sales", "dollar_cost"]),
+    "histvars": ("h", ["units_budget", "dollar_budget"]),
+}
+
+_DIMS = {
+    "product": ("p", "product_id",
+                ["product_class", "product_group", "product_family"]),
+    "customer": ("c", "customer_id", ["customer_region", "retailer_id"]),
+    "channel": ("ch", "channel_id", ["channel_name"]),
+    "timedim": ("t", "time_id", ["month_of_year", "quarter", "year"]),
+}
+
+
+def apb800_workload(seed: int = 800, n_queries: int = 800) -> Workload:
+    """The APB-800 workload: star-join aggregations, one fact each.
+
+    ~95% of queries aggregate one of the two fact tables joined with
+    1..3 dimensions; the rest are small lookups on auxiliary tables.
+    No query references both fact tables.
+    """
+    rng = random.Random(seed)
+    workload = Workload(name="APB-800")
+    for index in range(n_queries):
+        if rng.random() < 0.05:
+            aux = rng.randint(1, N_AUX_TABLES)
+            workload.add(
+                f"SELECT COUNT(*) FROM aux{aux:02d} x "
+                f"WHERE x.aux{aux:02d}_value "
+                f"<= {rng.randint(1, 5_000)}",
+                name=f"A{index + 1}")
+            continue
+        fact = rng.choice(list(_FACTS))
+        falias, measures = _FACTS[fact]
+        dims = rng.sample(list(_DIMS), rng.randint(1, 3))
+        froms = [f"{fact} {falias}"]
+        conds = []
+        group_refs = []
+        for dim in dims:
+            dalias, key, attrs = _DIMS[dim]
+            froms.append(f"{dim} {dalias}")
+            conds.append(f"{falias}.{key} = {dalias}.{key}")
+            attr = rng.choice(attrs)
+            if rng.random() < 0.5:
+                group_refs.append(f"{dalias}.{attr}")
+        measure = rng.choice(measures)
+        select_items = group_refs + [f"SUM({falias}.{measure})"]
+        sql = (f"SELECT {', '.join(select_items)} "
+               f"FROM {', '.join(froms)} WHERE {' AND '.join(conds)}")
+        if group_refs:
+            sql += f" GROUP BY {', '.join(group_refs)}"
+        workload.add(sql, name=f"A{index + 1}")
+    return workload

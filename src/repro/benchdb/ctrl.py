@@ -1,0 +1,70 @@
+"""The controlled validation workloads WK-CTRL1 and WK-CTRL2.
+
+Per the paper's Table 1: small workloads over TPCH1G whose queries have
+a ``COUNT(*)``-style aggregate and access almost all the data of the
+``lineitem``, ``orders``, ``partsupp`` and ``part`` tables.
+
+* WK-CTRL1 — 5 two-table-join queries with a simple aggregation; the
+  joins pair tables that merge-join along their clustering keys, so the
+  pairs are genuinely co-accessed.
+* WK-CTRL2 — 10 queries mixing single-table scans and multi-table
+  joins, again with simple aggregates.
+"""
+
+from __future__ import annotations
+
+from repro.workload.workload import Workload
+
+
+def wk_ctrl1(suffix: str = "") -> Workload:
+    """WK-CTRL1: five full two-table joins with simple aggregation."""
+    s = suffix
+    workload = Workload(name="WK-CTRL1")
+    workload.add(
+        f"SELECT COUNT(*) FROM lineitem{s} l, orders{s} o "
+        f"WHERE l.l_orderkey = o.o_orderkey", name="C1-1")
+    workload.add(
+        f"SELECT SUM(l.l_quantity) FROM lineitem{s} l, orders{s} o "
+        f"WHERE l.l_orderkey = o.o_orderkey", name="C1-2")
+    workload.add(
+        f"SELECT COUNT(*) FROM partsupp{s} ps, part{s} p "
+        f"WHERE ps.ps_partkey = p.p_partkey", name="C1-3")
+    workload.add(
+        f"SELECT SUM(ps.ps_availqty) FROM partsupp{s} ps, part{s} p "
+        f"WHERE ps.ps_partkey = p.p_partkey", name="C1-4")
+    workload.add(
+        f"SELECT COUNT(*) FROM lineitem{s} l, orders{s} o "
+        f"WHERE l.l_orderkey = o.o_orderkey "
+        f"AND o.o_orderdate >= DATE '1992-01-01'", name="C1-5")
+    return workload
+
+
+def wk_ctrl2(suffix: str = "") -> Workload:
+    """WK-CTRL2: ten queries mixing single-table scans and joins."""
+    s = suffix
+    workload = Workload(name="WK-CTRL2")
+    workload.add(f"SELECT COUNT(*) FROM lineitem{s} l", name="C2-1")
+    workload.add(f"SELECT COUNT(*) FROM orders{s} o", name="C2-2")
+    workload.add(f"SELECT COUNT(*) FROM partsupp{s} ps", name="C2-3")
+    workload.add(f"SELECT COUNT(*) FROM part{s} p", name="C2-4")
+    workload.add(
+        f"SELECT SUM(l.l_extendedprice) FROM lineitem{s} l",
+        name="C2-5")
+    workload.add(
+        f"SELECT COUNT(*) FROM lineitem{s} l, orders{s} o "
+        f"WHERE l.l_orderkey = o.o_orderkey", name="C2-6")
+    workload.add(
+        f"SELECT COUNT(*) FROM partsupp{s} ps, part{s} p "
+        f"WHERE ps.ps_partkey = p.p_partkey", name="C2-7")
+    workload.add(
+        f"SELECT SUM(o.o_totalprice) FROM orders{s} o "
+        f"WHERE o.o_orderdate >= DATE '1993-01-01'", name="C2-8")
+    workload.add(
+        f"SELECT SUM(l.l_quantity) FROM lineitem{s} l, orders{s} o "
+        f"WHERE l.l_orderkey = o.o_orderkey "
+        f"AND o.o_orderdate < DATE '1997-01-01'", name="C2-9")
+    workload.add(
+        f"SELECT AVG(ps.ps_supplycost) FROM partsupp{s} ps, part{s} p "
+        f"WHERE ps.ps_partkey = p.p_partkey AND p.p_size < 40",
+        name="C2-10")
+    return workload

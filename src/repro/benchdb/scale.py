@@ -1,0 +1,32 @@
+"""WK-SCALE(N): workloads of increasing size on TPCH1G.
+
+Per the paper's Table 1, ``N`` ranges from 100 to 3200 queries.  The
+queries are synthetic TPC-H selections/joins (see
+:mod:`repro.benchdb.synth`); the workloads are nested — WK-SCALE(200)
+starts with the same 100 queries as WK-SCALE(100) — so scaling curves
+measure workload size, not workload drift.
+"""
+
+from __future__ import annotations
+
+from repro.benchdb.synth import synthetic_workload
+from repro.errors import WorkloadError
+from repro.workload.workload import Workload
+
+#: The paper's WK-SCALE sizes.
+SCALE_SIZES = (100, 200, 400, 800, 1600, 3200)
+
+
+def wk_scale(n_queries: int, seed: int = 42_000) -> Workload:
+    """The WK-SCALE(N) workload of exactly ``n_queries`` queries."""
+    if n_queries <= 0:
+        raise WorkloadError("WK-SCALE needs a positive query count")
+    workload = synthetic_workload(n_queries, seed,
+                                  name=f"WK-SCALE({n_queries})")
+    return workload
+
+
+def wk_scale_series(sizes: tuple[int, ...] = SCALE_SIZES,
+                    seed: int = 42_000) -> list[Workload]:
+    """All WK-SCALE workloads for the scalability experiment."""
+    return [wk_scale(n, seed=seed) for n in sizes]

@@ -1,0 +1,214 @@
+"""Synthetic SELECT workload generator over the TPC-H schema.
+
+Reproduces the paper's "synthetically generated workloads … with varying
+selection and join conditions, Group By and Order By clauses" used in the
+cost-model validation experiment, and backs the WK-SCALE(N) workloads.
+
+Every draw is seeded; the same seed always yields the same workload.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.benchdb.tpch import date_ordinal
+from repro.workload.workload import Workload
+
+#: TPC-H join graph: (left table, left col, right table, right col).
+_JOINS = [
+    ("lineitem", "l_orderkey", "orders", "o_orderkey"),
+    ("orders", "o_custkey", "customer", "c_custkey"),
+    ("lineitem", "l_partkey", "part", "p_partkey"),
+    ("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+    ("partsupp", "ps_partkey", "part", "p_partkey"),
+    ("partsupp", "ps_suppkey", "supplier", "s_suppkey"),
+    ("customer", "c_nationkey", "nation", "n_nationkey"),
+    ("supplier", "s_nationkey", "nation", "n_nationkey"),
+    ("nation", "n_regionkey", "region", "r_regionkey"),
+]
+
+_ALIASES = {"lineitem": "l", "orders": "o", "customer": "c", "part": "p",
+            "partsupp": "ps", "supplier": "s", "nation": "n",
+            "region": "r"}
+
+#: Numeric/date columns usable in range predicates: (col, lo, hi, date?).
+_RANGE_COLS: dict[str, list[tuple[str, float, float, bool]]] = {
+    "lineitem": [
+        ("l_shipdate", date_ordinal("1992-01-02"),
+         date_ordinal("1998-12-01"), True),
+        ("l_quantity", 1, 50, False),
+        ("l_extendedprice", 901, 104_949, False),
+    ],
+    "orders": [
+        ("o_orderdate", date_ordinal("1992-01-01"),
+         date_ordinal("1998-08-02"), True),
+        ("o_totalprice", 857, 555_285, False),
+    ],
+    "customer": [("c_acctbal", -999, 9_999, False)],
+    "supplier": [("s_acctbal", -999, 9_999, False)],
+    "part": [("p_size", 1, 50, False),
+             ("p_retailprice", 900, 2_100, False)],
+    "partsupp": [("ps_availqty", 1, 9_999, False),
+                 ("ps_supplycost", 1, 1_000, False)],
+    "nation": [("n_nationkey", 0, 24, False)],
+    "region": [("r_regionkey", 0, 4, False)],
+}
+
+#: Low-cardinality columns usable in GROUP BY.
+_GROUP_COLS = {
+    "lineitem": ["l_returnflag", "l_shipmode", "l_linestatus"],
+    "orders": ["o_orderpriority", "o_orderstatus"],
+    "customer": ["c_mktsegment", "c_nationkey"],
+    "part": ["p_brand", "p_container", "p_size"],
+    "partsupp": ["ps_availqty"],
+    "supplier": ["s_nationkey"],
+    "nation": ["n_name"],
+    "region": ["r_name"],
+}
+
+#: Numeric columns usable in SUM()/AVG() aggregates.
+_SUM_COLS = {
+    "lineitem": ["l_quantity", "l_extendedprice", "l_discount"],
+    "orders": ["o_totalprice"],
+    "customer": ["c_acctbal"],
+    "part": ["p_retailprice"],
+    "partsupp": ["ps_supplycost", "ps_availqty"],
+    "supplier": ["s_acctbal"],
+    "nation": ["n_nationkey"],
+    "region": ["r_regionkey"],
+}
+
+#: Wide projection targets for "big sort" queries (no aggregation).
+_PROJ_COLS = {
+    "lineitem": ["l_orderkey", "l_partkey", "l_extendedprice",
+                 "l_shipdate"],
+    "orders": ["o_orderkey", "o_custkey", "o_totalprice", "o_orderdate"],
+    "customer": ["c_custkey", "c_name", "c_acctbal"],
+    "part": ["p_partkey", "p_name", "p_retailprice"],
+    "partsupp": ["ps_partkey", "ps_suppkey", "ps_supplycost"],
+    "supplier": ["s_suppkey", "s_name", "s_acctbal"],
+    "nation": ["n_nationkey", "n_name"],
+    "region": ["r_regionkey", "r_name"],
+}
+
+
+def _date_literal(ordinal: float) -> str:
+    import datetime
+    return datetime.date.fromordinal(int(ordinal)).isoformat()
+
+
+def _range_predicate(alias: str, table: str,
+                     rng: random.Random) -> str | None:
+    options = _RANGE_COLS.get(table)
+    if not options:
+        return None
+    col, lo, hi, is_date = rng.choice(options)
+    # Draw a predicate with selectivity between ~5% and ~90%.
+    selectivity = rng.uniform(0.05, 0.9)
+    span = hi - lo
+    if rng.random() < 0.5:
+        bound = lo + selectivity * span
+        value = f"DATE '{_date_literal(bound)}'" if is_date \
+            else f"{bound:.2f}"
+        return f"{alias}.{col} <= {value}"
+    start = lo + rng.uniform(0.0, 1.0 - selectivity) * span
+    end = start + selectivity * span
+    if is_date:
+        return (f"{alias}.{col} BETWEEN DATE '{_date_literal(start)}' "
+                f"AND DATE '{_date_literal(end)}'")
+    return f"{alias}.{col} BETWEEN {start:.2f} AND {end:.2f}"
+
+
+def _pick_tables(rng: random.Random, max_tables: int,
+                 suffix: str) -> tuple[list[tuple[str, str]], list[str]]:
+    """Choose a connected set of tables; returns (table, alias) pairs
+    and the join conjuncts connecting them."""
+    n_tables = rng.randint(1, max_tables)
+    start = rng.choice(list(_ALIASES))
+    chosen = [start]
+    join_conds: list[str] = []
+    while len(chosen) < n_tables:
+        edges = [e for e in _JOINS
+                 if (e[0] in chosen) != (e[2] in chosen)]
+        if not edges:
+            break
+        left, lcol, right, rcol = rng.choice(edges)
+        new = right if left in chosen else left
+        chosen.append(new)
+        join_conds.append(f"{_ALIASES[left]}.{lcol} "
+                          f"= {_ALIASES[right]}.{rcol}")
+    froms = [(f"{t}{suffix}", _ALIASES[t]) for t in chosen]
+    return froms, join_conds
+
+
+def synthetic_query(rng: random.Random, max_tables: int = 3,
+                    big_sort_probability: float = 0.2,
+                    suffix: str = "") -> str:
+    """Generate one synthetic SELECT statement.
+
+    Args:
+        rng: Seeded RNG driving every choice.
+        max_tables: Maximum join width.
+        big_sort_probability: Probability of generating a wide
+            projection with ORDER BY over a large result — the queries
+            whose temp I/O the analytical model ignores.
+        suffix: Table-name suffix for replicated databases.
+    """
+    froms, join_conds = _pick_tables(rng, max_tables, suffix)
+    tables = [t[: len(t) - len(suffix)] if suffix else t
+              for t, _ in froms]
+    aliases = [a for _, a in froms]
+    conds = list(join_conds)
+    for table, alias in zip(tables, aliases):
+        if rng.random() < 0.7:
+            pred = _range_predicate(alias, table, rng)
+            if pred:
+                conds.append(pred)
+    from_clause = ", ".join(f"{t} {a}" for t, a in froms)
+    where = f" WHERE {' AND '.join(conds)}" if conds else ""
+
+    big_sort = rng.random() < big_sort_probability
+    if big_sort:
+        table, alias = tables[0], aliases[0]
+        cols = [f"{alias}.{c}" for c in _PROJ_COLS[table]]
+        order_col = cols[-1]
+        return (f"SELECT {', '.join(cols)} FROM {from_clause}{where} "
+                f"ORDER BY {order_col} DESC")
+
+    table, alias = tables[-1], aliases[-1]
+    if rng.random() < 0.5:
+        agg = "COUNT(*)"
+    else:
+        agg = f"SUM({alias}.{rng.choice(_SUM_COLS[table])})"
+    if rng.random() < 0.5:
+        group_table = rng.randrange(len(tables))
+        gcol = rng.choice(_GROUP_COLS[tables[group_table]])
+        gref = f"{aliases[group_table]}.{gcol}"
+        order = f" ORDER BY {gref}" if rng.random() < 0.5 else ""
+        return (f"SELECT {gref}, {agg} FROM {from_clause}{where} "
+                f"GROUP BY {gref}{order}")
+    return f"SELECT {agg} FROM {from_clause}{where}"
+
+
+def synthetic_workload(n_queries: int, seed: int,
+                       name: str | None = None,
+                       max_tables: int = 3,
+                       big_sort_probability: float = 0.2,
+                       suffix: str = "") -> Workload:
+    """A seeded workload of ``n_queries`` synthetic statements."""
+    rng = random.Random(seed)
+    workload = Workload(name=name or f"SYNTH-{n_queries}-s{seed}")
+    for index in range(n_queries):
+        workload.add(synthetic_query(
+            rng, max_tables=max_tables,
+            big_sort_probability=big_sort_probability, suffix=suffix),
+            name=f"S{index + 1}")
+    return workload
+
+
+def validation_workloads(n_workloads: int = 5, n_queries: int = 25,
+                         base_seed: int = 7_000) -> list[Workload]:
+    """The validation experiment's synthetic workloads (5 x 25 queries)."""
+    return [synthetic_workload(n_queries, base_seed + index,
+                               name=f"SYNTH25-{index + 1}")
+            for index in range(n_workloads)]

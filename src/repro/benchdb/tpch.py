@@ -1,0 +1,644 @@
+"""TPC-H at scale factor 1: the paper's TPCH1G database and workloads.
+
+The catalog mirrors the TPC-H specification's cardinalities and average
+row widths at SF 1 (so `lineitem` is ~740 MB, `orders` ~170 MB, etc.),
+with clustered primary keys as in typical SQL Server TPC-H setups and a
+small set of non-clustered indexes.
+
+The 22 benchmark queries are provided in this library's SQL subset.
+They are structurally faithful — same tables, same join graph, same
+subquery nesting, same aggregation — with era-typical rewrites where the
+subset lacks a feature:
+
+* date arithmetic (``INTERVAL``) is pre-computed into literal dates;
+* ``EXTRACT(YEAR FROM d)`` grouping (Q7/Q8/Q9) groups on the date
+  column directly;
+* Q13's FROM-subquery and Q15's view are inlined;
+* Q19's per-branch join predicate is hoisted out of the OR;
+* Q22's ``SUBSTRING(c_phone, 1, 2)`` country filter becomes a
+  ``c_nationkey IN (...)`` filter.
+
+``tpch_query(n, rng)`` is the qgen substitute: it draws the same kinds
+of substitution parameters qgen draws (dates, segments, brands,
+regions, quantities) from a seeded RNG.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from typing import Callable, Mapping
+
+from repro.catalog.schema import Column, Database, Index, Table
+from repro.catalog.stats import ColumnStats
+from repro.errors import WorkloadError
+from repro.workload.workload import Workload
+
+# -- domain helpers -----------------------------------------------------------
+
+
+def date_ordinal(iso: str) -> float:
+    """Proleptic ordinal of an ISO date (the numeric domain of dates)."""
+    return float(datetime.date.fromisoformat(iso).toordinal())
+
+
+def _col(name: str, width: int, ndv: int,
+         lo: float | None = None, hi: float | None = None,
+         null_fraction: float = 0.0) -> Column:
+    return Column(name, width,
+                  ColumnStats(ndv=ndv, lo=lo, hi=hi,
+                              null_fraction=null_fraction))
+
+
+def _date_col(name: str, ndv: int, lo: str, hi: str) -> Column:
+    return _col(name, 4, ndv, date_ordinal(lo), date_ordinal(hi))
+
+
+# -- catalog -------------------------------------------------------------------
+
+SCALE_FACTOR = 1
+_SF = SCALE_FACTOR
+
+
+def tpch_database(suffix: str = "",
+                  with_indexes: bool = True) -> Database:
+    """The TPCH1G catalog (tables, statistics, physical design).
+
+    Args:
+        suffix: Appended to every table/index name (used by the
+            TPCH1G-N replication).
+        with_indexes: Include the non-clustered index set.
+    """
+    s = suffix
+    region = Table(f"region{s}", 5, [
+        _col("r_regionkey", 4, 5, 0, 4),
+        _col("r_name", 12, 5),
+        _col("r_comment", 60, 5),
+    ], clustered_on=["r_regionkey"])
+    nation = Table(f"nation{s}", 25, [
+        _col("n_nationkey", 4, 25, 0, 24),
+        _col("n_name", 16, 25),
+        _col("n_regionkey", 4, 5, 0, 4),
+        _col("n_comment", 75, 25),
+    ], clustered_on=["n_nationkey"])
+    supplier = Table(f"supplier{s}", 10_000 * _SF, [
+        _col("s_suppkey", 4, 10_000 * _SF, 1, 10_000 * _SF),
+        _col("s_name", 18, 10_000 * _SF),
+        _col("s_address", 25, 10_000 * _SF),
+        _col("s_nationkey", 4, 25, 0, 24),
+        _col("s_phone", 15, 10_000 * _SF),
+        _col("s_acctbal", 8, 9_956, -999.0, 9_999.0),
+        _col("s_comment", 63, 10_000 * _SF),
+    ], clustered_on=["s_suppkey"])
+    customer = Table(f"customer{s}", 150_000 * _SF, [
+        _col("c_custkey", 4, 150_000 * _SF, 1, 150_000 * _SF),
+        _col("c_name", 18, 150_000 * _SF),
+        _col("c_address", 25, 150_000 * _SF),
+        _col("c_nationkey", 4, 25, 0, 24),
+        _col("c_phone", 15, 150_000 * _SF),
+        _col("c_acctbal", 8, 140_000, -999.0, 9_999.0),
+        _col("c_mktsegment", 10, 5),
+        _col("c_comment", 73, 150_000 * _SF),
+    ], clustered_on=["c_custkey"])
+    part = Table(f"part{s}", 200_000 * _SF, [
+        _col("p_partkey", 4, 200_000 * _SF, 1, 200_000 * _SF),
+        _col("p_name", 33, 200_000 * _SF),
+        _col("p_mfgr", 25, 5),
+        _col("p_brand", 10, 25),
+        _col("p_type", 21, 150),
+        _col("p_size", 4, 50, 1, 50),
+        _col("p_container", 10, 40),
+        _col("p_retailprice", 8, 20_000, 900.0, 2_100.0),
+        _col("p_comment", 15, 131_072),
+    ], clustered_on=["p_partkey"])
+    partsupp = Table(f"partsupp{s}", 800_000 * _SF, [
+        _col("ps_partkey", 4, 200_000 * _SF, 1, 200_000 * _SF),
+        _col("ps_suppkey", 4, 10_000 * _SF, 1, 10_000 * _SF),
+        _col("ps_availqty", 4, 9_999, 1, 9_999),
+        _col("ps_supplycost", 8, 99_901, 1.0, 1_000.0),
+        _col("ps_comment", 124, 800_000 * _SF),
+    ], clustered_on=["ps_partkey", "ps_suppkey"])
+    orders = Table(f"orders{s}", 1_500_000 * _SF, [
+        _col("o_orderkey", 4, 1_500_000 * _SF, 1, 6_000_000 * _SF),
+        _col("o_custkey", 4, 100_000 * _SF, 1, 150_000 * _SF),
+        _col("o_orderstatus", 1, 3),
+        _col("o_totalprice", 8, 1_464_556, 857.0, 555_285.0),
+        *[ _date_col("o_orderdate", 2_406, "1992-01-01", "1998-08-02") ],
+        _col("o_orderpriority", 15, 5),
+        _col("o_clerk", 15, 1_000),
+        _col("o_shippriority", 4, 1, 0, 0),
+        _col("o_comment", 49, 1_500_000 * _SF),
+    ], clustered_on=["o_orderkey"])
+    lineitem = Table(f"lineitem{s}", 6_001_215 * _SF, [
+        _col("l_orderkey", 4, 1_500_000 * _SF, 1, 6_000_000 * _SF),
+        _col("l_partkey", 4, 200_000 * _SF, 1, 200_000 * _SF),
+        _col("l_suppkey", 4, 10_000 * _SF, 1, 10_000 * _SF),
+        _col("l_linenumber", 4, 7, 1, 7),
+        _col("l_quantity", 8, 50, 1.0, 50.0),
+        _col("l_extendedprice", 8, 933_900, 901.0, 104_949.5),
+        _col("l_discount", 8, 11, 0.0, 0.10),
+        _col("l_tax", 8, 9, 0.0, 0.08),
+        _col("l_returnflag", 1, 3),
+        _col("l_linestatus", 1, 2),
+        *[ _date_col("l_shipdate", 2_526, "1992-01-02", "1998-12-01") ],
+        *[ _date_col("l_commitdate", 2_466, "1992-01-31", "1998-10-31") ],
+        *[ _date_col("l_receiptdate", 2_554, "1992-01-04", "1998-12-31") ],
+        _col("l_shipinstruct", 25, 4),
+        _col("l_shipmode", 10, 7),
+        _col("l_comment", 27, 4_580_667),
+    ], clustered_on=["l_orderkey", "l_linenumber"])
+
+    indexes = []
+    if with_indexes:
+        indexes = [
+            Index(f"idx_orders_custkey{s}", f"orders{s}", ["o_custkey"]),
+            Index(f"idx_orders_orderdate{s}", f"orders{s}",
+                  ["o_orderdate"]),
+            Index(f"idx_lineitem_partkey{s}", f"lineitem{s}",
+                  ["l_partkey", "l_suppkey"]),
+            Index(f"idx_lineitem_shipdate{s}", f"lineitem{s}",
+                  ["l_shipdate"]),
+            Index(f"idx_customer_nationkey{s}", f"customer{s}",
+                  ["c_nationkey"]),
+        ]
+    return Database(f"tpch1g{s}",
+                    [region, nation, supplier, customer, part, partsupp,
+                     orders, lineitem],
+                    indexes=indexes)
+
+
+def replicated_database(n_copies: int,
+                        with_indexes: bool = True) -> Database:
+    """TPCH1G-N: a database with ``n_copies`` copies of every table.
+
+    Copy 1 keeps the original names; copies 2..N get ``_2`` .. ``_N``
+    suffixes, matching the paper's scalability setup.
+    """
+    if n_copies < 1:
+        raise WorkloadError("need at least one copy")
+    tables: list[Table] = []
+    indexes: list[Index] = []
+    for copy in range(1, n_copies + 1):
+        suffix = "" if copy == 1 else f"_{copy}"
+        db = tpch_database(suffix=suffix, with_indexes=with_indexes)
+        tables.extend(db.tables)
+        indexes.extend(db.indexes)
+    return Database(f"tpch1g-{n_copies}", tables, indexes=indexes)
+
+
+# -- the 22 queries -------------------------------------------------------------
+
+_SEGMENTS = ["BUILDING", "AUTOMOBILE", "MACHINERY", "HOUSEHOLD",
+             "FURNITURE"]
+_REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+_NATIONS = ["ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT",
+            "ETHIOPIA", "FRANCE", "GERMANY", "INDIA", "INDONESIA",
+            "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO",
+            "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA",
+            "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"]
+_SHIPMODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+_CONTAINERS = ["SM CASE", "SM BOX", "SM PACK", "SM PKG", "MED BAG",
+               "MED BOX", "MED PKG", "MED PACK", "LG CASE", "LG BOX",
+               "LG PACK", "LG PKG"]
+_TYPE_SYLL3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+_COLORS = ["almond", "antique", "aquamarine", "azure", "beige", "bisque",
+           "black", "blanched", "blue", "blush", "brown", "burlywood",
+           "burnished", "chartreuse", "chiffon", "chocolate", "coral",
+           "cornflower", "cornsilk", "cream", "cyan", "dark", "deep",
+           "dim", "dodger", "drab", "firebrick", "floral", "forest",
+           "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey",
+           "honeydew", "hot", "indian", "ivory", "khaki", "lace",
+           "lavender", "lawn", "lemon", "light", "lime", "linen"]
+
+
+def _date_plus(iso: str, days: int) -> str:
+    return (datetime.date.fromisoformat(iso)
+            + datetime.timedelta(days=days)).isoformat()
+
+
+def _default_rng() -> random.Random:
+    return random.Random(19701201)  # TPC-H's birthday-ish constant seed
+
+
+_TEMPLATES: dict[int, str] = {}
+_PARAMS: dict[int, Callable[[random.Random], dict]] = {}
+
+
+def _register(number: int, template: str,
+              params: Callable[[random.Random], dict]) -> None:
+    _TEMPLATES[number] = template
+    _PARAMS[number] = params
+
+
+_register(1, """
+SELECT l.l_returnflag, l.l_linestatus, SUM(l.l_quantity) AS sum_qty,
+       SUM(l.l_extendedprice) AS sum_base_price,
+       SUM(l.l_extendedprice * (1 - l.l_discount)) AS sum_disc_price,
+       AVG(l.l_quantity) AS avg_qty, COUNT(*) AS count_order
+FROM lineitem{sfx} l
+WHERE l.l_shipdate <= DATE '{date}'
+GROUP BY l.l_returnflag, l.l_linestatus
+ORDER BY l.l_returnflag, l.l_linestatus
+""", lambda rng: {"date": _date_plus("1998-12-01",
+                                     -rng.randint(60, 120))})
+
+_register(2, """
+SELECT TOP 100 s.s_acctbal, s.s_name, n.n_name, p.p_partkey, p.p_mfgr,
+       s.s_address, s.s_phone, s.s_comment
+FROM part{sfx} p, supplier{sfx} s, partsupp{sfx} ps, nation{sfx} n,
+     region{sfx} r
+WHERE p.p_partkey = ps.ps_partkey AND s.s_suppkey = ps.ps_suppkey
+  AND p.p_size = {size} AND p.p_type LIKE '%{syll3}'
+  AND s.s_nationkey = n.n_nationkey AND n.n_regionkey = r.r_regionkey
+  AND r.r_name = '{region}'
+  AND ps.ps_supplycost = (
+      SELECT MIN(ps2.ps_supplycost)
+      FROM partsupp{sfx} ps2, supplier{sfx} s2, nation{sfx} n2,
+           region{sfx} r2
+      WHERE p.p_partkey = ps2.ps_partkey
+        AND s2.s_suppkey = ps2.ps_suppkey
+        AND s2.s_nationkey = n2.n_nationkey
+        AND n2.n_regionkey = r2.r_regionkey AND r2.r_name = '{region}')
+ORDER BY s.s_acctbal DESC, n.n_name, s.s_name, p.p_partkey
+""", lambda rng: {"size": rng.randint(1, 50),
+                  "syll3": rng.choice(_TYPE_SYLL3),
+                  "region": rng.choice(_REGIONS)})
+
+_register(3, """
+SELECT TOP 10 l.l_orderkey,
+       SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue,
+       o.o_orderdate, o.o_shippriority
+FROM customer{sfx} c, orders{sfx} o, lineitem{sfx} l
+WHERE c.c_mktsegment = '{segment}' AND c.c_custkey = o.o_custkey
+  AND l.l_orderkey = o.o_orderkey AND o.o_orderdate < DATE '{date}'
+  AND l.l_shipdate > DATE '{date}'
+GROUP BY l.l_orderkey, o.o_orderdate, o.o_shippriority
+ORDER BY revenue DESC, o.o_orderdate
+""", lambda rng: {"segment": rng.choice(_SEGMENTS),
+                  "date": _date_plus("1995-03-01", rng.randint(0, 30))})
+
+_register(4, """
+SELECT o.o_orderpriority, COUNT(*) AS order_count
+FROM orders{sfx} o
+WHERE o.o_orderdate >= DATE '{date}'
+  AND o.o_orderdate < DATE '{date_hi}'
+  AND EXISTS (SELECT * FROM lineitem{sfx} l
+              WHERE l.l_orderkey = o.o_orderkey
+                AND l.l_commitdate < l.l_receiptdate)
+GROUP BY o.o_orderpriority
+ORDER BY o.o_orderpriority
+""", lambda rng: (lambda d: {"date": d, "date_hi": _date_plus(d, 92)})(
+    _date_plus("1993-01-01", 31 * rng.randint(0, 57))))
+
+_register(5, """
+SELECT n.n_name, SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+FROM customer{sfx} c, orders{sfx} o, lineitem{sfx} l, supplier{sfx} s,
+     nation{sfx} n, region{sfx} r
+WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey
+  AND l.l_suppkey = s.s_suppkey AND c.c_nationkey = s.s_nationkey
+  AND s.s_nationkey = n.n_nationkey AND n.n_regionkey = r.r_regionkey
+  AND r.r_name = '{region}' AND o.o_orderdate >= DATE '{date}'
+  AND o.o_orderdate < DATE '{date_hi}'
+GROUP BY n.n_name
+ORDER BY revenue DESC
+""", lambda rng: (lambda y: {"region": rng.choice(_REGIONS),
+                             "date": f"{y}-01-01",
+                             "date_hi": f"{y + 1}-01-01"})(
+    rng.randint(1993, 1997)))
+
+_register(6, """
+SELECT SUM(l.l_extendedprice * l.l_discount) AS revenue
+FROM lineitem{sfx} l
+WHERE l.l_shipdate >= DATE '{date}' AND l.l_shipdate < DATE '{date_hi}'
+  AND l.l_discount BETWEEN {disc_lo} AND {disc_hi}
+  AND l.l_quantity < {quantity}
+""", lambda rng: (lambda y, d: {"date": f"{y}-01-01",
+                                "date_hi": f"{y + 1}-01-01",
+                                "disc_lo": round(d - 0.01, 2),
+                                "disc_hi": round(d + 0.01, 2),
+                                "quantity": rng.choice([24, 25])})(
+    rng.randint(1993, 1997), rng.randint(2, 9) / 100.0))
+
+_register(7, """
+SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation,
+       SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+FROM supplier{sfx} s, lineitem{sfx} l, orders{sfx} o, customer{sfx} c,
+     nation{sfx} n1, nation{sfx} n2
+WHERE s.s_suppkey = l.l_suppkey AND o.o_orderkey = l.l_orderkey
+  AND c.c_custkey = o.o_custkey AND s.s_nationkey = n1.n_nationkey
+  AND c.c_nationkey = n2.n_nationkey
+  AND ((n1.n_name = '{nation1}' AND n2.n_name = '{nation2}')
+       OR (n1.n_name = '{nation2}' AND n2.n_name = '{nation1}'))
+  AND l.l_shipdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+GROUP BY n1.n_name, n2.n_name
+ORDER BY n1.n_name, n2.n_name
+""", lambda rng: dict(zip(("nation1", "nation2"),
+                          rng.sample(_NATIONS, 2))))
+
+_register(8, """
+SELECT o.o_orderdate,
+       SUM(CASE WHEN n2.n_name = '{nation}'
+                THEN l.l_extendedprice * (1 - l.l_discount)
+                ELSE 0 END) AS nation_volume,
+       SUM(l.l_extendedprice * (1 - l.l_discount)) AS total_volume
+FROM part{sfx} p, supplier{sfx} s, lineitem{sfx} l, orders{sfx} o,
+     customer{sfx} c, nation{sfx} n1, nation{sfx} n2, region{sfx} r
+WHERE p.p_partkey = l.l_partkey AND s.s_suppkey = l.l_suppkey
+  AND l.l_orderkey = o.o_orderkey AND o.o_custkey = c.c_custkey
+  AND c.c_nationkey = n1.n_nationkey AND n1.n_regionkey = r.r_regionkey
+  AND r.r_name = '{region}' AND s.s_nationkey = n2.n_nationkey
+  AND o.o_orderdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+  AND p.p_type = '{type}'
+GROUP BY o.o_orderdate
+ORDER BY o.o_orderdate
+""", lambda rng: {"nation": rng.choice(_NATIONS),
+                  "region": rng.choice(_REGIONS),
+                  "type": "ECONOMY ANODIZED "
+                  + rng.choice(_TYPE_SYLL3)})
+
+_register(9, """
+SELECT n.n_name, o.o_orderdate,
+       SUM(l.l_extendedprice * (1 - l.l_discount)
+           - ps.ps_supplycost * l.l_quantity) AS profit
+FROM part{sfx} p, supplier{sfx} s, lineitem{sfx} l, partsupp{sfx} ps,
+     orders{sfx} o, nation{sfx} n
+WHERE s.s_suppkey = l.l_suppkey AND ps.ps_suppkey = l.l_suppkey
+  AND ps.ps_partkey = l.l_partkey AND p.p_partkey = l.l_partkey
+  AND o.o_orderkey = l.l_orderkey AND s.s_nationkey = n.n_nationkey
+  AND p.p_name LIKE '%{color}%'
+GROUP BY n.n_name, o.o_orderdate
+ORDER BY n.n_name, o.o_orderdate DESC
+""", lambda rng: {"color": rng.choice(_COLORS)})
+
+_register(10, """
+SELECT TOP 20 c.c_custkey, c.c_name,
+       SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue,
+       c.c_acctbal, n.n_name, c.c_address, c.c_phone, c.c_comment
+FROM customer{sfx} c, orders{sfx} o, lineitem{sfx} l, nation{sfx} n
+WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey
+  AND o.o_orderdate >= DATE '{date}'
+  AND o.o_orderdate < DATE '{date_hi}'
+  AND l.l_returnflag = 'R' AND c.c_nationkey = n.n_nationkey
+GROUP BY c.c_custkey, c.c_name, c.c_acctbal, c.c_phone, n.n_name,
+         c.c_address, c.c_comment
+ORDER BY revenue DESC
+""", lambda rng: (lambda d: {"date": d, "date_hi": _date_plus(d, 92)})(
+    _date_plus("1993-02-01", 31 * rng.randint(0, 23))))
+
+_register(11, """
+SELECT ps.ps_partkey,
+       SUM(ps.ps_supplycost * ps.ps_availqty) AS value
+FROM partsupp{sfx} ps, supplier{sfx} s, nation{sfx} n
+WHERE ps.ps_suppkey = s.s_suppkey AND s.s_nationkey = n.n_nationkey
+  AND n.n_name = '{nation}'
+GROUP BY ps.ps_partkey
+HAVING SUM(ps.ps_supplycost * ps.ps_availqty) > (
+    SELECT SUM(ps2.ps_supplycost * ps2.ps_availqty) * {fraction}
+    FROM partsupp{sfx} ps2, supplier{sfx} s2, nation{sfx} n2
+    WHERE ps2.ps_suppkey = s2.s_suppkey
+      AND s2.s_nationkey = n2.n_nationkey AND n2.n_name = '{nation}')
+ORDER BY value DESC
+""", lambda rng: {"nation": rng.choice(_NATIONS),
+                  "fraction": 0.0001})
+
+_register(12, """
+SELECT l.l_shipmode,
+       SUM(CASE WHEN o.o_orderpriority = '1-URGENT'
+                 OR o.o_orderpriority = '2-HIGH'
+                THEN 1 ELSE 0 END) AS high_line_count,
+       SUM(CASE WHEN o.o_orderpriority <> '1-URGENT'
+                 AND o.o_orderpriority <> '2-HIGH'
+                THEN 1 ELSE 0 END) AS low_line_count
+FROM orders{sfx} o, lineitem{sfx} l
+WHERE o.o_orderkey = l.l_orderkey
+  AND l.l_shipmode IN ('{mode1}', '{mode2}')
+  AND l.l_commitdate < l.l_receiptdate
+  AND l.l_shipdate < l.l_commitdate
+  AND l.l_receiptdate >= DATE '{date}'
+  AND l.l_receiptdate < DATE '{date_hi}'
+GROUP BY l.l_shipmode
+ORDER BY l.l_shipmode
+""", lambda rng: (lambda y, modes: {"mode1": modes[0], "mode2": modes[1],
+                                    "date": f"{y}-01-01",
+                                    "date_hi": f"{y + 1}-01-01"})(
+    rng.randint(1993, 1997), rng.sample(_SHIPMODES, 2)))
+
+_register(13, """
+SELECT c.c_custkey, COUNT(*) AS c_count
+FROM customer{sfx} c
+LEFT JOIN orders{sfx} o
+  ON c.c_custkey = o.o_custkey
+ AND o.o_comment NOT LIKE '%{word1}%{word2}%'
+GROUP BY c.c_custkey
+ORDER BY c.c_custkey
+""", lambda rng: {"word1": rng.choice(["special", "pending", "unusual",
+                                       "express"]),
+                  "word2": rng.choice(["packages", "requests", "accounts",
+                                       "deposits"])})
+
+_register(14, """
+SELECT 100.0 * SUM(CASE WHEN p.p_type LIKE 'PROMO%'
+                        THEN l.l_extendedprice * (1 - l.l_discount)
+                        ELSE 0 END)
+       / SUM(l.l_extendedprice * (1 - l.l_discount)) AS promo_revenue
+FROM lineitem{sfx} l, part{sfx} p
+WHERE l.l_partkey = p.p_partkey
+  AND l.l_shipdate >= DATE '{date}'
+  AND l.l_shipdate < DATE '{date_hi}'
+""", lambda rng: (lambda d: {"date": d, "date_hi": _date_plus(d, 30)})(
+    _date_plus("1993-01-01", 31 * rng.randint(0, 59))))
+
+_register(15, """
+SELECT s.s_suppkey, s.s_name, s.s_address, s.s_phone,
+       SUM(l.l_extendedprice * (1 - l.l_discount)) AS total_revenue
+FROM supplier{sfx} s, lineitem{sfx} l
+WHERE s.s_suppkey = l.l_suppkey
+  AND l.l_shipdate >= DATE '{date}'
+  AND l.l_shipdate < DATE '{date_hi}'
+GROUP BY s.s_suppkey, s.s_name, s.s_address, s.s_phone
+HAVING SUM(l.l_extendedprice * (1 - l.l_discount)) > (
+    SELECT MAX(l2.l_extendedprice) * {factor}
+    FROM lineitem{sfx} l2
+    WHERE l2.l_shipdate >= DATE '{date}'
+      AND l2.l_shipdate < DATE '{date_hi}')
+ORDER BY s.s_suppkey
+""", lambda rng: (lambda d: {"date": d, "date_hi": _date_plus(d, 90),
+                             "factor": 10})(
+    _date_plus("1993-01-01", 31 * rng.randint(0, 58))))
+
+_register(16, """
+SELECT p.p_brand, p.p_type, p.p_size,
+       COUNT(DISTINCT ps.ps_suppkey) AS supplier_cnt
+FROM partsupp{sfx} ps, part{sfx} p
+WHERE p.p_partkey = ps.ps_partkey AND p.p_brand <> '{brand}'
+  AND p.p_type NOT LIKE '{type_prefix}%'
+  AND p.p_size IN ({sizes})
+  AND ps.ps_suppkey NOT IN (
+      SELECT s.s_suppkey FROM supplier{sfx} s
+      WHERE s.s_comment LIKE '%Customer%Complaints%')
+GROUP BY p.p_brand, p.p_type, p.p_size
+ORDER BY supplier_cnt DESC, p.p_brand, p.p_type, p.p_size
+""", lambda rng: {"brand": f"Brand#{rng.randint(1, 5)}{rng.randint(1, 5)}",
+                  "type_prefix": rng.choice(["MEDIUM POLISHED",
+                                             "STANDARD BRUSHED",
+                                             "SMALL PLATED"]),
+                  "sizes": ", ".join(str(v) for v in
+                                     rng.sample(range(1, 51), 8))})
+
+_register(17, """
+SELECT SUM(l.l_extendedprice) / 7.0 AS avg_yearly
+FROM lineitem{sfx} l, part{sfx} p
+WHERE p.p_partkey = l.l_partkey AND p.p_brand = '{brand}'
+  AND p.p_container = '{container}'
+  AND l.l_quantity < (SELECT 0.2 * AVG(l2.l_quantity)
+                      FROM lineitem{sfx} l2
+                      WHERE l2.l_partkey = p.p_partkey)
+""", lambda rng: {"brand": f"Brand#{rng.randint(1, 5)}{rng.randint(1, 5)}",
+                  "container": rng.choice(_CONTAINERS)})
+
+_register(18, """
+SELECT TOP 100 c.c_name, c.c_custkey, o.o_orderkey, o.o_orderdate,
+       o.o_totalprice, SUM(l.l_quantity) AS total_qty
+FROM customer{sfx} c, orders{sfx} o, lineitem{sfx} l
+WHERE o.o_orderkey IN (SELECT l2.l_orderkey FROM lineitem{sfx} l2
+                       GROUP BY l2.l_orderkey
+                       HAVING SUM(l2.l_quantity) > {quantity})
+  AND c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey
+GROUP BY c.c_name, c.c_custkey, o.o_orderkey, o.o_orderdate,
+         o.o_totalprice
+ORDER BY o.o_totalprice DESC, o.o_orderdate
+""", lambda rng: {"quantity": rng.randint(312, 315)})
+
+_register(19, """
+SELECT SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+FROM lineitem{sfx} l, part{sfx} p
+WHERE p.p_partkey = l.l_partkey
+  AND ((p.p_brand = '{brand1}'
+        AND p.p_container IN ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG')
+        AND l.l_quantity BETWEEN {qty1} AND {qty1_hi}
+        AND p.p_size BETWEEN 1 AND 5
+        AND l.l_shipmode IN ('AIR', 'REG AIR'))
+       OR (p.p_brand = '{brand2}'
+        AND p.p_container IN ('MED BAG', 'MED BOX', 'MED PKG',
+                              'MED PACK')
+        AND l.l_quantity BETWEEN {qty2} AND {qty2_hi}
+        AND p.p_size BETWEEN 1 AND 10
+        AND l.l_shipmode IN ('AIR', 'REG AIR'))
+       OR (p.p_brand = '{brand3}'
+        AND p.p_container IN ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG')
+        AND l.l_quantity BETWEEN {qty3} AND {qty3_hi}
+        AND p.p_size BETWEEN 1 AND 15
+        AND l.l_shipmode IN ('AIR', 'REG AIR')))
+""", lambda rng: (lambda q1, q2, q3: {
+    "brand1": f"Brand#{rng.randint(1, 5)}{rng.randint(1, 5)}",
+    "brand2": f"Brand#{rng.randint(1, 5)}{rng.randint(1, 5)}",
+    "brand3": f"Brand#{rng.randint(1, 5)}{rng.randint(1, 5)}",
+    "qty1": q1, "qty1_hi": q1 + 10, "qty2": q2, "qty2_hi": q2 + 10,
+    "qty3": q3, "qty3_hi": q3 + 10})(
+    rng.randint(1, 10), rng.randint(10, 20), rng.randint(20, 30)))
+
+_register(20, """
+SELECT s.s_name, s.s_address
+FROM supplier{sfx} s, nation{sfx} n
+WHERE s.s_suppkey IN (
+    SELECT ps.ps_suppkey FROM partsupp{sfx} ps
+    WHERE ps.ps_partkey IN (SELECT p.p_partkey FROM part{sfx} p
+                            WHERE p.p_name LIKE '{color}%')
+      AND ps.ps_availqty > (
+          SELECT 0.5 * SUM(l.l_quantity) FROM lineitem{sfx} l
+          WHERE l.l_partkey = ps.ps_partkey
+            AND l.l_suppkey = ps.ps_suppkey
+            AND l.l_shipdate >= DATE '{date}'
+            AND l.l_shipdate < DATE '{date_hi}'))
+  AND s.s_nationkey = n.n_nationkey AND n.n_name = '{nation}'
+ORDER BY s.s_name
+""", lambda rng: (lambda y: {"color": rng.choice(_COLORS),
+                             "nation": rng.choice(_NATIONS),
+                             "date": f"{y}-01-01",
+                             "date_hi": f"{y + 1}-01-01"})(
+    rng.randint(1993, 1997)))
+
+_register(21, """
+SELECT TOP 100 s.s_name, COUNT(*) AS numwait
+FROM supplier{sfx} s, lineitem{sfx} l1, orders{sfx} o, nation{sfx} n
+WHERE s.s_suppkey = l1.l_suppkey AND o.o_orderkey = l1.l_orderkey
+  AND o.o_orderstatus = 'F' AND l1.l_receiptdate > l1.l_commitdate
+  AND EXISTS (SELECT * FROM lineitem{sfx} l2
+              WHERE l2.l_orderkey = l1.l_orderkey
+                AND l2.l_suppkey <> l1.l_suppkey)
+  AND NOT EXISTS (SELECT * FROM lineitem{sfx} l3
+                  WHERE l3.l_orderkey = l1.l_orderkey
+                    AND l3.l_suppkey <> l1.l_suppkey
+                    AND l3.l_receiptdate > l3.l_commitdate)
+  AND s.s_nationkey = n.n_nationkey AND n.n_name = '{nation}'
+GROUP BY s.s_name
+ORDER BY numwait DESC, s.s_name
+""", lambda rng: {"nation": rng.choice(_NATIONS)})
+
+_register(22, """
+SELECT c.c_nationkey, COUNT(*) AS numcust,
+       SUM(c.c_acctbal) AS totacctbal
+FROM customer{sfx} c
+WHERE c.c_nationkey IN ({nations})
+  AND c.c_acctbal > (SELECT AVG(c2.c_acctbal) FROM customer{sfx} c2
+                     WHERE c2.c_acctbal > 0.0
+                       AND c2.c_nationkey IN ({nations}))
+  AND NOT EXISTS (SELECT * FROM orders{sfx} o
+                  WHERE o.o_custkey = c.c_custkey)
+GROUP BY c.c_nationkey
+ORDER BY c.c_nationkey
+""", lambda rng: {"nations": ", ".join(
+    str(v) for v in rng.sample(range(0, 25), 7))})
+
+
+def tpch_query(number: int, rng: random.Random | None = None,
+               params: Mapping[str, object] | None = None,
+               suffix: str = "") -> str:
+    """The text of TPC-H query ``number`` in this library's SQL subset.
+
+    Args:
+        number: Query number, 1..22.
+        rng: Source of substitution parameters (the qgen substitute);
+            when omitted, a fixed seed yields the canonical defaults.
+        params: Explicit substitution parameters overriding the drawn
+            ones.
+        suffix: Table-name suffix for TPCH1G-N replicas (e.g. ``"_2"``).
+    """
+    if number not in _TEMPLATES:
+        raise WorkloadError(f"no TPC-H query number {number}")
+    rng = rng or _default_rng()
+    values = dict(_PARAMS[number](rng))
+    if params:
+        values.update(params)
+    values["sfx"] = suffix
+    return _TEMPLATES[number].format(**values).strip()
+
+
+def tpch22_workload(rng: random.Random | None = None,
+                    suffix: str = "") -> Workload:
+    """The 22-query TPCH-22 benchmark workload."""
+    rng = rng or _default_rng()
+    workload = Workload(name="TPCH-22")
+    for number in range(1, 23):
+        workload.add(tpch_query(number, rng=rng, suffix=suffix),
+                     name=f"Q{number}")
+    return workload
+
+
+def tpch88_workload(n_copies: int, seed: int = 88) -> Workload:
+    """TPCH-88-N: 88 queries (4 parameter variants of each of the 22),
+    with each query's tables renamed to one random copy of TPCH1G-N.
+
+    Matches the paper's Figure-12 workload generation: qgen produces 88
+    queries, then table names are randomly replaced with one of the N
+    copies.
+    """
+    rng = random.Random(seed)
+    workload = Workload(name=f"TPCH-88-{n_copies}")
+    for variant in range(4):
+        for number in range(1, 23):
+            copy = rng.randint(1, n_copies)
+            suffix = "" if copy == 1 else f"_{copy}"
+            workload.add(tpch_query(number, rng=rng, suffix=suffix),
+                         name=f"Q{number}v{variant + 1}c{copy}")
+    return workload

@@ -1,0 +1,30 @@
+"""Catalog substrate: schemas, physical design objects and statistics.
+
+The layout advisor never touches rows; everything it needs — object sizes
+in blocks, row counts, column cardinalities for selectivity estimation —
+lives in the catalog, exactly as the paper's tool read SQL Server's system
+catalogs instead of the data.
+"""
+
+from repro.catalog.schema import (
+    Column,
+    Database,
+    DbObject,
+    Index,
+    MaterializedView,
+    ObjectKind,
+    Table,
+)
+from repro.catalog.stats import ColumnStats, Histogram
+
+__all__ = [
+    "Column",
+    "Database",
+    "DbObject",
+    "Index",
+    "MaterializedView",
+    "ObjectKind",
+    "Table",
+    "ColumnStats",
+    "Histogram",
+]

@@ -1,0 +1,256 @@
+"""JSON (de)serialization of catalogs, disk farms and constraints.
+
+The paper's tool (Figure 3) takes its inputs as files: the database
+(read from system catalogs), a workload file, "a file containing a list
+of disk drives with the associated disk characteristics", and optional
+constraints.  This module defines the stable JSON formats for everything
+except the workload (which is plain SQL, handled by
+:meth:`repro.workload.Workload.load`).
+
+Formats are intentionally flat and hand-editable; every ``load_*`` is
+the inverse of the corresponding ``dump_*``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.catalog.schema import (
+    Column,
+    Database,
+    Index,
+    MaterializedView,
+    Table,
+)
+from repro.catalog.stats import ColumnStats, Histogram
+from repro.core.constraints import (
+    AvailabilityRequirement,
+    CoLocated,
+    ConstraintSet,
+    MaxDataMovement,
+)
+from repro.core.layout import Layout
+from repro.errors import CatalogError
+from repro.storage.disk import Availability, DiskFarm, DiskSpec
+
+# -- column statistics ---------------------------------------------------------
+
+
+def _stats_to_dict(stats: ColumnStats) -> dict[str, Any]:
+    out: dict[str, Any] = {"ndv": stats.ndv}
+    if stats.lo is not None:
+        out["lo"] = stats.lo
+        out["hi"] = stats.hi
+    if stats.null_fraction:
+        out["null_fraction"] = stats.null_fraction
+    if stats.histogram is not None:
+        out["histogram"] = {
+            "lo": stats.histogram.lo, "hi": stats.histogram.hi,
+            "bucket_fractions": list(stats.histogram.bucket_fractions)}
+    return out
+
+
+def _stats_from_dict(data: dict[str, Any]) -> ColumnStats:
+    histogram = None
+    if "histogram" in data:
+        h = data["histogram"]
+        histogram = Histogram(lo=h["lo"], hi=h["hi"],
+                              bucket_fractions=tuple(
+                                  h["bucket_fractions"]))
+    return ColumnStats(ndv=data["ndv"], lo=data.get("lo"),
+                       hi=data.get("hi"),
+                       null_fraction=data.get("null_fraction", 0.0),
+                       histogram=histogram)
+
+
+# -- database -------------------------------------------------------------------
+
+
+def database_to_dict(db: Database) -> dict[str, Any]:
+    """The JSON-ready form of a database catalog."""
+    return {
+        "name": db.name,
+        "tables": [
+            {
+                "name": t.name,
+                "row_count": t.row_count,
+                "clustered_on": list(t.clustered_on or []),
+                "columns": [
+                    {"name": c.name, "width_bytes": c.width_bytes,
+                     **({"stats": _stats_to_dict(c.stats)}
+                        if c.stats else {})}
+                    for c in t.columns],
+            }
+            for t in db.tables],
+        "indexes": [
+            {"name": ix.name, "table": ix.table,
+             "key_columns": list(ix.key_columns),
+             "included_columns": list(ix.included_columns)}
+            for ix in db.indexes],
+        "views": [
+            {"name": v.name, "row_count": v.row_count,
+             "row_bytes": v.row_bytes, "definition": v.definition}
+            for v in db.views],
+    }
+
+
+def database_from_dict(data: dict[str, Any]) -> Database:
+    """Rebuild a database catalog from its JSON form."""
+    try:
+        tables = [
+            Table(t["name"], t["row_count"],
+                  [Column(c["name"], c["width_bytes"],
+                          _stats_from_dict(c["stats"])
+                          if "stats" in c else None)
+                   for c in t["columns"]],
+                  clustered_on=t.get("clustered_on") or None)
+            for t in data["tables"]]
+        indexes = [
+            Index(ix["name"], ix["table"], ix["key_columns"],
+                  included_columns=ix.get("included_columns", ()))
+            for ix in data.get("indexes", ())]
+        views = [
+            MaterializedView(v["name"], v["row_count"], v["row_bytes"],
+                             v.get("definition", ""))
+            for v in data.get("views", ())]
+    except KeyError as missing:
+        raise CatalogError(
+            f"database JSON missing required field {missing}") from None
+    return Database(data.get("name", "database"), tables,
+                    indexes=indexes, views=views)
+
+
+def save_database(db: Database, path: str | Path) -> None:
+    """Write a database catalog as JSON."""
+    Path(path).write_text(json.dumps(database_to_dict(db), indent=2))
+
+
+def load_database(path: str | Path) -> Database:
+    """Read a database catalog from JSON."""
+    return database_from_dict(json.loads(Path(path).read_text()))
+
+
+# -- disk farm -------------------------------------------------------------------
+
+
+def farm_to_dict(farm: DiskFarm) -> list[dict[str, Any]]:
+    """The JSON-ready form of a disk farm: one entry per drive."""
+    return [
+        {"name": d.name, "capacity_blocks": d.capacity_blocks,
+         "avg_seek_ms": d.avg_seek_s * 1000.0,
+         "read_mb_s": d.read_mb_s, "write_mb_s": d.write_mb_s,
+         "availability": d.availability.value}
+        for d in farm]
+
+
+def farm_from_dict(data: list[dict[str, Any]]) -> DiskFarm:
+    """Rebuild a disk farm from its JSON form."""
+    try:
+        disks = [
+            DiskSpec(name=d["name"],
+                     capacity_blocks=d["capacity_blocks"],
+                     avg_seek_s=d["avg_seek_ms"] / 1000.0,
+                     read_mb_s=d["read_mb_s"],
+                     write_mb_s=d["write_mb_s"],
+                     availability=Availability(
+                         d.get("availability", "none")))
+            for d in data]
+    except KeyError as missing:
+        raise CatalogError(
+            f"disk JSON missing required field {missing}") from None
+    except ValueError as bad:
+        raise CatalogError(f"disk JSON invalid value: {bad}") from None
+    return DiskFarm(disks)
+
+
+def save_farm(farm: DiskFarm, path: str | Path) -> None:
+    """Write a disk-farm description as JSON."""
+    Path(path).write_text(json.dumps(farm_to_dict(farm), indent=2))
+
+
+def load_farm(path: str | Path) -> DiskFarm:
+    """Read a disk-farm description from JSON."""
+    return farm_from_dict(json.loads(Path(path).read_text()))
+
+
+# -- constraints -----------------------------------------------------------------
+
+
+def constraints_to_dict(constraints: ConstraintSet,
+                        ) -> dict[str, Any]:
+    """The JSON-ready form of a constraint set.
+
+    Movement constraints reference a baseline layout and are therefore
+    serialized as the bound plus the baseline's fractions.
+    """
+    out: dict[str, Any] = {
+        "co_located": [[c.a, c.b] for c in constraints.co_located],
+        "availability": [
+            {"object": r.obj, "level": r.level.value}
+            for r in constraints.availability],
+    }
+    if constraints.movement is not None:
+        baseline = constraints.movement.baseline
+        out["movement"] = {
+            "max_blocks": constraints.movement.max_blocks,
+            "baseline": {name: list(baseline.fractions_of(name))
+                         for name in baseline.object_names},
+        }
+    return out
+
+
+def constraints_from_dict(data: dict[str, Any],
+                          farm: DiskFarm | None = None,
+                          object_sizes: dict[str, int] | None = None,
+                          ) -> ConstraintSet:
+    """Rebuild a constraint set.
+
+    ``farm`` and ``object_sizes`` are required only when the JSON
+    carries a movement constraint (its baseline layout needs them).
+    """
+    movement = None
+    if "movement" in data:
+        if farm is None or object_sizes is None:
+            raise CatalogError(
+                "movement constraint requires farm and object sizes")
+        payload = data["movement"]
+        baseline = Layout(farm, object_sizes, payload["baseline"])
+        movement = MaxDataMovement(baseline,
+                                   max_blocks=payload["max_blocks"])
+    return ConstraintSet(
+        co_located=[CoLocated(a, b)
+                    for a, b in data.get("co_located", ())],
+        availability=[
+            AvailabilityRequirement(r["object"],
+                                    Availability(r["level"]))
+            for r in data.get("availability", ())],
+        movement=movement)
+
+
+# -- layout ----------------------------------------------------------------------
+
+
+def layout_to_dict(layout: Layout) -> dict[str, Any]:
+    """The JSON-ready form of a layout (fractions per object)."""
+    return {
+        "fractions": {name: list(layout.fractions_of(name))
+                      for name in layout.object_names},
+        "object_sizes": layout.object_sizes,
+    }
+
+
+def layout_from_dict(data: dict[str, Any], farm: DiskFarm) -> Layout:
+    """Rebuild a layout against the given farm."""
+    return Layout(farm, data["object_sizes"], data["fractions"])
+
+
+def save_layout(layout: Layout, path: str | Path) -> None:
+    """Write a layout as JSON."""
+    Path(path).write_text(json.dumps(layout_to_dict(layout), indent=2))
+
+
+def load_layout(path: str | Path, farm: DiskFarm) -> Layout:
+    """Read a layout from JSON."""
+    return layout_from_dict(json.loads(Path(path).read_text()), farm)

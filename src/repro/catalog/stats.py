@@ -1,0 +1,126 @@
+"""Column statistics used for selectivity and cardinality estimation.
+
+These play the role of SQL Server's column statistics objects: number of
+distinct values, value domain, null fraction, and an optional equi-width
+histogram for range predicates over numeric domains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CatalogError
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """Equi-width histogram over a numeric column domain.
+
+    Attributes:
+        lo: Lower bound of the domain.
+        hi: Upper bound of the domain (inclusive).
+        bucket_fractions: Fraction of rows per bucket; must sum to ~1.
+    """
+
+    lo: float
+    hi: float
+    bucket_fractions: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.hi < self.lo:
+            raise CatalogError("histogram domain is empty (hi < lo)")
+        if not self.bucket_fractions:
+            raise CatalogError("histogram needs at least one bucket")
+        total = sum(self.bucket_fractions)
+        if abs(total - 1.0) > 1e-6:
+            raise CatalogError(
+                f"histogram bucket fractions must sum to 1 (got {total})")
+        if any(f < 0 for f in self.bucket_fractions):
+            raise CatalogError("histogram bucket fractions must be >= 0")
+
+    @property
+    def n_buckets(self) -> int:
+        return len(self.bucket_fractions)
+
+    def range_selectivity(self, lo: float | None, hi: float | None) -> float:
+        """Estimate the fraction of rows with value in ``[lo, hi]``.
+
+        ``None`` bounds are open.  Partial bucket overlap is interpolated
+        linearly (the uniform-within-bucket assumption).
+        """
+        q_lo = self.lo if lo is None else max(lo, self.lo)
+        q_hi = self.hi if hi is None else min(hi, self.hi)
+        if q_hi < q_lo:
+            return 0.0
+        if self.hi == self.lo:
+            return 1.0
+        width = (self.hi - self.lo) / self.n_buckets
+        selectivity = 0.0
+        for b, frac in enumerate(self.bucket_fractions):
+            b_lo = self.lo + b * width
+            b_hi = b_lo + width
+            overlap = min(q_hi, b_hi) - max(q_lo, b_lo)
+            if overlap <= 0:
+                continue
+            selectivity += frac * (overlap / width)
+        return min(1.0, max(0.0, selectivity))
+
+    @staticmethod
+    def uniform(lo: float, hi: float, n_buckets: int = 16) -> "Histogram":
+        """A histogram describing a uniform distribution on ``[lo, hi]``."""
+        return Histogram(lo=lo, hi=hi,
+                         bucket_fractions=tuple([1.0 / n_buckets] * n_buckets))
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Statistics for a single column.
+
+    Attributes:
+        ndv: Number of distinct values.
+        lo: Domain lower bound for numeric/date-like columns, if known.
+        hi: Domain upper bound, if known.
+        null_fraction: Fraction of NULL values.
+        histogram: Optional distribution histogram; when absent, range
+            selectivities fall back to the uniform assumption over
+            ``[lo, hi]``.
+    """
+
+    ndv: int
+    lo: float | None = None
+    hi: float | None = None
+    null_fraction: float = 0.0
+    histogram: Histogram | None = None
+
+    def __post_init__(self) -> None:
+        if self.ndv <= 0:
+            raise CatalogError("ndv must be positive")
+        if not 0.0 <= self.null_fraction <= 1.0:
+            raise CatalogError("null_fraction must be in [0, 1]")
+        if (self.lo is None) != (self.hi is None):
+            raise CatalogError("lo and hi must be given together")
+        if self.lo is not None and self.hi is not None and self.hi < self.lo:
+            raise CatalogError("column domain is empty (hi < lo)")
+
+    def equality_selectivity(self) -> float:
+        """Selectivity of ``col = constant`` (1/NDV, the classic model)."""
+        return (1.0 - self.null_fraction) / self.ndv
+
+    def range_selectivity(self, lo: float | None, hi: float | None) -> float:
+        """Selectivity of ``lo <= col <= hi`` with open ``None`` bounds."""
+        if self.histogram is not None:
+            return (1.0 - self.null_fraction) * \
+                self.histogram.range_selectivity(lo, hi)
+        if self.lo is None or self.hi is None:
+            # Domain unknown: use the optimizer's magic constant.
+            return 1.0 / 3.0
+        if self.hi == self.lo:
+            inside = (lo is None or lo <= self.lo) and \
+                (hi is None or hi >= self.hi)
+            return (1.0 - self.null_fraction) if inside else 0.0
+        q_lo = self.lo if lo is None else max(lo, self.lo)
+        q_hi = self.hi if hi is None else min(hi, self.hi)
+        if q_hi < q_lo:
+            return 0.0
+        frac = (q_hi - q_lo) / (self.hi - self.lo)
+        return (1.0 - self.null_fraction) * min(1.0, max(0.0, frac))

@@ -1,0 +1,253 @@
+"""Command-line interface: the paper's Figure-3 tool as a program.
+
+Inputs are files, exactly as the paper describes them: a database
+catalog (JSON — the stand-in for reading the server's system catalogs),
+a workload of SQL DML statements, a list of disk drives with their
+characteristics (JSON), and optional constraints (JSON).
+
+Subcommands::
+
+    repro-advisor recommend  --database db.json --disks disks.json \\
+                             --workload w.sql [--constraints c.json] \\
+                             [--method ts-greedy] [--k 1] \\
+                             [--save-layout out.json] [--script]
+    repro-advisor analyze    --database db.json --workload w.sql
+    repro-advisor estimate   --database db.json --disks disks.json \\
+                             --workload w.sql --layout l.json ...
+    repro-advisor simulate   --database db.json --disks disks.json \\
+                             --workload w.sql --layout l.json
+
+Run any subcommand with ``-h`` for the full options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.catalog.io import (
+    constraints_from_dict,
+    load_database,
+    load_farm,
+    load_layout,
+    save_layout,
+)
+from repro.core.advisor import LayoutAdvisor
+from repro.core.costmodel import CostModel
+from repro.core.fullstripe import full_striping
+from repro.core.report import render_filegroup_script, render_report
+from repro.errors import ReproError
+from repro.optimizer.explain import explain
+from repro.simulator.measure import WorkloadSimulator
+from repro.workload.access import analyze_workload
+from repro.workload.access_graph import build_access_graph
+from repro.workload.workload import Workload
+
+
+def _add_common_inputs(parser: argparse.ArgumentParser,
+                       with_disks: bool = True,
+                       workload_required: bool = True) -> None:
+    parser.add_argument("--database", required=True, type=Path,
+                        help="database catalog JSON")
+    parser.add_argument("--workload", required=workload_required,
+                        type=Path, help="workload SQL file")
+    if with_disks:
+        parser.add_argument("--disks", required=True, type=Path,
+                            help="disk-drive list JSON")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-advisor",
+        description="Workload-driven database layout advisor "
+                    "(ICDE 2003 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rec = sub.add_parser("recommend",
+                         help="recommend a layout for a workload")
+    _add_common_inputs(rec, workload_required=False)
+    rec.add_argument("--trace", type=Path,
+                     help="profiler trace CSV (start,end,sql); derives "
+                          "both the workload and the overlap spec — "
+                          "an alternative to --workload")
+    rec.add_argument("--constraints", type=Path,
+                     help="constraint set JSON")
+    rec.add_argument("--current-layout", type=Path,
+                     help="current layout JSON (default: full striping)")
+    rec.add_argument("--method", default="ts-greedy",
+                     choices=["ts-greedy", "exhaustive",
+                              "full-striping"])
+    rec.add_argument("--k", type=int, default=1,
+                     help="TS-GREEDY widening parameter")
+    rec.add_argument("--save-layout", type=Path,
+                     help="write the recommended layout as JSON")
+    rec.add_argument("--script", action="store_true",
+                     help="emit a filegroup implementation script")
+    rec.add_argument("--concurrency", type=Path,
+                     help="overlap spec JSON: {\"groups\": [[0, 1]], "
+                          "\"overlap_factor\": 0.5} — statements in a "
+                          "group are treated as co-executing")
+
+    ana = sub.add_parser("analyze",
+                         help="show plans and the access graph")
+    _add_common_inputs(ana, with_disks=False)
+    ana.add_argument("--plans", action="store_true",
+                     help="print each statement's execution plan")
+
+    est = sub.add_parser("estimate",
+                         help="score one or more layouts with the "
+                              "cost model")
+    _add_common_inputs(est)
+    est.add_argument("--layout", type=Path, action="append",
+                     default=[],
+                     help="layout JSON (repeatable; default adds "
+                          "full striping)")
+
+    simp = sub.add_parser("simulate",
+                          help="simulate workload execution on a layout")
+    _add_common_inputs(simp)
+    simp.add_argument("--layout", type=Path,
+                      help="layout JSON (default: full striping)")
+    return parser
+
+
+def _load_constraints(args, farm, db):
+    if not getattr(args, "constraints", None):
+        return None
+    import json
+    data = json.loads(args.constraints.read_text())
+    return constraints_from_dict(data, farm=farm,
+                                 object_sizes=db.object_sizes())
+
+
+def cmd_recommend(args: argparse.Namespace) -> int:
+    """``recommend``: run the advisor and print/save the result."""
+    db = load_database(args.database)
+    farm = load_farm(args.disks)
+    trace_spec = None
+    if args.trace is not None:
+        from repro.workload.profiler import load_trace
+        workload, trace_spec = load_trace(args.trace)
+    elif args.workload is not None:
+        workload = Workload.load(args.workload)
+    else:
+        print("error: provide --workload or --trace", file=sys.stderr)
+        return 2
+    constraints = _load_constraints(args, farm, db)
+    advisor = LayoutAdvisor(db, farm, constraints=constraints)
+    current = None
+    if args.current_layout:
+        current = load_layout(args.current_layout, farm)
+    if trace_spec is not None and trace_spec.groups:
+        recommendation = advisor.recommend_concurrent(
+            workload, trace_spec, current_layout=current, k=args.k)
+    elif args.concurrency:
+        import json
+
+        from repro.workload.concurrency import ConcurrencySpec
+        payload = json.loads(args.concurrency.read_text())
+        spec = ConcurrencySpec.from_groups(
+            payload.get("groups", ()),
+            overlap_factor=payload.get("overlap_factor", 0.5))
+        recommendation = advisor.recommend_concurrent(
+            workload, spec, current_layout=current, k=args.k)
+    else:
+        recommendation = advisor.recommend(
+            workload, current_layout=current, method=args.method,
+            k=args.k)
+    print(render_report(recommendation))
+    if args.script:
+        print()
+        print(render_filegroup_script(recommendation.layout, db.name))
+    if args.save_layout:
+        save_layout(recommendation.layout, args.save_layout)
+        print(f"\nlayout written to {args.save_layout}")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """``analyze``: print plans and the access-graph summary."""
+    db = load_database(args.database)
+    workload = Workload.load(args.workload)
+    analyzed = analyze_workload(workload, db)
+    if args.plans:
+        for statement in analyzed:
+            print(f"--- {statement.statement.name or 'statement'} ---")
+            print(explain(statement.plan))
+            print()
+    graph = build_access_graph(analyzed, db)
+    print("=== access graph ===")
+    print(f"{'object':30s} {'blocks referenced':>18s}")
+    for name in sorted(graph.nodes,
+                       key=lambda n: -graph.node_weight(n)):
+        weight = graph.node_weight(name)
+        if weight > 0:
+            print(f"{name:30s} {weight:18.0f}")
+    print()
+    print(f"{'co-accessed pair':45s} {'edge weight':>12s}")
+    for (u, v), weight in sorted(graph.edges.items(),
+                                 key=lambda kv: -kv[1]):
+        print(f"{u + ' -- ' + v:45s} {weight:12.0f}")
+    return 0
+
+
+def cmd_estimate(args: argparse.Namespace) -> int:
+    """``estimate``: score candidate layouts with the cost model."""
+    db = load_database(args.database)
+    farm = load_farm(args.disks)
+    workload = Workload.load(args.workload)
+    analyzed = analyze_workload(workload, db)
+    model = CostModel(farm)
+    candidates = [("full-striping",
+                   full_striping(db.object_sizes(), farm))]
+    for path in args.layout:
+        candidates.append((path.stem, load_layout(path, farm)))
+    print(f"{'layout':25s} {'estimated I/O time':>20s}")
+    for name, layout in candidates:
+        print(f"{name:25s} "
+              f"{model.workload_cost(analyzed, layout):19.1f}s")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """``simulate``: play the workload on a layout, print timings."""
+    db = load_database(args.database)
+    farm = load_farm(args.disks)
+    workload = Workload.load(args.workload)
+    analyzed = analyze_workload(workload, db)
+    layout = load_layout(args.layout, farm) if args.layout \
+        else full_striping(db.object_sizes(), farm)
+    report = WorkloadSimulator().run(analyzed, layout)
+    print(f"{'statement':15s} {'simulated (s)':>14s} {'weight':>8s}")
+    for timing in report.statements:
+        print(f"{timing.name:15s} {timing.seconds:14.2f} "
+              f"{timing.weight:8.1f}")
+    print(f"{'TOTAL':15s} {report.total_seconds:14.2f}")
+    return 0
+
+
+_COMMANDS = {
+    "recommend": cmd_recommend,
+    "analyze": cmd_analyze,
+    "estimate": cmd_estimate,
+    "simulate": cmd_simulate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

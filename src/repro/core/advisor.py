@@ -1,0 +1,224 @@
+"""The end-to-end layout advisor (the paper's Figure-3 architecture).
+
+Inputs: a database catalog, a workload, a disk-farm description, and
+optional constraints.  Output: a layout recommendation with the estimated
+percentage improvement in I/O response time over the current layout —
+exactly the tool interface the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.schema import Database
+from repro.core.constraints import ConstraintSet
+from repro.core.costmodel import CostModel, WorkloadCostEvaluator
+from repro.core.exhaustive import exhaustive_search
+from repro.core.fullstripe import full_striping
+from repro.core.greedy import SearchResult, TsGreedySearch
+from repro.core.layout import Layout
+from repro.errors import LayoutError
+from repro.optimizer.planner import Planner
+from repro.storage.disk import DiskFarm
+from repro.workload.access import AnalyzedWorkload, analyze_workload
+from repro.workload.access_graph import AccessGraph, build_access_graph
+from repro.workload.workload import Workload
+
+
+@dataclass
+class Recommendation:
+    """A layout recommendation with its estimated benefit.
+
+    Attributes:
+        layout: The recommended layout.
+        estimated_cost: Estimated workload I/O response time under it.
+        current_cost: Estimated workload I/O response time under the
+            current layout (full striping unless one was supplied).
+        improvement_pct: ``100 * (current - estimated) / current``.
+        per_statement: (statement name or index, current cost, new cost)
+            triples for reporting.
+        search: Raw search telemetry.
+    """
+
+    layout: Layout
+    estimated_cost: float
+    current_cost: float
+    per_statement: list[tuple[str, float, float]] = field(
+        default_factory=list)
+    search: SearchResult | None = None
+    current_layout: Layout | None = None
+
+    @property
+    def improvement_pct(self) -> float:
+        if self.current_cost <= 0:
+            return 0.0
+        return 100.0 * (self.current_cost - self.estimated_cost) \
+            / self.current_cost
+
+    @property
+    def data_movement_blocks(self) -> float | None:
+        """Blocks that must move to implement the recommendation, or
+        ``None`` when no current layout was recorded."""
+        if self.current_layout is None:
+            return None
+        return self.current_layout.data_movement_blocks(self.layout)
+
+
+class LayoutAdvisor:
+    """Recommends a database layout for a workload.
+
+    Args:
+        db: Database catalog (tables, indexes, views, statistics).
+        farm: Available disk drives with their characteristics.
+        constraints: Optional manageability/availability constraints.
+        planner: Optional custom planner (defaults to one over ``db``).
+    """
+
+    def __init__(self, db: Database, farm: DiskFarm,
+                 constraints: ConstraintSet | None = None,
+                 planner: Planner | None = None):
+        self._db = db
+        self._farm = farm
+        self._constraints = constraints or ConstraintSet()
+        self._planner = planner or Planner(db)
+
+    # -- analysis --------------------------------------------------------------
+
+    def analyze(self, workload: Workload) -> AnalyzedWorkload:
+        """Run the Analyze Workload component (plan, decompose)."""
+        return analyze_workload(workload, self._db, self._planner)
+
+    def access_graph(self, analyzed: AnalyzedWorkload) -> AccessGraph:
+        """Build the co-access graph for an analyzed workload."""
+        return build_access_graph(analyzed, self._db)
+
+    def evaluator(self,
+                  analyzed: AnalyzedWorkload) -> WorkloadCostEvaluator:
+        """Precompile the workload for repeated cost evaluation."""
+        return WorkloadCostEvaluator(analyzed, self._farm,
+                                     sorted(self._db.object_sizes()))
+
+    # -- recommendation -----------------------------------------------------------
+
+    def recommend(self, workload: Workload | AnalyzedWorkload,
+                  current_layout: Layout | None = None,
+                  method: str = "ts-greedy",
+                  k: int = 1) -> Recommendation:
+        """Recommend a layout for the workload.
+
+        Args:
+            workload: The workload (raw or pre-analyzed).
+            current_layout: The database's current layout; defaults to
+                full striping, the traditional practice the paper
+                compares against.
+            method: ``"ts-greedy"`` (default), ``"full-striping"`` or
+                ``"exhaustive"``.
+            k: TS-GREEDY's widening parameter.
+
+        Returns:
+            A :class:`Recommendation`; its ``improvement_pct`` is the
+            estimate the tool reports to the DBA.
+        """
+        analyzed = workload if isinstance(workload, AnalyzedWorkload) \
+            else self.analyze(workload)
+        sizes = self._db.object_sizes()
+        if current_layout is None:
+            current_layout = full_striping(sizes, self._farm)
+        evaluator = self.evaluator(analyzed)
+        if method == "ts-greedy":
+            graph = self.access_graph(analyzed)
+            search = TsGreedySearch(self._farm, evaluator, sizes,
+                                    constraints=self._constraints, k=k)
+            initial = current_layout \
+                if self._constraints.movement is not None else None
+            result = search.search(graph, initial_layout=initial)
+        elif method == "full-striping":
+            layout = full_striping(sizes, self._farm)
+            result = SearchResult(layout=layout,
+                                  cost=evaluator.cost(layout),
+                                  initial_cost=evaluator.cost(layout))
+        elif method == "exhaustive":
+            result = exhaustive_search(self._farm, evaluator, sizes,
+                                       constraints=self._constraints)
+        else:
+            raise LayoutError(f"unknown search method {method!r}")
+        self._constraints.check(result.layout)
+        current_cost = evaluator.cost(current_layout)
+        # Never recommend a layout the model scores worse than what the
+        # DBA already has, provided keeping it is actually allowed.
+        if result.cost > current_cost \
+                and self._constraints.is_satisfied(current_layout):
+            result = SearchResult(layout=current_layout,
+                                  cost=current_cost,
+                                  initial_cost=result.initial_cost,
+                                  iterations=result.iterations,
+                                  evaluations=result.evaluations,
+                                  elapsed_s=result.elapsed_s)
+        model = CostModel(self._farm)
+        per_statement = []
+        for index, analyzed_stmt in enumerate(analyzed):
+            name = analyzed_stmt.statement.name or f"stmt{index + 1}"
+            per_statement.append((
+                name,
+                model.statement_cost(analyzed_stmt, current_layout),
+                model.statement_cost(analyzed_stmt, result.layout)))
+        return Recommendation(layout=result.layout,
+                              estimated_cost=result.cost,
+                              current_cost=current_cost,
+                              per_statement=per_statement,
+                              search=result,
+                              current_layout=current_layout)
+
+    def recommend_concurrent(self, workload: "Workload | AnalyzedWorkload",
+                             spec,
+                             current_layout: Layout | None = None,
+                             k: int = 1) -> Recommendation:
+        """Recommend a layout for a workload with overlap information.
+
+        The concurrency-aware variant of :meth:`recommend` (the paper's
+        stated future work): statements grouped by the
+        :class:`~repro.workload.concurrency.ConcurrencySpec` are treated
+        as co-executing, so both the access graph and the cost being
+        optimized include cross-statement contention and the parallelism
+        credit of disjoint placement.
+
+        Args:
+            workload: The workload (raw or pre-analyzed).
+            spec: A :class:`~repro.workload.concurrency.ConcurrencySpec`.
+            current_layout: Baseline for the improvement estimate;
+                defaults to full striping.
+            k: TS-GREEDY's widening parameter.
+        """
+        from repro.workload.concurrency import (
+            build_access_graph_concurrent,
+            concurrent_cost_workload,
+        )
+        analyzed = workload if isinstance(workload, AnalyzedWorkload) \
+            else self.analyze(workload)
+        sizes = self._db.object_sizes()
+        if current_layout is None:
+            current_layout = full_striping(sizes, self._farm)
+        expanded = concurrent_cost_workload(analyzed, spec)
+        evaluator = WorkloadCostEvaluator(expanded, self._farm,
+                                          sorted(sizes))
+        graph = build_access_graph_concurrent(analyzed, spec, self._db)
+        search = TsGreedySearch(self._farm, evaluator, sizes,
+                                constraints=self._constraints, k=k)
+        initial = current_layout \
+            if self._constraints.movement is not None else None
+        result = search.search(graph, initial_layout=initial)
+        self._constraints.check(result.layout)
+        current_cost = evaluator.cost(current_layout)
+        if result.cost > current_cost \
+                and self._constraints.is_satisfied(current_layout):
+            result = SearchResult(layout=current_layout,
+                                  cost=current_cost,
+                                  initial_cost=result.initial_cost,
+                                  iterations=result.iterations,
+                                  evaluations=result.evaluations,
+                                  elapsed_s=result.elapsed_s)
+        return Recommendation(layout=result.layout,
+                              estimated_cost=result.cost,
+                              current_cost=current_cost,
+                              search=result,
+                              current_layout=current_layout)

@@ -1,0 +1,164 @@
+"""Manageability and availability constraints (Section 2.3).
+
+Constraints refine the definition of a *valid* layout:
+
+* :class:`CoLocated` — two objects must live in the same filegroup,
+  i.e. on exactly the same set of disk drives
+  (``x_ij = 0  <=>  x_kj = 0`` for all ``j``);
+* :class:`AvailabilityRequirement` — an object may only be placed on
+  drives with a given availability property
+  (``x_ij > 0  =>  AVAIL_j = A``);
+* :class:`MaxDataMovement` — an incrementality bound: transforming the
+  current layout into the proposed one may move at most N blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.layout import Layout
+from repro.errors import ConstraintError
+from repro.storage.disk import Availability, DiskFarm
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class CoLocated:
+    """Objects ``a`` and ``b`` must be assigned to the same disk set."""
+
+    a: str
+    b: str
+
+    def check(self, layout: Layout) -> None:
+        """Raise :class:`ConstraintError` if the objects' disk sets differ."""
+        if layout.disks_of(self.a) != layout.disks_of(self.b):
+            raise ConstraintError(
+                f"Co-Located({self.a}, {self.b}) violated: "
+                f"{layout.disks_of(self.a)} vs {layout.disks_of(self.b)}")
+
+
+@dataclass(frozen=True)
+class AvailabilityRequirement:
+    """Object ``obj`` may only be placed on drives with ``level``."""
+
+    obj: str
+    level: Availability
+
+    def check(self, layout: Layout) -> None:
+        """Raise :class:`ConstraintError` on any disallowed drive."""
+        for j in layout.disks_of(self.obj):
+            if layout.farm[j].availability is not self.level:
+                raise ConstraintError(
+                    f"Avail-Requirement({self.obj}) violated: disk "
+                    f"{layout.farm[j].name} is "
+                    f"{layout.farm[j].availability}, requires {self.level}")
+
+    def allowed_disks(self, farm: DiskFarm) -> list[int]:
+        """Farm indices of disks satisfying the requirement."""
+        return [j for j, d in enumerate(farm)
+                if d.availability is self.level]
+
+
+@dataclass(frozen=True)
+class MaxDataMovement:
+    """Moving from ``baseline`` to the proposed layout must shift at most
+    ``max_blocks`` blocks (the paper's incremental-redesign constraint)."""
+
+    baseline: Layout
+    max_blocks: float
+
+    def check(self, layout: Layout) -> None:
+        """Raise :class:`ConstraintError` if the move budget is exceeded."""
+        moved = self.baseline.data_movement_blocks(layout)
+        if moved > self.max_blocks + _EPS:
+            raise ConstraintError(
+                f"data movement {moved:.0f} blocks exceeds bound "
+                f"{self.max_blocks:.0f}")
+
+
+class ConstraintSet:
+    """A bundle of layout constraints with combined validation.
+
+    Also exposes the two queries the search needs: per-object allowed
+    disk sets (availability) and co-location groups (objects that must
+    move together).
+    """
+
+    def __init__(self,
+                 co_located: Iterable[CoLocated] = (),
+                 availability: Iterable[AvailabilityRequirement] = (),
+                 movement: MaxDataMovement | None = None):
+        self.co_located = list(co_located)
+        self.availability = list(availability)
+        self.movement = movement
+        self._avail_by_obj: dict[str, AvailabilityRequirement] = {}
+        for req in self.availability:
+            if req.obj in self._avail_by_obj \
+                    and self._avail_by_obj[req.obj].level is not req.level:
+                raise ConstraintError(
+                    f"conflicting availability requirements for {req.obj}")
+            self._avail_by_obj[req.obj] = req
+
+    def check(self, layout: Layout) -> None:
+        """Raise :class:`ConstraintError` on the first violation."""
+        for constraint in self.co_located:
+            constraint.check(layout)
+        for constraint in self.availability:
+            constraint.check(layout)
+        if self.movement is not None:
+            self.movement.check(layout)
+
+    def is_satisfied(self, layout: Layout) -> bool:
+        """Boolean form of :meth:`check`."""
+        try:
+            self.check(layout)
+        except ConstraintError:
+            return False
+        return True
+
+    def allowed_disks(self, obj: str, farm: DiskFarm) -> list[int]:
+        """Disks object ``obj`` may occupy given availability rules.
+
+        Co-location tightens this further: the intersection over a
+        co-location group applies to every member.
+        """
+        group = self.group_of(obj)
+        allowed = set(range(len(farm)))
+        for member in group:
+            req = self._avail_by_obj.get(member)
+            if req is not None:
+                allowed &= set(req.allowed_disks(farm))
+        if not allowed:
+            raise ConstraintError(
+                f"no disk satisfies the availability requirements of "
+                f"{obj!r}'s co-location group")
+        return sorted(allowed)
+
+    def group_of(self, obj: str) -> frozenset[str]:
+        """The co-location group containing ``obj`` (singleton if none)."""
+        for group in self.groups():
+            if obj in group:
+                return group
+        return frozenset({obj})
+
+    def groups(self) -> list[frozenset[str]]:
+        """Connected components of the co-location relation."""
+        parent: dict[str, str] = {}
+
+        def find(x: str) -> str:
+            parent.setdefault(x, x)
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for constraint in self.co_located:
+            root_a, root_b = find(constraint.a), find(constraint.b)
+            if root_a != root_b:
+                parent[root_a] = root_b
+        groups: dict[str, set[str]] = {}
+        for member in parent:
+            groups.setdefault(find(member), set()).add(member)
+        return [frozenset(g) for g in groups.values()]

@@ -1,0 +1,35 @@
+"""The FULL STRIPING baseline.
+
+Every object is spread over every available disk drive.  Following the
+paper's footnote 1 ("to ensure a fair comparison with our search method,
+we assume that the fraction of each object allocated to a disk is
+proportional to the transfer rate of that disk"), fractions default to
+transfer-rate proportional.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.catalog.schema import Database
+from repro.core.layout import Layout, stripe_fractions
+from repro.storage.disk import DiskFarm
+
+
+def full_striping(object_sizes: Mapping[str, int] | Database,
+                  farm: DiskFarm,
+                  rate_proportional: bool = True) -> Layout:
+    """Build the full-striping layout for the given objects.
+
+    Args:
+        object_sizes: Mapping from object name to size in blocks, or a
+            :class:`Database` whose objects should be laid out.
+        farm: The disk drives to stripe across.
+        rate_proportional: Stripe proportionally to read transfer rates
+            (the paper's convention); otherwise stripe evenly.
+    """
+    if isinstance(object_sizes, Database):
+        object_sizes = object_sizes.object_sizes()
+    row = stripe_fractions(range(len(farm)), farm,
+                           rate_proportional=rate_proportional)
+    return Layout(farm, object_sizes, {name: row for name in object_sizes})

@@ -1,0 +1,335 @@
+"""TS-GREEDY: the paper's two-step greedy search (Section 6.2, Figure 9).
+
+Step 1 (minimize co-location): partition the access graph into ``m``
+partitions maximizing the cut weight, then pack partitions — in
+descending total-node-weight order — onto the smallest disjoint sets of
+fast disks that can hold them, merging a partition with its least
+co-accessed predecessor when disjoint disks run out.
+
+Step 2 (increase parallelism): starting from the step-1 layout, repeat-
+edly try widening each object by at most ``k`` additional disks (striped
+proportionally to transfer rates); apply the single best cost-improving
+widening per iteration; stop when none improves the workload cost.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.constraints import ConstraintSet
+from repro.core.costmodel import WorkloadCostEvaluator
+from repro.core.layout import Layout, stripe_fractions
+from repro.core.partitioning import partition_access_graph
+from repro.errors import LayoutError
+from repro.storage.disk import DiskFarm
+from repro.workload.access_graph import AccessGraph
+
+_EPS = 1e-9
+
+
+@dataclass
+class SearchResult:
+    """Outcome and telemetry of one search run.
+
+    Attributes:
+        layout: The recommended layout.
+        cost: Its estimated workload cost (seconds of I/O response time).
+        initial_cost: Cost of the step-1 (pre-greedy) layout.
+        iterations: Greedy iterations executed (accepted moves + final
+            no-improvement round).
+        evaluations: Candidate layouts costed.
+        elapsed_s: Wall-clock search time.
+    """
+
+    layout: Layout
+    cost: float
+    initial_cost: float
+    iterations: int = 0
+    evaluations: int = 0
+    elapsed_s: float = 0.0
+
+
+class TsGreedySearch:
+    """The TS-GREEDY search algorithm.
+
+    Args:
+        farm: Available disk drives.
+        evaluator: Precompiled workload cost evaluator (shared across
+            candidate layouts).
+        object_sizes: Object name -> size in blocks.
+        constraints: Optional manageability/availability constraints.
+        k: Max disks added to one object per greedy move (paper uses 1).
+    """
+
+    def __init__(self, farm: DiskFarm, evaluator: WorkloadCostEvaluator,
+                 object_sizes: dict[str, int],
+                 constraints: ConstraintSet | None = None,
+                 k: int = 1):
+        if k < 1:
+            raise LayoutError("k must be at least 1")
+        self._farm = farm
+        self._evaluator = evaluator
+        self._sizes = dict(object_sizes)
+        self._constraints = constraints or ConstraintSet()
+        self._k = k
+        self._allow_removals = False
+        self._names = evaluator.object_names
+        missing = set(self._names) - set(self._sizes)
+        if missing:
+            raise LayoutError(f"no sizes for objects: {sorted(missing)}")
+
+    # -- public API ---------------------------------------------------------
+
+    def search(self, graph: AccessGraph,
+               initial_layout: Layout | None = None) -> SearchResult:
+        """Run both steps and return the best layout found.
+
+        Args:
+            graph: The workload's access graph (drives step 1).
+            initial_layout: Skip step 1 and refine this layout instead —
+                used for incremental mode under a data-movement
+                constraint.
+        """
+        start = time.perf_counter()
+        if initial_layout is None:
+            layout = self._initial_layout(graph)
+            self._allow_removals = False
+        else:
+            layout = initial_layout
+            # Incremental mode: refining an arbitrary starting layout
+            # (e.g. full striping) also needs *narrowing* moves, or a
+            # fully-striped start would be a trivial fixed point.
+            self._allow_removals = True
+        result = self._greedy(layout)
+        result.elapsed_s = time.perf_counter() - start
+        return result
+
+    # -- step 1: partition & pack ------------------------------------------------
+
+    def _initial_layout(self, graph: AccessGraph) -> Layout:
+        m = len(self._farm)
+        partitions = [p for p in
+                      partition_access_graph(graph, m, nodes=self._names)
+                      if p]
+        partitions = self._apply_co_location(partitions)
+        partitions.sort(key=lambda p: (-sum(graph.node_weight(o)
+                                            for o in p), p[0]))
+        rate_order = self._farm.indices_by_read_rate()
+        free = [0.0] * m  # blocks already promised per disk
+        used_disks: set[int] = set()
+        assignment: dict[int, tuple[int, ...]] = {}  # partition -> disks
+        disk_sets: list[tuple[int, ...]] = []
+        for index, part in enumerate(partitions):
+            size = sum(self._sizes[o] for o in part)
+            allowed = self._allowed_for(part)
+            chosen = self._pick_disjoint(size, allowed, used_disks, free,
+                                         rate_order)
+            if chosen is None:
+                chosen = self._merge_target(graph, part, partitions,
+                                            assignment, size, free)
+            if chosen is None:
+                raise LayoutError(
+                    "step 1 could not place partition within capacity")
+            assignment[index] = chosen
+            used_disks.update(chosen)
+            for j in chosen:
+                free[j] += size * self._stripe_share(chosen, j)
+            disk_sets.append(chosen)
+        fractions = {}
+        for part, disks in zip(partitions, disk_sets):
+            row = stripe_fractions(disks, self._farm)
+            for name in part:
+                fractions[name] = row
+        layout = Layout(self._farm, self._sizes, fractions)
+        self._constraints.check(layout)
+        return layout
+
+    def _apply_co_location(self,
+                           partitions: list[list[str]]) -> list[list[str]]:
+        """Pull each co-location group into one partition."""
+        groups = self._constraints.groups()
+        if not groups:
+            return partitions
+        part_of = {name: i for i, part in enumerate(partitions)
+                   for name in part}
+        for group in groups:
+            members = sorted(n for n in group if n in part_of)
+            if not members:
+                continue
+            target = part_of[max(members, key=lambda n: self._sizes[n])]
+            for name in members:
+                part_of[name] = target
+        rebuilt: list[list[str]] = [[] for _ in partitions]
+        for name, index in part_of.items():
+            rebuilt[index].append(name)
+        return [sorted(p) for p in rebuilt if p]
+
+    def _allowed_for(self, part: list[str]) -> list[int]:
+        allowed = set(range(len(self._farm)))
+        for name in part:
+            allowed &= set(self._constraints.allowed_disks(name,
+                                                           self._farm))
+        if not allowed:
+            raise LayoutError(
+                f"no disk satisfies all constraints of partition {part}")
+        return sorted(allowed)
+
+    def _stripe_share(self, disks: tuple[int, ...], j: int) -> float:
+        total = sum(self._farm[d].read_mb_s for d in disks)
+        return self._farm[j].read_mb_s / total
+
+    def _pick_disjoint(self, size: float, allowed: list[int],
+                       used: set[int], free: list[float],
+                       rate_order: list[int]) -> tuple[int, ...] | None:
+        """Smallest prefix of unused fast disks that can hold ``size``."""
+        candidates = [j for j in rate_order
+                      if j in set(allowed) and j not in used]
+        chosen: list[int] = []
+        capacity = 0.0
+        for j in candidates:
+            chosen.append(j)
+            capacity += self._farm[j].capacity_blocks - free[j]
+            if capacity >= size:
+                return tuple(sorted(chosen))
+        return None
+
+    def _merge_target(self, graph: AccessGraph, part: list[str],
+                      partitions: list[list[str]],
+                      assignment: dict[int, tuple[int, ...]],
+                      size: float,
+                      free: list[float]) -> tuple[int, ...] | None:
+        """Disk set of the least co-accessed, capacity-feasible
+        previously-assigned partition."""
+        best: tuple[float, int] | None = None
+        allowed = set(self._allowed_for(part))
+        for index, disks in assignment.items():
+            if not set(disks) <= allowed:
+                continue
+            headroom = sum(self._farm[j].capacity_blocks - free[j]
+                           for j in disks)
+            if headroom < size:
+                continue
+            weight = graph.group_edge_weight(part, partitions[index])
+            if best is None or (weight, index) < best:
+                best = (weight, index)
+        if best is None:
+            return None
+        return assignment[best[1]]
+
+    # -- step 2: greedy widening -----------------------------------------------------
+
+    def _greedy(self, layout: Layout) -> SearchResult:
+        matrix = self._evaluator.matrix_of(layout)
+        cost = self._evaluator.set_base(matrix)
+        initial_cost = cost
+        disk_used = np.array([layout.disk_used_blocks(j)
+                              for j in range(len(self._farm))])
+        capacity = np.array([d.capacity_blocks for d in self._farm])
+        groups = {name: sorted(self._constraints.group_of(name))
+                  for name in self._names}
+        result = SearchResult(layout=layout, cost=cost,
+                              initial_cost=initial_cost)
+        current = {name: layout.fractions_of(name)
+                   for name in self._names}
+        while True:
+            result.iterations += 1
+            best_cost = cost
+            best_change: dict[str, tuple[float, ...]] | None = None
+            seen_groups: set[tuple[str, ...]] = set()
+            for name in self._names:
+                group = tuple(groups[name])
+                if group in seen_groups:
+                    continue
+                seen_groups.add(group)
+                feasible = [change for change in
+                            self._moves(group, current)
+                            if self._fits(change, current, disk_used,
+                                          capacity)]
+                if not feasible:
+                    continue
+                result.evaluations += len(feasible)
+                if len(group) == 1:
+                    # Single-object moves: one vectorized batch.
+                    rows = np.array([change[name]
+                                     for change in feasible])
+                    costs = self._evaluator.costs_for_rows(name, rows)
+                    for change, candidate_cost in zip(feasible, costs):
+                        if candidate_cost < best_cost - _EPS:
+                            best_cost = float(candidate_cost)
+                            best_change = change
+                else:
+                    for change in feasible:
+                        candidate_cost = self._evaluator.cost_with_rows(
+                            {n: np.asarray(r)
+                             for n, r in change.items()})
+                        if candidate_cost < best_cost - _EPS:
+                            best_cost = candidate_cost
+                            best_change = change
+            if best_change is None:
+                break
+            for name, row in best_change.items():
+                delta = self._sizes[name] * (np.asarray(row)
+                                             - np.asarray(current[name]))
+                disk_used += delta
+                current[name] = row
+            matrix = np.array([current[n] for n in self._names])
+            cost = self._evaluator.set_base(matrix)
+        final = Layout(self._farm, self._sizes, current)
+        if self._constraints.movement is not None \
+                and not self._constraints.is_satisfied(final):
+            # Should not happen: moves are filtered; fail loudly if so.
+            raise LayoutError("greedy produced a constraint-violating "
+                              "layout")
+        result.layout = final
+        result.cost = cost
+        return result
+
+    def _moves(self, group: tuple[str, ...],
+               current: dict[str, tuple[float, ...]]):
+        """Yield candidate fraction-row changes for one object group.
+
+        A move adds 1..k disks (from the group's allowed set) to the
+        group's current disk set; every member of the group gets the same
+        widened, rate-proportional row.
+        """
+        lead = group[0]
+        disks_now = tuple(j for j, f in enumerate(current[lead])
+                          if f > _EPS)
+        allowed = self._constraints.allowed_disks(lead, self._farm)
+        remaining = [j for j in allowed if j not in set(disks_now)]
+        for size in range(1, self._k + 1):
+            for combo in itertools.combinations(remaining, size):
+                row = stripe_fractions(disks_now + combo, self._farm)
+                yield {name: row for name in group}
+        if getattr(self, "_allow_removals", False):
+            for size in range(1, min(self._k, len(disks_now) - 1) + 1):
+                for combo in itertools.combinations(disks_now, size):
+                    kept = tuple(j for j in disks_now
+                                 if j not in set(combo))
+                    row = stripe_fractions(kept, self._farm)
+                    yield {name: row for name in group}
+
+    def _fits(self, change: dict[str, tuple[float, ...]],
+              current: dict[str, tuple[float, ...]],
+              disk_used: np.ndarray, capacity: np.ndarray) -> bool:
+        """Capacity (and movement-constraint) feasibility of a move."""
+        delta = np.zeros(len(self._farm))
+        for name, row in change.items():
+            delta += self._sizes[name] * (np.asarray(row)
+                                          - np.asarray(current[name]))
+        if np.any(disk_used + delta > capacity + _EPS):
+            return False
+        movement = self._constraints.movement
+        if movement is not None:
+            trial = dict(current)
+            trial.update(change)
+            layout = Layout(self._farm, self._sizes, trial,
+                            check_capacity=False)
+            if movement.baseline.data_movement_blocks(layout) \
+                    > movement.max_blocks + _EPS:
+                return False
+        return True

@@ -1,0 +1,47 @@
+"""Seeded random layouts (used by the cost-model validation experiment).
+
+The paper's Section 7 generates layouts "where … the layout of all the
+TPCH1G tables is determined at random"; this module reproduces that with
+a deterministic RNG: each object lands on a uniformly random non-empty
+subset of disks and is striped rate-proportionally across it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping
+
+from repro.core.layout import Layout, stripe_fractions
+from repro.errors import LayoutError
+from repro.storage.disk import DiskFarm
+
+
+def random_layout(object_sizes: Mapping[str, int], farm: DiskFarm,
+                  seed: int, max_attempts: int = 200) -> Layout:
+    """A random valid layout.
+
+    Each object independently picks a subset size uniformly from
+    ``1..m`` and then a uniform subset of that size.  Capacity-violating
+    draws are retried (the paper's testbed, like ours, has ample slack).
+
+    Args:
+        object_sizes: Object name -> size in blocks.
+        farm: Disk drives.
+        seed: RNG seed; the same seed always yields the same layout.
+        max_attempts: Retries before giving up on capacity.
+    """
+    rng = random.Random(seed)
+    names = sorted(object_sizes)
+    for _ in range(max_attempts):
+        fractions = {}
+        for name in names:
+            size = rng.randint(1, len(farm))
+            disks = rng.sample(range(len(farm)), size)
+            fractions[name] = stripe_fractions(disks, farm)
+        try:
+            return Layout(farm, dict(object_sizes), fractions)
+        except LayoutError:
+            continue
+    raise LayoutError(
+        f"could not draw a capacity-feasible random layout in "
+        f"{max_attempts} attempts")

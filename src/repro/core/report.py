@@ -1,0 +1,94 @@
+"""DBA-facing recommendation reports.
+
+The paper's tool hands the DBA a recommendation plus an estimated
+improvement percentage.  This module renders that into (a) a readable
+report and (b) an implementation script in SQL-Server-style DDL —
+filegroups per distinct disk set, files per disk, and the object
+assignments — which is how a layout is actually realized (Section 2.1).
+"""
+
+from __future__ import annotations
+
+from repro.core.advisor import Recommendation
+from repro.core.layout import Layout
+from repro.storage.disk import BLOCK_BYTES
+
+
+def render_report(recommendation: Recommendation,
+                  top_statements: int = 10) -> str:
+    """A human-readable summary of a recommendation.
+
+    Args:
+        recommendation: The advisor's output.
+        top_statements: How many statements to list in the per-statement
+            breakdown (ordered by absolute improvement).
+    """
+    rec = recommendation
+    lines = [
+        "=== database layout recommendation ===",
+        f"estimated workload I/O time: {rec.estimated_cost:.1f}s",
+        f"current layout I/O time:     {rec.current_cost:.1f}s",
+        f"estimated improvement:       {rec.improvement_pct:.0f}%",
+        "",
+        "--- placement ---",
+        rec.layout.describe(),
+    ]
+    if rec.per_statement:
+        ranked = sorted(rec.per_statement,
+                        key=lambda row: -(row[1] - row[2]))
+        lines.append("")
+        lines.append("--- statements with the largest changes ---")
+        for name, current, proposed in ranked[:top_statements]:
+            delta = current - proposed
+            sign = "saves" if delta >= 0 else "costs"
+            lines.append(f"{name:12s} {current:8.2f}s -> "
+                         f"{proposed:8.2f}s  ({sign} {abs(delta):.2f}s)")
+    movement = rec.data_movement_blocks
+    if movement is not None and movement > 0:
+        moved_gb = movement * BLOCK_BYTES / 1024 ** 3
+        lines.append("")
+        lines.append(f"implementing this layout moves "
+                     f"{moved_gb:.2f} GB ({movement:.0f} blocks)")
+    if rec.search is not None:
+        lines.append("")
+        lines.append(f"search: {rec.search.iterations} iterations, "
+                     f"{rec.search.evaluations} layouts costed, "
+                     f"{rec.search.elapsed_s:.2f}s")
+    return "\n".join(lines)
+
+
+def render_filegroup_script(layout: Layout,
+                            database_name: str = "targetdb") -> str:
+    """An implementation script for the layout.
+
+    Emits one filegroup per distinct disk set, one file per member disk
+    (sized to the objects' share on that disk), and the object-to-
+    filegroup assignments — mirroring how a DBA realizes a layout with
+    SQL Server filegroups or Oracle/DB2 tablespaces.
+    """
+    farm = layout.farm
+    lines = [f"-- layout implementation script for {database_name}",
+             f"-- {len(layout.object_names)} objects over "
+             f"{len(farm)} disk drives", ""]
+    for number, (disks, objects) in enumerate(
+            sorted(layout.filegroups().items()), start=1):
+        group = f"FG_{number}"
+        lines.append(f"ALTER DATABASE {database_name} "
+                     f"ADD FILEGROUP {group};")
+        for disk in disks:
+            blocks = sum(
+                layout.size_of(obj) * layout.fraction(obj, disk)
+                for obj in objects)
+            size_mb = max(1, int(blocks * BLOCK_BYTES / 1024 / 1024))
+            lines.append(
+                f"ALTER DATABASE {database_name} ADD FILE "
+                f"(NAME = {group}_{farm[disk].name}, "
+                f"FILENAME = '{farm[disk].name}:\\{database_name}"
+                f"\\{group}.ndf', SIZE = {size_mb}MB) "
+                f"TO FILEGROUP {group};")
+        for obj in sorted(objects):
+            lines.append(f"-- move {obj} onto {group} "
+                         f"(disks {', '.join(farm[d].name for d in disks)})")
+            lines.append(f"ALTER TABLE {obj} MOVE TO {group};")
+        lines.append("")
+    return "\n".join(lines)

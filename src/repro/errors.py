@@ -1,0 +1,55 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by the library derive from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class CatalogError(ReproError):
+    """A schema or statistics object is malformed or inconsistent."""
+
+
+class SqlSyntaxError(ReproError):
+    """The SQL text could not be tokenized or parsed.
+
+    Attributes:
+        line: 1-based line of the offending token, when known.
+        column: 1-based column of the offending token, when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" (line {line}" + (
+                f", column {column})" if column is not None else ")")
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class PlanningError(ReproError):
+    """The optimizer could not produce an execution plan for a statement."""
+
+
+class LayoutError(ReproError):
+    """A database layout is invalid (Definition 2 of the paper) or cannot
+    be constructed under the given constraints."""
+
+
+class ConstraintError(LayoutError):
+    """A manageability/availability constraint is unsatisfiable or violated."""
+
+
+class SimulationError(ReproError):
+    """The I/O simulator was driven into an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """A workload file or statement set is malformed."""

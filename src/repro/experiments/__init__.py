@@ -1,0 +1,56 @@
+"""Per-table/figure experiment harness.
+
+Each module reproduces one table or figure of the paper's Section 7 and
+exposes a ``run_*`` function returning a typed result plus a ``main()``
+that prints the same rows/series the paper reports.  The benchmarks
+under ``benchmarks/`` are thin wrappers over these.
+
+Experiment index (see DESIGN.md for the full mapping):
+
+========  =====================================================
+EX1       Example 1 — Q3/Q10 speedup on the separated layout
+EX5       Example 5 — L1/L2/L3 cost ordering
+T2        Table 2 — estimated vs actual improvement per query
+V1        Section 7.2 — cost-model rank-order validation (82%)
+F10       Figure 10 — TS-GREEDY vs FULL STRIPING, five workloads
+F11       Figure 11 — TS-GREEDY runtime vs number of disks
+F12       Figure 12 — TS-GREEDY runtime vs number of objects
+WS        WK-SCALE — advisor runtime vs workload size
+A1..A5    Ablations — k sweep, greedy vs exhaustive, step roles,
+          temp-aware model error, concurrency end-to-end
+========  =====================================================
+"""
+
+from repro.experiments import common
+from repro.experiments.example1 import run_example1
+from repro.experiments.example5 import run_example5
+from repro.experiments.table2 import run_table2
+from repro.experiments.validation import run_validation
+from repro.experiments.figure10 import run_figure10
+from repro.experiments.figure11 import run_figure11
+from repro.experiments.figure12 import run_figure12
+from repro.experiments.wkscale import run_wkscale
+from repro.experiments.concurrency import run_concurrency_study
+from repro.experiments.ablations import (
+    run_greedy_vs_exhaustive,
+    run_k_sweep,
+    run_step_roles,
+    run_temp_aware_error,
+)
+
+__all__ = [
+    "common",
+    "run_example1",
+    "run_example5",
+    "run_table2",
+    "run_validation",
+    "run_figure10",
+    "run_figure11",
+    "run_figure12",
+    "run_greedy_vs_exhaustive",
+    "run_k_sweep",
+    "run_step_roles",
+    "run_temp_aware_error",
+    "run_wkscale",
+    "run_concurrency_study",
+]

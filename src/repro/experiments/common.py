@@ -1,0 +1,106 @@
+"""Shared experiment infrastructure: testbed, layouts, formatting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.benchdb import tpch
+from repro.catalog.schema import Database
+from repro.core.layout import Layout, stripe_fractions
+from repro.simulator.measure import WorkloadSimulator
+from repro.storage.disk import DiskFarm, DiskSpec, winbench_farm
+from repro.workload.access import AnalyzedWorkload, analyze_workload
+from repro.workload.workload import Workload
+
+
+def paper_farm(m: int = 8) -> DiskFarm:
+    """The experiments' default testbed: 8 calibrated heterogeneous
+    drives with the paper's ~30% fast/slow spread."""
+    return winbench_farm(m)
+
+
+def tempdb_disk() -> DiskSpec:
+    """The dedicated tempdb drive (the paper's separate 9th disk)."""
+    return DiskSpec(name="tempdb", capacity_blocks=131_072,
+                    avg_seek_s=0.006, read_mb_s=40.0, write_mb_s=36.0)
+
+
+def simulator() -> WorkloadSimulator:
+    """The standard "actual execution" simulator configuration."""
+    return WorkloadSimulator(tempdb=tempdb_disk())
+
+
+def separated_lineitem_orders(db: Database, farm: DiskFarm,
+                              lineitem_disks: int = 5) -> Layout:
+    """The paper's hand-built Table-2 layout: ``lineitem`` striped on
+    the 5 fastest disks, ``orders`` on the other 3, everything else
+    fully striped."""
+    sizes = db.object_sizes()
+    rate_order = farm.indices_by_read_rate()
+    fractions = {name: stripe_fractions(range(len(farm)), farm)
+                 for name in sizes}
+    fractions["lineitem"] = stripe_fractions(
+        rate_order[:lineitem_disks], farm)
+    fractions["orders"] = stripe_fractions(
+        rate_order[lineitem_disks:], farm)
+    return Layout(farm, sizes, fractions)
+
+
+def controlled_overlap_layout(db: Database, farm: DiskFarm,
+                              overlap: int) -> Layout:
+    """A layout with a controlled number of disks shared by ``lineitem``
+    and ``orders`` (the validation experiment's controlled layouts).
+
+    ``lineitem`` sits on the first 5 disks; ``orders`` on 3 disks whose
+    set overlaps lineitem's on exactly ``overlap`` disks (0..3);
+    everything else is fully striped.
+    """
+    if not 0 <= overlap <= 3:
+        raise ValueError("overlap must be between 0 and 3")
+    sizes = db.object_sizes()
+    fractions = {name: stripe_fractions(range(len(farm)), farm)
+                 for name in sizes}
+    fractions["lineitem"] = stripe_fractions(range(5), farm)
+    orders_disks = list(range(5 - overlap, 8 - overlap))
+    fractions["orders"] = stripe_fractions(orders_disks, farm)
+    return Layout(farm, sizes, fractions)
+
+
+@dataclass
+class AnalyzedCase:
+    """A database + analyzed workload pair ready for experiments."""
+
+    db: Database
+    workload: AnalyzedWorkload
+    label: str
+
+
+def analyzed_tpch(workload: Workload | None = None) -> AnalyzedCase:
+    """TPCH1G with an analyzed workload (default: TPCH-22)."""
+    db = tpch.tpch_database()
+    workload = workload or tpch.tpch22_workload()
+    return AnalyzedCase(db=db, workload=analyze_workload(workload, db),
+                        label=workload.name)
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Render an ASCII table (the experiments print paper-style rows)."""
+    materialized = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def improvement_pct(baseline: float, candidate: float) -> float:
+    """Percentage improvement of ``candidate`` over ``baseline``."""
+    if baseline <= 0:
+        return 0.0
+    return 100.0 * (baseline - candidate) / baseline

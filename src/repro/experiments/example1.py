@@ -1,0 +1,74 @@
+"""Example 1 (Section 1): Q3 and Q10 on the separated layout.
+
+The paper measured TPC-H Q3 running ~44% and Q10 ~36% faster when
+``lineitem`` (5 disks) and ``orders`` (3 disks) are separated instead of
+fully striped over all 8 drives.  We reproduce the comparison with the
+I/O simulator standing in for the measured SQL Server execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.benchdb import tpch
+from repro.core.fullstripe import full_striping
+from repro.experiments import common
+from repro.workload.access import analyze_workload
+from repro.workload.workload import Workload
+
+
+@dataclass
+class Example1Result:
+    """Simulated times and improvements for Q3 and Q10."""
+
+    q3_full_s: float
+    q3_separated_s: float
+    q10_full_s: float
+    q10_separated_s: float
+
+    @property
+    def q3_improvement_pct(self) -> float:
+        return common.improvement_pct(self.q3_full_s, self.q3_separated_s)
+
+    @property
+    def q10_improvement_pct(self) -> float:
+        return common.improvement_pct(self.q10_full_s,
+                                      self.q10_separated_s)
+
+
+def run_example1() -> Example1Result:
+    """Run the Example-1 comparison (simulated execution)."""
+    db = tpch.tpch_database()
+    farm = common.paper_farm()
+    workload = Workload(name="example1")
+    workload.add(tpch.tpch_query(3), name="Q3")
+    workload.add(tpch.tpch_query(10), name="Q10")
+    analyzed = analyze_workload(workload, db)
+    full = full_striping(db.object_sizes(), farm)
+    separated = common.separated_lineitem_orders(db, farm)
+    sim = common.simulator()
+    report_full = sim.run(analyzed, full)
+    report_sep = sim.run(analyzed, separated)
+    return Example1Result(
+        q3_full_s=report_full.seconds_of("Q3"),
+        q3_separated_s=report_sep.seconds_of("Q3"),
+        q10_full_s=report_full.seconds_of("Q10"),
+        q10_separated_s=report_sep.seconds_of("Q10"))
+
+
+def main() -> None:
+    """Print the experiment's paper-style table."""
+    result = run_example1()
+    print(common.format_table(
+        ["query", "full striping (s)", "separated (s)", "improvement",
+         "paper"],
+        [["Q3", f"{result.q3_full_s:.2f}",
+          f"{result.q3_separated_s:.2f}",
+          f"{result.q3_improvement_pct:.0f}%", "44%"],
+         ["Q10", f"{result.q10_full_s:.2f}",
+          f"{result.q10_separated_s:.2f}",
+          f"{result.q10_improvement_pct:.0f}%", "36%"]]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Figure 10 (Section 7.2): quality of TS-GREEDY vs FULL STRIPING.
+
+The paper's bar chart reports the estimated improvement of the
+TS-GREEDY recommendation over full striping for WK-CTRL1, WK-CTRL2,
+TPCH-22, SALES-45 and APB-800.  Expected shape:
+
+* the controlled workloads improve by well over 25%;
+* TPCH-22 improves ~20% (lineitem/orders and partsupp/part separate);
+* SALES-45 improves the most after the two dominant tables separate;
+* APB-800 shows no improvement — its two large tables are never
+  co-accessed, so TS-GREEDY converges to full striping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.benchdb import apb, ctrl, sales, tpch
+from repro.catalog.schema import Database
+from repro.core.advisor import LayoutAdvisor, Recommendation
+from repro.experiments import common
+from repro.workload.workload import Workload
+
+
+@dataclass
+class Figure10Result:
+    """Per-workload improvement of TS-GREEDY over FULL STRIPING."""
+
+    improvements: dict[str, float] = field(default_factory=dict)
+    recommendations: dict[str, Recommendation] = field(
+        default_factory=dict)
+
+
+def figure10_cases() -> list[tuple[Database, Workload]]:
+    """The five (database, workload) pairs of Figure 10."""
+    tpch_db = tpch.tpch_database()
+    return [
+        (tpch_db, ctrl.wk_ctrl1()),
+        (tpch_db, ctrl.wk_ctrl2()),
+        (tpch_db, tpch.tpch22_workload()),
+        (sales.sales_database(), sales.sales45_workload()),
+        (apb.apb_database(), apb.apb800_workload()),
+    ]
+
+
+def run_figure10(m_disks: int = 8) -> Figure10Result:
+    """Run TS-GREEDY vs FULL STRIPING on all five workloads."""
+    farm = common.paper_farm(m_disks)
+    result = Figure10Result()
+    for db, workload in figure10_cases():
+        advisor = LayoutAdvisor(db, farm)
+        recommendation = advisor.recommend(workload)
+        result.improvements[workload.name] = \
+            recommendation.improvement_pct
+        result.recommendations[workload.name] = recommendation
+    return result
+
+
+#: The paper's reported shape, for the printed comparison.
+PAPER_SHAPE = {"WK-CTRL1": "> 25%", "WK-CTRL2": "> 25%",
+               "TPCH-22": "~ 20%", "SALES-45": "~ 38%",
+               "APB-800": "~ 0%"}
+
+
+def main() -> None:
+    """Print the experiment's paper-style table."""
+    result = run_figure10()
+    rows = [[name, f"{pct:.0f}%", PAPER_SHAPE.get(name, "?")]
+            for name, pct in result.improvements.items()]
+    print(common.format_table(
+        ["workload", "estimated improvement", "paper"], rows))
+
+
+if __name__ == "__main__":
+    main()

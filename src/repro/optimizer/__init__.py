@@ -1,0 +1,57 @@
+"""Execution-plan substrate: a cost-based query optimizer.
+
+The paper extracts workload information from SQL Server's execution plans
+in "no-execute" (Showplan) mode.  We do not have SQL Server, so this
+subpackage provides the substitute: a classic Selinger-style optimizer
+that resolves a parsed statement against the catalog, chooses access
+paths and a left-deep join order, places sorts / aggregates, and emits a
+typed operator tree annotated with the two things the layout advisor
+consumes — per-object block counts and blocking vs pipelined edges.
+"""
+
+from repro.optimizer.operators import (
+    DmlOp,
+    FilterOp,
+    HashAggregateOp,
+    HashJoinOp,
+    IndexScanOp,
+    IndexSeekOp,
+    MergeJoinOp,
+    NestedLoopsJoinOp,
+    ObjectAccess,
+    PlanOp,
+    RidLookupOp,
+    SemiJoinOp,
+    SequenceOp,
+    SortOp,
+    StreamAggregateOp,
+    TableScanOp,
+    TopOp,
+    walk,
+)
+from repro.optimizer.planner import Planner, plan_statement
+from repro.optimizer.explain import explain
+
+__all__ = [
+    "DmlOp",
+    "FilterOp",
+    "HashAggregateOp",
+    "HashJoinOp",
+    "IndexScanOp",
+    "IndexSeekOp",
+    "MergeJoinOp",
+    "NestedLoopsJoinOp",
+    "ObjectAccess",
+    "PlanOp",
+    "RidLookupOp",
+    "SemiJoinOp",
+    "SequenceOp",
+    "SortOp",
+    "StreamAggregateOp",
+    "TableScanOp",
+    "TopOp",
+    "walk",
+    "Planner",
+    "plan_statement",
+    "explain",
+]

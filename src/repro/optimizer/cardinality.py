@@ -1,0 +1,62 @@
+"""Cardinality and block-touch estimation helpers."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+def yao_blocks_touched(total_blocks: float, rows_fetched: float) -> float:
+    """Expected distinct blocks touched by ``rows_fetched`` random probes.
+
+    The classical Cardenas/Yao approximation
+    ``B * (1 - (1 - 1/B)^r)`` for fetching ``r`` uniformly scattered rows
+    from an object of ``B`` blocks.  It degrades gracefully at both ends:
+    ~``r`` for small ``r`` and ~``B`` when the whole object is touched.
+    """
+    if total_blocks <= 0 or rows_fetched <= 0:
+        return 0.0
+    if total_blocks <= 1.0:
+        return min(total_blocks, rows_fetched)
+    ratio = rows_fetched / total_blocks
+    if ratio > 50:  # (1 - 1/B)^r underflows; everything is touched
+        return total_blocks
+    return total_blocks * (1.0 - math.exp(rows_fetched
+                                          * math.log1p(-1.0 / total_blocks)))
+
+
+def grouped_rows(input_rows: float, group_ndvs: Iterable[int]) -> float:
+    """Estimated output rows of a GROUP BY.
+
+    The product of the grouping columns' distinct counts, capped by the
+    number of input rows (you cannot have more groups than rows).
+    """
+    if input_rows <= 0:
+        return 0.0
+    product = 1.0
+    for ndv in group_ndvs:
+        product *= max(1, ndv)
+        if product >= input_rows:
+            return input_rows
+    return min(product, input_rows)
+
+
+def distinct_rows(input_rows: float, ndv: int | None) -> float:
+    """Estimated output rows of a DISTINCT over one key column."""
+    if ndv is None:
+        return max(1.0, input_rows / 2.0)
+    return min(float(ndv), input_rows)
+
+
+def sort_cpu_cost(rows: float, per_row: float) -> float:
+    """n·log2(n) CPU term for sorting ``rows`` rows."""
+    if rows <= 1:
+        return 0.0
+    return per_row * rows * math.log2(rows)
+
+
+def bytes_to_blocks(total_bytes: float, block_bytes: int) -> float:
+    """Fractional blocks for a byte volume (used for spill sizing)."""
+    if total_bytes <= 0:
+        return 0.0
+    return total_bytes / block_bytes

@@ -1,0 +1,32 @@
+"""Plan pretty-printer — the library's "Showplan / no-execute" mode."""
+
+from __future__ import annotations
+
+from repro.optimizer.operators import PlanOp
+
+
+def explain(plan: PlanOp) -> str:
+    """Render a plan tree as indented text.
+
+    Blocking edges are marked with ``||`` (the paper's "cut" points
+    where non-blocking subplans end); object accesses are listed inline
+    with their estimated block counts.
+    """
+    lines: list[str] = []
+    _render(plan, 0, False, lines)
+    return "\n".join(lines)
+
+
+def _render(node: PlanOp, depth: int, blocked: bool,
+            lines: list[str]) -> None:
+    indent = "  " * depth
+    marker = "|| " if blocked else ""
+    accesses = "".join(
+        f" [{a.object_name}: {a.blocks:.0f} blk"
+        + (", write" if a.write else "")
+        + ("" if a.sequential else ", random") + "]"
+        for a in node.accesses)
+    lines.append(f"{indent}{marker}{node.label()} "
+                 f"(rows={node.rows_out:.0f}){accesses}")
+    for child, edge_blocking in zip(node.children, node.blocking_edges):
+        _render(child, depth + 1, edge_blocking, lines)

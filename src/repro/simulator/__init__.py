@@ -1,0 +1,43 @@
+"""Event-driven multi-disk I/O simulator.
+
+The paper validates its analytical model against *actual execution* on
+SQL Server over 8 physical drives.  We have neither, so this subpackage
+provides the measurement substrate: block-granularity execution of a
+planned workload against a materialized layout, with
+
+* positional, distance-dependent seeks (not the model's flat average),
+* per-disk parallelism (subplan elapsed time = last disk to finish),
+* proportional interleaving of co-accessed streams with read-ahead
+  coalescing (real drives seek per multi-block read-ahead unit, not per
+  block — one reason the paper's estimated improvements overshoot its
+  measured ones),
+* an LRU buffer pool (which the analytical model ignores — the paper's
+  Q21 misestimate), and
+* temp (tempdb) I/O charged to a dedicated drive (which the paper's
+  cost-model implementation ignores — its validation failures).
+"""
+
+from repro.simulator.geometry import SeekModel
+from repro.simulator.buffer import BufferPool
+from repro.simulator.engine import DiskState, SubplanRun
+from repro.simulator.measure import (
+    SimulationReport,
+    StatementTiming,
+    WorkloadSimulator,
+)
+from repro.simulator.concurrent import (
+    ConcurrentReport,
+    ConcurrentWorkloadSimulator,
+)
+
+__all__ = [
+    "SeekModel",
+    "BufferPool",
+    "DiskState",
+    "SubplanRun",
+    "SimulationReport",
+    "StatementTiming",
+    "WorkloadSimulator",
+    "ConcurrentReport",
+    "ConcurrentWorkloadSimulator",
+]

@@ -1,0 +1,22 @@
+"""SQL subset front end.
+
+The layout advisor consumes SQL DML text (Section 2.2 of the paper: a
+workload is a set of SELECT / INSERT / UPDATE / DELETE statements).  This
+subpackage tokenizes and parses a practical SQL subset — joins (implicit
+and explicit), conjunctive/disjunctive predicates, BETWEEN / IN / LIKE /
+IS NULL, EXISTS and IN subqueries, aggregation, GROUP BY / HAVING /
+ORDER BY and TOP — into a typed AST the optimizer plans from.
+"""
+
+from repro.sql.lexer import Token, TokenKind, tokenize
+from repro.sql.parser import parse_statement, parse_script
+from repro.sql import ast
+
+__all__ = [
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "parse_statement",
+    "parse_script",
+    "ast",
+]

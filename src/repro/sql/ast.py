@@ -1,0 +1,308 @@
+"""Typed abstract syntax tree for the SQL subset.
+
+Every node is an immutable dataclass.  Expressions know how to report the
+column references they contain (:func:`column_refs`), which the optimizer
+uses for predicate classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A possibly qualified column reference, e.g. ``l.l_orderkey``."""
+
+    name: str
+    qualifier: str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A numeric or string constant.  ``value`` is int/float/str/None."""
+
+    value: int | float | str | None
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """Arithmetic or comparison operator application."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    """Unary minus or NOT."""
+
+    op: str
+    operand: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.op} {self.operand})"
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    """An aggregate or scalar function call.
+
+    ``COUNT(*)`` is represented with ``star=True`` and empty args.
+    """
+
+    name: str
+    args: tuple["Expr", ...] = ()
+    distinct: bool = False
+    star: bool = False
+
+    def __str__(self) -> str:
+        if self.star:
+            return f"{self.name}(*)"
+        inner = ", ".join(str(a) for a in self.args)
+        prefix = "DISTINCT " if self.distinct else ""
+        return f"{self.name}({prefix}{inner})"
+
+
+@dataclass(frozen=True)
+class CaseExpr:
+    """A searched CASE expression."""
+
+    whens: tuple[tuple["Expr", "Expr"], ...]
+    else_: "Expr | None" = None
+
+    def __str__(self) -> str:
+        parts = [f"WHEN {c} THEN {v}" for c, v in self.whens]
+        if self.else_ is not None:
+            parts.append(f"ELSE {self.else_}")
+        return "CASE " + " ".join(parts) + " END"
+
+
+@dataclass(frozen=True)
+class BetweenExpr:
+    """``expr [NOT] BETWEEN lo AND hi``."""
+
+    operand: "Expr"
+    lo: "Expr"
+    hi: "Expr"
+    negated: bool = False
+
+    def __str__(self) -> str:
+        neg = "NOT " if self.negated else ""
+        return f"({self.operand} {neg}BETWEEN {self.lo} AND {self.hi})"
+
+
+@dataclass(frozen=True)
+class InList:
+    """``expr [NOT] IN (v1, v2, ...)`` with literal values."""
+
+    operand: "Expr"
+    values: tuple["Expr", ...]
+    negated: bool = False
+
+    def __str__(self) -> str:
+        neg = "NOT " if self.negated else ""
+        vals = ", ".join(str(v) for v in self.values)
+        return f"({self.operand} {neg}IN ({vals}))"
+
+
+@dataclass(frozen=True)
+class InSubquery:
+    """``expr [NOT] IN (SELECT ...)``."""
+
+    operand: "Expr"
+    subquery: "Select"
+    negated: bool = False
+
+    def __str__(self) -> str:
+        neg = "NOT " if self.negated else ""
+        return f"({self.operand} {neg}IN (<subquery>))"
+
+
+@dataclass(frozen=True)
+class ExistsExpr:
+    """``[NOT] EXISTS (SELECT ...)``."""
+
+    subquery: "Select"
+    negated: bool = False
+
+    def __str__(self) -> str:
+        neg = "NOT " if self.negated else ""
+        return f"({neg}EXISTS (<subquery>))"
+
+
+@dataclass(frozen=True)
+class ScalarSubquery:
+    """A subquery used as a scalar value, e.g. ``x = (SELECT MIN(...) ...)``."""
+
+    subquery: "Select"
+
+    def __str__(self) -> str:
+        return "(<scalar subquery>)"
+
+
+@dataclass(frozen=True)
+class LikeExpr:
+    """``expr [NOT] LIKE pattern``."""
+
+    operand: "Expr"
+    pattern: str
+    negated: bool = False
+
+    def __str__(self) -> str:
+        neg = "NOT " if self.negated else ""
+        return f"({self.operand} {neg}LIKE '{self.pattern}')"
+
+
+@dataclass(frozen=True)
+class IsNullExpr:
+    """``expr IS [NOT] NULL``."""
+
+    operand: "Expr"
+    negated: bool = False
+
+    def __str__(self) -> str:
+        neg = "NOT " if self.negated else ""
+        return f"({self.operand} IS {neg}NULL)"
+
+
+Expr = Union[ColumnRef, Literal, BinaryOp, UnaryOp, FuncCall, CaseExpr,
+             BetweenExpr, InList, InSubquery, ExistsExpr, ScalarSubquery,
+             LikeExpr, IsNullExpr]
+
+
+def column_refs(expr: Expr | None) -> Iterator[ColumnRef]:
+    """Yield every :class:`ColumnRef` inside ``expr`` (subqueries excluded).
+
+    Subqueries are excluded because their column references resolve in
+    their own scope; the planner handles them separately.
+    """
+    if expr is None:
+        return
+    if isinstance(expr, ColumnRef):
+        yield expr
+    elif isinstance(expr, BinaryOp):
+        yield from column_refs(expr.left)
+        yield from column_refs(expr.right)
+    elif isinstance(expr, UnaryOp):
+        yield from column_refs(expr.operand)
+    elif isinstance(expr, FuncCall):
+        for a in expr.args:
+            yield from column_refs(a)
+    elif isinstance(expr, CaseExpr):
+        for cond, val in expr.whens:
+            yield from column_refs(cond)
+            yield from column_refs(val)
+        yield from column_refs(expr.else_)
+    elif isinstance(expr, BetweenExpr):
+        yield from column_refs(expr.operand)
+        yield from column_refs(expr.lo)
+        yield from column_refs(expr.hi)
+    elif isinstance(expr, (InList, LikeExpr, IsNullExpr, InSubquery)):
+        yield from column_refs(expr.operand)
+    # ExistsExpr / ScalarSubquery: nothing in this scope.
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TableRef:
+    """A table in a FROM clause with an optional alias."""
+
+    table: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        """The name this table is referred to by in the query scope."""
+        return self.alias or self.table
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """An explicit ``JOIN ... ON ...`` step in a FROM clause."""
+
+    kind: str            # "INNER", "LEFT", "RIGHT"
+    table: TableRef
+    condition: Expr
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One projection item: an expression with an optional output alias."""
+
+    expr: Expr
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key with direction."""
+
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Select:
+    """A SELECT statement (or subquery)."""
+
+    items: tuple[SelectItem, ...]
+    from_tables: tuple[TableRef, ...]
+    joins: tuple[JoinClause, ...] = ()
+    where: Expr | None = None
+    group_by: tuple[Expr, ...] = ()
+    having: Expr | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    distinct: bool = False
+    top: int | None = None
+    select_star: bool = False
+
+
+@dataclass(frozen=True)
+class Insert:
+    """``INSERT INTO t [(cols)] VALUES (...)`` or ``INSERT ... SELECT``."""
+
+    table: str
+    columns: tuple[str, ...] = ()
+    values: tuple[tuple[Expr, ...], ...] = ()
+    source: Select | None = None
+
+
+@dataclass(frozen=True)
+class Update:
+    """``UPDATE t SET col = expr, ... [WHERE ...]``."""
+
+    table: str
+    assignments: tuple[tuple[str, Expr], ...]
+    where: Expr | None = None
+
+
+@dataclass(frozen=True)
+class Delete:
+    """``DELETE FROM t [WHERE ...]``."""
+
+    table: str
+    where: Expr | None = None
+
+
+Statement = Union[Select, Insert, Update, Delete]

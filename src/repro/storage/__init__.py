@@ -1,0 +1,31 @@
+"""Storage substrate: disk-drive specifications and block allocation.
+
+This subpackage models the hardware the paper's advisor reasons about:
+disk drives (Section 2.1 of the paper — capacity, average seek time,
+read/write transfer rates, availability level) and the block-granularity
+round-robin placement of database objects onto drives that a materialized
+layout implies.
+"""
+
+from repro.storage.disk import (
+    BLOCK_BYTES,
+    PAGES_PER_BLOCK,
+    Availability,
+    DiskFarm,
+    DiskSpec,
+    uniform_farm,
+    winbench_farm,
+)
+from repro.storage.allocation import Extent, MaterializedLayout
+
+__all__ = [
+    "BLOCK_BYTES",
+    "PAGES_PER_BLOCK",
+    "Availability",
+    "DiskFarm",
+    "DiskSpec",
+    "uniform_farm",
+    "winbench_farm",
+    "Extent",
+    "MaterializedLayout",
+]

@@ -1,0 +1,263 @@
+"""Disk-drive model (Section 2.1 of the paper).
+
+A *disk drive* is a single addressable entity — possibly itself a RAID
+array — characterized by its capacity ``C_j``, average seek time ``S_j``,
+average read transfer rate ``TR_j``, average write transfer rate ``TW_j``
+and an availability property (None / Parity / Mirroring).
+
+Sizes are expressed in *blocks*: the allocation granularity used both by
+the layout (the paper notes SQL Server 2000 allocates in units of 8 pages)
+and by the I/O simulator.  One block is 8 pages of 8 KiB = 64 KiB.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import CatalogError
+
+#: Pages per allocation block (a SQL Server 2000 extent).
+PAGES_PER_BLOCK = 8
+
+#: Bytes per 8 KiB page.
+PAGE_BYTES = 8 * 1024
+
+#: Bytes per allocation block.
+BLOCK_BYTES = PAGES_PER_BLOCK * PAGE_BYTES
+
+_MB = 1024 * 1024
+
+
+class Availability(enum.Enum):
+    """Availability property of a disk drive (paper Section 2.1).
+
+    ``NONE`` corresponds to a stand-alone disk or RAID 0, ``PARITY`` to
+    RAID 5 and ``MIRRORING`` to RAID 1.
+    """
+
+    NONE = "none"
+    PARITY = "parity"
+    MIRRORING = "mirroring"
+
+    @property
+    def write_penalty(self) -> float:
+        """Effective write-throughput divisor of the RAID level.
+
+        The paper treats availability purely as a placement constraint;
+        real arrays also pay for redundancy on writes — RAID 1 writes
+        both mirrors (2x), RAID 5 does a read-modify-write cycle (4
+        I/Os per logical write).  The cost model and simulator apply
+        this divisor to write transfer rates automatically.
+        """
+        if self is Availability.MIRRORING:
+            return 2.0
+        if self is Availability.PARITY:
+            return 4.0
+        return 1.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """Static characteristics of one disk drive.
+
+    Attributes:
+        name: Human-readable identifier, e.g. ``"D1"``.
+        capacity_blocks: Capacity ``C_j`` in 64 KiB blocks.
+        avg_seek_s: Average seek time ``S_j`` in seconds (includes the
+            rotational settle the paper folds into "seek").
+        read_mb_s: Average sequential read transfer rate ``TR_j`` in MB/s.
+        write_mb_s: Average sequential write transfer rate ``TW_j`` in MB/s.
+        availability: Availability property ``AVAIL_j``.
+    """
+
+    name: str
+    capacity_blocks: int
+    avg_seek_s: float
+    read_mb_s: float
+    write_mb_s: float
+    availability: Availability = Availability.NONE
+
+    def __post_init__(self) -> None:
+        if self.capacity_blocks <= 0:
+            raise CatalogError(f"disk {self.name}: capacity must be positive")
+        if self.avg_seek_s <= 0:
+            raise CatalogError(f"disk {self.name}: seek time must be positive")
+        if self.read_mb_s <= 0 or self.write_mb_s <= 0:
+            raise CatalogError(
+                f"disk {self.name}: transfer rates must be positive")
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Capacity in bytes."""
+        return self.capacity_blocks * BLOCK_BYTES
+
+    @property
+    def read_blocks_s(self) -> float:
+        """Sequential read rate in blocks per second."""
+        return self.read_mb_s * _MB / BLOCK_BYTES
+
+    @property
+    def write_blocks_s(self) -> float:
+        """Effective sequential write rate in blocks per second.
+
+        Includes the availability level's redundancy write penalty
+        (RAID 1 halves, RAID 5 quarters the raw drive rate).
+        """
+        return self.write_mb_s * _MB / BLOCK_BYTES \
+            / self.availability.write_penalty
+
+    def transfer_blocks_s(self, write: bool = False) -> float:
+        """Transfer rate in blocks/s for reads or writes."""
+        return self.write_blocks_s if write else self.read_blocks_s
+
+    def transfer_seconds(self, blocks: float, write: bool = False) -> float:
+        """Time to sequentially transfer ``blocks`` blocks."""
+        return blocks / self.transfer_blocks_s(write)
+
+
+class DiskFarm:
+    """An ordered collection of disk drives available for layout.
+
+    The farm is the paper's ``{D_1, ..., D_m}``; disk indices used in
+    layout matrices refer to positions in this sequence.
+    """
+
+    def __init__(self, disks: Sequence[DiskSpec]):
+        if not disks:
+            raise CatalogError("a disk farm needs at least one disk")
+        names = [d.name for d in disks]
+        if len(set(names)) != len(names):
+            raise CatalogError(f"duplicate disk names in farm: {names}")
+        self._disks = tuple(disks)
+        self._by_name = {d.name: i for i, d in enumerate(self._disks)}
+
+    def __len__(self) -> int:
+        return len(self._disks)
+
+    def __iter__(self) -> Iterator[DiskSpec]:
+        return iter(self._disks)
+
+    def __getitem__(self, index: int) -> DiskSpec:
+        return self._disks[index]
+
+    @property
+    def disks(self) -> tuple[DiskSpec, ...]:
+        return self._disks
+
+    def index_of(self, name: str) -> int:
+        """Return the farm index of the disk called ``name``."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise CatalogError(f"no disk named {name!r} in farm") from None
+
+    @property
+    def total_capacity_blocks(self) -> int:
+        return sum(d.capacity_blocks for d in self._disks)
+
+    def indices_by_read_rate(self) -> list[int]:
+        """Disk indices ordered by decreasing read transfer rate.
+
+        Ties are broken by farm order, which keeps every algorithm in the
+        package deterministic.
+        """
+        return sorted(range(len(self._disks)),
+                      key=lambda j: (-self._disks[j].read_mb_s, j))
+
+    def subset(self, indices: Iterable[int]) -> "DiskFarm":
+        """A new farm containing only the given disk indices (in order)."""
+        return DiskFarm([self._disks[j] for j in sorted(set(indices))])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DiskFarm({len(self._disks)} disks, " \
+               f"{self.total_capacity_blocks} blocks)"
+
+
+def uniform_farm(m: int,
+                 capacity_gb: float = 6.0,
+                 seek_ms: float = 9.0,
+                 read_mb_s: float = 20.0,
+                 write_mb_s: float | None = None,
+                 availability: Availability = Availability.NONE,
+                 name_prefix: str = "D") -> DiskFarm:
+    """Build a farm of ``m`` identical disks.
+
+    Args:
+        m: Number of disk drives.
+        capacity_gb: Per-disk capacity in GB.
+        seek_ms: Average seek time in milliseconds.
+        read_mb_s: Sequential read rate in MB/s.
+        write_mb_s: Sequential write rate in MB/s; defaults to 90% of the
+            read rate, the typical read/write asymmetry of the era's disks.
+        availability: Availability property applied to every drive.
+        name_prefix: Prefix for the generated drive names ``D1..Dm``.
+    """
+    if write_mb_s is None:
+        write_mb_s = 0.9 * read_mb_s
+    capacity_blocks = int(capacity_gb * 1024 * _MB / BLOCK_BYTES)
+    disks = [
+        DiskSpec(name=f"{name_prefix}{j + 1}",
+                 capacity_blocks=capacity_blocks,
+                 avg_seek_s=seek_ms / 1000.0,
+                 read_mb_s=read_mb_s,
+                 write_mb_s=write_mb_s,
+                 availability=availability)
+        for j in range(m)
+    ]
+    return DiskFarm(disks)
+
+
+def winbench_farm(m: int = 8,
+                  capacity_gb: float = 6.0,
+                  base_seek_ms: float = 6.0,
+                  base_read_mb_s: float = 40.0,
+                  spread: float = 0.30,
+                  seed: int = 1729,
+                  availability: Availability = Availability.NONE) -> DiskFarm:
+    """Build a heterogeneous farm like the paper's calibrated testbed.
+
+    The paper's 8 external disks were calibrated with the WinBench tool and
+    showed ~30% difference between the fastest and slowest disks in both
+    average transfer rate and seek time.  This factory reproduces that
+    spread deterministically: rates are drawn uniformly from
+    ``[base, base * (1 + spread)]`` and seeks from
+    ``[base, base * (1 + spread)]`` with a fixed seed, then the fastest
+    and slowest drives are pinned to the interval endpoints so the spread
+    is exact for any ``m >= 2``.
+
+    Args:
+        m: Number of disk drives (the paper used 8).
+        capacity_gb: Per-disk capacity (8 drives x 6 GB = 48 GB aggregate,
+            matching the paper's testbed).
+        base_seek_ms: Seek time of the *fastest* drive, in ms
+            (era-realistic short-stroke average; the paper's definition
+            folds rotational settle into "seek").
+        base_read_mb_s: Read rate of the *slowest* drive, in MB/s.
+        spread: Fractional fast/slow difference (0.30 in the paper).
+        seed: Seed for the deterministic draw.
+        availability: Availability property applied to every drive.
+    """
+    rng = random.Random(seed)
+    capacity_blocks = int(capacity_gb * 1024 * _MB / BLOCK_BYTES)
+    rate_factors = [rng.uniform(0.0, 1.0) for _ in range(m)]
+    if m >= 2:
+        rate_factors[0] = 1.0   # fastest drive pinned
+        rate_factors[-1] = 0.0  # slowest drive pinned
+    disks = []
+    for j, f in enumerate(rate_factors):
+        read = base_read_mb_s * (1.0 + spread * f)
+        # Faster transfer correlates with faster (smaller) seek.
+        seek = base_seek_ms * (1.0 + spread * (1.0 - f))
+        disks.append(DiskSpec(name=f"D{j + 1}",
+                              capacity_blocks=capacity_blocks,
+                              avg_seek_s=seek / 1000.0,
+                              read_mb_s=read,
+                              write_mb_s=0.9 * read,
+                              availability=availability))
+    return DiskFarm(disks)

@@ -1,0 +1,54 @@
+"""Workload model and analysis (Sections 2.2 and 4 of the paper).
+
+A workload is a weighted set of SQL DML statements.  The *Analyze
+Workload* component plans each statement (without executing it), cuts
+the plan at blocking operators into non-blocking subplans, and summarizes
+the result two ways:
+
+* an :class:`AnalyzedWorkload` — per-statement subplan access lists,
+  which the cost model consumes directly; and
+* an :class:`AccessGraph` — the paper's weighted co-access graph, which
+  the search's partitioning step consumes.
+"""
+
+from repro.workload.workload import Statement, Workload
+from repro.workload.access import (
+    AnalyzedStatement,
+    AnalyzedWorkload,
+    SubplanAccess,
+    analyze_workload,
+    decompose,
+)
+from repro.workload.access_graph import AccessGraph, build_access_graph
+from repro.workload.concurrency import (
+    ConcurrencySpec,
+    build_access_graph_concurrent,
+    concurrent_cost_workload,
+)
+from repro.workload.profiler import (
+    TraceRecord,
+    concurrency_from_trace,
+    load_trace,
+    read_trace,
+    workload_from_trace,
+)
+
+__all__ = [
+    "ConcurrencySpec",
+    "build_access_graph_concurrent",
+    "concurrent_cost_workload",
+    "TraceRecord",
+    "concurrency_from_trace",
+    "load_trace",
+    "read_trace",
+    "workload_from_trace",
+    "Statement",
+    "Workload",
+    "AnalyzedStatement",
+    "AnalyzedWorkload",
+    "SubplanAccess",
+    "analyze_workload",
+    "decompose",
+    "AccessGraph",
+    "build_access_graph",
+]

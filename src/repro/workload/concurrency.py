@@ -1,0 +1,192 @@
+"""Concurrency-aware workload analysis (the paper's stated future work).
+
+Section 2.2: "Since we model the workload as a *set* of statements, we
+do not take into account the impact on database layout by statements
+that execute concurrently with one another.  In particular, this has
+the effect of underestimating the amount of co-access between objects.
+Incorporating effects of concurrent query execution into the workload
+model by exploiting sequence and execution overlap information in the
+workload is part of our ongoing work."
+
+This module implements that extension.  Overlap information is given as
+a :class:`ConcurrencySpec` — either explicit groups of statements known
+to run together (e.g. from profiler trace timestamps) or a uniform
+multiprogramming level.  Two statements that overlap co-access each
+other's objects *across statement boundaries*: every pair of their
+non-blocking subplans contributes inter-statement edges to the access
+graph, scaled by an overlap factor (the expected fraction of their
+executions that actually coincide).
+
+The search consumes the enriched graph unchanged, so the effect is that
+TS-GREEDY also separates objects that are only ever co-accessed by
+*different*, concurrently-running statements.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.catalog.schema import Database
+from repro.errors import WorkloadError
+from repro.workload.access import AnalyzedWorkload
+from repro.workload.access_graph import AccessGraph, build_access_graph
+
+
+@dataclass(frozen=True)
+class ConcurrencySpec:
+    """Which statements overlap in time, and how much.
+
+    Attributes:
+        groups: Sets of statement indices (into the workload) that
+            execute concurrently with each other.  A statement may
+            appear in several groups.
+        overlap_factor: Expected fraction of two grouped statements'
+            executions that actually coincide (scales the
+            inter-statement edge weights).
+    """
+
+    groups: tuple[frozenset[int], ...]
+    overlap_factor: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.overlap_factor <= 1.0:
+            raise WorkloadError("overlap_factor must be in (0, 1]")
+        for group in self.groups:
+            if any(index < 0 for index in group):
+                raise WorkloadError("negative statement index")
+
+    @classmethod
+    def from_groups(cls, groups: Iterable[Iterable[int]],
+                    overlap_factor: float = 0.5) -> "ConcurrencySpec":
+        """Build from explicit statement-index groups."""
+        return cls(tuple(frozenset(g) for g in groups),
+                   overlap_factor=overlap_factor)
+
+    @classmethod
+    def uniform(cls, n_statements: int, multiprogramming_level: int,
+                overlap_factor: float | None = None) -> "ConcurrencySpec":
+        """A uniform model: consecutive windows of MPL statements run
+        together (the shape a profiler trace with a fixed worker pool
+        produces).
+
+        ``overlap_factor`` defaults to ``1 / MPL`` — with MPL streams
+        drawing from the same window, each pair coincides for roughly
+        that fraction of the time.
+        """
+        if multiprogramming_level < 1:
+            raise WorkloadError("multiprogramming level must be >= 1")
+        if multiprogramming_level == 1 or n_statements <= 1:
+            return cls((), overlap_factor=1.0)
+        groups = []
+        window = multiprogramming_level
+        for start in range(0, n_statements, window):
+            group = frozenset(range(start,
+                                    min(start + window, n_statements)))
+            if len(group) > 1:
+                groups.append(group)
+        factor = overlap_factor if overlap_factor is not None \
+            else 1.0 / multiprogramming_level
+        return cls(tuple(groups), overlap_factor=factor)
+
+    def concurrent_pairs(self) -> set[tuple[int, int]]:
+        """All distinct (i, j) statement pairs that may overlap."""
+        pairs: set[tuple[int, int]] = set()
+        for group in self.groups:
+            for a, b in itertools.combinations(sorted(group), 2):
+                pairs.add((a, b))
+        return pairs
+
+
+def build_access_graph_concurrent(
+        analyzed: AnalyzedWorkload,
+        spec: ConcurrencySpec,
+        db: Database | None = None) -> AccessGraph:
+    """The Figure-6 access graph enriched with inter-statement edges.
+
+    Starts from the standard (intra-statement) graph, then for every
+    concurrent statement pair adds edges between each object of one
+    statement's subplans and each object of the other's, weighted by
+    ``overlap_factor * min(w_i, w_j) * (B_u + B_v)`` — the same
+    block-sum rule as intra-statement edges, discounted by how often
+    the executions actually coincide.
+    """
+    graph = build_access_graph(analyzed, db)
+    statements = analyzed.statements
+    for i, j in spec.concurrent_pairs():
+        if i >= len(statements) or j >= len(statements):
+            raise WorkloadError(
+                f"concurrency group references statement {max(i, j)} "
+                f"but the workload has {len(statements)}")
+        weight = spec.overlap_factor * min(statements[i].weight,
+                                           statements[j].weight)
+        for subplan_a in statements[i].subplans:
+            blocks_a = _per_object(subplan_a)
+            for subplan_b in statements[j].subplans:
+                blocks_b = _per_object(subplan_b)
+                for u, b_u in blocks_a.items():
+                    for v, b_v in blocks_b.items():
+                        if u == v:
+                            continue
+                        graph.add_edge_weight(u, v,
+                                              weight * (b_u + b_v))
+    return graph
+
+
+def _per_object(subplan) -> dict[str, float]:
+    totals: dict[str, float] = {}
+    for (name, _write), blocks in subplan.blocks_by_object().items():
+        totals[name] = totals.get(name, 0.0) + blocks
+    return totals
+
+
+def concurrent_cost_workload(analyzed: AnalyzedWorkload,
+                             spec: ConcurrencySpec) -> AnalyzedWorkload:
+    """An expanded workload whose Figure-7 cost models concurrency.
+
+    The sequential model charges ``sum_Q w_Q Cost(Q, L)``.  When
+    statements i and j overlap for an expected fraction ``q`` of their
+    executions, the expected cost changes by
+    ``q * (Cost(i||j) - Cost(i) - Cost(j))`` per overlapping subplan
+    pair, where ``Cost(i||j)`` evaluates the two subplans' streams
+    *together* (they contend on shared disks — extra seeks — but also
+    overlap in time on disjoint disks — a parallelism credit).
+
+    This expansion is expressed with the existing machinery: for each
+    concurrent subplan pair we append one synthetic statement carrying
+    the merged subplan with weight ``+q*min(w_i, w_j)`` and one carrying
+    the two original subplans with weight ``-q*min(w_i, w_j)``.  Any
+    cost evaluator then prices concurrency with no further changes.
+
+    The result is for *costing only* — do not simulate or re-plan it.
+    """
+    from repro.optimizer.operators import PlanOp
+    from repro.workload.access import AnalyzedStatement, SubplanAccess
+    from repro.workload.workload import Statement
+
+    statements = list(analyzed.statements)
+    extras: list[AnalyzedStatement] = []
+    placeholder_plan = PlanOp()
+    for i, j in spec.concurrent_pairs():
+        if i >= len(statements) or j >= len(statements):
+            raise WorkloadError(
+                f"concurrency group references statement {max(i, j)} "
+                f"but the workload has {len(statements)}")
+        q = spec.overlap_factor * min(statements[i].weight,
+                                      statements[j].weight)
+        for subplan_a in statements[i].subplans:
+            for subplan_b in statements[j].subplans:
+                merged = SubplanAccess(list(subplan_a.accesses)
+                                       + list(subplan_b.accesses))
+                marker = Statement(f"-- concurrent({i},{j})",
+                                   name=f"||({i},{j})")
+                extras.append(AnalyzedStatement(
+                    statement=marker, plan=placeholder_plan,
+                    subplans=[merged], weight_override=q))
+                extras.append(AnalyzedStatement(
+                    statement=marker, plan=placeholder_plan,
+                    subplans=[subplan_a, subplan_b],
+                    weight_override=-q))
+    return AnalyzedWorkload(statements + extras,
+                            name=f"{analyzed.name}||concurrent")

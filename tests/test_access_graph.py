@@ -1,0 +1,140 @@
+"""Tests for the access graph (paper Section 4.1, Figure 6)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.optimizer import operators as ops
+from repro.workload.access import AnalyzedStatement, AnalyzedWorkload
+from repro.workload.access import SubplanAccess, decompose
+from repro.workload.access_graph import AccessGraph, build_access_graph
+from repro.workload.workload import Statement
+
+
+def _analyzed(plan, weight=1.0, name="q"):
+    return AnalyzedStatement(
+        statement=Statement("SELECT 1 FROM t", weight=weight, name=name),
+        plan=plan, subplans=decompose(plan))
+
+
+def scan(name, blocks):
+    return ops.TableScanOp(name, name, blocks=blocks, rows_out=blocks)
+
+
+class TestAccessGraphBasics:
+    def test_nodes_start_at_zero(self):
+        graph = AccessGraph(["a", "b"])
+        assert graph.node_weight("a") == 0.0
+        assert "a" in graph and "c" not in graph
+
+    def test_node_weight_accumulates(self):
+        graph = AccessGraph()
+        graph.add_node_weight("a", 10)
+        graph.add_node_weight("a", 5)
+        assert graph.node_weight("a") == 15
+
+    def test_edge_weight_accumulates_symmetrically(self):
+        graph = AccessGraph()
+        graph.add_edge_weight("a", "b", 10)
+        graph.add_edge_weight("b", "a", 5)
+        assert graph.edge_weight("a", "b") == 15
+        assert graph.edge_weight("b", "a") == 15
+
+    def test_missing_edge_is_zero(self):
+        graph = AccessGraph(["a", "b"])
+        assert graph.edge_weight("a", "b") == 0.0
+
+    def test_self_edge_rejected(self):
+        graph = AccessGraph()
+        with pytest.raises(WorkloadError):
+            graph.add_edge_weight("a", "a", 1)
+
+    def test_unknown_node_weight_raises(self):
+        with pytest.raises(WorkloadError):
+            AccessGraph().node_weight("zzz")
+
+    def test_neighbors(self):
+        graph = AccessGraph()
+        graph.add_edge_weight("a", "b", 1)
+        graph.add_edge_weight("a", "c", 1)
+        assert graph.neighbors("a") == {"b", "c"}
+        assert graph.neighbors("b") == {"a"}
+
+    def test_cut_weight(self):
+        graph = AccessGraph()
+        graph.add_edge_weight("a", "b", 10)
+        graph.add_edge_weight("b", "c", 4)
+        assert graph.cut_weight({"a": 0, "b": 1, "c": 1}) == 10
+        assert graph.cut_weight({"a": 0, "b": 1, "c": 0}) == 14
+
+    def test_group_edge_weight(self):
+        graph = AccessGraph()
+        graph.add_edge_weight("a", "b", 3)
+        graph.add_edge_weight("a", "c", 5)
+        assert graph.group_edge_weight(["a"], ["b", "c"]) == 8
+
+
+class TestPaperExample2:
+    """Figure 5's access graph for {Q1, Q2}.
+
+    Q1 co-accesses R1 (500 blocks), R2 (700), R3 (600); Q2 co-accesses
+    R2 (600), R3 (800), R4 (100).  The R2-R3 edge weight is
+    (700+600) + (600+800) = 2700, node R2 is 1300, and so on.
+    """
+
+    def _workload(self):
+        q1 = ops.MergeJoinOp(
+            ops.MergeJoinOp(scan("r1", 500), scan("r2", 700),
+                            rows_out=100),
+            scan("r3", 600), rows_out=100)
+        q2 = ops.MergeJoinOp(
+            ops.MergeJoinOp(scan("r2", 600), scan("r3", 800),
+                            rows_out=100),
+            scan("r4", 100), rows_out=100)
+        return AnalyzedWorkload([_analyzed(q1, name="Q1"),
+                                 _analyzed(q2, name="Q2")])
+
+    def test_node_weights(self):
+        graph = build_access_graph(self._workload())
+        assert graph.node_weight("r1") == 500
+        assert graph.node_weight("r2") == 1300
+        assert graph.node_weight("r3") == 1400
+        assert graph.node_weight("r4") == 100
+
+    def test_edge_weights(self):
+        graph = build_access_graph(self._workload())
+        assert graph.edge_weight("r2", "r3") == 2700
+        assert graph.edge_weight("r1", "r2") == 1200
+        assert graph.edge_weight("r1", "r3") == 1100
+        assert graph.edge_weight("r3", "r4") == 900
+        assert graph.edge_weight("r1", "r4") == 0
+
+    def test_statement_weights_scale_graph(self):
+        q1 = ops.MergeJoinOp(scan("a", 10), scan("b", 20), rows_out=5)
+        workload = AnalyzedWorkload([_analyzed(q1, weight=3.0)])
+        graph = build_access_graph(workload)
+        assert graph.node_weight("a") == 30
+        assert graph.edge_weight("a", "b") == 90
+
+
+class TestBuildFromPlans:
+    def test_blocking_cut_prevents_edge(self):
+        plan = ops.HashJoinOp(scan("a", 10), scan("b", 20), rows_out=5)
+        graph = build_access_graph(AnalyzedWorkload([_analyzed(plan)]))
+        assert graph.edge_weight("a", "b") == 0
+        assert graph.node_weight("a") == 10
+
+    def test_catalog_objects_present_even_if_untouched(self, mini_db,
+                                                       join_workload):
+        from repro.workload.access import analyze_workload
+        analyzed = analyze_workload(join_workload, mini_db)
+        graph = build_access_graph(analyzed, mini_db)
+        assert "small" in graph
+        assert graph.node_weight("small") == 0.0
+
+    def test_temp_objects_excluded(self):
+        sort = ops.SortOp(
+            scan("a", 10), rows_out=10, order=(("a", "x"),),
+            spill_accesses=[ops.ObjectAccess("tempdb", 99.0, write=True),
+                            ops.ObjectAccess("tempdb", 99.0)])
+        graph = build_access_graph(AnalyzedWorkload([_analyzed(sort)]))
+        assert "tempdb" not in graph

@@ -1,0 +1,222 @@
+"""Tests for the benchmark databases and workload generators."""
+
+import random
+
+import pytest
+
+from repro.benchdb import apb, ctrl, sales, scale, synth, tpch
+from repro.errors import WorkloadError
+from repro.optimizer.planner import Planner
+from repro.sql import parse_statement
+from repro.workload.access import analyze_workload
+
+
+class TestTpchCatalog:
+    def test_spec_cardinalities(self):
+        db = tpch.tpch_database()
+        assert db.table("lineitem").row_count == 6_001_215
+        assert db.table("orders").row_count == 1_500_000
+        assert db.table("region").row_count == 5
+        assert len(db.tables) == 8
+
+    def test_sizes_near_one_gigabyte(self):
+        db = tpch.tpch_database()
+        total_mb = sum(t.size_blocks for t in db.tables) * 64 / 1024
+        assert 800 <= total_mb <= 1400
+        assert db.table("lineitem").size_blocks > \
+            db.table("orders").size_blocks
+
+    def test_clustering_keys(self):
+        db = tpch.tpch_database()
+        assert db.table("lineitem").clustered_on == \
+            ("l_orderkey", "l_linenumber")
+        assert db.table("orders").clustered_on == ("o_orderkey",)
+
+    def test_without_indexes(self):
+        db = tpch.tpch_database(with_indexes=False)
+        assert not db.indexes
+
+    def test_suffix_applies_everywhere(self):
+        db = tpch.tpch_database(suffix="_2")
+        assert db.has_table("lineitem_2")
+        assert db.indexes_on("lineitem_2")
+
+
+class TestTpchQueries:
+    @pytest.mark.parametrize("number", range(1, 23))
+    def test_all_queries_parse_and_plan(self, number):
+        db = tpch.tpch_database()
+        sql = tpch.tpch_query(number)
+        plan = Planner(db).plan(parse_statement(sql))
+        assert plan is not None
+
+    def test_unknown_query_number(self):
+        with pytest.raises(WorkloadError):
+            tpch.tpch_query(23)
+
+    def test_qgen_substitution_is_seeded(self):
+        a = tpch.tpch_query(3, rng=random.Random(1))
+        b = tpch.tpch_query(3, rng=random.Random(1))
+        c = tpch.tpch_query(3, rng=random.Random(2))
+        assert a == b
+        assert a != c
+
+    def test_explicit_params_override(self):
+        sql = tpch.tpch_query(3, params={"segment": "MACHINERY"})
+        assert "MACHINERY" in sql
+
+    def test_q3_merge_joins_lineitem_orders(self):
+        db = tpch.tpch_database()
+        workload = tpch.tpch22_workload()
+        analyzed = analyze_workload(workload, db)
+        q3 = next(a for a in analyzed if a.statement.name == "Q3")
+        co_accessed = [s.objects() for s in q3.subplans]
+        assert any({"lineitem", "orders"} <= group
+                   for group in co_accessed)
+
+    def test_q21_reads_lineitem_multiple_times(self):
+        db = tpch.tpch_database()
+        analyzed = analyze_workload(tpch.tpch22_workload(), db)
+        q21 = next(a for a in analyzed if a.statement.name == "Q21")
+        lineitem_accesses = sum(
+            1 for s in q21.subplans
+            for a in s.accesses if a.object_name == "lineitem")
+        assert lineitem_accesses >= 3
+
+    def test_tpch22_workload_names(self):
+        workload = tpch.tpch22_workload()
+        assert len(workload) == 22
+        assert workload[0].name == "Q1"
+
+
+class TestReplication:
+    def test_replicated_database_object_counts(self):
+        db = tpch.replicated_database(3, with_indexes=False)
+        assert len(db.tables) == 24
+        assert db.has_table("lineitem") and db.has_table("lineitem_3")
+
+    def test_replication_requires_positive(self):
+        with pytest.raises(WorkloadError):
+            tpch.replicated_database(0)
+
+    def test_tpch88_workload_plans_on_replicas(self):
+        db = tpch.replicated_database(2)
+        workload = tpch.tpch88_workload(2)
+        assert len(workload) == 88
+        analyzed = analyze_workload(workload, db)
+        touched = analyzed.referenced_objects()
+        assert any(name.endswith("_2") for name in touched)
+
+    def test_tpch88_deterministic(self):
+        a = tpch.tpch88_workload(3, seed=9)
+        b = tpch.tpch88_workload(3, seed=9)
+        assert [s.sql for s in a] == [s.sql for s in b]
+
+
+class TestCtrlWorkloads:
+    def test_wk_ctrl1_co_accesses_the_table_pairs(self):
+        db = tpch.tpch_database()
+        analyzed = analyze_workload(ctrl.wk_ctrl1(), db)
+        pairs = set()
+        for stmt in analyzed:
+            for subplan in stmt.subplans:
+                objects = subplan.objects()
+                if {"lineitem", "orders"} <= objects:
+                    pairs.add("lo")
+                if {"partsupp", "part"} <= objects:
+                    pairs.add("pp")
+        assert pairs == {"lo", "pp"}
+
+    def test_wk_ctrl2_sizes(self):
+        assert len(ctrl.wk_ctrl1()) == 5
+        assert len(ctrl.wk_ctrl2()) == 10
+
+    def test_ctrl_workloads_plan(self):
+        db = tpch.tpch_database()
+        analyze_workload(ctrl.wk_ctrl2(), db)
+
+
+class TestSynthetic:
+    def test_seeded_and_distinct(self):
+        a = synth.synthetic_workload(10, seed=1)
+        b = synth.synthetic_workload(10, seed=1)
+        c = synth.synthetic_workload(10, seed=2)
+        assert [s.sql for s in a] == [s.sql for s in b]
+        assert [s.sql for s in a] != [s.sql for s in c]
+
+    def test_all_queries_plan(self):
+        db = tpch.tpch_database()
+        analyze_workload(synth.synthetic_workload(40, seed=3), db)
+
+    def test_big_sort_probability_zero_avoids_bare_order_by(self):
+        workload = synth.synthetic_workload(30, seed=4,
+                                            big_sort_probability=0.0)
+        for stmt in workload:
+            assert "SUM(" in stmt.sql or "COUNT(" in stmt.sql
+
+    def test_validation_workloads_shape(self):
+        workloads = synth.validation_workloads()
+        assert len(workloads) == 5
+        assert all(len(w) == 25 for w in workloads)
+
+    def test_wk_scale_sizes(self):
+        assert len(scale.wk_scale(100)) == 100
+        with pytest.raises(WorkloadError):
+            scale.wk_scale(0)
+
+    def test_wk_scale_series(self):
+        series = scale.wk_scale_series(sizes=(100, 200))
+        assert [len(w) for w in series] == [100, 200]
+        # Nested prefixes: same seed, same leading queries.
+        assert series[0][0].sql == series[1][0].sql
+
+
+class TestApb:
+    def test_forty_tables(self):
+        db = apb.apb_database()
+        assert len(db.tables) == 40
+
+    def test_two_large_tables(self):
+        db = apb.apb_database()
+        sizes = sorted(((t.size_blocks, t.name) for t in db.tables),
+                       reverse=True)
+        assert {sizes[0][1], sizes[1][1]} == {"actvars", "histvars"}
+        # Everything else is at least 10x smaller.
+        assert sizes[2][0] * 10 < sizes[1][0]
+
+    def test_size_near_250mb(self):
+        db = apb.apb_database()
+        total_mb = db.total_size_blocks * 64 / 1024
+        assert 150 <= total_mb <= 400
+
+    def test_no_query_co_accesses_both_facts(self):
+        for stmt in apb.apb800_workload(n_queries=200):
+            assert not ("actvars" in stmt.sql and "histvars" in stmt.sql)
+
+    def test_apb800_plans(self):
+        db = apb.apb_database()
+        analyze_workload(apb.apb800_workload(n_queries=60), db)
+
+
+class TestSales:
+    def test_fifty_tables(self):
+        db = sales.sales_database()
+        assert len(db.tables) == 50
+
+    def test_size_in_gigabytes(self):
+        db = sales.sales_database()
+        total_gb = db.total_size_blocks * 64 / 1024 / 1024
+        assert 3.0 <= total_gb <= 6.0
+
+    def test_two_dominant_tables_joined_in_most_queries(self):
+        workload = sales.sales45_workload()
+        joined = sum(1 for s in workload
+                     if "order_header" in s.sql
+                     and "order_detail" in s.sql)
+        assert joined >= 0.6 * len(workload)
+
+    def test_sales45_plans_with_co_access(self):
+        db = sales.sales_database()
+        analyzed = analyze_workload(sales.sales45_workload(), db)
+        assert any({"order_header", "order_detail"} <= s.objects()
+                   for stmt in analyzed for s in stmt.subplans)

@@ -1,0 +1,154 @@
+"""Tests for JSON serialization of catalogs, farms and constraints."""
+
+import json
+
+import pytest
+
+from repro.catalog.io import (
+    constraints_from_dict,
+    constraints_to_dict,
+    database_from_dict,
+    database_to_dict,
+    farm_from_dict,
+    farm_to_dict,
+    layout_from_dict,
+    layout_to_dict,
+    load_database,
+    load_farm,
+    load_layout,
+    save_database,
+    save_farm,
+    save_layout,
+)
+from repro.catalog.schema import MaterializedView
+from repro.catalog.stats import Histogram
+from repro.core.constraints import (
+    AvailabilityRequirement,
+    CoLocated,
+    ConstraintSet,
+    MaxDataMovement,
+)
+from repro.core.fullstripe import full_striping
+from repro.errors import CatalogError
+from repro.storage.disk import Availability, winbench_farm
+
+
+class TestDatabaseRoundTrip:
+    def test_round_trip_preserves_everything(self, mini_db):
+        rebuilt = database_from_dict(database_to_dict(mini_db))
+        assert rebuilt.name == mini_db.name
+        assert rebuilt.object_sizes() == mini_db.object_sizes()
+        big = rebuilt.table("big")
+        assert big.clustered_on == ("k",)
+        assert big.column("k").stats.ndv == 1_000_000
+        assert {ix.name for ix in rebuilt.indexes} == \
+            {"idx_big_d", "idx_big_dim"}
+        assert rebuilt.index("idx_big_dim").included_columns == ("v",)
+
+    def test_views_round_trip(self, mini_db):
+        from repro.catalog.schema import Database
+        db = Database("withview", list(mini_db.tables),
+                      views=[MaterializedView("mv", 100, 50, "SELECT")])
+        rebuilt = database_from_dict(database_to_dict(db))
+        assert rebuilt.views[0].name == "mv"
+        assert rebuilt.views[0].definition == "SELECT"
+
+    def test_histogram_round_trip(self):
+        from repro.catalog.schema import Column, Database, Table
+        from repro.catalog.stats import ColumnStats
+        stats = ColumnStats(ndv=10, lo=0, hi=100,
+                            histogram=Histogram(0, 100, (0.25, 0.75)))
+        db = Database("h", [Table("t", 10, [Column("c", 8, stats)])])
+        rebuilt = database_from_dict(database_to_dict(db))
+        histogram = rebuilt.table("t").column("c").stats.histogram
+        assert histogram.bucket_fractions == (0.25, 0.75)
+
+    def test_file_round_trip(self, mini_db, tmp_path):
+        path = tmp_path / "db.json"
+        save_database(mini_db, path)
+        assert load_database(path).object_sizes() == \
+            mini_db.object_sizes()
+
+    def test_missing_fields_reported(self):
+        with pytest.raises(CatalogError, match="missing required"):
+            database_from_dict({"tables": [{"name": "t"}]})
+
+    def test_tpch_catalog_round_trips(self):
+        from repro.benchdb import tpch
+        db = tpch.tpch_database()
+        rebuilt = database_from_dict(database_to_dict(db))
+        assert rebuilt.object_sizes() == db.object_sizes()
+
+
+class TestFarmRoundTrip:
+    def test_round_trip(self, tmp_path):
+        farm = winbench_farm(8)
+        path = tmp_path / "disks.json"
+        save_farm(farm, path)
+        rebuilt = load_farm(path)
+        assert len(rebuilt) == 8
+        for original, loaded in zip(farm, rebuilt):
+            assert loaded.name == original.name
+            assert loaded.read_mb_s == pytest.approx(original.read_mb_s)
+            assert loaded.avg_seek_s == pytest.approx(
+                original.avg_seek_s)
+            assert loaded.availability is original.availability
+
+    def test_availability_levels(self):
+        data = [{"name": "M", "capacity_blocks": 100,
+                 "avg_seek_ms": 8.0, "read_mb_s": 20.0,
+                 "write_mb_s": 18.0, "availability": "mirroring"}]
+        farm = farm_from_dict(data)
+        assert farm[0].availability is Availability.MIRRORING
+
+    def test_missing_fields_reported(self):
+        with pytest.raises(CatalogError, match="missing required"):
+            farm_from_dict([{"name": "D1"}])
+
+    def test_bad_availability_reported_as_catalog_error(self):
+        data = [{"name": "D1", "capacity_blocks": 100,
+                 "avg_seek_ms": 8.0, "read_mb_s": 20.0,
+                 "write_mb_s": 18.0, "availability": "raid99"}]
+        with pytest.raises(CatalogError, match="invalid value"):
+            farm_from_dict(data)
+
+
+class TestConstraintsRoundTrip:
+    def test_co_location_and_availability(self, farm8):
+        constraints = ConstraintSet(
+            co_located=[CoLocated("a", "b")],
+            availability=[AvailabilityRequirement(
+                "c", Availability.PARITY)])
+        data = json.loads(json.dumps(constraints_to_dict(constraints)))
+        rebuilt = constraints_from_dict(data)
+        assert rebuilt.co_located == [CoLocated("a", "b")]
+        assert rebuilt.availability[0].level is Availability.PARITY
+
+    def test_movement_round_trip(self, mini_db, farm8):
+        baseline = full_striping(mini_db.object_sizes(), farm8)
+        constraints = ConstraintSet(
+            movement=MaxDataMovement(baseline, max_blocks=500))
+        data = constraints_to_dict(constraints)
+        rebuilt = constraints_from_dict(
+            data, farm=farm8, object_sizes=mini_db.object_sizes())
+        assert rebuilt.movement.max_blocks == 500
+        assert rebuilt.movement.baseline.data_movement_blocks(
+            baseline) == 0.0
+
+    def test_movement_requires_context(self, mini_db, farm8):
+        baseline = full_striping(mini_db.object_sizes(), farm8)
+        data = constraints_to_dict(ConstraintSet(
+            movement=MaxDataMovement(baseline, max_blocks=1)))
+        with pytest.raises(CatalogError, match="movement constraint"):
+            constraints_from_dict(data)
+
+
+class TestLayoutRoundTrip:
+    def test_round_trip(self, mini_db, farm8, tmp_path):
+        layout = full_striping(mini_db.object_sizes(), farm8)
+        path = tmp_path / "layout.json"
+        save_layout(layout, path)
+        rebuilt = load_layout(path, farm8)
+        for name in layout.object_names:
+            assert rebuilt.fractions_of(name) == pytest.approx(
+                layout.fractions_of(name))

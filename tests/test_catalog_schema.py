@@ -1,0 +1,161 @@
+"""Tests for repro.catalog.schema."""
+
+import pytest
+
+from repro.catalog.schema import (
+    Column,
+    Database,
+    Index,
+    MaterializedView,
+    ObjectKind,
+    ROW_OVERHEAD_BYTES,
+    Table,
+)
+from repro.errors import CatalogError
+from repro.storage.disk import BLOCK_BYTES
+from tests.conftest import column
+
+
+class TestColumn:
+    def test_width_must_be_positive(self):
+        with pytest.raises(CatalogError):
+            Column("c", 0)
+
+    def test_stats_optional(self):
+        assert Column("c", 8).stats is None
+
+
+class TestTable:
+    def _table(self, rows=1000):
+        return Table("t", rows, [column("a"), column("b", width=12)],
+                     clustered_on=["a"])
+
+    def test_row_bytes_includes_overhead(self):
+        assert self._table().row_bytes == 8 + 12 + ROW_OVERHEAD_BYTES
+
+    def test_size_blocks_ceils(self):
+        table = self._table(rows=1)
+        assert table.size_blocks == 1
+
+    def test_size_blocks_scales_with_rows(self):
+        table = self._table(rows=100_000)
+        expected = -(-100_000 * table.row_bytes // BLOCK_BYTES)
+        assert table.size_blocks == expected
+
+    def test_rows_per_block(self):
+        table = self._table()
+        assert table.rows_per_block == pytest.approx(
+            BLOCK_BYTES / table.row_bytes)
+
+    def test_column_lookup(self):
+        table = self._table()
+        assert table.column("b").width_bytes == 12
+        assert table.has_column("a")
+        assert not table.has_column("zzz")
+        with pytest.raises(CatalogError):
+            table.column("zzz")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            Table("t", 10, [column("a"), column("a")])
+
+    def test_unknown_clustering_column_rejected(self):
+        with pytest.raises(CatalogError):
+            Table("t", 10, [column("a")], clustered_on=["b"])
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(CatalogError):
+            Table("t", -1, [column("a")])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            Table("t", 10, [])
+
+    def test_heap_has_no_clustering(self):
+        table = Table("t", 10, [column("a")])
+        assert table.clustered_on is None
+
+
+class TestIndex:
+    def test_requires_key_columns(self):
+        with pytest.raises(CatalogError):
+            Index("i", "t", [])
+
+    def test_unbound_index_has_no_size(self):
+        index = Index("i", "t", ["a"])
+        with pytest.raises(CatalogError):
+            _ = index.size_blocks
+
+    def test_bind_to_wrong_table_rejected(self):
+        index = Index("i", "t", ["a"])
+        other = Table("other", 10, [column("a")])
+        with pytest.raises(CatalogError):
+            index.bind(other)
+
+    def test_entry_bytes_and_size(self):
+        table = Table("t", 100_000, [column("a"), column("b", width=4)])
+        index = Index("i", "t", ["a"], included_columns=["b"])
+        index.bind(table)
+        assert index.entry_bytes == 8 + 4 + 8  # keys + include + RID
+        assert index.row_count == 100_000
+        assert index.size_blocks >= 1
+
+    def test_covers(self):
+        table = Table("t", 10, [column("a"), column("b"), column("c")])
+        index = Index("i", "t", ["a"], included_columns=["b"])
+        index.bind(table)
+        assert index.covers({"a", "b"})
+        assert not index.covers({"a", "c"})
+
+
+class TestDatabase:
+    def test_objects_lists_tables_indexes_views(self, mini_db):
+        names = [o.name for o in mini_db.objects()]
+        assert names == ["big", "mid", "small", "idx_big_d",
+                         "idx_big_dim"]
+        kinds = {o.name: o.kind for o in mini_db.objects()}
+        assert kinds["big"] is ObjectKind.TABLE
+        assert kinds["idx_big_d"] is ObjectKind.INDEX
+
+    def test_object_sizes_positive(self, mini_db):
+        sizes = mini_db.object_sizes()
+        assert all(s >= 1 for s in sizes.values())
+        assert sizes["big"] > sizes["mid"] > sizes["small"]
+
+    def test_indexes_on(self, mini_db):
+        assert {ix.name for ix in mini_db.indexes_on("big")} == \
+            {"idx_big_d", "idx_big_dim"}
+        assert mini_db.indexes_on("small") == []
+
+    def test_duplicate_table_rejected(self):
+        table = Table("t", 10, [column("a")])
+        with pytest.raises(CatalogError):
+            Database("db", [table, table])
+
+    def test_index_on_unknown_table_rejected(self):
+        table = Table("t", 10, [column("a")])
+        with pytest.raises(CatalogError):
+            Database("db", [table], indexes=[Index("i", "zzz", ["a"])])
+
+    def test_index_name_collision_rejected(self):
+        table = Table("t", 10, [column("a")])
+        with pytest.raises(CatalogError):
+            Database("db", [table], indexes=[Index("t", "t", ["a"])])
+
+    def test_materialized_view_is_an_object(self):
+        table = Table("t", 10, [column("a")])
+        view = MaterializedView("mv", row_count=100, row_bytes=50,
+                                definition="SELECT ...")
+        db = Database("db", [table], views=[view])
+        assert "mv" in {o.name for o in db.objects()}
+        assert db.views[0].size_blocks == 1
+
+    def test_total_size(self, mini_db):
+        assert mini_db.total_size_blocks == \
+            sum(mini_db.object_sizes().values())
+
+    def test_table_lookup_errors(self, mini_db):
+        with pytest.raises(CatalogError):
+            mini_db.table("zzz")
+        with pytest.raises(CatalogError):
+            mini_db.index("zzz")

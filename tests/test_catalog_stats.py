@@ -1,0 +1,113 @@
+"""Tests for column statistics and histograms."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.catalog.stats import ColumnStats, Histogram
+from repro.errors import CatalogError
+
+
+class TestHistogram:
+    def test_uniform_factory(self):
+        histogram = Histogram.uniform(0, 100, n_buckets=4)
+        assert histogram.n_buckets == 4
+        assert histogram.range_selectivity(0, 100) == pytest.approx(1.0)
+
+    def test_partial_overlap_interpolates(self):
+        histogram = Histogram.uniform(0, 100, n_buckets=4)
+        assert histogram.range_selectivity(0, 50) == pytest.approx(0.5)
+        assert histogram.range_selectivity(12.5, 37.5) == \
+            pytest.approx(0.25)
+
+    def test_skewed_buckets(self):
+        histogram = Histogram(0, 100, (0.7, 0.1, 0.1, 0.1))
+        assert histogram.range_selectivity(0, 25) == pytest.approx(0.7)
+        assert histogram.range_selectivity(25, 100) == pytest.approx(0.3)
+
+    def test_open_bounds(self):
+        histogram = Histogram.uniform(0, 100)
+        assert histogram.range_selectivity(None, None) == \
+            pytest.approx(1.0)
+        assert histogram.range_selectivity(50, None) == pytest.approx(0.5)
+
+    def test_out_of_domain_clamps(self):
+        histogram = Histogram.uniform(0, 100)
+        assert histogram.range_selectivity(-50, -10) == 0.0
+        assert histogram.range_selectivity(-50, 200) == pytest.approx(1.0)
+
+    def test_degenerate_domain(self):
+        histogram = Histogram(5, 5, (1.0,))
+        assert histogram.range_selectivity(0, 10) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"lo": 10, "hi": 0, "bucket_fractions": (1.0,)},
+        {"lo": 0, "hi": 1, "bucket_fractions": ()},
+        {"lo": 0, "hi": 1, "bucket_fractions": (0.5, 0.4)},
+        {"lo": 0, "hi": 1, "bucket_fractions": (1.5, -0.5)},
+    ])
+    def test_invalid_histograms_rejected(self, kwargs):
+        with pytest.raises(CatalogError):
+            Histogram(**kwargs)
+
+    @given(lo=st.floats(min_value=-1e6, max_value=1e6,
+                        allow_nan=False),
+           span=st.floats(min_value=0.001, max_value=1e6,
+                          allow_nan=False),
+           a=st.floats(min_value=0, max_value=1),
+           b=st.floats(min_value=0, max_value=1))
+    def test_property_selectivity_in_unit_interval(self, lo, span, a, b):
+        histogram = Histogram.uniform(lo, lo + span, n_buckets=8)
+        q_lo = lo + min(a, b) * span
+        q_hi = lo + max(a, b) * span
+        selectivity = histogram.range_selectivity(q_lo, q_hi)
+        assert 0.0 <= selectivity <= 1.0
+        # Widening the range can only increase selectivity.
+        wider = histogram.range_selectivity(q_lo - span * 0.1,
+                                            q_hi + span * 0.1)
+        assert wider >= selectivity - 1e-9
+
+
+class TestColumnStats:
+    def test_equality_selectivity_is_one_over_ndv(self):
+        stats = ColumnStats(ndv=100)
+        assert stats.equality_selectivity() == pytest.approx(0.01)
+
+    def test_null_fraction_discount(self):
+        stats = ColumnStats(ndv=10, null_fraction=0.5)
+        assert stats.equality_selectivity() == pytest.approx(0.05)
+
+    def test_range_uniform_interpolation(self):
+        stats = ColumnStats(ndv=100, lo=0, hi=100)
+        assert stats.range_selectivity(0, 50) == pytest.approx(0.5)
+        assert stats.range_selectivity(None, 25) == pytest.approx(0.25)
+        assert stats.range_selectivity(25, None) == pytest.approx(0.75)
+
+    def test_range_without_domain_uses_magic(self):
+        stats = ColumnStats(ndv=100)
+        assert stats.range_selectivity(0, 10) == pytest.approx(1 / 3)
+
+    def test_range_uses_histogram_when_present(self):
+        stats = ColumnStats(ndv=100, lo=0, hi=100,
+                            histogram=Histogram(0, 100,
+                                                (0.9, 0.1)))
+        assert stats.range_selectivity(0, 50) == pytest.approx(0.9)
+
+    def test_degenerate_domain(self):
+        stats = ColumnStats(ndv=1, lo=7, hi=7)
+        assert stats.range_selectivity(0, 10) == pytest.approx(1.0)
+        assert stats.range_selectivity(8, 10) == 0.0
+
+    def test_empty_range(self):
+        stats = ColumnStats(ndv=100, lo=0, hi=100)
+        assert stats.range_selectivity(60, 40) == 0.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"ndv": 0}, {"ndv": -1},
+        {"ndv": 10, "null_fraction": 1.5},
+        {"ndv": 10, "lo": 5.0},           # lo without hi
+        {"ndv": 10, "lo": 5.0, "hi": 1.0},
+    ])
+    def test_invalid_stats_rejected(self, kwargs):
+        with pytest.raises(CatalogError):
+            ColumnStats(**kwargs)

@@ -1,0 +1,177 @@
+"""Tests for the CLI and the recommendation report renderer."""
+
+import json
+
+import pytest
+
+from repro.catalog.io import save_database, save_farm, save_layout
+from repro.cli import main
+from repro.core.advisor import LayoutAdvisor
+from repro.core.fullstripe import full_striping
+from repro.core.report import render_filegroup_script, render_report
+from repro.storage.disk import winbench_farm
+
+
+@pytest.fixture
+def tool_files(tmp_path, mini_db):
+    """Database, disks and workload files for the CLI."""
+    save_database(mini_db, tmp_path / "db.json")
+    save_farm(winbench_farm(8), tmp_path / "disks.json")
+    (tmp_path / "w.sql").write_text(
+        "-- name: J1\n"
+        "SELECT COUNT(*) FROM big b, mid m WHERE b.k = m.k;\n"
+        "-- name: S1\nSELECT SUM(b.v) FROM big b;\n")
+    return tmp_path
+
+
+def _args(tool_files, *extra):
+    return ["--database", str(tool_files / "db.json"),
+            "--disks", str(tool_files / "disks.json"),
+            "--workload", str(tool_files / "w.sql"), *extra]
+
+
+class TestReport:
+    def test_render_report_mentions_key_numbers(self, mini_db, farm8,
+                                                join_workload):
+        advisor = LayoutAdvisor(mini_db, farm8)
+        rec = advisor.recommend(join_workload)
+        text = render_report(rec)
+        assert "estimated improvement" in text
+        assert "J1" in text
+        assert "layouts costed" in text
+
+    def test_filegroup_script_covers_every_object(self, mini_db, farm8):
+        layout = full_striping(mini_db.object_sizes(), farm8)
+        script = render_filegroup_script(layout, "mydb")
+        for name in mini_db.object_sizes():
+            assert name in script
+        assert "ADD FILEGROUP" in script
+        # Full striping = one filegroup over all disks = 8 files.
+        assert script.count("ADD FILE (") == 8
+
+
+class TestCli:
+    def test_recommend_writes_layout(self, tool_files, capsys):
+        out_path = tool_files / "layout.json"
+        rc = main(["recommend", *_args(tool_files),
+                   "--save-layout", str(out_path)])
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "estimated improvement" in captured
+        data = json.loads(out_path.read_text())
+        assert "fractions" in data
+
+    def test_recommend_with_script(self, tool_files, capsys):
+        rc = main(["recommend", *_args(tool_files), "--script"])
+        assert rc == 0
+        assert "ADD FILEGROUP" in capsys.readouterr().out
+
+    def test_recommend_full_striping_method(self, tool_files, capsys):
+        rc = main(["recommend", *_args(tool_files),
+                   "--method", "full-striping"])
+        assert rc == 0
+
+    def test_recommend_with_constraints_file(self, tool_files, capsys):
+        constraints = {"co_located": [["big", "mid"]]}
+        path = tool_files / "c.json"
+        path.write_text(json.dumps(constraints))
+        rc = main(["recommend", *_args(tool_files),
+                   "--constraints", str(path)])
+        assert rc == 0
+        assert "big" in capsys.readouterr().out
+
+    def test_recommend_with_concurrency_spec(self, tool_files, capsys,
+                                             mini_db):
+        # Two statements that only co-access each other when marked
+        # concurrent; the spec makes the CLI separate their tables.
+        (tool_files / "scan.sql").write_text(
+            "-- name: A\nSELECT COUNT(*) FROM big b;\n"
+            "-- name: B\nSELECT COUNT(*) FROM mid m;\n")
+        (tool_files / "conc.json").write_text(
+            json.dumps({"groups": [[0, 1]], "overlap_factor": 1.0}))
+        out_path = tool_files / "conc_layout.json"
+        rc = main(["recommend",
+                   "--database", str(tool_files / "db.json"),
+                   "--disks", str(tool_files / "disks.json"),
+                   "--workload", str(tool_files / "scan.sql"),
+                   "--concurrency", str(tool_files / "conc.json"),
+                   "--save-layout", str(out_path)])
+        assert rc == 0
+        data = json.loads(out_path.read_text())
+        big = {j for j, f in enumerate(data["fractions"]["big"])
+               if f > 0}
+        mid = {j for j, f in enumerate(data["fractions"]["mid"])
+               if f > 0}
+        assert not big & mid
+
+    def test_recommend_from_trace(self, tool_files, capsys):
+        (tool_files / "trace.csv").write_text(
+            "start,end,sql\n"
+            "0.0,10.0,SELECT COUNT(*) FROM big b\n"
+            "0.5,9.5,SELECT COUNT(*) FROM mid m\n")
+        out_path = tool_files / "trace_layout.json"
+        rc = main(["recommend",
+                   "--database", str(tool_files / "db.json"),
+                   "--disks", str(tool_files / "disks.json"),
+                   "--trace", str(tool_files / "trace.csv"),
+                   "--save-layout", str(out_path)])
+        assert rc == 0
+        data = json.loads(out_path.read_text())
+        big = {j for j, f in enumerate(data["fractions"]["big"])
+               if f > 0}
+        mid = {j for j, f in enumerate(data["fractions"]["mid"])
+               if f > 0}
+        assert not big & mid
+
+    def test_recommend_requires_workload_or_trace(self, tool_files,
+                                                  capsys):
+        rc = main(["recommend",
+                   "--database", str(tool_files / "db.json"),
+                   "--disks", str(tool_files / "disks.json")])
+        assert rc == 2
+        assert "provide --workload or --trace" in \
+            capsys.readouterr().err
+
+    def test_analyze_prints_graph_and_plans(self, tool_files, capsys):
+        rc = main(["analyze",
+                   "--database", str(tool_files / "db.json"),
+                   "--workload", str(tool_files / "w.sql"),
+                   "--plans"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "access graph" in out
+        assert "big -- mid" in out
+        assert "Merge Join" in out
+
+    def test_estimate_compares_layouts(self, tool_files, capsys,
+                                       mini_db):
+        farm = winbench_farm(8)
+        layout = full_striping(mini_db.object_sizes(), farm)
+        save_layout(layout, tool_files / "cand.json")
+        rc = main(["estimate", *_args(tool_files),
+                   "--layout", str(tool_files / "cand.json")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "full-striping" in out and "cand" in out
+
+    def test_simulate_prints_per_statement(self, tool_files, capsys):
+        rc = main(["simulate", *_args(tool_files)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "J1" in out and "TOTAL" in out
+
+    def test_missing_file_is_a_clean_error(self, tool_files, capsys):
+        rc = main(["recommend",
+                   "--database", str(tool_files / "nope.json"),
+                   "--disks", str(tool_files / "disks.json"),
+                   "--workload", str(tool_files / "w.sql")])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_workload_is_a_clean_error(self, tool_files, capsys):
+        (tool_files / "bad.sql").write_text("SELEKT nonsense;")
+        rc = main(["recommend",
+                   "--database", str(tool_files / "db.json"),
+                   "--disks", str(tool_files / "disks.json"),
+                   "--workload", str(tool_files / "bad.sql")])
+        assert rc == 2

@@ -1,0 +1,198 @@
+"""Tests for the concurrency-aware workload extension."""
+
+import pytest
+
+from repro.core.costmodel import WorkloadCostEvaluator
+from repro.core.greedy import TsGreedySearch
+from repro.errors import WorkloadError
+from repro.workload.access import analyze_workload
+from repro.workload.access_graph import build_access_graph
+from repro.workload.concurrency import (
+    ConcurrencySpec,
+    build_access_graph_concurrent,
+    concurrent_cost_workload,
+)
+from repro.workload.workload import Workload
+
+
+@pytest.fixture
+def scan_workload():
+    """Two single-table scans: zero intra-statement co-access."""
+    workload = Workload()
+    workload.add("SELECT COUNT(*) FROM big b", name="scan_big")
+    workload.add("SELECT COUNT(*) FROM mid m", name="scan_mid")
+    return workload
+
+
+class TestConcurrencySpec:
+    def test_from_groups(self):
+        spec = ConcurrencySpec.from_groups([[0, 1], [1, 2]])
+        assert spec.concurrent_pairs() == {(0, 1), (1, 2)}
+
+    def test_uniform_windows(self):
+        spec = ConcurrencySpec.uniform(5, multiprogramming_level=2)
+        assert spec.concurrent_pairs() == {(0, 1), (2, 3)}
+        assert spec.overlap_factor == pytest.approx(0.5)
+
+    def test_uniform_mpl_one_is_sequential(self):
+        spec = ConcurrencySpec.uniform(5, multiprogramming_level=1)
+        assert spec.concurrent_pairs() == set()
+
+    def test_invalid_overlap_factor(self):
+        with pytest.raises(WorkloadError):
+            ConcurrencySpec.from_groups([[0, 1]], overlap_factor=0.0)
+        with pytest.raises(WorkloadError):
+            ConcurrencySpec.from_groups([[0, 1]], overlap_factor=1.5)
+
+    def test_invalid_mpl(self):
+        with pytest.raises(WorkloadError):
+            ConcurrencySpec.uniform(5, multiprogramming_level=0)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(WorkloadError):
+            ConcurrencySpec.from_groups([[-1, 0]])
+
+
+class TestConcurrentGraph:
+    def test_sequential_scans_have_no_edge(self, mini_db,
+                                           scan_workload):
+        analyzed = analyze_workload(scan_workload, mini_db)
+        graph = build_access_graph(analyzed, mini_db)
+        assert graph.edge_weight("big", "mid") == 0.0
+
+    def test_concurrent_scans_gain_an_edge(self, mini_db,
+                                           scan_workload):
+        analyzed = analyze_workload(scan_workload, mini_db)
+        spec = ConcurrencySpec.from_groups([[0, 1]],
+                                           overlap_factor=1.0)
+        graph = build_access_graph_concurrent(analyzed, spec, mini_db)
+        big = mini_db.table("big").size_blocks
+        mid = mini_db.table("mid").size_blocks
+        assert graph.edge_weight("big", "mid") == \
+            pytest.approx(big + mid)
+
+    def test_overlap_factor_scales_edges(self, mini_db, scan_workload):
+        analyzed = analyze_workload(scan_workload, mini_db)
+        full = build_access_graph_concurrent(
+            analyzed, ConcurrencySpec.from_groups([[0, 1]],
+                                                  overlap_factor=1.0),
+            mini_db)
+        half = build_access_graph_concurrent(
+            analyzed, ConcurrencySpec.from_groups([[0, 1]],
+                                                  overlap_factor=0.5),
+            mini_db)
+        assert half.edge_weight("big", "mid") == \
+            pytest.approx(0.5 * full.edge_weight("big", "mid"))
+
+    def test_node_weights_unchanged(self, mini_db, scan_workload):
+        analyzed = analyze_workload(scan_workload, mini_db)
+        base = build_access_graph(analyzed, mini_db)
+        concurrent = build_access_graph_concurrent(
+            analyzed, ConcurrencySpec.from_groups([[0, 1]]), mini_db)
+        for name in base.nodes:
+            assert concurrent.node_weight(name) == \
+                base.node_weight(name)
+
+    def test_intra_statement_edges_preserved(self, mini_db,
+                                             join_workload):
+        analyzed = analyze_workload(join_workload, mini_db)
+        base = build_access_graph(analyzed, mini_db)
+        concurrent = build_access_graph_concurrent(
+            analyzed, ConcurrencySpec.from_groups([]), mini_db)
+        assert concurrent.edge_weight("big", "mid") == \
+            pytest.approx(base.edge_weight("big", "mid"))
+
+    def test_out_of_range_group_rejected(self, mini_db, scan_workload):
+        analyzed = analyze_workload(scan_workload, mini_db)
+        spec = ConcurrencySpec.from_groups([[0, 9]])
+        with pytest.raises(WorkloadError, match="references statement"):
+            build_access_graph_concurrent(analyzed, spec, mini_db)
+
+    def test_statement_weights_discount_via_min(self, mini_db):
+        workload = Workload()
+        workload.add("SELECT COUNT(*) FROM big b", weight=4.0)
+        workload.add("SELECT COUNT(*) FROM mid m", weight=2.0)
+        analyzed = analyze_workload(workload, mini_db)
+        spec = ConcurrencySpec.from_groups([[0, 1]], overlap_factor=1.0)
+        graph = build_access_graph_concurrent(analyzed, spec, mini_db)
+        big = mini_db.table("big").size_blocks
+        mid = mini_db.table("mid").size_blocks
+        assert graph.edge_weight("big", "mid") == \
+            pytest.approx(2.0 * (big + mid))
+
+
+class TestConcurrentCostWorkload:
+    def test_expansion_adds_paired_corrections(self, mini_db,
+                                               scan_workload):
+        analyzed = analyze_workload(scan_workload, mini_db)
+        spec = ConcurrencySpec.from_groups([[0, 1]], overlap_factor=0.5)
+        expanded = concurrent_cost_workload(analyzed, spec)
+        weights = [s.weight for s in expanded]
+        assert weights[:2] == [1.0, 1.0]
+        assert weights[2:] == [0.5, -0.5]
+
+    def test_co_located_concurrent_scans_cost_more(self, mini_db,
+                                                   scan_workload,
+                                                   farm8):
+        """Contention: overlapping scans of co-located tables pay extra
+        seeks relative to the sequential model."""
+        analyzed = analyze_workload(scan_workload, mini_db)
+        sizes = mini_db.object_sizes()
+        from repro.core.fullstripe import full_striping
+        layout = full_striping(sizes, farm8)
+        spec = ConcurrencySpec.from_groups([[0, 1]], overlap_factor=1.0)
+        base = WorkloadCostEvaluator(analyzed, farm8, sorted(sizes))
+        conc = WorkloadCostEvaluator(
+            concurrent_cost_workload(analyzed, spec), farm8,
+            sorted(sizes))
+        assert conc.cost(layout) > base.cost(layout)
+
+    def test_separated_concurrent_scans_cost_less(self, mini_db,
+                                                  scan_workload, farm8):
+        """Parallelism credit: overlapping scans on disjoint disks
+        finish together, so expected time drops below sequential."""
+        from repro.core.layout import Layout, stripe_fractions
+        analyzed = analyze_workload(scan_workload, mini_db)
+        sizes = mini_db.object_sizes()
+        fractions = {name: stripe_fractions(range(8), farm8)
+                     for name in sizes}
+        fractions["big"] = stripe_fractions(range(5), farm8)
+        fractions["mid"] = stripe_fractions(range(5, 8), farm8)
+        layout = Layout(farm8, sizes, fractions)
+        spec = ConcurrencySpec.from_groups([[0, 1]], overlap_factor=1.0)
+        base = WorkloadCostEvaluator(analyzed, farm8, sorted(sizes))
+        conc = WorkloadCostEvaluator(
+            concurrent_cost_workload(analyzed, spec), farm8,
+            sorted(sizes))
+        assert conc.cost(layout) < base.cost(layout)
+
+
+class TestConcurrencyChangesTheLayout:
+    def test_search_separates_concurrently_scanned_tables(self, mini_db,
+                                                          scan_workload,
+                                                          farm8):
+        """The headline behaviour: objects co-accessed only *across*
+        concurrent statements get separated once the spec says so."""
+        analyzed = analyze_workload(scan_workload, mini_db)
+        sizes = mini_db.object_sizes()
+
+        sequential_eval = WorkloadCostEvaluator(analyzed, farm8,
+                                                sorted(sizes))
+        sequential_graph = build_access_graph(analyzed, mini_db)
+        result_seq = TsGreedySearch(farm8, sequential_eval,
+                                    sizes).search(sequential_graph)
+        # Sequential: both tables stripe over everything.
+        assert len(result_seq.layout.disks_of("big")) == 8
+        assert len(result_seq.layout.disks_of("mid")) == 8
+
+        spec = ConcurrencySpec.from_groups([[0, 1]], overlap_factor=1.0)
+        concurrent_eval = WorkloadCostEvaluator(
+            concurrent_cost_workload(analyzed, spec), farm8,
+            sorted(sizes))
+        concurrent_graph = build_access_graph_concurrent(analyzed, spec,
+                                                         mini_db)
+        result_con = TsGreedySearch(farm8, concurrent_eval,
+                                    sizes).search(concurrent_graph)
+        big = set(result_con.layout.disks_of("big"))
+        mid = set(result_con.layout.disks_of("mid"))
+        assert not big & mid

@@ -1,0 +1,136 @@
+"""Tests for manageability/availability constraints (Section 2.3)."""
+
+import pytest
+
+from repro.core.constraints import (
+    AvailabilityRequirement,
+    CoLocated,
+    ConstraintSet,
+    MaxDataMovement,
+)
+from repro.core.layout import Layout, stripe_fractions
+from repro.errors import ConstraintError
+from repro.storage.disk import Availability, DiskFarm, DiskSpec
+
+
+def _mixed_farm():
+    def disk(name, avail):
+        return DiskSpec(name=name, capacity_blocks=10_000,
+                        avg_seek_s=0.008, read_mb_s=20.0,
+                        write_mb_s=18.0, availability=avail)
+    return DiskFarm([
+        disk("M1", Availability.MIRRORING),
+        disk("M2", Availability.MIRRORING),
+        disk("P1", Availability.PARITY),
+        disk("N1", Availability.NONE),
+    ])
+
+
+def _layout(farm, **disk_sets):
+    sizes = {name: 100 for name in disk_sets}
+    return Layout(farm, sizes, {
+        name: stripe_fractions(disks, farm)
+        for name, disks in disk_sets.items()})
+
+
+class TestCoLocated:
+    def test_same_disk_set_passes(self, farm4):
+        layout = _layout(farm4, a=[0, 1], b=[0, 1])
+        CoLocated("a", "b").check(layout)
+
+    def test_same_disks_different_fractions_still_co_located(self):
+        # Co-location is about the disk *set* (the filegroup), not the
+        # exact fractions.
+        farm = _mixed_farm()
+        layout = Layout(farm, {"a": 100, "b": 100}, {
+            "a": (0.5, 0.5, 0.0, 0.0),
+            "b": (0.9, 0.1, 0.0, 0.0)})
+        CoLocated("a", "b").check(layout)
+
+    def test_different_disk_sets_fail(self, farm4):
+        layout = _layout(farm4, a=[0, 1], b=[1, 2])
+        with pytest.raises(ConstraintError, match="Co-Located"):
+            CoLocated("a", "b").check(layout)
+
+
+class TestAvailability:
+    def test_satisfied(self):
+        farm = _mixed_farm()
+        layout = _layout(farm, a=[0, 1])
+        AvailabilityRequirement("a", Availability.MIRRORING).check(layout)
+
+    def test_violated(self):
+        farm = _mixed_farm()
+        layout = _layout(farm, a=[0, 3])
+        with pytest.raises(ConstraintError, match="Avail-Requirement"):
+            AvailabilityRequirement("a",
+                                    Availability.MIRRORING).check(layout)
+
+    def test_allowed_disks(self):
+        farm = _mixed_farm()
+        req = AvailabilityRequirement("a", Availability.MIRRORING)
+        assert req.allowed_disks(farm) == [0, 1]
+        parity = AvailabilityRequirement("a", Availability.PARITY)
+        assert parity.allowed_disks(farm) == [2]
+
+
+class TestMaxDataMovement:
+    def test_within_bound(self, farm4):
+        baseline = _layout(farm4, a=[0])
+        target = _layout(farm4, a=[0, 1])
+        MaxDataMovement(baseline, max_blocks=60).check(target)
+
+    def test_exceeds_bound(self, farm4):
+        baseline = _layout(farm4, a=[0])
+        target = _layout(farm4, a=[1, 2])
+        with pytest.raises(ConstraintError, match="data movement"):
+            MaxDataMovement(baseline, max_blocks=60).check(target)
+
+
+class TestConstraintSet:
+    def test_check_all(self, farm4):
+        constraints = ConstraintSet(co_located=[CoLocated("a", "b")])
+        good = _layout(farm4, a=[0], b=[0])
+        bad = _layout(farm4, a=[0], b=[1])
+        constraints.check(good)
+        assert constraints.is_satisfied(good)
+        assert not constraints.is_satisfied(bad)
+
+    def test_groups_union_find(self):
+        constraints = ConstraintSet(co_located=[
+            CoLocated("a", "b"), CoLocated("b", "c"),
+            CoLocated("x", "y")])
+        groups = {frozenset(g) for g in constraints.groups()}
+        assert frozenset({"a", "b", "c"}) in groups
+        assert frozenset({"x", "y"}) in groups
+        assert constraints.group_of("b") == frozenset({"a", "b", "c"})
+        assert constraints.group_of("lonely") == frozenset({"lonely"})
+
+    def test_allowed_disks_intersects_group_requirements(self):
+        farm = _mixed_farm()
+        constraints = ConstraintSet(
+            co_located=[CoLocated("a", "b")],
+            availability=[
+                AvailabilityRequirement("a", Availability.MIRRORING)])
+        # b inherits a's restriction through the group.
+        assert constraints.allowed_disks("b", farm) == [0, 1]
+
+    def test_unconstrained_object_gets_all_disks(self, farm4):
+        constraints = ConstraintSet()
+        assert constraints.allowed_disks("a", farm4) == [0, 1, 2, 3]
+
+    def test_conflicting_availability_rejected(self):
+        with pytest.raises(ConstraintError, match="conflicting"):
+            ConstraintSet(availability=[
+                AvailabilityRequirement("a", Availability.MIRRORING),
+                AvailabilityRequirement("a", Availability.PARITY)])
+
+    def test_unsatisfiable_group_requirements(self):
+        farm = _mixed_farm()
+        constraints = ConstraintSet(
+            co_located=[CoLocated("a", "b")],
+            availability=[
+                AvailabilityRequirement("a", Availability.MIRRORING),
+                AvailabilityRequirement("b", Availability.PARITY)])
+        with pytest.raises(ConstraintError, match="no disk satisfies"):
+            constraints.allowed_disks("a", farm)

@@ -1,0 +1,170 @@
+"""Tests for the Layout matrix (Definitions 1 and 2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.layout import Layout, stripe_fractions
+from repro.errors import LayoutError
+from repro.storage.disk import uniform_farm, winbench_farm
+
+
+def _layout(farm, sizes=None, **fractions):
+    sizes = sizes or {name: 100 for name in fractions}
+    return Layout(farm, sizes, fractions)
+
+
+class TestStripeFractions:
+    def test_even_striping(self, farm4):
+        row = stripe_fractions([0, 1], farm4, rate_proportional=False)
+        assert row == (0.5, 0.5, 0.0, 0.0)
+
+    def test_rate_proportional(self):
+        farm = winbench_farm(4)
+        row = stripe_fractions(range(4), farm)
+        rates = [d.read_mb_s for d in farm]
+        expected = tuple(r / sum(rates) for r in rates)
+        assert row == pytest.approx(expected)
+
+    def test_empty_disk_set_rejected(self, farm4):
+        with pytest.raises(LayoutError):
+            stripe_fractions([], farm4)
+
+    def test_out_of_range_disk_rejected(self, farm4):
+        with pytest.raises(LayoutError):
+            stripe_fractions([4], farm4)
+
+    def test_duplicates_collapse(self, farm4):
+        row = stripe_fractions([1, 1, 2], farm4,
+                               rate_proportional=False)
+        assert row == (0.0, 0.5, 0.5, 0.0)
+
+    @given(st.sets(st.integers(min_value=0, max_value=3), min_size=1))
+    def test_property_rows_sum_to_one(self, disks):
+        farm = winbench_farm(4)
+        row = stripe_fractions(disks, farm)
+        assert sum(row) == pytest.approx(1.0)
+        assert all(f >= 0 for f in row)
+        assert {j for j, f in enumerate(row) if f > 0} == disks
+
+
+class TestValidity:
+    def test_valid_layout(self, farm4):
+        layout = _layout(farm4, a=(0.5, 0.5, 0.0, 0.0))
+        assert layout.disks_of("a") == (0, 1)
+        assert layout.fraction("a", 0) == 0.5
+
+    def test_fractions_must_sum_to_one(self, farm4):
+        with pytest.raises(LayoutError, match="sum"):
+            _layout(farm4, a=(0.5, 0.4, 0.0, 0.0))
+
+    def test_negative_fraction_rejected(self, farm4):
+        with pytest.raises(LayoutError, match="negative"):
+            _layout(farm4, a=(1.5, -0.5, 0.0, 0.0))
+
+    def test_wrong_row_length_rejected(self, farm4):
+        with pytest.raises(LayoutError, match="row length"):
+            _layout(farm4, a=(1.0,))
+
+    def test_missing_object_row_rejected(self, farm4):
+        with pytest.raises(LayoutError, match="no fraction row"):
+            Layout(farm4, {"a": 10}, {})
+
+    def test_extra_row_rejected(self, farm4):
+        with pytest.raises(LayoutError, match="unknown objects"):
+            Layout(farm4, {"a": 10},
+                   {"a": (1, 0, 0, 0), "ghost": (1, 0, 0, 0)})
+
+    def test_capacity_enforced(self):
+        farm = uniform_farm(2, capacity_gb=0.001)  # 16 blocks
+        with pytest.raises(LayoutError, match="over capacity"):
+            Layout(farm, {"a": 100}, {"a": (1.0, 0.0)})
+
+    def test_capacity_check_can_be_disabled(self):
+        farm = uniform_farm(2, capacity_gb=0.001)
+        layout = Layout(farm, {"a": 100}, {"a": (1.0, 0.0)},
+                        check_capacity=False)
+        assert layout.disk_used_blocks(0) == 100
+
+
+class TestDerivedLayouts:
+    def test_with_fractions_replaces_one_row(self, farm4):
+        layout = _layout(farm4, a=(1.0, 0.0, 0.0, 0.0),
+                         b=(0.0, 1.0, 0.0, 0.0))
+        updated = layout.with_fractions("a", (0.0, 0.0, 1.0, 0.0))
+        assert updated.disks_of("a") == (2,)
+        assert layout.disks_of("a") == (0,)  # original unchanged
+        assert updated.disks_of("b") == (1,)
+
+    def test_with_fractions_unknown_object(self, farm4):
+        layout = _layout(farm4, a=(1.0, 0.0, 0.0, 0.0))
+        with pytest.raises(LayoutError):
+            layout.with_fractions("zzz", (1.0, 0.0, 0.0, 0.0))
+
+    def test_data_movement_zero_for_identical(self, farm4):
+        layout = _layout(farm4, a=(0.5, 0.5, 0.0, 0.0))
+        assert layout.data_movement_blocks(layout) == 0.0
+
+    def test_data_movement_counts_moved_blocks_once(self, farm4):
+        source = _layout(farm4, a=(1.0, 0.0, 0.0, 0.0))
+        target = _layout(farm4, a=(0.0, 1.0, 0.0, 0.0))
+        # All 100 blocks move, counted once.
+        assert source.data_movement_blocks(target) == 100.0
+
+    def test_data_movement_partial(self, farm4):
+        source = _layout(farm4, a=(1.0, 0.0, 0.0, 0.0))
+        target = _layout(farm4, a=(0.5, 0.5, 0.0, 0.0))
+        assert source.data_movement_blocks(target) == 50.0
+
+    def test_data_movement_requires_same_objects(self, farm4):
+        source = _layout(farm4, a=(1.0, 0.0, 0.0, 0.0))
+        target = _layout(farm4, b=(1.0, 0.0, 0.0, 0.0))
+        with pytest.raises(LayoutError):
+            source.data_movement_blocks(target)
+
+
+class TestExports:
+    def test_filegroups_group_by_disk_set(self, farm4):
+        layout = _layout(farm4,
+                         a=(0.5, 0.5, 0.0, 0.0),
+                         b=(0.6, 0.4, 0.0, 0.0),
+                         c=(0.0, 0.0, 1.0, 0.0))
+        groups = layout.filegroups()
+        assert sorted(groups[(0, 1)]) == ["a", "b"]
+        assert groups[(2,)] == ["c"]
+
+    def test_materialize_round_trip(self, farm4):
+        layout = _layout(farm4, a=(0.25, 0.75, 0.0, 0.0))
+        materialized = layout.materialize()
+        assert sum(materialized.block_counts("a")) == 100
+
+    def test_describe_mentions_objects_and_disks(self, farm4):
+        layout = _layout(farm4, a=(1.0, 0.0, 0.0, 0.0))
+        text = layout.describe()
+        assert "a" in text and "D1" in text
+
+    def test_from_database(self, mini_db, farm8):
+        row = stripe_fractions(range(8), farm8)
+        layout = Layout.from_database(
+            mini_db, farm8,
+            {name: row for name in mini_db.object_sizes()})
+        assert set(layout.object_names) == \
+            set(mini_db.object_sizes())
+
+
+class TestLayoutProperties:
+    @given(data=st.data())
+    def test_property_disk_usage_conserves_object_sizes(self, data):
+        farm = winbench_farm(4)
+        n_objects = data.draw(st.integers(min_value=1, max_value=4))
+        sizes = {}
+        fractions = {}
+        for index in range(n_objects):
+            sizes[f"o{index}"] = data.draw(
+                st.integers(min_value=1, max_value=500))
+            disks = data.draw(st.sets(
+                st.integers(min_value=0, max_value=3), min_size=1))
+            fractions[f"o{index}"] = stripe_fractions(disks, farm)
+        layout = Layout(farm, sizes, fractions)
+        total_used = sum(layout.disk_used_blocks(j) for j in range(4))
+        assert total_used == pytest.approx(sum(sizes.values()))

@@ -1,0 +1,124 @@
+"""Property-based tests of cost-model invariants (hypothesis).
+
+These encode the qualitative facts the paper's Section 5 argues from:
+parallelism helps single streams, co-location costs seeks, the
+bottleneck disk bounds the subplan, and cost scales linearly in block
+counts for fixed structure.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.costmodel import CostModel
+from repro.core.layout import Layout, stripe_fractions
+from repro.optimizer.operators import ObjectAccess
+from repro.storage.disk import uniform_farm, winbench_farm
+from repro.workload.access import SubplanAccess
+
+_FARM = uniform_farm(6, read_mb_s=20.0, seek_ms=8.0)
+_MODEL = CostModel(_FARM)
+
+
+def _layout(**disk_sets):
+    sizes = {name: 10_000 for name in disk_sets}
+    return Layout(_FARM, sizes, {
+        name: stripe_fractions(disks, _FARM)
+        for name, disks in disk_sets.items()})
+
+
+def _sub(**blocks):
+    return SubplanAccess([ObjectAccess(name, float(b))
+                          for name, b in blocks.items()])
+
+
+class TestSingleStreamProperties:
+    @given(blocks=st.floats(min_value=1, max_value=1e6),
+           narrow=st.sets(st.integers(0, 5), min_size=1, max_size=5))
+    def test_wider_striping_never_hurts_a_single_stream(self, blocks,
+                                                        narrow):
+        """On a uniform farm, a lone stream only gains from more disks."""
+        sub = _sub(a=blocks)
+        narrow_cost = _MODEL.subplan_cost(sub, _layout(a=narrow))
+        wide_cost = _MODEL.subplan_cost(sub, _layout(a=range(6)))
+        assert wide_cost <= narrow_cost + 1e-9
+
+    @given(blocks=st.floats(min_value=1, max_value=1e6))
+    def test_full_stripe_single_stream_closed_form(self, blocks):
+        sub = _sub(a=blocks)
+        cost = _MODEL.subplan_cost(sub, _layout(a=range(6)))
+        expected = blocks / 6 / _FARM[0].read_blocks_s
+        assert cost == pytest.approx(expected)
+
+    @given(factor=st.floats(min_value=0.1, max_value=100),
+           blocks=st.floats(min_value=1, max_value=1e5))
+    def test_cost_is_linear_in_blocks(self, factor, blocks):
+        layout = _layout(a=[0, 1], b=[1, 2])
+        base = _MODEL.subplan_cost(_sub(a=blocks, b=blocks / 2), layout)
+        scaled = _MODEL.subplan_cost(
+            _sub(a=blocks * factor, b=blocks * factor / 2), layout)
+        assert scaled == pytest.approx(base * factor, rel=1e-9)
+
+
+class TestCoAccessProperties:
+    @given(a=st.floats(min_value=100, max_value=1e5),
+           b=st.floats(min_value=100, max_value=1e5))
+    def test_disjoint_never_pays_seeks(self, a, b):
+        """Disjoint placement = pure transfer on the bottleneck side."""
+        sub = _sub(a=a, b=b)
+        cost = _MODEL.subplan_cost(sub, _layout(a=[0, 1, 2],
+                                                b=[3, 4, 5]))
+        rate = _FARM[0].read_blocks_s
+        assert cost == pytest.approx(max(a, b) / 3 / rate)
+
+    @given(a=st.floats(min_value=100, max_value=1e5),
+           b=st.floats(min_value=100, max_value=1e5))
+    def test_co_location_costs_at_least_the_transfer(self, a, b):
+        sub = _sub(a=a, b=b)
+        shared = _MODEL.subplan_cost(sub, _layout(a=range(6),
+                                                  b=range(6)))
+        rate = _FARM[0].read_blocks_s
+        transfer_only = (a + b) / 6 / rate
+        assert shared >= transfer_only - 1e-9
+        # And the excess is exactly the Fig.-7 seek term.
+        seek = 2 * _FARM[0].avg_seek_s * min(a, b) / 6
+        assert shared == pytest.approx(transfer_only + seek)
+
+    @given(st.data())
+    def test_subplan_cost_is_max_over_disks(self, data):
+        """Removing any disk's streams can only lower or keep cost."""
+        a_disks = data.draw(st.sets(st.integers(0, 5), min_size=1,
+                                    max_size=6))
+        b_disks = data.draw(st.sets(st.integers(0, 5), min_size=1,
+                                    max_size=6))
+        a = data.draw(st.floats(min_value=10, max_value=1e5))
+        b = data.draw(st.floats(min_value=10, max_value=1e5))
+        layout = _layout(a=a_disks, b=b_disks)
+        sub = _sub(a=a, b=b)
+        whole = _MODEL.subplan_cost(sub, layout)
+        each_alone = max(
+            _MODEL.subplan_cost(_sub(a=a), layout),
+            _MODEL.subplan_cost(_sub(b=b), layout))
+        assert whole >= each_alone - 1e-9
+
+
+class TestHeterogeneousFarmProperties:
+    @given(seed=st.integers(0, 1000),
+           blocks=st.floats(min_value=100, max_value=1e5))
+    @settings(suppress_health_check=[
+        HealthCheck.function_scoped_fixture])
+    def test_rate_proportional_beats_even_striping(self, seed, blocks):
+        """Footnote 1's convention: on a heterogeneous farm, striping
+        proportionally to transfer rates is never worse than evenly."""
+        farm = winbench_farm(4, seed=seed)
+        model = CostModel(farm)
+        sizes = {"a": 10_000}
+        proportional = Layout(farm, sizes, {
+            "a": stripe_fractions(range(4), farm,
+                                  rate_proportional=True)})
+        even = Layout(farm, sizes, {
+            "a": stripe_fractions(range(4), farm,
+                                  rate_proportional=False)})
+        sub = _sub(a=blocks)
+        assert model.subplan_cost(sub, proportional) <= \
+            model.subplan_cost(sub, even) + 1e-9

@@ -1,0 +1,111 @@
+"""Tests for exhaustive enumeration, random layouts and full striping."""
+
+import itertools
+
+import pytest
+
+from repro.core.constraints import CoLocated, ConstraintSet
+from repro.core.costmodel import WorkloadCostEvaluator
+from repro.core.exhaustive import exhaustive_search
+from repro.core.fullstripe import full_striping
+from repro.core.layout import Layout, stripe_fractions
+from repro.core.random_layout import random_layout
+from repro.errors import LayoutError
+from repro.storage.disk import uniform_farm, winbench_farm
+from repro.workload.access import analyze_workload
+from repro.workload.workload import Workload
+
+
+def _evaluator(mini_db, workload, farm):
+    analyzed = analyze_workload(workload, mini_db)
+    return WorkloadCostEvaluator(analyzed, farm,
+                                 sorted(mini_db.object_sizes()))
+
+
+class TestFullStriping:
+    def test_every_object_on_every_disk(self, mini_db, farm8):
+        layout = full_striping(mini_db.object_sizes(), farm8)
+        for name in mini_db.object_sizes():
+            assert layout.disks_of(name) == tuple(range(8))
+
+    def test_rate_proportional_by_default(self, mini_db):
+        farm = winbench_farm(4)
+        layout = full_striping(mini_db.object_sizes(), farm)
+        fractions = layout.fractions_of("big")
+        rates = [d.read_mb_s for d in farm]
+        expected = [r / sum(rates) for r in rates]
+        assert list(fractions) == pytest.approx(expected)
+
+    def test_even_striping_option(self, mini_db, farm4):
+        layout = full_striping(mini_db.object_sizes(), farm4,
+                               rate_proportional=False)
+        assert set(layout.fractions_of("big")) == {0.25}
+
+    def test_accepts_database_directly(self, mini_db, farm8):
+        layout = full_striping(mini_db, farm8)
+        assert set(layout.object_names) == set(mini_db.object_sizes())
+
+
+class TestRandomLayout:
+    def test_valid_and_deterministic(self, mini_db, farm8):
+        sizes = mini_db.object_sizes()
+        a = random_layout(sizes, farm8, seed=7)
+        b = random_layout(sizes, farm8, seed=7)
+        for name in sizes:
+            assert a.fractions_of(name) == b.fractions_of(name)
+            assert sum(a.fractions_of(name)) == pytest.approx(1.0)
+
+    def test_different_seeds_differ(self, mini_db, farm8):
+        sizes = mini_db.object_sizes()
+        a = random_layout(sizes, farm8, seed=1)
+        b = random_layout(sizes, farm8, seed=2)
+        assert any(a.fractions_of(n) != b.fractions_of(n)
+                   for n in sizes)
+
+    def test_impossible_capacity_raises(self):
+        farm = uniform_farm(2, capacity_gb=0.001)  # 16 blocks/disk
+        with pytest.raises(LayoutError):
+            random_layout({"huge": 10_000}, farm, seed=1,
+                          max_attempts=3)
+
+
+class TestExhaustive:
+    def _setup(self, mini_db, farm):
+        workload = Workload()
+        workload.add("SELECT COUNT(*) FROM mid m, small s "
+                     "WHERE m.k = s.dim_id")
+        evaluator = _evaluator(mini_db, workload, farm)
+        return evaluator
+
+    def test_finds_global_optimum(self, mini_db):
+        farm = uniform_farm(2, capacity_gb=4.0)
+        evaluator = self._setup(mini_db, farm)
+        sizes = mini_db.object_sizes()
+        result = exhaustive_search(farm, evaluator, sizes)
+        # Verify against a direct enumeration of the same space.
+        names = evaluator.object_names
+        subsets = [(0,), (1,), (0, 1)]
+        best = min(
+            evaluator.cost(Layout(farm, sizes, {
+                name: stripe_fractions(subset, farm)
+                for name, subset in zip(names, assignment)},
+                check_capacity=False))
+            for assignment in itertools.product(subsets,
+                                                repeat=len(names)))
+        assert result.cost == pytest.approx(best)
+
+    def test_respects_space_cap(self, mini_db, farm8):
+        evaluator = self._setup(mini_db, farm8)
+        with pytest.raises(LayoutError, match="exceeds"):
+            exhaustive_search(farm8, evaluator, mini_db.object_sizes(),
+                              max_layouts=10)
+
+    def test_co_location_groups_enumerated_as_units(self, mini_db):
+        farm = uniform_farm(2, capacity_gb=4.0)
+        evaluator = self._setup(mini_db, farm)
+        constraints = ConstraintSet(co_located=[CoLocated("big", "mid")])
+        result = exhaustive_search(farm, evaluator,
+                                   mini_db.object_sizes(),
+                                   constraints=constraints)
+        assert result.layout.disks_of("big") == \
+            result.layout.disks_of("mid")

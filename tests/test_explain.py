@@ -1,0 +1,67 @@
+"""Tests for the plan pretty-printer."""
+
+import pytest
+
+from repro.optimizer import explain
+from repro.optimizer import operators as ops
+from repro.optimizer.planner import plan_statement
+
+
+def scan(name, blocks=10.0):
+    return ops.TableScanOp(name, name, blocks=blocks, rows_out=blocks)
+
+
+class TestExplain:
+    def test_blocking_edges_marked(self):
+        plan = ops.SortOp(scan("a"), rows_out=10, order=(("a", "x"),))
+        text = explain(plan)
+        lines = text.splitlines()
+        assert lines[0].startswith("Sort")
+        assert "||" in lines[1]  # the blocking cut marker
+
+    def test_pipelined_edges_unmarked(self):
+        plan = ops.MergeJoinOp(scan("a"), scan("b"), rows_out=5)
+        text = explain(plan)
+        assert "||" not in text
+
+    def test_access_annotations(self):
+        node = ops.TableScanOp("t", "t", blocks=42.0, rows_out=7.0)
+        node.accesses.append(ops.ObjectAccess("idx", 5.0, write=True,
+                                              sequential=False))
+        text = explain(node)
+        assert "[t: 42 blk]" in text
+        assert "[idx: 5 blk, write, random]" in text
+
+    def test_rows_rendered(self):
+        text = explain(scan("a", blocks=123.0))
+        assert "rows=123" in text
+
+    def test_indentation_reflects_depth(self):
+        plan = ops.TopOp(ops.FilterOp(scan("a"), rows_out=5),
+                         rows_out=3)
+        lines = explain(plan).splitlines()
+        assert lines[0].startswith("Top")
+        assert lines[1].startswith("  Filter")
+        assert lines[2].startswith("    Table Scan")
+
+    def test_real_plan_round_trip(self, mini_db):
+        plan = plan_statement(
+            "SELECT b.d, COUNT(*) FROM big b, mid m "
+            "WHERE b.k = m.k GROUP BY b.d ORDER BY b.d", mini_db)
+        text = explain(plan)
+        assert "Merge Join" in text
+        assert "big" in text and "mid" in text
+        # Aggregate/sort structure shows up somewhere in the tree.
+        assert "Aggregate" in text or "Sort" in text
+
+    def test_labels_for_every_operator_kind(self, mini_db):
+        semi = ops.SemiJoinOp(scan("a"), scan("b"), rows_out=5,
+                              anti=True, merge=True)
+        assert "Merge Anti Semi Join" in semi.label()
+        hash_semi = ops.SemiJoinOp(scan("a"), scan("b"), rows_out=5)
+        assert "Hash Semi Join" in hash_semi.label()
+        dml = ops.DmlOp("UPDATE", None, [], rows_affected=1)
+        assert dml.label() == "Update"
+        seek = ops.IndexSeekOp("i", "t", "t", blocks=1.0, rows_out=1.0,
+                               covering=True)
+        assert "covering" in seek.label()

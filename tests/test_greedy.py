@@ -1,0 +1,195 @@
+"""Tests for the TS-GREEDY search (Figure 9)."""
+
+import pytest
+
+from repro.core.constraints import (
+    AvailabilityRequirement,
+    CoLocated,
+    ConstraintSet,
+    MaxDataMovement,
+)
+from repro.core.costmodel import WorkloadCostEvaluator
+from repro.core.fullstripe import full_striping
+from repro.core.greedy import TsGreedySearch
+from repro.core.layout import Layout, stripe_fractions
+from repro.errors import LayoutError
+from repro.storage.disk import Availability, DiskFarm, DiskSpec
+from repro.workload.access import analyze_workload
+from repro.workload.access_graph import build_access_graph
+from repro.workload.workload import Workload
+
+
+def _search_parts(mini_db, workload, farm, constraints=None, k=1):
+    analyzed = analyze_workload(workload, mini_db)
+    sizes = mini_db.object_sizes()
+    evaluator = WorkloadCostEvaluator(analyzed, farm, sorted(sizes))
+    graph = build_access_graph(analyzed, mini_db)
+    search = TsGreedySearch(farm, evaluator, sizes,
+                            constraints=constraints, k=k)
+    return search, graph, evaluator, sizes
+
+
+class TestTsGreedy:
+    def test_separates_co_accessed_objects(self, mini_db,
+                                           join_workload, farm8):
+        search, graph, evaluator, sizes = _search_parts(
+            mini_db, join_workload, farm8)
+        result = search.search(graph)
+        big = set(result.layout.disks_of("big"))
+        mid = set(result.layout.disks_of("mid"))
+        assert not big & mid
+
+    def test_beats_full_striping_on_join_workload(self, mini_db,
+                                                  join_workload, farm8):
+        search, graph, evaluator, sizes = _search_parts(
+            mini_db, join_workload, farm8)
+        result = search.search(graph)
+        assert result.cost < evaluator.cost(full_striping(sizes, farm8))
+
+    def test_greedy_never_worse_than_initial(self, mini_db,
+                                             join_workload, farm8):
+        search, graph, _, _ = _search_parts(mini_db, join_workload,
+                                            farm8)
+        result = search.search(graph)
+        assert result.cost <= result.initial_cost + 1e-9
+
+    def test_scan_only_workload_converges_to_wide_striping(self,
+                                                           mini_db,
+                                                           farm8):
+        workload = Workload()
+        workload.add("SELECT COUNT(*) FROM big b", name="scan")
+        search, graph, evaluator, sizes = _search_parts(
+            mini_db, workload, farm8)
+        result = search.search(graph)
+        # No co-access anywhere: the scanned object ends up striped over
+        # every disk, like FULL STRIPING (the paper's APB observation).
+        assert len(result.layout.disks_of("big")) == len(farm8)
+        assert result.cost == pytest.approx(
+            evaluator.cost(full_striping(sizes, farm8)), rel=1e-6)
+
+    def test_telemetry_populated(self, mini_db, join_workload, farm8):
+        search, graph, _, _ = _search_parts(mini_db, join_workload,
+                                            farm8)
+        result = search.search(graph)
+        assert result.iterations >= 1
+        assert result.evaluations > 0
+        assert result.elapsed_s >= 0.0
+
+    def test_k_must_be_positive(self, mini_db, join_workload, farm8):
+        with pytest.raises(LayoutError):
+            _search_parts(mini_db, join_workload, farm8, k=0)
+
+    def test_k2_explores_more(self, mini_db, join_workload, farm8):
+        search1, graph, _, _ = _search_parts(mini_db, join_workload,
+                                             farm8, k=1)
+        search2, _, _, _ = _search_parts(mini_db, join_workload,
+                                         farm8, k=2)
+        r1 = search1.search(graph)
+        r2 = search2.search(graph)
+        assert r2.evaluations > r1.evaluations
+
+    def test_initial_layout_never_regresses(self, mini_db,
+                                            join_workload, farm8):
+        search, graph, evaluator, sizes = _search_parts(
+            mini_db, join_workload, farm8)
+        start = full_striping(sizes, farm8)
+        result = search.search(graph, initial_layout=start)
+        assert result.cost <= evaluator.cost(start) + 1e-9
+
+    def test_incremental_mode_narrows_partial_overlap(self, mini_db,
+                                                      join_workload,
+                                                      farm8):
+        """A single-disk overlap between co-accessed objects sits on the
+        steep side of the paper's 0-vs-1-disk valley; a narrowing move
+        fixes it, which only incremental mode can do."""
+        search, graph, evaluator, sizes = _search_parts(
+            mini_db, join_workload, farm8)
+        fractions = {name: stripe_fractions(range(8), farm8)
+                     for name in sizes}
+        fractions["big"] = stripe_fractions(range(0, 5), farm8)
+        fractions["mid"] = stripe_fractions(range(4, 8), farm8)
+        start = Layout(farm8, sizes, fractions)
+        result = search.search(graph, initial_layout=start)
+        assert result.cost < evaluator.cost(start)
+        assert not set(result.layout.disks_of("big")) \
+            & set(result.layout.disks_of("mid"))
+
+    def test_result_layout_is_valid(self, mini_db, join_workload,
+                                    farm8):
+        search, graph, _, sizes = _search_parts(mini_db, join_workload,
+                                                farm8)
+        layout = search.search(graph).layout
+        for name in sizes:
+            assert sum(layout.fractions_of(name)) == pytest.approx(1.0)
+
+
+class TestConstrainedSearch:
+    def test_co_location_respected(self, mini_db, join_workload, farm8):
+        constraints = ConstraintSet(co_located=[CoLocated("big", "mid")])
+        search, graph, _, _ = _search_parts(
+            mini_db, join_workload, farm8, constraints=constraints)
+        layout = search.search(graph).layout
+        assert layout.disks_of("big") == layout.disks_of("mid")
+
+    def test_availability_respected(self, mini_db, join_workload):
+        def disk(name, avail):
+            return DiskSpec(name=name, capacity_blocks=200_000,
+                            avg_seek_s=0.006, read_mb_s=40.0,
+                            write_mb_s=36.0, availability=avail)
+        farm = DiskFarm([disk("M1", Availability.MIRRORING),
+                         disk("M2", Availability.MIRRORING),
+                         disk("N1", Availability.NONE),
+                         disk("N2", Availability.NONE)])
+        constraints = ConstraintSet(availability=[
+            AvailabilityRequirement("big", Availability.MIRRORING)])
+        search, graph, _, _ = _search_parts(
+            mini_db, join_workload, farm, constraints=constraints)
+        layout = search.search(graph).layout
+        assert set(layout.disks_of("big")) <= {0, 1}
+
+    def test_movement_constraint_limits_changes(self, mini_db,
+                                                join_workload, farm8):
+        sizes = mini_db.object_sizes()
+        baseline = full_striping(sizes, farm8)
+        # Start from a narrow layout; the bound blocks most widenings.
+        narrow = Layout(farm8, sizes, {
+            name: stripe_fractions([i % 8], farm8)
+            for i, name in enumerate(sorted(sizes))})
+        constraints = ConstraintSet(
+            movement=MaxDataMovement(narrow, max_blocks=500))
+        search, graph, _, _ = _search_parts(
+            mini_db, join_workload, farm8, constraints=constraints)
+        result = search.search(graph, initial_layout=narrow)
+        moved = narrow.data_movement_blocks(result.layout)
+        assert moved <= 500 + 1e-6
+
+    def test_raid_write_penalty_raises_write_heavy_costs(self, mini_db):
+        """The RAID write penalty flows through search results: the same
+        write-heavy workload costs more on a parity farm than on plain
+        drives of identical raw speed."""
+        from repro.workload.workload import Workload
+
+        def best_cost(availability):
+            farm = DiskFarm([
+                DiskSpec(f"D{i}", 200_000, 0.006, 40.0, 36.0,
+                         availability=availability)
+                for i in range(4)])
+            workload = Workload()
+            workload.add("INSERT INTO mid SELECT b.dim_id, b.v "
+                         "FROM big b", name="bulk_load")
+            search, graph, _, _ = _search_parts(mini_db, workload, farm)
+            return search.search(graph).cost
+
+        plain = best_cost(Availability.NONE)
+        parity = best_cost(Availability.PARITY)
+        # Writes dominate this workload; RAID 5's 4x write penalty must
+        # show up even in the best layout each search can find.
+        assert parity > 2.0 * plain
+
+    def test_missing_sizes_rejected(self, mini_db, join_workload,
+                                    farm8):
+        analyzed = analyze_workload(join_workload, mini_db)
+        evaluator = WorkloadCostEvaluator(
+            analyzed, farm8, sorted(mini_db.object_sizes()))
+        with pytest.raises(LayoutError, match="no sizes"):
+            TsGreedySearch(farm8, evaluator, {"big": 100})

@@ -1,0 +1,127 @@
+"""Tests for TS-GREEDY's step-1 packing edge cases (Figure 9, steps
+2–4): capacity-driven disk-set sizing and partition merging."""
+
+import pytest
+
+from repro.core.costmodel import WorkloadCostEvaluator
+from repro.core.greedy import TsGreedySearch
+from repro.errors import LayoutError
+from repro.storage.disk import DiskFarm, DiskSpec
+from repro.workload.access import (
+    AnalyzedStatement,
+    AnalyzedWorkload,
+    SubplanAccess,
+)
+from repro.workload.access_graph import AccessGraph
+from repro.workload.workload import Statement
+from repro.optimizer.operators import ObjectAccess, PlanOp
+
+
+def _farm(m, capacity_blocks):
+    return DiskFarm([
+        DiskSpec(f"D{j}", capacity_blocks=capacity_blocks,
+                 avg_seek_s=0.006, read_mb_s=40.0, write_mb_s=36.0)
+        for j in range(m)])
+
+
+def _workload(object_blocks):
+    """One scan statement per object (no co-access)."""
+    statements = []
+    for name, blocks in object_blocks.items():
+        subplan = SubplanAccess([ObjectAccess(name, float(blocks))])
+        statements.append(AnalyzedStatement(
+            statement=Statement(f"SELECT 1 FROM {name}", name=name),
+            plan=PlanOp(), subplans=[subplan]))
+    return AnalyzedWorkload(statements)
+
+
+def _graph(object_blocks, edges=()):
+    graph = AccessGraph(object_blocks)
+    for name, blocks in object_blocks.items():
+        graph.add_node_weight(name, blocks)
+    for u, v, w in edges:
+        graph.add_edge_weight(u, v, w)
+    return graph
+
+
+def _search(farm, object_blocks, edges=()):
+    sizes = {name: int(blocks) for name, blocks in object_blocks.items()}
+    analyzed = _workload(object_blocks)
+    evaluator = WorkloadCostEvaluator(analyzed, farm, sorted(sizes))
+    return TsGreedySearch(farm, evaluator, sizes), \
+        _graph(object_blocks, edges)
+
+
+class TestStep1Packing:
+    def test_large_object_gets_multiple_disks(self):
+        """An object bigger than one disk needs a multi-disk set."""
+        farm = _farm(4, capacity_blocks=100)
+        search, graph = _search(farm, {"huge": 150, "tiny": 10})
+        result = search.search(graph)
+        assert len(result.layout.disks_of("huge")) >= 2
+
+    def test_capacity_merge_keeps_layout_valid(self):
+        """With more partitions than free capacity, later partitions
+        merge onto earlier disk sets instead of failing."""
+        farm = _farm(2, capacity_blocks=100)
+        search, graph = _search(
+            farm, {"a": 60, "b": 60, "c": 30, "d": 20})
+        result = search.search(graph)
+        for name in ("a", "b", "c", "d"):
+            assert sum(result.layout.fractions_of(name)) == \
+                pytest.approx(1.0)
+        # Every disk within capacity.
+        for j in range(2):
+            assert result.layout.disk_used_blocks(j) <= 100 + 1e-6
+
+    def test_merge_prefers_least_co_accessed_partition(self):
+        """The merged partition lands with the neighbour it shares the
+        least co-access with (Figure 9 step 3's tie-break)."""
+        farm = _farm(2, capacity_blocks=200)
+        # a and b are heavily co-accessed; c is light and must merge
+        # somewhere — it co-accesses a a lot, b not at all.
+        search, graph = _search(
+            farm, {"a": 150, "b": 150, "c": 50},
+            edges=[("a", "b", 1000), ("a", "c", 500)])
+        initial = search._initial_layout(graph)
+        c_disks = set(initial.disks_of("c"))
+        b_disks = set(initial.disks_of("b"))
+        a_disks = set(initial.disks_of("a"))
+        assert c_disks == b_disks
+        assert c_disks != a_disks
+
+    def test_impossible_capacity_raises(self):
+        farm = _farm(2, capacity_blocks=50)
+        search, graph = _search(farm, {"a": 80, "b": 80})
+        with pytest.raises(LayoutError):
+            search.search(graph)
+
+    def test_fastest_disks_assigned_first(self):
+        """The heaviest partition gets the fastest drives (Figure 9
+        step 3 orders candidate disks by decreasing transfer rate)."""
+        disks = [
+            DiskSpec("slow1", 1000, 0.006, 20.0, 18.0),
+            DiskSpec("fast", 1000, 0.006, 60.0, 54.0),
+            DiskSpec("slow2", 1000, 0.006, 20.0, 18.0),
+        ]
+        farm = DiskFarm(disks)
+        search, graph = _search(farm, {"hot": 100, "cold": 10})
+        initial = search._initial_layout(graph)
+        assert initial.disks_of("hot") == (1,)  # the fast drive
+
+
+class TestAccessGraphDot:
+    def test_dot_output_contains_nodes_and_edges(self):
+        graph = _graph({"a": 100, "b": 50}, edges=[("a", "b", 150)])
+        dot = graph.to_dot()
+        assert '"a" -- "b" [label="150"]' in dot
+        assert dot.startswith("graph access_graph {")
+        assert dot.endswith("}")
+
+    def test_isolated_zero_weight_nodes_hidden_by_default(self):
+        graph = AccessGraph(["ghost"])
+        graph.add_node_weight("real", 10)
+        dot = graph.to_dot()
+        assert "ghost" not in dot
+        assert "real" in dot
+        assert "ghost" in graph.to_dot(include_isolated=True)

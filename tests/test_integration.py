@@ -1,0 +1,128 @@
+"""End-to-end integration tests across the whole pipeline.
+
+These exercise the full chain — SQL text -> plan -> access graph ->
+search -> layout -> (model cost, simulated time) — on small but real
+configurations, asserting the paper's qualitative claims rather than
+exact numbers.
+"""
+
+import pytest
+
+from repro.benchdb import ctrl, tpch
+from repro.core.advisor import LayoutAdvisor
+from repro.core.costmodel import CostModel
+from repro.core.fullstripe import full_striping
+from repro.experiments import common
+from repro.experiments.example5 import run_example5
+from repro.simulator.measure import WorkloadSimulator
+from repro.workload.access import analyze_workload
+
+
+class TestPaperInvariants:
+    def test_example5_matches_closed_forms_exactly(self):
+        result = run_example5()
+        assert result.ordering_holds
+        assert result.l1_cost_s == pytest.approx(result.l1_expected_s)
+        assert result.l2_cost_s == pytest.approx(result.l2_expected_s)
+        assert result.l3_cost_s == pytest.approx(result.l3_expected_s)
+
+    def test_advisor_separates_lineitem_and_orders_on_ctrl1(self):
+        db = tpch.tpch_database()
+        farm = common.paper_farm()
+        advisor = LayoutAdvisor(db, farm)
+        rec = advisor.recommend(ctrl.wk_ctrl1())
+        lineitem = set(rec.layout.disks_of("lineitem"))
+        orders = set(rec.layout.disks_of("orders"))
+        partsupp = set(rec.layout.disks_of("partsupp"))
+        part = set(rec.layout.disks_of("part"))
+        assert not lineitem & orders
+        assert not partsupp & part
+        assert rec.improvement_pct > 25
+
+    def test_estimated_improvement_realized_in_simulation(self):
+        """The advisor's layout must also win under the simulator."""
+        db = tpch.tpch_database()
+        farm = common.paper_farm()
+        advisor = LayoutAdvisor(db, farm)
+        analyzed = advisor.analyze(ctrl.wk_ctrl1())
+        rec = advisor.recommend(analyzed)
+        sim = common.simulator()
+        full = sim.run(analyzed, full_striping(db.object_sizes(), farm))
+        recommended = sim.run(analyzed, rec.layout)
+        assert recommended.total_seconds < full.total_seconds
+
+    def test_model_and_simulator_agree_on_gross_ordering(self, mini_db,
+                                                         join_workload,
+                                                         farm8):
+        """For clearly-different layouts, estimate and simulation rank
+        identically (the Section-7 validation claim in miniature)."""
+        analyzed = analyze_workload(join_workload, mini_db)
+        sizes = mini_db.object_sizes()
+        model = CostModel(farm8)
+        sim = WorkloadSimulator()
+        from repro.core.layout import Layout, stripe_fractions
+        everything_on_one = Layout(farm8, sizes, {
+            name: stripe_fractions([0], farm8) for name in sizes})
+        striped = full_striping(sizes, farm8)
+        est = (model.workload_cost(analyzed, everything_on_one),
+               model.workload_cost(analyzed, striped))
+        act = (sim.run(analyzed, everything_on_one).total_seconds,
+               sim.run(analyzed, striped).total_seconds)
+        assert (est[0] > est[1]) == (act[0] > act[1])
+
+    def test_apb_like_workload_recommends_full_striping(self, mini_db,
+                                                        farm8):
+        """No co-access => TS-GREEDY converges to full striping."""
+        from repro.workload.workload import Workload
+        workload = Workload()
+        workload.add("SELECT COUNT(*) FROM big b", name="s1")
+        workload.add("SELECT COUNT(*) FROM mid m", name="s2")
+        advisor = LayoutAdvisor(mini_db, farm8)
+        rec = advisor.recommend(workload)
+        assert abs(rec.improvement_pct) < 1e-6
+        assert len(rec.layout.disks_of("big")) == 8
+        assert len(rec.layout.disks_of("mid")) == 8
+
+    def test_workload_weights_steer_the_recommendation(self, mini_db,
+                                                       farm8):
+        """Upweighting the scan pushes the layout toward striping."""
+        from repro.workload.workload import Workload
+
+        def recommend(scan_weight):
+            workload = Workload()
+            workload.add("SELECT COUNT(*) FROM big b, mid m "
+                         "WHERE b.k = m.k", name="join")
+            workload.add("SELECT COUNT(*) FROM big b",
+                         weight=scan_weight, name="scan")
+            advisor = LayoutAdvisor(mini_db, farm8)
+            return advisor.recommend(workload)
+
+        join_heavy = recommend(scan_weight=0.001)
+        scan_heavy = recommend(scan_weight=1000.0)
+        assert len(scan_heavy.layout.disks_of("big")) >= \
+            len(join_heavy.layout.disks_of("big"))
+
+    def test_recommendation_is_deterministic(self, mini_db,
+                                             join_workload, farm8):
+        advisor = LayoutAdvisor(mini_db, farm8)
+        a = advisor.recommend(join_workload)
+        b = advisor.recommend(join_workload)
+        for name in mini_db.object_sizes():
+            assert a.layout.fractions_of(name) == \
+                b.layout.fractions_of(name)
+
+
+class TestWorkloadFileRoundTrip:
+    def test_file_based_end_to_end(self, tmp_path, mini_db, farm8):
+        """The paper's tool interface: workload arrives as a file."""
+        from repro.workload.workload import Workload
+        path = tmp_path / "workload.sql"
+        path.write_text(
+            "-- name: J1\n-- weight: 3\n"
+            "SELECT COUNT(*) FROM big b, mid m WHERE b.k = m.k;\n"
+            "SELECT SUM(b.v) FROM big b;\n")
+        workload = Workload.load(path)
+        advisor = LayoutAdvisor(mini_db, farm8)
+        rec = advisor.recommend(workload)
+        assert rec.improvement_pct > 0
+        assert rec.per_statement[0][0] == "J1"

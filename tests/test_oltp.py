@@ -1,0 +1,69 @@
+"""Tests for the OLTP/DML workload generator."""
+
+import pytest
+
+from repro.benchdb import oltp, tpch
+from repro.core.advisor import LayoutAdvisor
+from repro.optimizer.operators import DmlOp
+from repro.storage.disk import winbench_farm
+from repro.workload.access import analyze_workload
+
+
+class TestOltpWorkload:
+    def test_seeded(self):
+        a = oltp.oltp_workload(30, seed=5)
+        b = oltp.oltp_workload(30, seed=5)
+        assert [s.sql for s in a] == [s.sql for s in b]
+
+    def test_mix_contains_all_kinds(self):
+        workload = oltp.oltp_workload(200, seed=1)
+        kinds = {s.name.split("-", 1)[1] for s in workload}
+        assert kinds == {"lookup", "update", "insert", "delete",
+                         "report"}
+
+    def test_custom_mix(self):
+        workload = oltp.oltp_workload(50, seed=1,
+                                      mix={"update": 1.0})
+        assert all(s.sql.startswith("UPDATE") for s in workload)
+
+    def test_all_statements_plan(self):
+        db = tpch.tpch_database()
+        analyzed = analyze_workload(oltp.oltp_workload(80, seed=2), db)
+        assert len(analyzed) == 80
+
+    def test_dml_statements_produce_writes(self):
+        db = tpch.tpch_database()
+        workload = oltp.oltp_workload(40, seed=3,
+                                      mix={"update": 0.5,
+                                           "insert": 0.5})
+        analyzed = analyze_workload(workload, db)
+        for statement in analyzed:
+            assert isinstance(statement.plan, DmlOp)
+            writes = [a for s in statement.subplans
+                      for a in s.accesses if a.write]
+            assert writes
+
+    def test_insert_maintains_indexes(self):
+        db = tpch.tpch_database()
+        workload = oltp.oltp_workload(10, seed=4, mix={"insert": 1.0})
+        analyzed = analyze_workload(workload, db)
+        written = {a.object_name
+                   for stmt in analyzed for s in stmt.subplans
+                   for a in s.accesses if a.write}
+        assert any(name.startswith("idx_") for name in written)
+
+    def test_advisor_handles_oltp(self):
+        db = tpch.tpch_database()
+        advisor = LayoutAdvisor(db, winbench_farm(8))
+        rec = advisor.recommend(oltp.oltp_workload(60, seed=6))
+        assert rec.improvement_pct >= 0.0
+
+    def test_lookups_use_clustered_point_access(self):
+        db = tpch.tpch_database()
+        workload = oltp.oltp_workload(10, seed=7, mix={"lookup": 1.0})
+        analyzed = analyze_workload(workload, db)
+        for statement in analyzed:
+            blocks = sum(a.blocks for s in statement.subplans
+                         for a in s.accesses)
+            # A point lookup touches a handful of blocks, not a scan.
+            assert blocks < 50

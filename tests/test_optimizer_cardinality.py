@@ -1,0 +1,78 @@
+"""Tests for cardinality helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.optimizer.cardinality import (
+    bytes_to_blocks,
+    distinct_rows,
+    grouped_rows,
+    sort_cpu_cost,
+    yao_blocks_touched,
+)
+
+
+class TestYao:
+    def test_zero_inputs(self):
+        assert yao_blocks_touched(0, 100) == 0.0
+        assert yao_blocks_touched(100, 0) == 0.0
+
+    def test_single_block_object(self):
+        assert yao_blocks_touched(1, 50) == 1.0
+
+    def test_few_rows_touch_about_that_many_blocks(self):
+        touched = yao_blocks_touched(100_000, 10)
+        assert touched == pytest.approx(10, rel=0.01)
+
+    def test_many_rows_touch_all_blocks(self):
+        assert yao_blocks_touched(100, 100_000) == pytest.approx(100)
+
+    def test_intermediate_regime(self):
+        touched = yao_blocks_touched(100, 100)
+        # E = B(1 - (1-1/B)^B) ~ B(1 - 1/e)
+        assert touched == pytest.approx(100 * (1 - (1 - 0.01) ** 100))
+
+    @given(blocks=st.floats(min_value=1, max_value=1e7),
+           rows=st.floats(min_value=0, max_value=1e9))
+    def test_property_bounds(self, blocks, rows):
+        touched = yao_blocks_touched(blocks, rows)
+        assert 0.0 <= touched <= blocks + 1e-9
+        assert touched <= rows + 1e-9 or touched <= blocks
+
+    @given(blocks=st.floats(min_value=2, max_value=1e6),
+           r1=st.floats(min_value=1, max_value=1e6),
+           r2=st.floats(min_value=1, max_value=1e6))
+    def test_property_monotone_in_rows(self, blocks, r1, r2):
+        lo, hi = sorted([r1, r2])
+        assert yao_blocks_touched(blocks, lo) <= \
+            yao_blocks_touched(blocks, hi) + 1e-9
+
+
+class TestGroupedRows:
+    def test_capped_by_input(self):
+        assert grouped_rows(100, [1000, 1000]) == 100
+
+    def test_product_of_ndvs(self):
+        assert grouped_rows(1_000_000, [10, 20]) == 200
+
+    def test_zero_input(self):
+        assert grouped_rows(0, [10]) == 0.0
+
+    def test_distinct_rows(self):
+        assert distinct_rows(1000, 50) == 50
+        assert distinct_rows(1000, None) == 500
+        assert distinct_rows(1, None) == 1.0
+
+
+class TestCostHelpers:
+    def test_sort_cost_zero_for_tiny_inputs(self):
+        assert sort_cpu_cost(1, 0.001) == 0.0
+
+    def test_sort_cost_nlogn(self):
+        assert sort_cpu_cost(8, 1.0) == pytest.approx(24.0)
+
+    def test_bytes_to_blocks(self):
+        assert bytes_to_blocks(0, 65536) == 0.0
+        assert bytes_to_blocks(65536, 65536) == 1.0
+        assert bytes_to_blocks(32768, 65536) == 0.5

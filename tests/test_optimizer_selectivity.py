@@ -1,0 +1,178 @@
+"""Tests for predicate selectivity estimation and classification."""
+
+import datetime
+
+import pytest
+
+from repro.catalog.schema import Column, Table
+from repro.optimizer.selectivity import (
+    JoinPredicate,
+    MAGIC_EQ,
+    MAGIC_LIKE_CONTAINS,
+    MAGIC_LIKE_PREFIX,
+    MAGIC_RANGE,
+    SelectivityEstimator,
+    join_selectivity,
+    literal_to_float,
+    split_conjuncts,
+)
+from repro.sql import parse_statement
+from tests.conftest import column
+
+
+def _table():
+    return Table("t", 1000, [
+        column("a", ndv=100, lo=0, hi=100),
+        column("b", ndv=10, lo=0, hi=10),
+        Column("nostats", 8),  # deliberately no statistics
+    ])
+
+
+def _estimator(table=None):
+    table = table or _table()
+    return SelectivityEstimator(
+        table, lambda ref: ref.name if table.has_column(ref.name)
+        else None)
+
+
+def _pred(cond):
+    return parse_statement(f"SELECT * FROM t WHERE {cond}").where
+
+
+class TestLiteralToFloat:
+    def test_numbers(self):
+        assert literal_to_float(5) == 5.0
+        assert literal_to_float(2.5) == 2.5
+
+    def test_iso_dates_become_ordinals(self):
+        expected = float(datetime.date(1995, 3, 15).toordinal())
+        assert literal_to_float("1995-03-15") == expected
+
+    def test_invalid_dates_and_strings(self):
+        assert literal_to_float("1995-13-45") is None
+        assert literal_to_float("BUILDING") is None
+        assert literal_to_float(None) is None
+        assert literal_to_float(True) is None
+
+
+class TestSplitConjuncts:
+    def test_flattens_nested_ands(self):
+        conjuncts = list(split_conjuncts(_pred("a = 1 AND b = 2 AND "
+                                               "a < 5")))
+        assert len(conjuncts) == 3
+
+    def test_or_is_one_conjunct(self):
+        assert len(list(split_conjuncts(_pred("a = 1 OR b = 2")))) == 1
+
+    def test_none_yields_nothing(self):
+        assert list(split_conjuncts(None)) == []
+
+
+class TestPredicateSelectivity:
+    def test_equality_uses_ndv(self):
+        assert _estimator().predicate(_pred("a = 5")) == \
+            pytest.approx(1 / 100)
+
+    def test_equality_reversed_operands(self):
+        assert _estimator().predicate(_pred("5 = a")) == \
+            pytest.approx(1 / 100)
+
+    def test_inequality_complement(self):
+        assert _estimator().predicate(_pred("a <> 5")) == \
+            pytest.approx(1 - 1 / 100)
+
+    def test_range_interpolates_domain(self):
+        assert _estimator().predicate(_pred("a < 50")) == \
+            pytest.approx(0.5)
+        assert _estimator().predicate(_pred("a >= 25")) == \
+            pytest.approx(0.75)
+
+    def test_range_with_flipped_operands(self):
+        # "50 > a" is "a < 50".
+        assert _estimator().predicate(_pred("50 > a")) == \
+            pytest.approx(0.5)
+
+    def test_between(self):
+        assert _estimator().predicate(_pred("a BETWEEN 25 AND 75")) == \
+            pytest.approx(0.5)
+
+    def test_not_between(self):
+        assert _estimator().predicate(
+            _pred("a NOT BETWEEN 25 AND 75")) == pytest.approx(0.5)
+
+    def test_in_list_scales_equality(self):
+        assert _estimator().predicate(_pred("a IN (1, 2, 3)")) == \
+            pytest.approx(3 / 100)
+
+    def test_in_list_caps_at_one(self):
+        estimator = _estimator()
+        sel = estimator.predicate(_pred("b IN (0,1,2,3,4,5,6,7,8,9,10)"))
+        assert sel == pytest.approx(1.0)
+
+    def test_like_magic_constants(self):
+        estimator = _estimator()
+        assert estimator.predicate(_pred("nostats LIKE 'x%'")) == \
+            MAGIC_LIKE_PREFIX
+        assert estimator.predicate(_pred("nostats LIKE '%x%'")) == \
+            MAGIC_LIKE_CONTAINS
+
+    def test_is_null_uses_null_fraction(self):
+        estimator = _estimator()
+        assert estimator.predicate(_pred("nostats IS NULL")) == \
+            pytest.approx(0.05)
+        assert estimator.predicate(_pred("nostats IS NOT NULL")) == \
+            pytest.approx(0.95)
+
+    def test_and_multiplies_or_unions(self):
+        estimator = _estimator()
+        assert estimator.predicate(_pred("a = 1 AND b = 2")) == \
+            pytest.approx(0.01 * 0.1)
+        expected = 0.01 + 0.1 - 0.01 * 0.1
+        assert estimator.predicate(_pred("a = 1 OR b = 2")) == \
+            pytest.approx(expected)
+
+    def test_not_complements(self):
+        assert _estimator().predicate(_pred("NOT a = 1")) == \
+            pytest.approx(0.99)
+
+    def test_no_stats_falls_back_to_magic(self):
+        estimator = _estimator()
+        assert estimator.predicate(_pred("nostats = 'x'")) == MAGIC_EQ
+        assert estimator.predicate(_pred("nostats < 'x'")) == MAGIC_RANGE
+
+    def test_column_vs_column_same_table_is_magic(self):
+        assert _estimator().predicate(_pred("a < b")) == MAGIC_RANGE
+
+    def test_conjunction_multiplies(self):
+        estimator = _estimator()
+        sel = estimator.conjunction([_pred("a = 1"), _pred("b = 2")])
+        assert sel == pytest.approx(0.01 * 0.1)
+
+
+class TestJoinSelectivity:
+    def test_one_over_max_ndv(self):
+        left = Table("l", 1000, [column("x", ndv=100, lo=0, hi=100)])
+        right = Table("r", 500, [column("y", ndv=400, lo=0, hi=400)])
+        assert join_selectivity(left, "x", right, "y") == \
+            pytest.approx(1 / 400)
+
+    def test_missing_stats_fall_back_to_row_count(self):
+        left = Table("l", 1000, [column("x", ndv=10)])
+        right = Table("r", 500, [
+            __import__("repro.catalog.schema",
+                       fromlist=["Column"]).Column("y", 8)])
+        assert join_selectivity(left, "x", right, "y") == \
+            pytest.approx(1 / 500)
+
+
+class TestJoinPredicate:
+    def test_column_for(self):
+        jp = JoinPredicate("a", "x", "b", "y")
+        assert jp.column_for("a") == "x"
+        assert jp.column_for("b") == "y"
+        with pytest.raises(KeyError):
+            jp.column_for("c")
+
+    def test_bindings(self):
+        assert JoinPredicate("a", "x", "b", "y").bindings() == \
+            frozenset({"a", "b"})

@@ -1,0 +1,109 @@
+"""Tests for the KL-style multiway max-cut partitioner."""
+
+import pytest
+
+from repro.core.partitioning import (
+    intra_partition_weight,
+    partition_access_graph,
+)
+from repro.errors import LayoutError
+from repro.workload.access_graph import AccessGraph
+
+
+def _graph(edges, nodes=()):
+    graph = AccessGraph(nodes)
+    for u, v, w in edges:
+        graph.add_edge_weight(u, v, w)
+        graph.add_node_weight(u, w / 2)
+        graph.add_node_weight(v, w / 2)
+    return graph
+
+
+class TestPartitioning:
+    def test_two_heavy_pairs_split_apart(self):
+        graph = _graph([("a", "b", 100), ("c", "d", 100)])
+        parts = partition_access_graph(graph, 2)
+        assignment = {n: i for i, p in enumerate(parts) for n in p}
+        assert assignment["a"] != assignment["b"]
+        assert assignment["c"] != assignment["d"]
+
+    def test_full_cut_on_star(self):
+        graph = _graph([("hub", "x", 10), ("hub", "y", 10),
+                        ("hub", "z", 10)])
+        parts = partition_access_graph(graph, 4)
+        assignment = {n: i for i, p in enumerate(parts) for n in p}
+        # Every edge touches the hub; the hub alone in a partition cuts
+        # everything.
+        cut = graph.cut_weight(assignment)
+        assert cut == pytest.approx(30)
+
+    def test_all_nodes_exactly_once(self):
+        graph = _graph([("a", "b", 5), ("b", "c", 3), ("c", "d", 7)],
+                       nodes=["isolated"])
+        parts = partition_access_graph(graph, 3)
+        flattened = [n for p in parts for n in p]
+        assert sorted(flattened) == ["a", "b", "c", "d", "isolated"]
+
+    def test_deterministic(self):
+        graph = _graph([("a", "b", 5), ("b", "c", 3), ("a", "c", 2),
+                        ("c", "d", 7)])
+        assert partition_access_graph(graph, 3) == \
+            partition_access_graph(graph, 3)
+
+    def test_single_partition(self):
+        graph = _graph([("a", "b", 5)])
+        assert partition_access_graph(graph, 1) == [["a", "b"]]
+
+    def test_p_must_be_positive(self):
+        with pytest.raises(LayoutError):
+            partition_access_graph(_graph([]), 0)
+
+    def test_empty_graph(self):
+        parts = partition_access_graph(AccessGraph(), 3)
+        assert parts == [[], [], []]
+
+    def test_more_partitions_than_nodes(self):
+        graph = _graph([("a", "b", 1)])
+        parts = partition_access_graph(graph, 5)
+        assert sum(1 for p in parts if p) == 2
+
+    def test_subset_of_nodes(self):
+        graph = _graph([("a", "b", 5), ("c", "d", 5)])
+        parts = partition_access_graph(graph, 2, nodes=["a", "b"])
+        flattened = sorted(n for p in parts for n in p)
+        assert flattened == ["a", "b"]
+
+    def test_cut_beats_trivial_assignment(self):
+        """The heuristic must do at least as well as round-robin."""
+        edges = [("a", "b", 10), ("a", "c", 8), ("b", "c", 6),
+                 ("c", "d", 12), ("d", "e", 4), ("a", "e", 9)]
+        graph = _graph(edges)
+        parts = partition_access_graph(graph, 3)
+        assignment = {n: i for i, p in enumerate(parts) for n in p}
+        nodes = sorted(graph.nodes)
+        round_robin = {n: i % 3 for i, n in enumerate(nodes)}
+        assert graph.cut_weight(assignment) >= \
+            graph.cut_weight(round_robin)
+
+    def test_networkx_cross_check_cut_weight(self):
+        """Independent cut computation via networkx agrees."""
+        import networkx as nx
+        edges = [("a", "b", 10), ("b", "c", 7), ("c", "a", 3),
+                 ("c", "d", 9), ("d", "a", 1)]
+        graph = _graph(edges)
+        parts = partition_access_graph(graph, 2)
+        assignment = {n: i for i, p in enumerate(parts) for n in p}
+        nxg = nx.Graph()
+        for u, v, w in edges:
+            nxg.add_edge(u, v, weight=w)
+        side0 = {n for n, p in assignment.items() if p == 0}
+        nx_cut = nx.cut_size(nxg, side0, weight="weight")
+        assert graph.cut_weight(assignment) == pytest.approx(nx_cut)
+
+    def test_intra_partition_weight_complements_cut(self):
+        graph = _graph([("a", "b", 10), ("c", "d", 4), ("a", "c", 2)])
+        parts = partition_access_graph(graph, 2)
+        assignment = {n: i for i, p in enumerate(parts) for n in p}
+        total = graph.total_edge_weight()
+        assert intra_partition_weight(graph, parts) == \
+            pytest.approx(total - graph.cut_weight(assignment))

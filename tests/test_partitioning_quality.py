@@ -1,0 +1,105 @@
+"""Quality tests for the partitioner: brute-force cross-checks.
+
+On instances small enough to enumerate every assignment, the KL-style
+heuristic should land at (or very near) the true maximum cut.
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partitioning import partition_access_graph
+from repro.workload.access_graph import AccessGraph
+
+
+def _graph_from_edges(edges):
+    graph = AccessGraph()
+    for u, v, w in edges:
+        graph.add_edge_weight(u, v, w)
+        graph.add_node_weight(u, w)
+        graph.add_node_weight(v, w)
+    return graph
+
+
+def _brute_force_max_cut(graph, p):
+    nodes = sorted(graph.nodes)
+    best = -1.0
+    for assignment in itertools.product(range(p), repeat=len(nodes)):
+        mapping = dict(zip(nodes, assignment))
+        best = max(best, graph.cut_weight(mapping))
+    return best
+
+
+def _heuristic_cut(graph, p):
+    parts = partition_access_graph(graph, p)
+    mapping = {n: i for i, part in enumerate(parts) for n in part}
+    return graph.cut_weight(mapping)
+
+
+class TestBruteForceCrossCheck:
+    @pytest.mark.parametrize("p", [2, 3])
+    def test_triangle(self, p):
+        graph = _graph_from_edges([("a", "b", 3), ("b", "c", 5),
+                                   ("a", "c", 4)])
+        assert _heuristic_cut(graph, p) == \
+            pytest.approx(_brute_force_max_cut(graph, p))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_small_graphs_two_way(self, seed):
+        rng = random.Random(seed)
+        nodes = [f"n{i}" for i in range(6)]
+        edges = [(u, v, rng.randint(1, 20))
+                 for u, v in itertools.combinations(nodes, 2)
+                 if rng.random() < 0.6]
+        if not edges:
+            pytest.skip("empty draw")
+        graph = _graph_from_edges(edges)
+        optimal = _brute_force_max_cut(graph, 2)
+        achieved = _heuristic_cut(graph, 2)
+        # KL-style local search: within 10% of the true max cut.
+        assert achieved >= 0.9 * optimal
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_small_graphs_three_way(self, seed):
+        rng = random.Random(100 + seed)
+        nodes = [f"n{i}" for i in range(6)]
+        edges = [(u, v, rng.randint(1, 20))
+                 for u, v in itertools.combinations(nodes, 2)
+                 if rng.random() < 0.7]
+        if not edges:
+            pytest.skip("empty draw")
+        graph = _graph_from_edges(edges)
+        optimal = _brute_force_max_cut(graph, 3)
+        assert _heuristic_cut(graph, 3) >= 0.9 * optimal
+
+    def test_bipartite_graph_fully_cut(self):
+        """A bipartite conflict graph has a perfect 2-cut; the
+        heuristic must find it."""
+        edges = [(f"l{i}", f"r{j}", 1 + i + j)
+                 for i in range(3) for j in range(3)]
+        graph = _graph_from_edges(edges)
+        assert _heuristic_cut(graph, 2) == \
+            pytest.approx(graph.total_edge_weight())
+
+
+class TestHeuristicProperties:
+    @given(seed=st.integers(0, 500), p=st.integers(2, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_property_cut_is_valid_and_bounded(self, seed, p):
+        rng = random.Random(seed)
+        nodes = [f"n{i}" for i in range(rng.randint(2, 8))]
+        edges = [(u, v, rng.randint(1, 30))
+                 for u, v in itertools.combinations(nodes, 2)
+                 if rng.random() < 0.5]
+        graph = _graph_from_edges(edges)
+        for node in nodes:
+            graph.add_object(node)
+        parts = partition_access_graph(graph, p)
+        flattened = sorted(n for part in parts for n in part)
+        assert flattened == sorted(graph.nodes)
+        mapping = {n: i for i, part in enumerate(parts) for n in part}
+        cut = graph.cut_weight(mapping)
+        assert 0.0 <= cut <= graph.total_edge_weight() + 1e-9

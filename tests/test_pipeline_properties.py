@@ -1,0 +1,100 @@
+"""Property-based tests over the whole analyze pipeline.
+
+The synthetic query generator doubles as a structured fuzzer: every
+generated statement must tokenize, parse, plan, and decompose into
+subplans whose block counts are sane — and the resulting access graphs
+and costs must satisfy the model's global invariants.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.benchdb import tpch
+from repro.benchdb.synth import synthetic_query
+from repro.core.costmodel import CostModel
+from repro.core.fullstripe import full_striping
+from repro.optimizer.planner import Planner
+from repro.sql import parse_statement
+from repro.storage.disk import winbench_farm
+from repro.workload.access import (
+    AnalyzedStatement,
+    AnalyzedWorkload,
+    decompose,
+)
+from repro.workload.access_graph import build_access_graph
+from repro.workload.workload import Statement
+
+_DB = tpch.tpch_database()
+_PLANNER = Planner(_DB)
+_FARM = winbench_farm(8)
+_SIZES = _DB.object_sizes()
+
+
+def _plan(seed):
+    import random
+    sql = synthetic_query(random.Random(seed), max_tables=4)
+    return sql, _PLANNER.plan(parse_statement(sql))
+
+
+class TestPipelineFuzz:
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_every_synthetic_query_plans_and_decomposes(self, seed):
+        sql, plan = _plan(seed)
+        subplans = decompose(plan)
+        assert subplans, sql
+        for subplan in subplans:
+            for access in subplan.accesses:
+                assert access.blocks >= 0
+                size = _SIZES.get(access.object_name)
+                if size is not None:
+                    assert access.blocks <= size * 1.001
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_graph_weights_are_consistent(self, seed):
+        sql, plan = _plan(seed)
+        analyzed = AnalyzedWorkload([AnalyzedStatement(
+            statement=Statement(sql), plan=plan,
+            subplans=decompose(plan))])
+        graph = build_access_graph(analyzed)
+        # Edge weight (u, v) can never exceed the combined node weights
+        # (each subplan contributes B_u + B_v to both sides).
+        for (u, v), weight in graph.edges.items():
+            assert weight <= graph.node_weight(u) \
+                + graph.node_weight(v) + 1e-6
+
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_costs_are_finite_and_positive(self, seed):
+        sql, plan = _plan(seed)
+        analyzed = AnalyzedStatement(statement=Statement(sql),
+                                     plan=plan,
+                                     subplans=decompose(plan))
+        layout = full_striping(_SIZES, _FARM)
+        cost = CostModel(_FARM).statement_cost(analyzed, layout)
+        assert cost >= 0.0
+        assert cost == cost            # not NaN
+        assert cost < float("inf")
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_narrow_layout_never_beats_striping_for_one_query(self,
+                                                              seed):
+        """With everything crammed onto one disk, no query can be
+        cheaper than under full striping (no co-access downside can
+        outweigh an 8x parallelism loss *plus* co-location)."""
+        from repro.core.layout import Layout, stripe_fractions
+        sql, plan = _plan(seed)
+        analyzed = AnalyzedStatement(statement=Statement(sql),
+                                     plan=plan,
+                                     subplans=decompose(plan))
+        model = CostModel(_FARM)
+        striped = full_striping(_SIZES, _FARM)
+        crammed = Layout(_FARM, _SIZES, {
+            name: stripe_fractions([0], _FARM) for name in _SIZES},
+            check_capacity=False)
+        assert model.statement_cost(analyzed, striped) <= \
+            model.statement_cost(analyzed, crammed) + 1e-9

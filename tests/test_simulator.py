@@ -1,0 +1,262 @@
+"""Tests for the I/O simulator: geometry, buffer pool, engine, measure."""
+
+import pytest
+
+from repro.core.fullstripe import full_striping
+from repro.core.layout import Layout, stripe_fractions
+from repro.errors import SimulationError
+from repro.optimizer.operators import ObjectAccess
+from repro.simulator.buffer import BufferPool
+from repro.simulator.engine import (
+    DiskState,
+    SubplanRun,
+    _scatter_indices,
+)
+from repro.simulator.geometry import SeekModel
+from repro.simulator.measure import WorkloadSimulator
+from repro.storage.disk import DiskSpec, uniform_farm
+from repro.workload.access import analyze_workload
+from repro.workload.workload import Workload
+
+
+def _spec(seek_ms=8.0, read=20.0):
+    return DiskSpec("D", capacity_blocks=100_000,
+                    avg_seek_s=seek_ms / 1000, read_mb_s=read,
+                    write_mb_s=0.9 * read)
+
+
+class TestSeekModel:
+    def test_zero_distance_is_free(self):
+        model = SeekModel.for_disk(_spec())
+        assert model.seek_seconds(100, 100) == 0.0
+
+    def test_longer_seeks_cost_more(self):
+        model = SeekModel.for_disk(_spec())
+        assert model.seek_seconds(0, 10) < model.seek_seconds(0, 10_000)
+
+    def test_symmetric(self):
+        model = SeekModel.for_disk(_spec())
+        assert model.seek_seconds(10, 500) == model.seek_seconds(500, 10)
+
+    def test_calibrated_to_average_seek(self):
+        """E[seek] over uniform random from/to equals the rated average."""
+        import random
+        disk = _spec(seek_ms=8.0)
+        model = SeekModel.for_disk(disk)
+        rng = random.Random(5)
+        samples = [model.seek_seconds(rng.randrange(100_000),
+                                      rng.randrange(100_000))
+                   for _ in range(20_000)]
+        mean = sum(samples) / len(samples)
+        assert mean == pytest.approx(disk.avg_seek_s, rel=0.02)
+
+    def test_distance_capped_at_capacity(self):
+        model = SeekModel.for_disk(_spec())
+        full = model.seek_seconds(0, 100_000)
+        beyond = model.seek_seconds(0, 10_000_000)
+        assert beyond == full
+
+
+class TestBufferPool:
+    def test_miss_then_hit(self):
+        pool = BufferPool(4)
+        assert not pool.access("a", 1)
+        assert pool.access("a", 1)
+        assert pool.hits == 1 and pool.misses == 1
+
+    def test_lru_eviction_order(self):
+        pool = BufferPool(2)
+        pool.access("a", 1)
+        pool.access("a", 2)
+        pool.access("a", 1)   # touch 1, so 2 is now LRU
+        pool.access("a", 3)   # evicts 2
+        assert pool.access("a", 1)
+        assert not pool.access("a", 2)
+
+    def test_distinct_objects_do_not_collide(self):
+        pool = BufferPool(4)
+        pool.access("a", 1)
+        assert not pool.access("b", 1)
+
+    def test_zero_capacity_never_hits(self):
+        pool = BufferPool(0)
+        pool.access("a", 1)
+        assert not pool.access("a", 1)
+
+    def test_clear_keeps_counters(self):
+        pool = BufferPool(4)
+        pool.access("a", 1)
+        pool.access("a", 1)
+        pool.clear()
+        assert not pool.access("a", 1)
+        assert pool.misses == 2 and pool.hits == 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            BufferPool(-1)
+
+
+class TestScatterIndices:
+    def test_deterministic(self):
+        assert _scatter_indices("obj", 100, 10) == \
+            _scatter_indices("obj", 100, 10)
+
+    def test_covers_requested_count_without_duplicates(self):
+        indices = _scatter_indices("obj", 1000, 50)
+        assert len(indices) == 50
+        assert len(set(indices)) == 50
+        assert all(0 <= i < 1000 for i in indices)
+
+    def test_count_capped_at_size(self):
+        assert len(_scatter_indices("obj", 5, 50)) == 5
+
+    def test_spread_over_object(self):
+        indices = _scatter_indices("obj", 1000, 10)
+        assert min(indices) < 200 and max(indices) > 800
+
+
+class TestDiskState:
+    def test_sequential_requests_pay_transfer_only(self):
+        state = DiskState(_spec())
+        first = state.service_seconds(5_000, write=False)  # positioning
+        second = state.service_seconds(5_001, write=False)
+        third = state.service_seconds(5_002, write=False)
+        transfer = 1.0 / state.spec.read_blocks_s
+        assert second == pytest.approx(transfer)
+        assert third == pytest.approx(transfer)
+        assert first > second  # initial positioning seek
+
+    def test_random_requests_pay_seeks(self):
+        state = DiskState(_spec())
+        state.service_seconds(0, write=False)
+        far = state.service_seconds(50_000, write=False)
+        assert far > 1.0 / state.spec.read_blocks_s
+
+
+class TestWorkloadSimulator:
+    def _analyzed(self, mini_db, sql="SELECT COUNT(*) FROM big b, mid m "
+                                      "WHERE b.k = m.k"):
+        workload = Workload()
+        workload.add(sql, name="q")
+        return analyze_workload(workload, mini_db)
+
+    def test_separated_beats_striped_for_merge_join(self, mini_db,
+                                                    farm8):
+        analyzed = self._analyzed(mini_db)
+        sizes = mini_db.object_sizes()
+        striped = full_striping(sizes, farm8)
+        fractions = {name: stripe_fractions(range(8), farm8)
+                     for name in sizes}
+        fractions["big"] = stripe_fractions(range(5), farm8)
+        fractions["mid"] = stripe_fractions(range(5, 8), farm8)
+        separated = Layout(farm8, sizes, fractions)
+        sim = WorkloadSimulator()
+        assert sim.run(analyzed, separated).total_seconds < \
+            sim.run(analyzed, striped).total_seconds
+
+    def test_wider_striping_speeds_up_scans(self, mini_db, farm8):
+        analyzed = self._analyzed(mini_db,
+                                  "SELECT COUNT(*) FROM big b")
+        sizes = mini_db.object_sizes()
+        narrow = Layout(farm8, sizes, {
+            name: stripe_fractions([0], farm8) for name in sizes})
+        wide = full_striping(sizes, farm8)
+        sim = WorkloadSimulator()
+        assert sim.run(analyzed, wide).total_seconds < \
+            sim.run(analyzed, narrow).total_seconds
+
+    def test_deterministic(self, mini_db, farm8):
+        analyzed = self._analyzed(mini_db)
+        layout = full_striping(mini_db.object_sizes(), farm8)
+        sim = WorkloadSimulator()
+        assert sim.run(analyzed, layout).total_seconds == \
+            sim.run(analyzed, layout).total_seconds
+
+    def test_repeated_access_hits_buffer(self, mini_db, farm8):
+        # small fits in the pool; scanning it twice in one statement
+        # (self join) produces hits.
+        analyzed = self._analyzed(
+            mini_db, "SELECT COUNT(*) FROM small a, small b "
+                     "WHERE a.dim_id = b.dim_id AND a.label < b.label")
+        layout = full_striping(mini_db.object_sizes(), farm8)
+        report = WorkloadSimulator().run(analyzed, layout)
+        assert report.buffer_hits > 0
+
+    def test_cold_runs_reset_pool_between_statements(self, mini_db,
+                                                     farm8):
+        workload = Workload()
+        workload.add("SELECT COUNT(*) FROM small s", name="a")
+        workload.add("SELECT COUNT(*) FROM small s", name="b")
+        analyzed = analyze_workload(workload, mini_db)
+        layout = full_striping(mini_db.object_sizes(), farm8)
+        cold = WorkloadSimulator(cold_runs=True).run(analyzed, layout)
+        warm = WorkloadSimulator(cold_runs=False).run(analyzed, layout)
+        assert cold.seconds_of("b") == pytest.approx(
+            cold.seconds_of("a"), rel=0.05)
+        assert warm.seconds_of("b") < 0.5 * warm.seconds_of("a")
+
+    def test_temp_io_charged_to_tempdb_disk(self, mini_db, farm8):
+        # Plan with tight work memory so the sort spills to tempdb.
+        from repro.optimizer.planner import Planner
+        workload = Workload()
+        workload.add("SELECT b.k, b.v, b.d FROM big b ORDER BY b.v",
+                     name="q")
+        analyzed = analyze_workload(
+            workload, mini_db, Planner(mini_db, memory_blocks=64))
+        layout = full_striping(mini_db.object_sizes(), farm8)
+        with_temp = WorkloadSimulator(
+            tempdb=_spec()).run(analyzed, layout)
+        without = WorkloadSimulator(tempdb=None).run(analyzed, layout)
+        assert with_temp.total_seconds > without.total_seconds
+
+    def test_statement_weights_scale_total(self, mini_db, farm8):
+        workload = Workload()
+        workload.add("SELECT COUNT(*) FROM big b", weight=3.0, name="q")
+        analyzed = analyze_workload(workload, mini_db)
+        layout = full_striping(mini_db.object_sizes(), farm8)
+        report = WorkloadSimulator().run(analyzed, layout)
+        assert report.total_seconds == pytest.approx(
+            3.0 * report.seconds_of("q"))
+
+    def test_missing_statement_lookup_raises(self, mini_db, farm8):
+        analyzed = self._analyzed(mini_db)
+        layout = full_striping(mini_db.object_sizes(), farm8)
+        report = WorkloadSimulator().run(analyzed, layout)
+        with pytest.raises(SimulationError):
+            report.seconds_of("nope")
+
+    def test_run_statement_matches_cold_run(self, mini_db, farm8):
+        analyzed = self._analyzed(mini_db)
+        layout = full_striping(mini_db.object_sizes(), farm8)
+        sim = WorkloadSimulator()
+        single = sim.run_statement(analyzed.statements[0], layout)
+        whole = sim.run(analyzed, layout)
+        assert single == pytest.approx(whole.seconds_of("q"))
+
+    def test_disk_utilization_reported(self, mini_db, farm8):
+        analyzed = self._analyzed(mini_db)
+        layout = full_striping(mini_db.object_sizes(), farm8)
+        report = WorkloadSimulator().run(analyzed, layout)
+        assert len(report.disk_busy_seconds) == 8
+        assert all(b > 0 for b in report.disk_busy_seconds)
+        utilization = report.utilization()
+        assert all(0.0 < u <= 1.0 + 1e-9 for u in utilization)
+
+    def test_skewed_layout_shows_skewed_utilization(self, mini_db,
+                                                    farm8):
+        analyzed = self._analyzed(mini_db,
+                                  "SELECT COUNT(*) FROM big b")
+        sizes = mini_db.object_sizes()
+        skewed = Layout(farm8, sizes, {
+            name: stripe_fractions([0], farm8) for name in sizes})
+        report = WorkloadSimulator().run(analyzed, skewed)
+        utilization = report.utilization()
+        assert utilization[0] > 0.9
+        assert all(u == 0.0 for u in utilization[1:])
+
+    def test_invalid_readahead_rejected(self, mini_db, farm8):
+        analyzed = self._analyzed(mini_db)
+        layout = full_striping(mini_db.object_sizes(), farm8)
+        sim = WorkloadSimulator(readahead_blocks=0)
+        with pytest.raises(SimulationError):
+            sim.run(analyzed, layout)

@@ -1,0 +1,127 @@
+"""Tests for concurrent-execution simulation."""
+
+import pytest
+
+from repro.core.fullstripe import full_striping
+from repro.core.layout import Layout, stripe_fractions
+from repro.simulator.concurrent import ConcurrentWorkloadSimulator
+from repro.errors import SimulationError
+from repro.workload.access import analyze_workload
+from repro.workload.concurrency import ConcurrencySpec
+from repro.workload.workload import Workload
+
+
+@pytest.fixture
+def scan_pair(mini_db):
+    workload = Workload()
+    workload.add("SELECT COUNT(*) FROM big b", name="scan_big")
+    workload.add("SELECT COUNT(*) FROM mid m", name="scan_mid")
+    return analyze_workload(workload, mini_db)
+
+
+class TestConcurrentSimulation:
+    def test_sequential_spec_matches_plain_run(self, mini_db,
+                                               scan_pair, farm8):
+        layout = full_striping(mini_db.object_sizes(), farm8)
+        sim = ConcurrentWorkloadSimulator()
+        spec = ConcurrencySpec.from_groups([])
+        concurrent = sim.run_concurrent(scan_pair, layout, spec)
+        plain = sim.run(scan_pair, layout)
+        assert concurrent.total_seconds == \
+            pytest.approx(plain.total_seconds)
+        assert not concurrent.group_seconds
+        assert len(concurrent.solo_statements) == 2
+
+    def test_concurrent_group_reported_as_one_elapsed(self, mini_db,
+                                                      scan_pair,
+                                                      farm8):
+        layout = full_striping(mini_db.object_sizes(), farm8)
+        sim = ConcurrentWorkloadSimulator()
+        spec = ConcurrencySpec.from_groups([[0, 1]])
+        report = sim.run_concurrent(scan_pair, layout, spec)
+        assert len(report.group_seconds) == 1
+        assert not report.solo_statements
+
+    def test_concurrent_scans_contend_when_co_located(self, mini_db,
+                                                      scan_pair,
+                                                      farm8):
+        """Running the two scans together on a shared striped layout
+        pays real interference: slower than the slowest scan alone —
+        and on *fully shared* spindles, the per-chunk head switches can
+        even make it slower than running them back to back (scan
+        thrashing, the very effect the advisor separates tables to
+        avoid)."""
+        layout = full_striping(mini_db.object_sizes(), farm8)
+        sim = ConcurrentWorkloadSimulator()
+        sequential = sim.run(scan_pair, layout)
+        spec = ConcurrencySpec.from_groups([[0, 1]])
+        concurrent = sim.run_concurrent(scan_pair, layout, spec)
+        slowest = max(t.seconds for t in sequential.statements)
+        back_to_back = sequential.total_seconds
+        assert concurrent.group_seconds[0] > slowest
+        # Sanity bound: thrashing hurts, but not unboundedly.
+        assert concurrent.group_seconds[0] < back_to_back * 4.0
+
+    def test_separated_layout_wins_under_concurrency(self, mini_db,
+                                                     scan_pair, farm8):
+        """The concurrency-aware advisor's prediction holds under
+        concurrent simulation: disjoint placement beats full striping
+        for overlapping scans."""
+        sizes = mini_db.object_sizes()
+        striped = full_striping(sizes, farm8)
+        fractions = {name: stripe_fractions(range(8), farm8)
+                     for name in sizes}
+        fractions["big"] = stripe_fractions(range(6), farm8)
+        fractions["mid"] = stripe_fractions(range(6, 8), farm8)
+        separated = Layout(farm8, sizes, fractions)
+        sim = ConcurrentWorkloadSimulator()
+        spec = ConcurrencySpec.from_groups([[0, 1]])
+        striped_time = sim.run_concurrent(scan_pair, striped,
+                                          spec).total_seconds
+        separated_time = sim.run_concurrent(scan_pair, separated,
+                                            spec).total_seconds
+        assert separated_time < striped_time
+
+    def test_sequential_prefers_the_opposite(self, mini_db, scan_pair,
+                                             farm8):
+        """...while sequential execution prefers full striping — the
+        whole reason the concurrency extension changes layouts."""
+        sizes = mini_db.object_sizes()
+        striped = full_striping(sizes, farm8)
+        fractions = {name: stripe_fractions(range(8), farm8)
+                     for name in sizes}
+        fractions["big"] = stripe_fractions(range(6), farm8)
+        fractions["mid"] = stripe_fractions(range(6, 8), farm8)
+        separated = Layout(farm8, sizes, fractions)
+        sim = ConcurrentWorkloadSimulator()
+        assert sim.run(scan_pair, striped).total_seconds < \
+            sim.run(scan_pair, separated).total_seconds
+
+    def test_mixed_solo_and_grouped(self, mini_db, farm8):
+        workload = Workload()
+        workload.add("SELECT COUNT(*) FROM big b", name="a")
+        workload.add("SELECT COUNT(*) FROM mid m", name="b")
+        workload.add("SELECT COUNT(*) FROM small s", name="c")
+        analyzed = analyze_workload(workload, mini_db)
+        layout = full_striping(mini_db.object_sizes(), farm8)
+        sim = ConcurrentWorkloadSimulator()
+        spec = ConcurrencySpec.from_groups([[0, 1]])
+        report = sim.run_concurrent(analyzed, layout, spec)
+        assert len(report.group_seconds) == 1
+        assert [t.name for t in report.solo_statements] == ["c"]
+
+    def test_missing_statement_rejected(self, mini_db, scan_pair,
+                                        farm8):
+        layout = full_striping(mini_db.object_sizes(), farm8)
+        sim = ConcurrentWorkloadSimulator()
+        spec = ConcurrencySpec.from_groups([[0, 7]])
+        with pytest.raises(SimulationError):
+            sim.run_concurrent(scan_pair, layout, spec)
+
+    def test_deterministic(self, mini_db, scan_pair, farm8):
+        layout = full_striping(mini_db.object_sizes(), farm8)
+        sim = ConcurrentWorkloadSimulator()
+        spec = ConcurrencySpec.from_groups([[0, 1]])
+        a = sim.run_concurrent(scan_pair, layout, spec).total_seconds
+        b = sim.run_concurrent(scan_pair, layout, spec).total_seconds
+        assert a == b

@@ -1,0 +1,81 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql.lexer import Token, TokenKind, tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text)[:-1]]
+
+
+class TestTokenize:
+    def test_keywords_uppercased(self):
+        assert kinds("select FROM") == [(TokenKind.KEYWORD, "SELECT"),
+                                        (TokenKind.KEYWORD, "FROM")]
+
+    def test_identifiers_lowercased(self):
+        assert kinds("LineItem") == [(TokenKind.IDENT, "lineitem")]
+
+    def test_numbers(self):
+        assert kinds("42 3.14 .5") == [
+            (TokenKind.NUMBER, "42"), (TokenKind.NUMBER, "3.14"),
+            (TokenKind.NUMBER, ".5")]
+
+    def test_qualifier_dot_not_a_decimal(self):
+        tokens = kinds("t1.c2")
+        assert tokens == [(TokenKind.IDENT, "t1"),
+                          (TokenKind.PUNCT, "."),
+                          (TokenKind.IDENT, "c2")]
+
+    def test_number_then_qualifier(self):
+        # "1.x" lexes 1, '.', x — decimal point needs a digit after it.
+        assert kinds("1.x")[0] == (TokenKind.NUMBER, "1")
+
+    def test_strings_keep_case_and_strip_quotes(self):
+        assert kinds("'BuIlDiNg'") == [(TokenKind.STRING, "BuIlDiNg")]
+
+    def test_escaped_quote_in_string(self):
+        assert kinds("'it''s'") == [(TokenKind.STRING, "it's")]
+
+    def test_unterminated_string_raises_with_location(self):
+        with pytest.raises(SqlSyntaxError) as exc:
+            tokenize("SELECT 'oops")
+        assert exc.value.line == 1
+
+    def test_operators_including_two_char(self):
+        assert [v for _, v in kinds("a <= b <> c != d || e")] == [
+            "a", "<=", "b", "<>", "c", "!=", "d", "||", "e"]
+
+    def test_comments_skipped(self):
+        tokens = kinds("SELECT -- a comment\n1")
+        assert tokens == [(TokenKind.KEYWORD, "SELECT"),
+                          (TokenKind.NUMBER, "1")]
+
+    def test_comment_at_eof(self):
+        assert kinds("-- only comment") == []
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("SELECT\n  x")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2 and tokens[1].column == 3
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError, match="unexpected character"):
+            tokenize("SELECT @x")
+
+    def test_eof_token_terminates(self):
+        tokens = tokenize("x")
+        assert tokens[-1].kind is TokenKind.EOF
+
+    def test_is_keyword_helper(self):
+        token = tokenize("SELECT")[0]
+        assert token.is_keyword("SELECT", "FROM")
+        assert not token.is_keyword("FROM")
+        ident = tokenize("foo")[0]
+        assert not ident.is_keyword("SELECT")
+
+    def test_punctuation(self):
+        assert [v for _, v in kinds("(a, b);")] == [
+            "(", "a", ",", "b", ")", ";"]

@@ -1,0 +1,266 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql import ast, parse_script, parse_statement
+
+
+class TestSelectBasics:
+    def test_star(self):
+        stmt = parse_statement("SELECT * FROM t")
+        assert stmt.select_star and stmt.items == ()
+        assert stmt.from_tables == (ast.TableRef("t"),)
+
+    def test_items_and_aliases(self):
+        stmt = parse_statement("SELECT a, b AS bee, c cee FROM t")
+        assert [i.alias for i in stmt.items] == [None, "bee", "cee"]
+
+    def test_table_aliases(self):
+        stmt = parse_statement("SELECT * FROM orders AS o, lineitem l")
+        assert stmt.from_tables[0].binding == "o"
+        assert stmt.from_tables[1].binding == "l"
+
+    def test_distinct_and_top(self):
+        stmt = parse_statement("SELECT DISTINCT TOP 5 a FROM t")
+        assert stmt.distinct and stmt.top == 5
+
+    def test_limit_sets_top(self):
+        stmt = parse_statement("SELECT a FROM t LIMIT 7")
+        assert stmt.top == 7
+
+    def test_group_by_having_order_by(self):
+        stmt = parse_statement(
+            "SELECT a, COUNT(*) FROM t GROUP BY a "
+            "HAVING COUNT(*) > 5 ORDER BY a DESC")
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert stmt.order_by[0].descending
+
+    def test_order_by_asc_default(self):
+        stmt = parse_statement("SELECT a FROM t ORDER BY a ASC, b")
+        assert [o.descending for o in stmt.order_by] == [False, False]
+
+    def test_trailing_semicolon_ok(self):
+        parse_statement("SELECT a FROM t;")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("SELECT a FROM t SELECT")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("SELECT a WHERE x = 1")
+
+
+class TestJoins:
+    def test_explicit_inner_join(self):
+        stmt = parse_statement(
+            "SELECT * FROM a JOIN b ON a.x = b.y")
+        assert stmt.joins[0].kind == "INNER"
+
+    def test_left_outer_join(self):
+        stmt = parse_statement(
+            "SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.y")
+        assert stmt.joins[0].kind == "LEFT"
+
+    def test_mixed_implicit_and_explicit(self):
+        stmt = parse_statement(
+            "SELECT * FROM a, b INNER JOIN c ON b.x = c.y")
+        assert len(stmt.from_tables) == 2
+        assert len(stmt.joins) == 1
+
+    def test_join_requires_on(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("SELECT * FROM a JOIN b")
+
+
+class TestExpressions:
+    def where(self, cond):
+        return parse_statement(f"SELECT * FROM t WHERE {cond}").where
+
+    def test_precedence_or_and(self):
+        expr = self.where("a = 1 OR b = 2 AND c = 3")
+        assert isinstance(expr, ast.BinaryOp) and expr.op == "OR"
+        assert isinstance(expr.right, ast.BinaryOp)
+        assert expr.right.op == "AND"
+
+    def test_arithmetic_precedence(self):
+        expr = self.where("a = 1 + 2 * 3")
+        plus = expr.right
+        assert isinstance(plus, ast.BinaryOp) and plus.op == "+"
+        assert isinstance(plus.right, ast.BinaryOp)
+        assert plus.right.op == "*"
+
+    def test_parenthesized(self):
+        expr = self.where("(a = 1 OR b = 2) AND c = 3")
+        assert expr.op == "AND"
+        assert expr.left.op == "OR"
+
+    def test_between(self):
+        expr = self.where("a BETWEEN 1 AND 10")
+        assert isinstance(expr, ast.BetweenExpr) and not expr.negated
+
+    def test_not_between(self):
+        expr = self.where("a NOT BETWEEN 1 AND 10")
+        assert isinstance(expr, ast.BetweenExpr) and expr.negated
+
+    def test_in_list(self):
+        expr = self.where("a IN (1, 2, 3)")
+        assert isinstance(expr, ast.InList)
+        assert [v.value for v in expr.values] == [1, 2, 3]
+
+    def test_not_in_list(self):
+        expr = self.where("a NOT IN ('x', 'y')")
+        assert isinstance(expr, ast.InList) and expr.negated
+
+    def test_like_and_not_like(self):
+        assert isinstance(self.where("a LIKE 'x%'"), ast.LikeExpr)
+        expr = self.where("a NOT LIKE '%y'")
+        assert expr.negated
+
+    def test_like_requires_string(self):
+        with pytest.raises(SqlSyntaxError):
+            self.where("a LIKE 5")
+
+    def test_is_null_and_is_not_null(self):
+        assert not self.where("a IS NULL").negated
+        assert self.where("a IS NOT NULL").negated
+
+    def test_unary_not_and_minus(self):
+        expr = self.where("NOT a = -1")
+        assert isinstance(expr, ast.UnaryOp) and expr.op == "NOT"
+        inner = expr.operand
+        assert isinstance(inner.right, ast.UnaryOp)
+
+    def test_date_literal(self):
+        expr = self.where("a < DATE '1995-03-15'")
+        assert expr.right == ast.Literal("1995-03-15")
+
+    def test_null_literal(self):
+        expr = self.where("a = NULL")
+        assert expr.right == ast.Literal(None)
+
+    def test_comparison_normalizes_bang_equals(self):
+        assert self.where("a != 1").op == "<>"
+
+    def test_case_expression(self):
+        stmt = parse_statement(
+            "SELECT SUM(CASE WHEN a = 1 THEN b ELSE 0 END) FROM t")
+        agg = stmt.items[0].expr
+        case = agg.args[0]
+        assert isinstance(case, ast.CaseExpr)
+        assert case.else_ == ast.Literal(0)
+
+    def test_case_requires_when(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("SELECT CASE END FROM t")
+
+    def test_aggregates(self):
+        stmt = parse_statement(
+            "SELECT COUNT(*), SUM(a), COUNT(DISTINCT b) FROM t")
+        count, total, distinct = [i.expr for i in stmt.items]
+        assert count.star
+        assert total.name == "SUM"
+        assert distinct.distinct
+
+    def test_generic_function_call(self):
+        stmt = parse_statement("SELECT myfunc(a, 1) FROM t")
+        func = stmt.items[0].expr
+        assert isinstance(func, ast.FuncCall)
+        assert func.name == "MYFUNC" and len(func.args) == 2
+
+    def test_string_concat(self):
+        expr = self.where("a || 'x' = 'yx'")
+        assert expr.left.op == "||"
+
+
+class TestSubqueries:
+    def test_in_subquery(self):
+        stmt = parse_statement(
+            "SELECT * FROM t WHERE a IN (SELECT b FROM u)")
+        assert isinstance(stmt.where, ast.InSubquery)
+
+    def test_exists(self):
+        stmt = parse_statement(
+            "SELECT * FROM t WHERE EXISTS (SELECT * FROM u WHERE "
+            "u.x = t.y)")
+        assert isinstance(stmt.where, ast.ExistsExpr)
+
+    def test_not_exists_wrapped_in_not(self):
+        stmt = parse_statement(
+            "SELECT * FROM t WHERE NOT EXISTS (SELECT * FROM u)")
+        assert isinstance(stmt.where, ast.UnaryOp)
+        assert isinstance(stmt.where.operand, ast.ExistsExpr)
+
+    def test_scalar_subquery_comparison(self):
+        stmt = parse_statement(
+            "SELECT * FROM t WHERE a > (SELECT AVG(b) FROM u)")
+        assert isinstance(stmt.where.right, ast.ScalarSubquery)
+
+    def test_nested_subqueries(self):
+        stmt = parse_statement(
+            "SELECT * FROM t WHERE a IN (SELECT b FROM u WHERE b IN "
+            "(SELECT c FROM v))")
+        inner = stmt.where.subquery.where
+        assert isinstance(inner, ast.InSubquery)
+
+
+class TestDml:
+    def test_insert_values(self):
+        stmt = parse_statement(
+            "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(stmt, ast.Insert)
+        assert stmt.columns == ("a", "b")
+        assert len(stmt.values) == 2
+
+    def test_insert_select(self):
+        stmt = parse_statement("INSERT INTO t SELECT a FROM u")
+        assert stmt.source is not None and not stmt.values
+
+    def test_update(self):
+        stmt = parse_statement(
+            "UPDATE t SET a = a + 1, b = 'x' WHERE c < 5")
+        assert isinstance(stmt, ast.Update)
+        assert [c for c, _ in stmt.assignments] == ["a", "b"]
+        assert stmt.where is not None
+
+    def test_update_requires_assignment(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("UPDATE t SET WHERE a = 1")
+
+    def test_delete(self):
+        stmt = parse_statement("DELETE FROM t WHERE a = 1")
+        assert isinstance(stmt, ast.Delete)
+
+    def test_delete_without_where(self):
+        assert parse_statement("DELETE FROM t").where is None
+
+
+class TestScripts:
+    def test_parse_script_multiple_statements(self):
+        statements = parse_script(
+            "SELECT a FROM t; DELETE FROM t; UPDATE t SET a = 1;")
+        assert [type(s).__name__ for s in statements] == \
+            ["Select", "Delete", "Update"]
+
+    def test_unknown_statement_kind(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("CREATE TABLE t (a int)")
+
+
+class TestColumnRefs:
+    def test_column_refs_walks_everything(self):
+        stmt = parse_statement(
+            "SELECT a + b FROM t WHERE c BETWEEN d AND 5 "
+            "AND e IN (1) AND f IS NULL")
+        names = {r.name for r in ast.column_refs(stmt.items[0].expr)}
+        assert names == {"a", "b"}
+        where_names = {r.name for r in ast.column_refs(stmt.where)}
+        assert where_names == {"c", "d", "e", "f"}
+
+    def test_column_refs_skips_subquery_scope(self):
+        stmt = parse_statement(
+            "SELECT * FROM t WHERE a IN (SELECT b FROM u)")
+        names = {r.name for r in ast.column_refs(stmt.where)}
+        assert names == {"a"}

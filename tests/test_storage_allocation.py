@@ -1,0 +1,148 @@
+"""Tests for block apportioning and layout materialization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LayoutError
+from repro.storage.allocation import (
+    MaterializedLayout,
+    apportion_blocks,
+    proportional_deal,
+)
+from repro.storage.disk import uniform_farm
+
+
+class TestApportionBlocks:
+    def test_exact_split(self):
+        assert apportion_blocks(100, [0.5, 0.5]) == [50, 50]
+
+    def test_rounding_preserves_total(self):
+        counts = apportion_blocks(100, [1 / 3, 1 / 3, 1 / 3])
+        assert sum(counts) == 100
+
+    def test_zero_fraction_gets_zero_blocks(self):
+        counts = apportion_blocks(10, [1.0, 0.0])
+        assert counts == [10, 0]
+
+    def test_zero_size_object(self):
+        assert apportion_blocks(0, [0.5, 0.5]) == [0, 0]
+
+    def test_negative_fraction_rejected(self):
+        with pytest.raises(LayoutError):
+            apportion_blocks(10, [1.5, -0.5])
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(LayoutError):
+            apportion_blocks(10, [0.4, 0.4])
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(LayoutError):
+            apportion_blocks(-1, [1.0])
+
+    @given(total=st.integers(min_value=0, max_value=5000),
+           weights=st.lists(st.integers(min_value=0, max_value=100),
+                            min_size=1, max_size=8).filter(
+                                lambda w: sum(w) > 0))
+    def test_property_total_and_proportionality(self, total, weights):
+        fractions = [w / sum(weights) for w in weights]
+        counts = apportion_blocks(total, fractions)
+        assert sum(counts) == total
+        assert all(c >= 0 for c in counts)
+        # Largest-remainder rounding is within one block of exact.
+        for count, fraction in zip(counts, fractions):
+            assert abs(count - fraction * total) <= 1.0 + 1e-9
+
+
+class TestProportionalDeal:
+    def test_exhausts_counts_exactly(self):
+        order = list(proportional_deal([3, 6]))
+        assert order.count(0) == 3
+        assert order.count(1) == 6
+
+    def test_interleaves_evenly(self):
+        order = list(proportional_deal([2, 4]))
+        # The double-rate stream never waits more than its share.
+        first_half = order[: len(order) // 2]
+        assert first_half.count(1) == 2
+
+    def test_empty(self):
+        assert list(proportional_deal([0, 0])) == []
+
+    def test_single_stream(self):
+        assert list(proportional_deal([4])) == [0, 0, 0, 0]
+
+    @given(counts=st.lists(st.integers(min_value=0, max_value=60),
+                           min_size=1, max_size=5))
+    def test_property_deal_is_a_permutation_of_counts(self, counts):
+        order = list(proportional_deal(counts))
+        assert len(order) == sum(counts)
+        for index, count in enumerate(counts):
+            assert order.count(index) == count
+
+
+class TestMaterializedLayout:
+    def _materialize(self, farm, sizes, fractions):
+        return MaterializedLayout(farm, sizes, fractions)
+
+    def test_extents_are_contiguous_per_disk(self, farm4):
+        mat = self._materialize(
+            farm4, {"a": 100, "b": 60},
+            {"a": (0.5, 0.5, 0.0, 0.0), "b": (0.5, 0.0, 0.5, 0.0)})
+        a_extents = mat.extents("a")
+        assert [e.disk for e in a_extents] == [0, 1]
+        assert a_extents[0].n_blocks == 50
+        # b starts on disk 0 after a's 50 blocks.
+        b0 = mat.extents("b")[0]
+        assert b0.disk == 0 and b0.start_lba == 50
+
+    def test_block_counts_match_fractions(self, farm4):
+        mat = self._materialize(farm4, {"a": 99},
+                                {"a": (1 / 3, 1 / 3, 1 / 3, 0.0)})
+        assert sum(mat.block_counts("a")) == 99
+
+    def test_logical_blocks_cover_object_once(self, farm4):
+        mat = self._materialize(farm4, {"a": 40},
+                                {"a": (0.25, 0.75, 0.0, 0.0)})
+        blocks = list(mat.logical_blocks("a"))
+        assert len(blocks) == 40
+        # Per disk, LBAs are strictly increasing and contiguous.
+        per_disk = {}
+        for disk, lba in blocks:
+            per_disk.setdefault(disk, []).append(lba)
+        for lbas in per_disk.values():
+            assert lbas == list(range(lbas[0], lbas[0] + len(lbas)))
+
+    def test_striping_interleaves_logical_order(self, farm4):
+        mat = self._materialize(farm4, {"a": 8},
+                                {"a": (0.5, 0.5, 0.0, 0.0)})
+        disks = [d for d, _ in mat.logical_blocks("a")]
+        # 50/50 striping alternates disks.
+        assert disks.count(0) == 4 and disks.count(1) == 4
+        assert disks[:2] in ([0, 1], [1, 0])
+
+    def test_capacity_violation_raises(self):
+        farm = uniform_farm(2, capacity_gb=0.001)  # 16 blocks/disk
+        with pytest.raises(LayoutError, match="over capacity"):
+            self._materialize(farm, {"a": 100}, {"a": (1.0, 0.0)})
+
+    def test_missing_fractions_rejected(self, farm4):
+        with pytest.raises(LayoutError):
+            self._materialize(farm4, {"a": 10}, {})
+
+    def test_wrong_row_length_rejected(self, farm4):
+        with pytest.raises(LayoutError):
+            self._materialize(farm4, {"a": 10}, {"a": (1.0,)})
+
+    def test_unknown_object_queries_raise(self, farm4):
+        mat = self._materialize(farm4, {"a": 10},
+                                {"a": (1.0, 0.0, 0.0, 0.0)})
+        with pytest.raises(LayoutError):
+            mat.extents("zzz")
+
+    def test_disk_fill_accounts_all_objects(self, farm4):
+        mat = self._materialize(
+            farm4, {"a": 10, "b": 6},
+            {"a": (1.0, 0.0, 0.0, 0.0), "b": (0.5, 0.5, 0.0, 0.0)})
+        assert mat.disk_fill(0) == 13
+        assert mat.disk_fill(1) == 3

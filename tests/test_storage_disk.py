@@ -1,0 +1,152 @@
+"""Tests for repro.storage.disk."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.storage.disk import (
+    BLOCK_BYTES,
+    Availability,
+    DiskFarm,
+    DiskSpec,
+    uniform_farm,
+    winbench_farm,
+)
+
+
+def spec(name="D1", capacity=1000, seek=0.008, read=20.0, write=18.0,
+         avail=Availability.NONE) -> DiskSpec:
+    return DiskSpec(name=name, capacity_blocks=capacity, avg_seek_s=seek,
+                    read_mb_s=read, write_mb_s=write, availability=avail)
+
+
+class TestDiskSpec:
+    def test_block_size_is_a_sql_server_extent(self):
+        assert BLOCK_BYTES == 8 * 8 * 1024
+
+    def test_capacity_bytes(self):
+        assert spec(capacity=16).capacity_bytes == 16 * BLOCK_BYTES
+
+    def test_read_rate_in_blocks(self):
+        disk = spec(read=20.0)
+        assert disk.read_blocks_s == pytest.approx(
+            20.0 * 1024 * 1024 / BLOCK_BYTES)
+
+    def test_write_rate_differs_from_read(self):
+        disk = spec(read=20.0, write=10.0)
+        assert disk.transfer_blocks_s(write=True) == \
+            pytest.approx(disk.write_blocks_s)
+        assert disk.write_blocks_s < disk.read_blocks_s
+
+    def test_transfer_seconds_inverse_of_rate(self):
+        disk = spec(read=20.0)
+        assert disk.transfer_seconds(disk.read_blocks_s) == \
+            pytest.approx(1.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"capacity": 0}, {"capacity": -5}, {"seek": 0.0},
+        {"read": 0.0}, {"write": -1.0},
+    ])
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(CatalogError):
+            spec(**kwargs)
+
+    def test_availability_values(self):
+        assert spec(avail=Availability.MIRRORING).availability \
+            is Availability.MIRRORING
+
+    def test_raid_write_penalties(self):
+        plain = spec(avail=Availability.NONE)
+        mirrored = spec(avail=Availability.MIRRORING)
+        parity = spec(avail=Availability.PARITY)
+        assert mirrored.write_blocks_s == \
+            pytest.approx(plain.write_blocks_s / 2)
+        assert parity.write_blocks_s == \
+            pytest.approx(plain.write_blocks_s / 4)
+        # Reads are unaffected by redundancy.
+        assert mirrored.read_blocks_s == plain.read_blocks_s
+
+    def test_write_penalty_reaches_the_cost_model(self):
+        """An UPDATE-heavy access costs more on a mirrored drive."""
+        from repro.core.costmodel import CostModel
+        from repro.core.layout import Layout, stripe_fractions
+        from repro.optimizer.operators import ObjectAccess
+        from repro.workload.access import SubplanAccess
+        subplan = SubplanAccess([ObjectAccess("t", 100.0, write=True)])
+        for avail, slower in ((Availability.MIRRORING, 2.0),
+                              (Availability.PARITY, 4.0)):
+            plain_farm = DiskFarm([spec("P", avail=Availability.NONE)])
+            raid_farm = DiskFarm([spec("R", avail=avail)])
+            plain_cost = CostModel(plain_farm).subplan_cost(
+                subplan, Layout(plain_farm, {"t": 100},
+                                {"t": (1.0,)}))
+            raid_cost = CostModel(raid_farm).subplan_cost(
+                subplan, Layout(raid_farm, {"t": 100}, {"t": (1.0,)}))
+            assert raid_cost == pytest.approx(plain_cost * slower)
+
+
+class TestDiskFarm:
+    def test_empty_farm_rejected(self):
+        with pytest.raises(CatalogError):
+            DiskFarm([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(CatalogError):
+            DiskFarm([spec("A"), spec("A")])
+
+    def test_indexing_and_iteration(self):
+        farm = DiskFarm([spec("A"), spec("B")])
+        assert len(farm) == 2
+        assert farm[1].name == "B"
+        assert [d.name for d in farm] == ["A", "B"]
+
+    def test_index_of(self):
+        farm = DiskFarm([spec("A"), spec("B")])
+        assert farm.index_of("B") == 1
+        with pytest.raises(CatalogError):
+            farm.index_of("missing")
+
+    def test_total_capacity(self):
+        farm = DiskFarm([spec("A", capacity=10), spec("B", capacity=20)])
+        assert farm.total_capacity_blocks == 30
+
+    def test_indices_by_read_rate_descending_with_stable_ties(self):
+        farm = DiskFarm([spec("A", read=10), spec("B", read=30),
+                         spec("C", read=10)])
+        assert farm.indices_by_read_rate() == [1, 0, 2]
+
+    def test_subset(self):
+        farm = DiskFarm([spec("A"), spec("B"), spec("C")])
+        sub = farm.subset([2, 0])
+        assert [d.name for d in sub] == ["A", "C"]
+
+
+class TestFactories:
+    def test_uniform_farm_is_uniform(self):
+        farm = uniform_farm(4, read_mb_s=25.0, seek_ms=7.0)
+        assert len(farm) == 4
+        assert len({d.read_mb_s for d in farm}) == 1
+        assert farm[0].avg_seek_s == pytest.approx(0.007)
+        assert farm[0].write_mb_s == pytest.approx(0.9 * 25.0)
+
+    def test_winbench_spread_is_exact(self):
+        farm = winbench_farm(8, base_read_mb_s=20.0, spread=0.30)
+        rates = [d.read_mb_s for d in farm]
+        assert max(rates) / min(rates) == pytest.approx(1.30)
+        seeks = [d.avg_seek_s for d in farm]
+        assert max(seeks) / min(seeks) == pytest.approx(1.30)
+
+    def test_winbench_fast_transfer_has_fast_seek(self):
+        farm = winbench_farm(8)
+        fastest = max(farm, key=lambda d: d.read_mb_s)
+        slowest = min(farm, key=lambda d: d.read_mb_s)
+        assert fastest.avg_seek_s < slowest.avg_seek_s
+
+    def test_winbench_deterministic(self):
+        a = winbench_farm(8, seed=5)
+        b = winbench_farm(8, seed=5)
+        assert [d.read_mb_s for d in a] == [d.read_mb_s for d in b]
+
+    def test_winbench_aggregate_capacity_matches_paper(self):
+        farm = winbench_farm(8, capacity_gb=6.0)
+        total_gb = farm.total_capacity_blocks * BLOCK_BYTES / 1024 ** 3
+        assert total_gb == pytest.approx(48.0, rel=0.01)

@@ -1,0 +1,111 @@
+"""Tests for the temp-aware cost-model extension.
+
+The paper's cost-model implementation ignored temp (tempdb) I/O and
+paid for it in the validation experiment.  The extension charges each
+subplan's temp streams to a dedicated temp drive that participates in
+the last-disk-to-finish max.
+"""
+
+import pytest
+
+from repro.core.costmodel import CostModel
+from repro.core.layout import Layout, stripe_fractions
+from repro.optimizer.operators import ObjectAccess
+from repro.optimizer.planner import TEMPDB
+from repro.storage.disk import DiskSpec, uniform_farm
+from repro.workload.access import SubplanAccess
+
+
+def _tempdb(read=10.0, seek_ms=10.0):
+    return DiskSpec("tempdb", capacity_blocks=100_000,
+                    avg_seek_s=seek_ms / 1000, read_mb_s=read,
+                    write_mb_s=read)
+
+
+class TestTempAwareCostModel:
+    def setup_method(self):
+        self.farm = uniform_farm(2, read_mb_s=10.0, seek_ms=10.0)
+        self.T = self.farm[0].read_blocks_s
+        self.layout = Layout(self.farm, {"A": 100}, {
+            "A": stripe_fractions([0, 1], self.farm)})
+
+    def test_default_model_ignores_temp(self):
+        model = CostModel(self.farm)
+        with_temp = SubplanAccess([
+            ObjectAccess("A", 100),
+            ObjectAccess(TEMPDB, 10_000, write=True)])
+        without = SubplanAccess([ObjectAccess("A", 100)])
+        assert model.subplan_cost(with_temp, self.layout) == \
+            pytest.approx(model.subplan_cost(without, self.layout))
+
+    def test_temp_transfer_charged(self):
+        model = CostModel(self.farm, tempdb=_tempdb())
+        subplan = SubplanAccess([ObjectAccess(TEMPDB, 320, write=True)])
+        assert model.subplan_cost(subplan, self.layout) == \
+            pytest.approx(320 / self.T)
+
+    def test_temp_participates_in_the_max(self):
+        """A huge spill dominates a small base-table read."""
+        model = CostModel(self.farm, tempdb=_tempdb())
+        subplan = SubplanAccess([
+            ObjectAccess("A", 10),
+            ObjectAccess(TEMPDB, 10_000, write=True)])
+        assert model.subplan_cost(subplan, self.layout) == \
+            pytest.approx(10_000 / self.T)
+
+    def test_small_temp_hidden_behind_base_io(self):
+        model = CostModel(self.farm, tempdb=_tempdb())
+        subplan = SubplanAccess([
+            ObjectAccess("A", 100),          # 50 blocks/disk
+            ObjectAccess(TEMPDB, 10, write=True)])
+        base_only = SubplanAccess([ObjectAccess("A", 100)])
+        assert model.subplan_cost(subplan, self.layout) == \
+            pytest.approx(model.subplan_cost(base_only, self.layout))
+
+    def test_spill_passes_are_sequential(self):
+        """A sort writes its run files fully before reading them back,
+        so the write and read streams pay transfer only — no Fig.-7
+        interleave seek term."""
+        model = CostModel(self.farm, tempdb=_tempdb())
+        subplan = SubplanAccess([
+            ObjectAccess(TEMPDB, 300, write=True),
+            ObjectAccess(TEMPDB, 150, write=False)])
+        assert model.subplan_cost(subplan, self.layout) == \
+            pytest.approx(450 / self.T)
+
+    def test_temp_awareness_changes_layout_comparisons(self, mini_db,
+                                                       farm8):
+        """Temp-heavy statements dilute layout differences — the
+        temp-aware model sees that, the paper's implementation doesn't."""
+        from repro.core.fullstripe import full_striping
+        from repro.optimizer.planner import Planner
+        from repro.workload.access import analyze_workload
+        from repro.workload.workload import Workload
+
+        workload = Workload()
+        workload.add("SELECT COUNT(*) FROM big b, mid m "
+                     "WHERE b.k = m.k", name="join")
+        workload.add("SELECT b.k, b.v, b.d FROM big b ORDER BY b.v",
+                     name="bigsort")
+        analyzed = analyze_workload(
+            workload, mini_db, Planner(mini_db, memory_blocks=64))
+        sizes = mini_db.object_sizes()
+        striped = full_striping(sizes, farm8)
+        fractions = {name: stripe_fractions(range(8), farm8)
+                     for name in sizes}
+        fractions["big"] = stripe_fractions(range(5), farm8)
+        fractions["mid"] = stripe_fractions(range(5, 8), farm8)
+        separated = Layout(farm8, sizes, fractions)
+
+        blind = CostModel(farm8)
+        aware = CostModel(farm8, tempdb=_tempdb(read=40.0, seek_ms=6.0))
+        blind_gain = blind.workload_cost(analyzed, striped) \
+            - blind.workload_cost(analyzed, separated)
+        aware_gain = aware.workload_cost(analyzed, striped) \
+            - aware.workload_cost(analyzed, separated)
+        # The absolute gain is the same (temp cost is layout-independent
+        # here), but the *relative* gain shrinks under the aware model.
+        assert aware_gain == pytest.approx(blind_gain, rel=0.01)
+        blind_rel = blind_gain / blind.workload_cost(analyzed, striped)
+        aware_rel = aware_gain / aware.workload_cost(analyzed, striped)
+        assert aware_rel < blind_rel

@@ -1,0 +1,69 @@
+"""Tests for workload representation and file round-trip."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.workload import Statement, Workload
+
+
+class TestStatement:
+    def test_defaults(self):
+        stmt = Statement("SELECT 1 FROM t")
+        assert stmt.weight == 1.0 and stmt.name is None
+
+    def test_empty_sql_rejected(self):
+        with pytest.raises(WorkloadError):
+            Statement("   ")
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(WorkloadError):
+            Statement("SELECT 1 FROM t", weight=0)
+
+
+class TestWorkload:
+    def test_add_and_iterate(self):
+        workload = Workload(name="w")
+        workload.add("SELECT a FROM t", weight=2.0, name="q1")
+        workload.add("SELECT b FROM t")
+        assert len(workload) == 2
+        assert workload[0].name == "q1"
+        assert workload.total_weight == 3.0
+
+    def test_scaled(self):
+        workload = Workload([Statement("SELECT 1 FROM t", weight=2.0)])
+        scaled = workload.scaled(3.0)
+        assert scaled[0].weight == 6.0
+        assert workload[0].weight == 2.0  # original untouched
+
+    def test_round_trip(self, tmp_path):
+        workload = Workload(name="rt")
+        workload.add("SELECT a FROM t WHERE x = 1", weight=4.0,
+                     name="q1")
+        workload.add("SELECT b\nFROM u", name="q2")
+        path = tmp_path / "w.sql"
+        workload.save(path)
+        loaded = Workload.load(path)
+        assert len(loaded) == 2
+        assert loaded[0].weight == 4.0
+        assert loaded[0].name == "q1"
+        assert "SELECT a FROM t" in loaded[0].sql
+        assert loaded[1].weight == 1.0
+
+    def test_load_plain_sql_file(self, tmp_path):
+        path = tmp_path / "plain.sql"
+        path.write_text("SELECT 1 FROM t;\n-- a comment\n"
+                        "SELECT 2 FROM u;\n")
+        loaded = Workload.load(path)
+        assert len(loaded) == 2
+        assert loaded.name == "plain"
+
+    def test_load_statement_without_trailing_semicolon(self, tmp_path):
+        path = tmp_path / "w.sql"
+        path.write_text("SELECT 1 FROM t")
+        assert len(Workload.load(path)) == 1
+
+    def test_load_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.sql"
+        path.write_text("-- nothing here\n")
+        with pytest.raises(WorkloadError):
+            Workload.load(path)

@@ -1,0 +1,126 @@
+"""Tests for plan decomposition into non-blocking subplans."""
+
+import pytest
+
+from repro.optimizer import operators as ops
+from repro.workload.access import (
+    SubplanAccess,
+    analyze_workload,
+    decompose,
+)
+from repro.workload.workload import Workload
+
+
+def scan(name, blocks, rows=100.0):
+    return ops.TableScanOp(name, name, blocks=blocks, rows_out=rows)
+
+
+class TestDecompose:
+    def test_single_scan_one_subplan(self):
+        subplans = decompose(scan("a", 10))
+        assert len(subplans) == 1
+        assert subplans[0].objects() == {"a"}
+
+    def test_merge_join_one_subplan(self):
+        plan = ops.MergeJoinOp(scan("a", 10), scan("b", 20),
+                               rows_out=50)
+        subplans = decompose(plan)
+        assert len(subplans) == 1
+        assert subplans[0].objects() == {"a", "b"}
+
+    def test_hash_join_cuts_build_side(self):
+        plan = ops.HashJoinOp(scan("a", 10), scan("b", 20), rows_out=50)
+        subplans = decompose(plan)
+        assert sorted(s.objects() for s in subplans) == \
+            [{"a"}, {"b"}] or \
+            sorted((sorted(s.objects()) for s in subplans)) == \
+            [["a"], ["b"]]
+
+    def test_sort_cuts_input(self):
+        plan = ops.SortOp(ops.MergeJoinOp(scan("a", 10), scan("b", 20),
+                                          rows_out=50),
+                          rows_out=50, order=(("a", "x"),))
+        subplans = decompose(plan)
+        assert len(subplans) == 1
+        assert subplans[0].objects() == {"a", "b"}
+
+    def test_paper_example3_shape(self):
+        """A blocking sort between two join pipelines separates them."""
+        lower = ops.MergeJoinOp(scan("nation", 1), scan("orders", 100),
+                                rows_out=100)
+        sorted_lower = ops.SortOp(lower, rows_out=100,
+                                  order=(("orders", "k"),))
+        upper = ops.MergeJoinOp(
+            sorted_lower,
+            ops.MergeJoinOp(scan("lineitem", 400),
+                            scan("supplier", 10), rows_out=400),
+            rows_out=400)
+        groups = [s.objects() for s in decompose(upper)]
+        assert {"nation", "orders"} in groups
+        assert {"lineitem", "supplier"} in groups
+        assert not any("orders" in g and "lineitem" in g for g in groups)
+
+    def test_accesses_above_blocking_edge_join_parent_group(self):
+        # Probe side of a hash join pipelines into the parent.
+        probe = scan("probe", 100)
+        build = scan("build", 10)
+        join = ops.HashJoinOp(build, probe, rows_out=100)
+        parent = ops.MergeJoinOp(join, scan("other", 50), rows_out=100)
+        groups = [s.objects() for s in decompose(parent)]
+        assert {"probe", "other"} in groups
+        assert {"build"} in groups
+
+    def test_empty_subplans_dropped(self):
+        agg = ops.HashAggregateOp(scan("a", 10), rows_out=5)
+        top = ops.TopOp(agg, rows_out=3)  # no accesses above the cut
+        subplans = decompose(top)
+        assert len(subplans) == 1
+
+    def test_same_object_twice_in_one_subplan_merges(self):
+        plan = ops.MergeJoinOp(scan("a", 10), scan("a", 5), rows_out=10)
+        subplan = decompose(plan)[0]
+        blocks = subplan.blocks_by_object()
+        assert blocks[("a", False)] == 15.0
+
+    def test_reads_and_writes_tracked_separately(self):
+        dml = ops.DmlOp("UPDATE", scan("t", 10),
+                        [ops.ObjectAccess("t", 4.0, write=True)],
+                        rows_affected=100)
+        blocks = decompose(dml)[0].blocks_by_object()
+        assert blocks[("t", False)] == 10.0
+        assert blocks[("t", True)] == 4.0
+
+    def test_temp_excluded_unless_requested(self):
+        sort = ops.SortOp(scan("a", 10), rows_out=100,
+                          order=(("a", "x"),),
+                          spill_accesses=[
+                              ops.ObjectAccess("tempdb", 5.0,
+                                               write=True)])
+        subplans = decompose(sort)
+        combined = {}
+        for s in subplans:
+            combined.update(s.blocks_by_object(include_temp=True))
+        assert ("tempdb", True) in combined
+        without = {}
+        for s in subplans:
+            without.update(s.blocks_by_object())
+        assert ("tempdb", True) not in without
+
+
+class TestAnalyzeWorkload:
+    def test_analyze_caches_plans_and_subplans(self, mini_db,
+                                               join_workload):
+        analyzed = analyze_workload(join_workload, mini_db)
+        assert len(analyzed) == 2
+        assert analyzed.statements[0].plan is not None
+        assert analyzed.statements[0].subplans
+
+    def test_referenced_objects(self, mini_db, join_workload):
+        analyzed = analyze_workload(join_workload, mini_db)
+        assert analyzed.referenced_objects() >= {"big", "mid"}
+
+    def test_weights_carried(self, mini_db):
+        workload = Workload()
+        workload.add("SELECT COUNT(*) FROM big b", weight=5.0)
+        analyzed = analyze_workload(workload, mini_db)
+        assert analyzed.statements[0].weight == 5.0
