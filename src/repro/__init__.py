@@ -77,6 +77,15 @@ from repro.core import (
     stripe_fractions,
 )
 from repro.simulator import SimulationReport, WorkloadSimulator
+from repro.obs import (
+    MetricsRegistry,
+    NULL_METRICS,
+    NULL_TRACER,
+    NullMetrics,
+    NullTracer,
+    Span,
+    Tracer,
+)
 
 __version__ = "1.0.0"
 
@@ -102,5 +111,8 @@ __all__ = [
     "full_striping", "random_layout", "stripe_fractions",
     # simulator
     "SimulationReport", "WorkloadSimulator",
+    # observability
+    "MetricsRegistry", "NULL_METRICS", "NULL_TRACER", "NullMetrics",
+    "NullTracer", "Span", "Tracer",
     "__version__",
 ]

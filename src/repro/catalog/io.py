@@ -254,3 +254,67 @@ def save_layout(layout: Layout, path: str | Path) -> None:
 def load_layout(path: str | Path, farm: DiskFarm) -> Layout:
     """Read a layout from JSON."""
     return layout_from_dict(json.loads(Path(path).read_text()), farm)
+
+
+# -- recommendation --------------------------------------------------------------
+
+
+def recommendation_to_dict(recommendation) -> dict[str, Any]:
+    """The JSON-ready form of an advisor recommendation.
+
+    Serializes the layout, the cost comparison (all coerced to plain
+    floats), the per-statement breakdown, and — when the search carried
+    telemetry — the :meth:`SearchResult.telemetry_dict` payload, so a
+    recommendation round-trips losslessly through ``json.dumps``.
+    """
+    rec = recommendation
+    out: dict[str, Any] = {
+        "layout": layout_to_dict(rec.layout),
+        "estimated_cost": float(rec.estimated_cost),
+        "current_cost": float(rec.current_cost),
+        "improvement_pct": float(rec.improvement_pct),
+        "per_statement": [
+            [str(name), float(current), float(proposed)]
+            for name, current, proposed in rec.per_statement],
+    }
+    if rec.current_layout is not None:
+        out["current_layout"] = layout_to_dict(rec.current_layout)
+        movement = rec.data_movement_blocks
+        if movement is not None:
+            out["data_movement_blocks"] = float(movement)
+    if rec.search is not None:
+        out["search"] = rec.search.telemetry_dict()
+    return out
+
+
+def recommendation_from_dict(data: dict[str, Any], farm: DiskFarm):
+    """Rebuild a recommendation from its JSON form.
+
+    Search telemetry is restored as the raw telemetry dict (the
+    ``search_telemetry`` attribute is not reattached as a
+    ``SearchResult`` — the layouts it referenced are gone); everything
+    a report needs is reconstructed.
+    """
+    from repro.core.advisor import Recommendation
+    current = None
+    if "current_layout" in data:
+        current = layout_from_dict(data["current_layout"], farm)
+    return Recommendation(
+        layout=layout_from_dict(data["layout"], farm),
+        estimated_cost=float(data["estimated_cost"]),
+        current_cost=float(data["current_cost"]),
+        per_statement=[(name, float(c), float(p))
+                       for name, c, p in data.get("per_statement", ())],
+        current_layout=current)
+
+
+def save_recommendation(recommendation, path: str | Path) -> None:
+    """Write a recommendation (costs, layout, telemetry) as JSON."""
+    Path(path).write_text(
+        json.dumps(recommendation_to_dict(recommendation), indent=2))
+
+
+def load_recommendation(path: str | Path, farm: DiskFarm):
+    """Read a recommendation from JSON."""
+    return recommendation_from_dict(
+        json.loads(Path(path).read_text()), farm)

@@ -10,12 +10,18 @@ Subcommands::
     repro-advisor recommend  --database db.json --disks disks.json \\
                              --workload w.sql [--constraints c.json] \\
                              [--method ts-greedy] [--k 1] \\
-                             [--save-layout out.json] [--script]
+                             [--save-layout out.json] [--script] \\
+                             [--trace trace.json] [--metrics] [-v]
     repro-advisor analyze    --database db.json --workload w.sql
     repro-advisor estimate   --database db.json --disks disks.json \\
                              --workload w.sql --layout l.json ...
     repro-advisor simulate   --database db.json --disks disks.json \\
                              --workload w.sql --layout l.json
+
+Observability (see ``docs/observability.md``): ``--trace out.json``
+writes the advisor run's span tree as JSON, ``--metrics`` prints the
+metric summary, ``-v`` prints the span tree and enables INFO logging,
+``-vv`` enables DEBUG logging (per-iteration search progress).
 
 Run any subcommand with ``-h`` for the full options.
 """
@@ -23,6 +29,7 @@ Run any subcommand with ``-h`` for the full options.
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from pathlib import Path
 
@@ -32,12 +39,14 @@ from repro.catalog.io import (
     load_farm,
     load_layout,
     save_layout,
+    save_recommendation,
 )
 from repro.core.advisor import LayoutAdvisor
 from repro.core.costmodel import CostModel
 from repro.core.fullstripe import full_striping
 from repro.core.report import render_filegroup_script, render_report
 from repro.errors import ReproError
+from repro.obs import MetricsRegistry, Tracer
 from repro.optimizer.explain import explain
 from repro.simulator.measure import WorkloadSimulator
 from repro.workload.access import analyze_workload
@@ -55,6 +64,24 @@ def _add_common_inputs(parser: argparse.ArgumentParser,
     if with_disks:
         parser.add_argument("--disks", required=True, type=Path,
                             help="disk-drive list JSON")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="-v: span tree + INFO logs; -vv: DEBUG "
+                             "logs (per-iteration search progress)")
+
+
+def _configure_logging(verbosity: int) -> None:
+    """Wire ``repro.*`` loggers to stderr at the requested level.
+
+    Only the CLI may call ``logging.basicConfig``; library modules only
+    ever create loggers (``logging.getLogger("repro.…")``).
+    """
+    if verbosity <= 0:
+        return
+    level = logging.INFO if verbosity == 1 else logging.DEBUG
+    logging.basicConfig(
+        stream=sys.stderr, level=level,
+        format="%(levelname)s %(name)s: %(message)s")
+    logging.getLogger("repro").setLevel(level)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -68,7 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
     rec = sub.add_parser("recommend",
                          help="recommend a layout for a workload")
     _add_common_inputs(rec, workload_required=False)
-    rec.add_argument("--trace", type=Path,
+    rec.add_argument("--profile-trace", type=Path,
                      help="profiler trace CSV (start,end,sql); derives "
                           "both the workload and the overlap spec — "
                           "an alternative to --workload")
@@ -89,6 +116,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="overlap spec JSON: {\"groups\": [[0, 1]], "
                           "\"overlap_factor\": 0.5} — statements in a "
                           "group are treated as co-executing")
+    rec.add_argument("--trace", type=Path, metavar="OUT_JSON",
+                     help="write the advisor run's span tree as JSON")
+    rec.add_argument("--metrics", action="store_true",
+                     help="print the metric summary after the report")
+    rec.add_argument("--save-recommendation", type=Path,
+                     help="write the full recommendation (layout, "
+                          "costs, search telemetry) as JSON")
 
     ana = sub.add_parser("analyze",
                          help="show plans and the access graph")
@@ -127,16 +161,21 @@ def cmd_recommend(args: argparse.Namespace) -> int:
     db = load_database(args.database)
     farm = load_farm(args.disks)
     trace_spec = None
-    if args.trace is not None:
+    if args.profile_trace is not None:
         from repro.workload.profiler import load_trace
-        workload, trace_spec = load_trace(args.trace)
+        workload, trace_spec = load_trace(args.profile_trace)
     elif args.workload is not None:
         workload = Workload.load(args.workload)
     else:
-        print("error: provide --workload or --trace", file=sys.stderr)
+        print("error: provide --workload or --profile-trace",
+              file=sys.stderr)
         return 2
     constraints = _load_constraints(args, farm, db)
-    advisor = LayoutAdvisor(db, farm, constraints=constraints)
+    observing = bool(args.trace or args.metrics or args.verbose)
+    tracer = Tracer() if observing else None
+    metrics = MetricsRegistry() if observing else None
+    advisor = LayoutAdvisor(db, farm, constraints=constraints,
+                            tracer=tracer, metrics=metrics)
     current = None
     if args.current_layout:
         current = load_layout(args.current_layout, farm)
@@ -164,6 +203,19 @@ def cmd_recommend(args: argparse.Namespace) -> int:
     if args.save_layout:
         save_layout(recommendation.layout, args.save_layout)
         print(f"\nlayout written to {args.save_layout}")
+    if args.save_recommendation:
+        save_recommendation(recommendation, args.save_recommendation)
+        print(f"\nrecommendation written to {args.save_recommendation}")
+    if args.verbose and tracer is not None:
+        print()
+        print("=== trace ===")
+        print(tracer.render_tree())
+    if args.metrics and metrics is not None:
+        print()
+        print(metrics.render())
+    if args.trace and tracer is not None:
+        tracer.write_json(args.trace)
+        print(f"\ntrace written to {args.trace}")
     return 0
 
 
@@ -239,6 +291,7 @@ _COMMANDS = {
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    _configure_logging(getattr(args, "verbose", 0))
     try:
         return _COMMANDS[args.command](args)
     except ReproError as error:

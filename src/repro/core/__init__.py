@@ -21,8 +21,8 @@ from repro.core.constraints import (
     MaxDataMovement,
 )
 from repro.core.fullstripe import full_striping
-from repro.core.partitioning import partition_access_graph
-from repro.core.greedy import TsGreedySearch
+from repro.core.partitioning import PartitionStats, partition_access_graph
+from repro.core.greedy import GreedyStep, SearchResult, TsGreedySearch
 from repro.core.exhaustive import exhaustive_search
 from repro.core.annealing import annealing_search
 from repro.core.random_layout import random_layout
@@ -38,7 +38,10 @@ __all__ = [
     "ConstraintSet",
     "MaxDataMovement",
     "full_striping",
+    "GreedyStep",
+    "PartitionStats",
     "partition_access_graph",
+    "SearchResult",
     "TsGreedySearch",
     "exhaustive_search",
     "annealing_search",

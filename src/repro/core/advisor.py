@@ -8,6 +8,7 @@ exactly the tool interface the paper describes.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 from repro.catalog.schema import Database
@@ -18,11 +19,14 @@ from repro.core.fullstripe import full_striping
 from repro.core.greedy import SearchResult, TsGreedySearch
 from repro.core.layout import Layout
 from repro.errors import LayoutError
+from repro.obs import NULL_METRICS, NULL_TRACER
 from repro.optimizer.planner import Planner
 from repro.storage.disk import DiskFarm
 from repro.workload.access import AnalyzedWorkload, analyze_workload
 from repro.workload.access_graph import AccessGraph, build_access_graph
 from repro.workload.workload import Workload
+
+logger = logging.getLogger("repro.core.advisor")
 
 
 @dataclass
@@ -72,31 +76,48 @@ class LayoutAdvisor:
         farm: Available disk drives with their characteristics.
         constraints: Optional manageability/availability constraints.
         planner: Optional custom planner (defaults to one over ``db``).
+        tracer: Optional :class:`repro.obs.Tracer`; every pipeline phase
+            of :meth:`recommend` emits a span under a ``recommend`` root.
+        metrics: Optional :class:`repro.obs.MetricsRegistry`; the
+            pipeline's components record their instruments into it.
+
+    With neither ``tracer`` nor ``metrics`` the no-op implementations
+    are used: results are bit-identical and the overhead is a handful of
+    cheap method calls per phase (nothing per candidate layout).
     """
 
     def __init__(self, db: Database, farm: DiskFarm,
                  constraints: ConstraintSet | None = None,
-                 planner: Planner | None = None):
+                 planner: Planner | None = None,
+                 tracer=None, metrics=None):
         self._db = db
         self._farm = farm
         self._constraints = constraints or ConstraintSet()
         self._planner = planner or Planner(db)
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._metrics = metrics if metrics is not None else NULL_METRICS
 
     # -- analysis --------------------------------------------------------------
 
     def analyze(self, workload: Workload) -> AnalyzedWorkload:
         """Run the Analyze Workload component (plan, decompose)."""
-        return analyze_workload(workload, self._db, self._planner)
+        return analyze_workload(workload, self._db, self._planner,
+                                tracer=self._tracer,
+                                metrics=self._metrics)
 
     def access_graph(self, analyzed: AnalyzedWorkload) -> AccessGraph:
         """Build the co-access graph for an analyzed workload."""
-        return build_access_graph(analyzed, self._db)
+        return build_access_graph(analyzed, self._db,
+                                  tracer=self._tracer,
+                                  metrics=self._metrics)
 
     def evaluator(self,
                   analyzed: AnalyzedWorkload) -> WorkloadCostEvaluator:
         """Precompile the workload for repeated cost evaluation."""
-        return WorkloadCostEvaluator(analyzed, self._farm,
-                                     sorted(self._db.object_sizes()))
+        with self._tracer.span("build-evaluator"):
+            return WorkloadCostEvaluator(analyzed, self._farm,
+                                         sorted(self._db.object_sizes()),
+                                         metrics=self._metrics)
 
     # -- recommendation -----------------------------------------------------------
 
@@ -119,55 +140,76 @@ class LayoutAdvisor:
             A :class:`Recommendation`; its ``improvement_pct`` is the
             estimate the tool reports to the DBA.
         """
-        analyzed = workload if isinstance(workload, AnalyzedWorkload) \
-            else self.analyze(workload)
-        sizes = self._db.object_sizes()
-        if current_layout is None:
-            current_layout = full_striping(sizes, self._farm)
-        evaluator = self.evaluator(analyzed)
-        if method == "ts-greedy":
-            graph = self.access_graph(analyzed)
-            search = TsGreedySearch(self._farm, evaluator, sizes,
-                                    constraints=self._constraints, k=k)
-            initial = current_layout \
-                if self._constraints.movement is not None else None
-            result = search.search(graph, initial_layout=initial)
-        elif method == "full-striping":
-            layout = full_striping(sizes, self._farm)
-            result = SearchResult(layout=layout,
-                                  cost=evaluator.cost(layout),
-                                  initial_cost=evaluator.cost(layout))
-        elif method == "exhaustive":
-            result = exhaustive_search(self._farm, evaluator, sizes,
-                                       constraints=self._constraints)
-        else:
-            raise LayoutError(f"unknown search method {method!r}")
-        self._constraints.check(result.layout)
-        current_cost = evaluator.cost(current_layout)
-        # Never recommend a layout the model scores worse than what the
-        # DBA already has, provided keeping it is actually allowed.
-        if result.cost > current_cost \
-                and self._constraints.is_satisfied(current_layout):
-            result = SearchResult(layout=current_layout,
-                                  cost=current_cost,
-                                  initial_cost=result.initial_cost,
-                                  iterations=result.iterations,
-                                  evaluations=result.evaluations,
-                                  elapsed_s=result.elapsed_s)
-        model = CostModel(self._farm)
-        per_statement = []
-        for index, analyzed_stmt in enumerate(analyzed):
-            name = analyzed_stmt.statement.name or f"stmt{index + 1}"
-            per_statement.append((
-                name,
-                model.statement_cost(analyzed_stmt, current_layout),
-                model.statement_cost(analyzed_stmt, result.layout)))
-        return Recommendation(layout=result.layout,
-                              estimated_cost=result.cost,
-                              current_cost=current_cost,
-                              per_statement=per_statement,
-                              search=result,
-                              current_layout=current_layout)
+        with self._tracer.span("recommend", method=method) as root:
+            analyzed = workload if isinstance(workload, AnalyzedWorkload) \
+                else self.analyze(workload)
+            sizes = self._db.object_sizes()
+            if current_layout is None:
+                with self._tracer.span("baseline-layout"):
+                    current_layout = full_striping(sizes, self._farm)
+            evaluator = self.evaluator(analyzed)
+            if method == "ts-greedy":
+                graph = self.access_graph(analyzed)
+                search = TsGreedySearch(self._farm, evaluator, sizes,
+                                        constraints=self._constraints,
+                                        k=k, tracer=self._tracer,
+                                        metrics=self._metrics)
+                initial = current_layout \
+                    if self._constraints.movement is not None else None
+                result = search.search(graph, initial_layout=initial)
+            elif method == "full-striping":
+                with self._tracer.span("full-striping"):
+                    layout = full_striping(sizes, self._farm)
+                    result = SearchResult(layout=layout,
+                                          cost=evaluator.cost(layout),
+                                          initial_cost=evaluator.cost(
+                                              layout))
+            elif method == "exhaustive":
+                with self._tracer.span("exhaustive") as span:
+                    result = exhaustive_search(
+                        self._farm, evaluator, sizes,
+                        constraints=self._constraints)
+                    span.set("evaluations", result.evaluations)
+            else:
+                raise LayoutError(f"unknown search method {method!r}")
+            self._constraints.check(result.layout)
+            with self._tracer.span("score-current"):
+                current_cost = evaluator.cost(current_layout)
+            # Never recommend a layout the model scores worse than what
+            # the DBA already has, provided keeping it is allowed.
+            if result.cost > current_cost \
+                    and self._constraints.is_satisfied(current_layout):
+                logger.info(
+                    "search result (%.3f) is worse than the current "
+                    "layout (%.3f); keeping the current layout",
+                    result.cost, current_cost)
+                result = result.with_layout(current_layout,
+                                            current_cost)
+            with self._tracer.span("per-statement-costs"):
+                model = CostModel(self._farm)
+                per_statement = []
+                for index, analyzed_stmt in enumerate(analyzed):
+                    name = analyzed_stmt.statement.name \
+                        or f"stmt{index + 1}"
+                    per_statement.append((
+                        name,
+                        model.statement_cost(analyzed_stmt,
+                                             current_layout),
+                        model.statement_cost(analyzed_stmt,
+                                             result.layout)))
+            recommendation = Recommendation(
+                layout=result.layout, estimated_cost=result.cost,
+                current_cost=current_cost, per_statement=per_statement,
+                search=result, current_layout=current_layout)
+            root.set("improvement_pct",
+                     round(recommendation.improvement_pct, 3))
+            self._metrics.set_gauge("advisor.improvement_pct",
+                                    recommendation.improvement_pct)
+            logger.info(
+                "recommendation: %.3fs -> %.3fs (%.1f%% improvement, "
+                "method=%s)", current_cost, result.cost,
+                recommendation.improvement_pct, method)
+            return recommendation
 
     def recommend_concurrent(self, workload: "Workload | AnalyzedWorkload",
                              spec,
@@ -193,32 +235,39 @@ class LayoutAdvisor:
             build_access_graph_concurrent,
             concurrent_cost_workload,
         )
-        analyzed = workload if isinstance(workload, AnalyzedWorkload) \
-            else self.analyze(workload)
-        sizes = self._db.object_sizes()
-        if current_layout is None:
-            current_layout = full_striping(sizes, self._farm)
-        expanded = concurrent_cost_workload(analyzed, spec)
-        evaluator = WorkloadCostEvaluator(expanded, self._farm,
-                                          sorted(sizes))
-        graph = build_access_graph_concurrent(analyzed, spec, self._db)
-        search = TsGreedySearch(self._farm, evaluator, sizes,
-                                constraints=self._constraints, k=k)
-        initial = current_layout \
-            if self._constraints.movement is not None else None
-        result = search.search(graph, initial_layout=initial)
-        self._constraints.check(result.layout)
-        current_cost = evaluator.cost(current_layout)
-        if result.cost > current_cost \
-                and self._constraints.is_satisfied(current_layout):
-            result = SearchResult(layout=current_layout,
-                                  cost=current_cost,
-                                  initial_cost=result.initial_cost,
-                                  iterations=result.iterations,
-                                  evaluations=result.evaluations,
-                                  elapsed_s=result.elapsed_s)
-        return Recommendation(layout=result.layout,
-                              estimated_cost=result.cost,
-                              current_cost=current_cost,
-                              search=result,
-                              current_layout=current_layout)
+        with self._tracer.span("recommend-concurrent"):
+            analyzed = workload \
+                if isinstance(workload, AnalyzedWorkload) \
+                else self.analyze(workload)
+            sizes = self._db.object_sizes()
+            if current_layout is None:
+                with self._tracer.span("baseline-layout"):
+                    current_layout = full_striping(sizes, self._farm)
+            with self._tracer.span("expand-concurrency"):
+                expanded = concurrent_cost_workload(analyzed, spec)
+            with self._tracer.span("build-evaluator"):
+                evaluator = WorkloadCostEvaluator(
+                    expanded, self._farm, sorted(sizes),
+                    metrics=self._metrics)
+            with self._tracer.span("build-access-graph"):
+                graph = build_access_graph_concurrent(analyzed, spec,
+                                                      self._db)
+            search = TsGreedySearch(self._farm, evaluator, sizes,
+                                    constraints=self._constraints, k=k,
+                                    tracer=self._tracer,
+                                    metrics=self._metrics)
+            initial = current_layout \
+                if self._constraints.movement is not None else None
+            result = search.search(graph, initial_layout=initial)
+            self._constraints.check(result.layout)
+            with self._tracer.span("score-current"):
+                current_cost = evaluator.cost(current_layout)
+            if result.cost > current_cost \
+                    and self._constraints.is_satisfied(current_layout):
+                result = result.with_layout(current_layout,
+                                            current_cost)
+            return Recommendation(layout=result.layout,
+                                  estimated_cost=result.cost,
+                                  current_cost=current_cost,
+                                  search=result,
+                                  current_layout=current_layout)

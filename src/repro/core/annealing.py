@@ -17,6 +17,7 @@ the exhaustive baseline explore.
 
 from __future__ import annotations
 
+import logging
 import math
 import random
 from typing import Mapping
@@ -29,7 +30,10 @@ from repro.core.fullstripe import full_striping
 from repro.core.greedy import SearchResult
 from repro.core.layout import Layout, stripe_fractions
 from repro.errors import LayoutError
+from repro.obs import NULL_METRICS, NULL_TRACER
 from repro.storage.disk import DiskFarm
+
+logger = logging.getLogger("repro.core.annealing")
 
 
 def annealing_search(farm: DiskFarm,
@@ -40,6 +44,7 @@ def annealing_search(farm: DiskFarm,
                      initial_temperature: float | None = None,
                      cooling: float = 0.995,
                      constraints: ConstraintSet | None = None,
+                     tracer=None, metrics=None,
                      ) -> SearchResult:
     """Anneal over rate-proportionally-striped layouts.
 
@@ -55,12 +60,20 @@ def annealing_search(farm: DiskFarm,
         cooling: Geometric cooling factor per accepted-or-rejected step.
         constraints: Only capacity is enforced here (the baseline is
             deliberately generic); richer constraints reject proposals.
+        tracer: Optional :class:`repro.obs.Tracer`; emits one
+            ``annealing`` span.
+        metrics: Optional :class:`repro.obs.MetricsRegistry`; records
+            ``annealing.proposals`` / ``annealing.accepted`` /
+            ``annealing.rejected`` / ``annealing.infeasible`` counters.
 
     Returns:
-        A :class:`SearchResult` with the best layout visited.
+        A :class:`SearchResult` with the best layout visited; its
+        ``extras`` carry the accept/reject/infeasible counts.
     """
     if iterations < 1:
         raise LayoutError("iterations must be positive")
+    tracer = tracer if tracer is not None else NULL_TRACER
+    metrics = metrics if metrics is not None else NULL_METRICS
     constraints = constraints or ConstraintSet()
     rng = random.Random(seed)
     names = evaluator.object_names
@@ -82,40 +95,58 @@ def annealing_search(farm: DiskFarm,
     disk_used = np.array([current_layout.disk_used_blocks(j)
                           for j in range(m)])
     evaluations = 0
-    for _ in range(iterations):
-        name = rng.choice(names)
-        disks_now = [j for j, f in enumerate(current[name]) if f > 0]
-        kind = rng.random()
-        if kind < 0.4 and len(disks_now) < m:         # add a disk
-            choice = rng.choice([j for j in range(m)
-                                 if j not in disks_now])
-            proposal = sorted(disks_now + [choice])
-        elif kind < 0.7 and len(disks_now) > 1:       # drop a disk
-            victim = rng.choice(disks_now)
-            proposal = [j for j in disks_now if j != victim]
-        else:                                         # random jump
-            size = rng.randint(1, m)
-            proposal = sorted(rng.sample(range(m), size))
-        row = np.array(stripe_fractions(proposal, farm))
-        old_row = np.array(current[name])
-        delta_use = sizes[name] * (row - old_row)
-        if np.any(disk_used + delta_use > capacity + 1e-9):
+    accepted = rejected = infeasible = 0
+    with tracer.span("annealing", iterations=iterations,
+                     seed=seed) as span:
+        for _ in range(iterations):
+            name = rng.choice(names)
+            disks_now = [j for j, f in enumerate(current[name]) if f > 0]
+            kind = rng.random()
+            if kind < 0.4 and len(disks_now) < m:         # add a disk
+                choice = rng.choice([j for j in range(m)
+                                     if j not in disks_now])
+                proposal = sorted(disks_now + [choice])
+            elif kind < 0.7 and len(disks_now) > 1:       # drop a disk
+                victim = rng.choice(disks_now)
+                proposal = [j for j in disks_now if j != victim]
+            else:                                         # random jump
+                size = rng.randint(1, m)
+                proposal = sorted(rng.sample(range(m), size))
+            row = np.array(stripe_fractions(proposal, farm))
+            old_row = np.array(current[name])
+            delta_use = sizes[name] * (row - old_row)
+            if np.any(disk_used + delta_use > capacity + 1e-9):
+                infeasible += 1
+                temperature *= cooling
+                continue
+            candidate_cost = evaluator.cost_with_row(name, row)
+            evaluations += 1
+            delta = candidate_cost - cost
+            if delta <= 0 or rng.random() < math.exp(
+                    -delta / max(temperature, 1e-12)):
+                accepted += 1
+                current[name] = list(row)
+                disk_used += delta_use
+                matrix = np.array([current[n] for n in names])
+                cost = evaluator.set_base(matrix)
+                if cost < best_cost:
+                    best_cost = cost
+                    best = {n: tuple(r) for n, r in current.items()}
+            else:
+                rejected += 1
             temperature *= cooling
-            continue
-        candidate_cost = evaluator.cost_with_row(name, row)
-        evaluations += 1
-        delta = candidate_cost - cost
-        if delta <= 0 or rng.random() < math.exp(
-                -delta / max(temperature, 1e-12)):
-            current[name] = list(row)
-            disk_used += delta_use
-            matrix = np.array([current[n] for n in names])
-            cost = evaluator.set_base(matrix)
-            if cost < best_cost:
-                best_cost = cost
-                best = {n: tuple(r) for n, r in current.items()}
-        temperature *= cooling
+        span.set("accepted", accepted)
+        span.set("rejected", rejected)
+        span.set("infeasible", infeasible)
 
+    metrics.inc("annealing.proposals", iterations)
+    metrics.inc("annealing.accepted", accepted)
+    metrics.inc("annealing.rejected", rejected)
+    metrics.inc("annealing.infeasible", infeasible)
+    logger.info(
+        "annealing: cost %.3f -> %.3f (%d proposals: %d accepted, "
+        "%d rejected, %d infeasible)", initial_cost, best_cost,
+        iterations, accepted, rejected, infeasible)
     layout = Layout(farm, sizes, best)
     if not constraints.is_satisfied(layout):
         raise LayoutError(
@@ -124,4 +155,7 @@ def annealing_search(farm: DiskFarm,
     return SearchResult(layout=layout, cost=best_cost,
                         initial_cost=initial_cost,
                         iterations=iterations,
-                        evaluations=evaluations)
+                        evaluations=evaluations,
+                        extras={"accepted": float(accepted),
+                                "rejected": float(rejected),
+                                "infeasible": float(infeasible)})

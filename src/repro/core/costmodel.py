@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.core.layout import Layout
 from repro.errors import LayoutError
+from repro.obs import NULL_METRICS
 from repro.storage.disk import DiskFarm, DiskSpec
 from repro.workload.access import (
     AnalyzedStatement,
@@ -141,10 +142,13 @@ class WorkloadCostEvaluator:
         farm: The disk farm candidate layouts are defined over.
         object_names: Row order of the layout matrices to evaluate;
             must match the layouts passed in later.
+        metrics: Optional :class:`repro.obs.MetricsRegistry`; records
+            ``costmodel.*`` evaluation counters.
     """
 
     def __init__(self, workload: AnalyzedWorkload, farm: DiskFarm,
-                 object_names: Sequence[str]):
+                 object_names: Sequence[str], metrics=None):
+        self._metrics = metrics if metrics is not None else NULL_METRICS
         self._farm = farm
         self._names = list(object_names)
         self._index = {name: i for i, name in enumerate(self._names)}
@@ -201,6 +205,9 @@ class WorkloadCostEvaluator:
         self._base_total: float = 0.0
         #: per-object cache of sliced arrays for batched delta eval
         self._slice_cache: dict[int, tuple] = {}
+        self._metrics.set_gauge("costmodel.subplans", self._n_subplans)
+        self._metrics.set_gauge("costmodel.subplans_raw",
+                                self.n_compressed_from)
 
     # -- matrix plumbing -----------------------------------------------------
 
@@ -246,6 +253,7 @@ class WorkloadCostEvaluator:
 
     def cost_matrix(self, matrix: np.ndarray) -> float:
         """Weighted workload cost of a raw fraction matrix."""
+        self._metrics.inc("costmodel.full_evaluations")
         return float(self._subplan_costs(matrix) @ self._weights)
 
     def cost(self, layout: Layout) -> float:
@@ -261,6 +269,7 @@ class WorkloadCostEvaluator:
         deviations from this base in time proportional to the number of
         subplans that touch the changed object.
         """
+        self._metrics.inc("costmodel.base_evaluations")
         self._base_matrix = matrix.copy()
         self._base_costs = self._subplan_costs(matrix)
         self._base_total = float(self._base_costs @ self._weights)
@@ -281,6 +290,7 @@ class WorkloadCostEvaluator:
         if self._base_matrix is None or self._base_costs is None:
             raise LayoutError("set_base() must be called before "
                               "cost_with_rows()")
+        self._metrics.inc("costmodel.delta_evaluations")
         affected: np.ndarray | None = None
         saved: dict[int, np.ndarray] = {}
         for name, row in rows.items():
@@ -319,6 +329,8 @@ class WorkloadCostEvaluator:
         if self._base_matrix is None or self._base_costs is None:
             raise LayoutError("set_base() must be called before "
                               "costs_for_rows()")
+        self._metrics.inc("costmodel.batch_evaluations")
+        self._metrics.inc("costmodel.batch_rows", len(rows))
         i = self._index[object_name]
         affected = self._touching[i]
         rows = np.asarray(rows, dtype=float)

@@ -15,20 +15,51 @@ widening per iteration; stop when none improves the workload cost.
 from __future__ import annotations
 
 import itertools
+import logging
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.constraints import ConstraintSet
 from repro.core.costmodel import WorkloadCostEvaluator
 from repro.core.layout import Layout, stripe_fractions
-from repro.core.partitioning import partition_access_graph
+from repro.core.partitioning import PartitionStats, partition_access_graph
 from repro.errors import LayoutError
+from repro.obs import NULL_METRICS, NULL_TRACER
 from repro.storage.disk import DiskFarm
 from repro.workload.access_graph import AccessGraph
 
 _EPS = 1e-9
+
+logger = logging.getLogger("repro.core.greedy")
+
+
+@dataclass
+class GreedyStep:
+    """Telemetry of one step-2 greedy iteration.
+
+    Attributes:
+        iteration: 1-based iteration number.
+        candidates: Candidate layouts costed this iteration.
+        best_cost: Workload cost after the iteration (unchanged when no
+            improving move was found).
+        accepted: Whether an improving move was applied.
+        changed: Objects whose placement the applied move changed.
+    """
+
+    iteration: int
+    candidates: int
+    best_cost: float
+    accepted: bool
+    changed: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {"iteration": self.iteration,
+                "candidates": self.candidates,
+                "best_cost": float(self.best_cost),
+                "accepted": self.accepted,
+                "changed": list(self.changed)}
 
 
 @dataclass
@@ -43,6 +74,12 @@ class SearchResult:
             no-improvement round).
         evaluations: Candidate layouts costed.
         elapsed_s: Wall-clock search time.
+        steps: Per-iteration step-2 telemetry, in execution order.
+        kl_passes: KL partitioning passes executed in step 1 (0 when
+            step 1 was skipped, e.g. incremental mode).
+        kl_cut_weights: Cut weight after each KL pass.
+        extras: Method-specific scalar telemetry (e.g. annealing
+            accept/reject counts).
     """
 
     layout: Layout
@@ -51,6 +88,41 @@ class SearchResult:
     iterations: int = 0
     evaluations: int = 0
     elapsed_s: float = 0.0
+    steps: list[GreedyStep] = field(default_factory=list)
+    kl_passes: int = 0
+    kl_cut_weights: tuple[float, ...] = ()
+    extras: dict[str, float] = field(default_factory=dict)
+
+    def telemetry_dict(self) -> dict:
+        """JSON-ready telemetry (everything except the layout itself)."""
+        return {
+            "cost": float(self.cost),
+            "initial_cost": float(self.initial_cost),
+            "iterations": self.iterations,
+            "evaluations": self.evaluations,
+            "elapsed_s": float(self.elapsed_s),
+            "steps": [step.to_dict() for step in self.steps],
+            "kl_passes": self.kl_passes,
+            "kl_cut_weights": [float(w) for w in self.kl_cut_weights],
+            "extras": {k: float(v) for k, v in self.extras.items()},
+        }
+
+    def with_layout(self, layout: Layout, cost: float) -> "SearchResult":
+        """A copy recommending ``layout`` but keeping the telemetry.
+
+        Used when the advisor overrides the search outcome (e.g. the
+        current layout scores better): the search's diagnostics should
+        survive the substitution.
+        """
+        return SearchResult(layout=layout, cost=cost,
+                            initial_cost=self.initial_cost,
+                            iterations=self.iterations,
+                            evaluations=self.evaluations,
+                            elapsed_s=self.elapsed_s,
+                            steps=list(self.steps),
+                            kl_passes=self.kl_passes,
+                            kl_cut_weights=tuple(self.kl_cut_weights),
+                            extras=dict(self.extras))
 
 
 class TsGreedySearch:
@@ -63,12 +135,16 @@ class TsGreedySearch:
         object_sizes: Object name -> size in blocks.
         constraints: Optional manageability/availability constraints.
         k: Max disks added to one object per greedy move (paper uses 1).
+        tracer: Optional :class:`repro.obs.Tracer`; emits ``ts-greedy``
+            with ``ts-greedy/step1`` and ``ts-greedy/step2`` children.
+        metrics: Optional :class:`repro.obs.MetricsRegistry`; records
+            ``greedy.*`` and ``partition.*`` instruments.
     """
 
     def __init__(self, farm: DiskFarm, evaluator: WorkloadCostEvaluator,
                  object_sizes: dict[str, int],
                  constraints: ConstraintSet | None = None,
-                 k: int = 1):
+                 k: int = 1, tracer=None, metrics=None):
         if k < 1:
             raise LayoutError("k must be at least 1")
         self._farm = farm
@@ -76,6 +152,8 @@ class TsGreedySearch:
         self._sizes = dict(object_sizes)
         self._constraints = constraints or ConstraintSet()
         self._k = k
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._metrics = metrics if metrics is not None else NULL_METRICS
         self._allow_removals = False
         self._names = evaluator.object_names
         missing = set(self._names) - set(self._sizes)
@@ -95,25 +173,41 @@ class TsGreedySearch:
                 constraint.
         """
         start = time.perf_counter()
-        if initial_layout is None:
-            layout = self._initial_layout(graph)
-            self._allow_removals = False
-        else:
-            layout = initial_layout
-            # Incremental mode: refining an arbitrary starting layout
-            # (e.g. full striping) also needs *narrowing* moves, or a
-            # fully-striped start would be a trivial fixed point.
-            self._allow_removals = True
-        result = self._greedy(layout)
-        result.elapsed_s = time.perf_counter() - start
+        with self._tracer.span("ts-greedy", k=self._k) as span:
+            kl_stats = PartitionStats()
+            if initial_layout is None:
+                with self._tracer.span("ts-greedy/step1"):
+                    layout = self._initial_layout(graph, kl_stats)
+                self._allow_removals = False
+            else:
+                layout = initial_layout
+                # Incremental mode: refining an arbitrary starting layout
+                # (e.g. full striping) also needs *narrowing* moves, or a
+                # fully-striped start would be a trivial fixed point.
+                self._allow_removals = True
+            with self._tracer.span("ts-greedy/step2"):
+                result = self._greedy(layout)
+            result.elapsed_s = time.perf_counter() - start
+            result.kl_passes = kl_stats.passes
+            result.kl_cut_weights = tuple(kl_stats.cut_weights)
+            span.set("iterations", result.iterations)
+            span.set("evaluations", result.evaluations)
+        logger.info(
+            "ts-greedy: cost %.3f -> %.3f (%d iterations, %d layouts "
+            "costed, %d KL passes, %.3fs)", result.initial_cost,
+            result.cost, result.iterations, result.evaluations,
+            result.kl_passes, result.elapsed_s)
         return result
 
     # -- step 1: partition & pack ------------------------------------------------
 
-    def _initial_layout(self, graph: AccessGraph) -> Layout:
+    def _initial_layout(self, graph: AccessGraph,
+                        kl_stats: PartitionStats | None = None) -> Layout:
         m = len(self._farm)
         partitions = [p for p in
-                      partition_access_graph(graph, m, nodes=self._names)
+                      partition_access_graph(graph, m, nodes=self._names,
+                                             stats=kl_stats,
+                                             metrics=self._metrics)
                       if p]
         partitions = self._apply_co_location(partitions)
         partitions.sort(key=lambda p: (-sum(graph.node_weight(o)
@@ -237,6 +331,7 @@ class TsGreedySearch:
                    for name in self._names}
         while True:
             result.iterations += 1
+            iteration_evals = 0
             best_cost = cost
             best_change: dict[str, tuple[float, ...]] | None = None
             seen_groups: set[tuple[str, ...]] = set()
@@ -252,6 +347,7 @@ class TsGreedySearch:
                 if not feasible:
                     continue
                 result.evaluations += len(feasible)
+                iteration_evals += len(feasible)
                 if len(group) == 1:
                     # Single-object moves: one vectorized batch.
                     rows = np.array([change[name]
@@ -270,6 +366,10 @@ class TsGreedySearch:
                             best_cost = candidate_cost
                             best_change = change
             if best_change is None:
+                result.steps.append(GreedyStep(
+                    iteration=result.iterations,
+                    candidates=iteration_evals, best_cost=float(cost),
+                    accepted=False))
                 break
             for name, row in best_change.items():
                 delta = self._sizes[name] * (np.asarray(row)
@@ -278,6 +378,21 @@ class TsGreedySearch:
                 current[name] = row
             matrix = np.array([current[n] for n in self._names])
             cost = self._evaluator.set_base(matrix)
+            result.steps.append(GreedyStep(
+                iteration=result.iterations, candidates=iteration_evals,
+                best_cost=float(cost), accepted=True,
+                changed=tuple(sorted(best_change))))
+            logger.debug(
+                "greedy iteration %d: widened %s, cost %.3f "
+                "(%d candidates)", result.iterations,
+                ",".join(sorted(best_change)), cost, iteration_evals)
+        self._metrics.inc("greedy.iterations", result.iterations)
+        self._metrics.inc("greedy.evaluations", result.evaluations)
+        self._metrics.inc("greedy.accepted_moves",
+                          sum(1 for s in result.steps if s.accepted))
+        for step in result.steps:
+            self._metrics.observe("greedy.candidates_per_iteration",
+                                  step.candidates)
         final = Layout(self._farm, self._sizes, current)
         if self._constraints.movement is not None \
                 and not self._constraints.is_satisfied(final):

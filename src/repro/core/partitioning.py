@@ -19,15 +19,45 @@ name), which keeps every downstream experiment reproducible.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.errors import LayoutError
+from repro.obs import NULL_METRICS
 from repro.workload.access_graph import AccessGraph
+
+
+@dataclass
+class PartitionStats:
+    """Telemetry of one :func:`partition_access_graph` run.
+
+    Attributes:
+        passes: KL improvement passes executed (≥ 1 whenever the
+            refinement loop ran at all).
+        initial_cut_weight: Cut weight after greedy seeding.
+        cut_weights: Cut weight after each KL pass.
+        moves: Single-node moves applied across all passes.
+        swaps: Pairwise swaps applied across all passes.
+    """
+
+    passes: int = 0
+    initial_cut_weight: float = 0.0
+    cut_weights: list[float] = field(default_factory=list)
+    moves: int = 0
+    swaps: int = 0
+
+    @property
+    def final_cut_weight(self) -> float:
+        if self.cut_weights:
+            return self.cut_weights[-1]
+        return self.initial_cut_weight
 
 
 def partition_access_graph(graph: AccessGraph, p: int,
                            nodes: Sequence[str] | None = None,
-                           max_passes: int = 16) -> list[list[str]]:
+                           max_passes: int = 16,
+                           stats: PartitionStats | None = None,
+                           metrics=NULL_METRICS) -> list[list[str]]:
     """Partition the graph's nodes into ``p`` parts maximizing cut weight.
 
     Args:
@@ -36,6 +66,10 @@ def partition_access_graph(graph: AccessGraph, p: int,
         nodes: Optional subset/ordering of nodes to partition; defaults
             to every node of the graph.
         max_passes: Upper bound on improvement passes.
+        stats: Optional :class:`PartitionStats` filled in with per-pass
+            telemetry (cut weight per KL pass, move/swap counts).
+        metrics: Optional metrics registry; records the same telemetry
+            under ``partition.*`` names.
 
     Returns:
         ``p`` lists of object names (some possibly empty), sorted within
@@ -76,8 +110,10 @@ def partition_access_graph(graph: AccessGraph, p: int,
         sizes[best] += 1
 
     # 2. KL-style refinement: single moves and pairwise swaps.
+    stats = stats if stats is not None else PartitionStats()
+    stats.initial_cut_weight = graph.cut_weight(assign)
     for _ in range(max_passes):
-        improved = False
+        moves = 0
         for name in ordered:
             current = assign[name]
             internal = connection(name, current)
@@ -90,10 +126,18 @@ def partition_access_graph(graph: AccessGraph, p: int,
                     best_gain, best_part = gain, q
             if best_part != current:
                 assign[name] = best_part
-                improved = True
-        improved |= _swap_pass(graph, ordered, assign)
-        if not improved:
+                moves += 1
+        swaps = _swap_pass(graph, ordered, assign)
+        stats.passes += 1
+        stats.moves += moves
+        stats.swaps += swaps
+        stats.cut_weights.append(graph.cut_weight(assign))
+        if not moves and not swaps:
             break
+    metrics.inc("partition.kl_passes", stats.passes)
+    metrics.inc("partition.moves", stats.moves)
+    metrics.inc("partition.swaps", stats.swaps)
+    metrics.set_gauge("partition.cut_weight", stats.final_cut_weight)
 
     partitions: list[list[str]] = [[] for _ in range(p)]
     for name in names:
@@ -102,9 +146,9 @@ def partition_access_graph(graph: AccessGraph, p: int,
 
 
 def _swap_pass(graph: AccessGraph, ordered: Sequence[str],
-               assign: dict[str, int]) -> bool:
-    """One pass of profitable pairwise swaps; True if any was applied."""
-    improved = False
+               assign: dict[str, int]) -> int:
+    """One pass of profitable pairwise swaps; how many were applied."""
+    applied = 0
     for i, u in enumerate(ordered):
         for v in ordered[i + 1:]:
             pu, pv = assign[u], assign[v]
@@ -113,8 +157,8 @@ def _swap_pass(graph: AccessGraph, ordered: Sequence[str],
             gain = _swap_gain(graph, assign, u, v)
             if gain > 1e-12:
                 assign[u], assign[v] = pv, pu
-                improved = True
-    return improved
+                applied += 1
+    return applied
 
 
 def _swap_gain(graph: AccessGraph, assign: dict[str, int],

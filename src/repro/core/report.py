@@ -54,7 +54,63 @@ def render_report(recommendation: Recommendation,
         lines.append(f"search: {rec.search.iterations} iterations, "
                      f"{rec.search.evaluations} layouts costed, "
                      f"{rec.search.elapsed_s:.2f}s")
+        diagnostics = render_search_diagnostics(rec.search)
+        if diagnostics:
+            lines.append("")
+            lines.append(diagnostics)
     return "\n".join(lines)
+
+
+def render_search_diagnostics(search, max_steps: int = 8) -> str:
+    """The search's per-iteration telemetry, rendered for the DBA.
+
+    Shows the KL partitioning convergence (cut weight per pass) and the
+    greedy trajectory (candidates tried and best cost per accepted
+    move).  Returns the empty string when the search carried no
+    telemetry (e.g. full striping or a plain exhaustive run).
+
+    Args:
+        search: A :class:`repro.core.greedy.SearchResult`.
+        max_steps: Cap on greedy steps listed; the trajectory keeps its
+            head and tail and elides the middle.
+    """
+    lines: list[str] = []
+    kl_passes = getattr(search, "kl_passes", 0)
+    cut_weights = list(getattr(search, "kl_cut_weights", ()) or ())
+    steps = list(getattr(search, "steps", ()) or ())
+    extras = dict(getattr(search, "extras", {}) or {})
+    if kl_passes or cut_weights:
+        trail = " -> ".join(f"{w:.0f}" for w in cut_weights)
+        lines.append(f"partitioning: {kl_passes} KL pass(es), "
+                     f"cut weight {trail}" if trail else
+                     f"partitioning: {kl_passes} KL pass(es)")
+    if steps:
+        accepted = [s for s in steps if s.accepted]
+        candidates = sum(s.candidates for s in steps)
+        lines.append(f"greedy: {len(accepted)} accepted moves over "
+                     f"{len(steps)} iterations "
+                     f"({candidates} candidates tried)")
+        shown = accepted
+        elided = 0
+        if len(accepted) > max_steps:
+            head = accepted[:max_steps - 2]
+            tail = accepted[-2:]
+            elided = len(accepted) - len(head) - len(tail)
+            shown = head + tail
+        for step in shown:
+            if elided and step is shown[-2]:
+                lines.append(f"  ... {elided} moves elided ...")
+            changed = ", ".join(step.changed) if step.changed else "-"
+            lines.append(f"  iter {step.iteration:3d}: "
+                         f"best {step.best_cost:10.2f}s  "
+                         f"({step.candidates} candidates; {changed})")
+    if extras:
+        rendered = ", ".join(f"{key}={value:g}"
+                             for key, value in sorted(extras.items()))
+        lines.append(f"search counters: {rendered}")
+    if not lines:
+        return ""
+    return "\n".join(["--- search diagnostics ---", *lines])
 
 
 def render_filegroup_script(layout: Layout,

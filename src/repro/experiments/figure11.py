@@ -8,13 +8,13 @@ growth (~6x per doubling) consistent with the O(m^2 n^2) analysis.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.benchdb import apb, sales, tpch
 from repro.catalog.schema import Database
 from repro.core.advisor import LayoutAdvisor
 from repro.experiments import common
+from repro.obs import Tracer
 from repro.workload.workload import Workload
 
 #: Disk counts used by the paper.
@@ -60,10 +60,10 @@ def run_figure11(disk_counts: tuple[int, ...] = DISK_COUNTS,
         series: list[float] = []
         for m in disk_counts:
             farm = common.paper_farm(m)
-            advisor = LayoutAdvisor(db, farm)
-            start = time.perf_counter()
+            tracer = Tracer()
+            advisor = LayoutAdvisor(db, farm, tracer=tracer)
             advisor.recommend(analyzed)
-            series.append(time.perf_counter() - start)
+            series.append(tracer.find("recommend").duration_s)
         result.seconds[workload.name] = series
     return result
 

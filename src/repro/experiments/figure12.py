@@ -8,12 +8,12 @@ time relative to N = 1 — observing quadratic growth (~40x at N = 6).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.benchdb import tpch
 from repro.core.advisor import LayoutAdvisor
 from repro.experiments import common
+from repro.obs import Tracer
 
 #: Replication factors used by the paper.
 REPLICATION_FACTORS = (1, 2, 3, 4, 5, 6)
@@ -47,11 +47,11 @@ def run_figure12(factors: tuple[int, ...] = REPLICATION_FACTORS,
     for n in factors:
         db = tpch.replicated_database(n, with_indexes=with_indexes)
         workload = tpch.tpch88_workload(n)
-        advisor = LayoutAdvisor(db, farm)
+        tracer = Tracer()
+        advisor = LayoutAdvisor(db, farm, tracer=tracer)
         analyzed = advisor.analyze(workload)
-        start = time.perf_counter()
         advisor.recommend(analyzed)
-        result.seconds.append(time.perf_counter() - start)
+        result.seconds.append(tracer.find("recommend").duration_s)
         result.n_objects.append(len(db.objects()))
     return result
 

@@ -14,13 +14,13 @@ subplan signatures), approaching flat once the signature set saturates.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.benchdb import scale, tpch
 from repro.core.advisor import LayoutAdvisor
 from repro.core.costmodel import WorkloadCostEvaluator
 from repro.experiments import common
+from repro.obs import Tracer
 
 
 @dataclass
@@ -42,17 +42,18 @@ def run_wkscale(sizes: tuple[int, ...] = (100, 200, 400, 800),
     result = WkScaleResult(sizes=tuple(sizes))
     for n in sizes:
         workload = scale.wk_scale(n)
-        advisor = LayoutAdvisor(db, farm)
-        start = time.perf_counter()
+        tracer = Tracer()
+        advisor = LayoutAdvisor(db, farm, tracer=tracer)
         analyzed = advisor.analyze(workload)
-        result.analysis_seconds.append(time.perf_counter() - start)
+        result.analysis_seconds.append(
+            tracer.find("analyze-workload").duration_s)
         evaluator = WorkloadCostEvaluator(analyzed, farm,
                                           sorted(db.object_sizes()))
         result.compressed_subplans.append(evaluator.n_subplans)
         result.raw_subplans.append(evaluator.n_compressed_from)
-        start = time.perf_counter()
         advisor.recommend(analyzed)
-        result.search_seconds.append(time.perf_counter() - start)
+        result.search_seconds.append(
+            tracer.find("recommend").duration_s)
     return result
 
 

@@ -1,0 +1,35 @@
+"""repro.obs — observability for the advisor pipeline.
+
+Tracing spans (:class:`Tracer`), metrics (:class:`MetricsRegistry`) and
+their zero-overhead no-op defaults (:data:`NULL_TRACER`,
+:data:`NULL_METRICS`).  Every instrumented entry point in the library
+accepts optional ``tracer=`` / ``metrics=`` arguments; passing nothing
+selects the no-ops, which keep untouched callers bit-identical in
+behavior and essentially free in cost.
+
+See ``docs/observability.md`` for the span naming conventions and the
+metric catalog.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetrics,
+)
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullTracer",
+    "Span",
+    "Tracer",
+]

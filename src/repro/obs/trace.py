@@ -1,0 +1,263 @@
+"""Nested, timed tracing spans for the advisor pipeline.
+
+A :class:`Tracer` produces a tree of :class:`Span` objects — one per
+instrumented pipeline phase (``span("analyze-workload")``,
+``span("ts-greedy/step1")``, …) — with wall-clock timings, arbitrary
+key/value attributes, a JSON round-trip, and a human-readable tree
+renderer.  Library code takes an optional ``tracer=`` argument defaulting
+to :data:`NULL_TRACER`, whose spans are shared no-op singletons, so
+untraced callers pay one cheap method call per *phase* and nothing per
+unit of work.
+
+Span naming convention (see ``docs/observability.md``): lowercase,
+dash-separated phase names; sub-phases of an algorithm use a ``/``
+separator under the algorithm's own span (``ts-greedy/step2``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+
+@dataclass
+class Span:
+    """One timed phase: a node of the trace tree.
+
+    Times are seconds relative to the owning tracer's epoch (its
+    creation time), so exported traces are self-contained and
+    machine-independent.
+    """
+
+    name: str
+    start_s: float
+    end_s: float | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def duration_s(self) -> float:
+        """Elapsed seconds; 0.0 while the span is still open."""
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach (or overwrite) one attribute on the span."""
+        self.attrs[key] = value
+
+    def find(self, name: str) -> "Span | None":
+        """First span named ``name`` in this subtree (pre-order)."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def leaves(self) -> Iterator["Span"]:
+        """The subtree's leaf spans, in tree order."""
+        if not self.children:
+            yield self
+            return
+        for child in self.children:
+            yield from child.leaves()
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (plain floats, recursive children)."""
+        out: dict[str, Any] = {
+            "name": self.name,
+            "start_s": round(float(self.start_s), 9),
+            "duration_s": round(float(self.duration_s), 9),
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Span":
+        """Inverse of :meth:`to_dict`."""
+        start = float(data["start_s"])
+        return cls(name=data["name"], start_s=start,
+                   end_s=start + float(data["duration_s"]),
+                   attrs=dict(data.get("attrs", {})),
+                   children=[cls.from_dict(c)
+                             for c in data.get("children", ())])
+
+
+class Tracer:
+    """Collects a forest of nested, timed spans.
+
+    Args:
+        clock: Monotonic time source in seconds (injectable for tests).
+
+    Usage::
+
+        tracer = Tracer()
+        with tracer.span("recommend") as root:
+            with tracer.span("analyze-workload", statements=22):
+                ...
+        print(tracer.render_tree())
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self._epoch = clock()
+        self._roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    @property
+    def roots(self) -> list[Span]:
+        """Completed (and in-flight) top-level spans, oldest first."""
+        return list(self._roots)
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any):
+        """Open a span named ``name``; nests under the current span."""
+        node = Span(name=name, start_s=self._clock() - self._epoch,
+                    attrs=dict(attrs))
+        if self._stack:
+            self._stack[-1].children.append(node)
+        else:
+            self._roots.append(node)
+        self._stack.append(node)
+        try:
+            yield node
+        finally:
+            node.end_s = self._clock() - self._epoch
+            self._stack.pop()
+
+    def find(self, name: str) -> Span | None:
+        """Most recent span named ``name`` across all roots."""
+        for root in reversed(self._roots):
+            found = root.find(name)
+            if found is not None:
+                return found
+        return None
+
+    # -- export -----------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form: ``{"spans": [root, ...]}``."""
+        return {"spans": [root.to_dict() for root in self._roots]}
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def write_json(self, path: str | Path) -> None:
+        """Write the trace as a JSON file."""
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Tracer":
+        """Rebuild a (read-only) tracer from :meth:`to_dict` output."""
+        tracer = cls()
+        tracer._roots = [Span.from_dict(s) for s in data.get("spans", ())]
+        return tracer
+
+    def render_tree(self) -> str:
+        """Human-readable span tree with durations and percentages."""
+        lines: list[str] = []
+        for root in self._roots:
+            total = root.duration_s or 1e-12
+            self._render(root, total, 0, lines)
+        return "\n".join(lines)
+
+    def _render(self, span: Span, total: float, depth: int,
+                lines: list[str]) -> None:
+        label = "  " * depth + span.name
+        share = 100.0 * span.duration_s / total
+        extra = ""
+        if span.attrs:
+            pairs = ", ".join(f"{k}={v}" for k, v in span.attrs.items())
+            extra = f"  [{pairs}]"
+        lines.append(f"{label:44s} {span.duration_s:9.4f}s "
+                     f"{share:5.1f}%{extra}")
+        for child in span.children:
+            self._render(child, total, depth + 1, lines)
+
+
+class _NullSpan:
+    """Do-nothing stand-in for :class:`Span` (shared singleton)."""
+
+    __slots__ = ()
+    name = ""
+    attrs: dict[str, Any] = {}
+    children: list = []
+    duration_s = 0.0
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    def find(self, name: str) -> None:
+        return None
+
+    def leaves(self):
+        return iter(())
+
+
+class _NullSpanContext:
+    """Reusable context manager yielding the shared null span."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class NullTracer:
+    """API-compatible tracer that records nothing.
+
+    The default for every ``tracer=`` parameter in the library: one
+    shared context-manager object is handed out for every span, so the
+    untraced path allocates nothing.
+    """
+
+    @property
+    def roots(self) -> list[Span]:
+        return []
+
+    @property
+    def current(self) -> None:
+        return None
+
+    def span(self, name: str, **attrs: Any) -> _NullSpanContext:
+        return _NULL_SPAN_CONTEXT
+
+    def find(self, name: str) -> None:
+        return None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"spans": []}
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def write_json(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json())
+
+    def render_tree(self) -> str:
+        return ""
+
+
+#: Shared no-op tracer used as the default everywhere.
+NULL_TRACER = NullTracer()

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.errors import SimulationError
+from repro.obs import NULL_METRICS
 from repro.optimizer.operators import ObjectAccess
 from repro.simulator.buffer import BufferPool
 from repro.simulator.geometry import SeekModel
@@ -86,11 +87,14 @@ class SubplanRun:
         readahead_blocks: Streams are interleaved in units of this many
             consecutive blocks — the drive-level read-ahead that makes
             real seek counts lower than the model's per-block estimate.
+        metrics: Optional :class:`repro.obs.MetricsRegistry`; records
+            coarse ``sim.*`` counters (per subplan, never per block).
     """
 
     disks: Sequence[DiskState]
     tempdb: DiskState | None
     readahead_blocks: int = 2
+    metrics: object = None
 
     def run(self, accesses: Sequence[ObjectAccess],
             placements: dict[str, list[tuple[int, int]]],
@@ -99,8 +103,14 @@ class SubplanRun:
         """Execute the subplan; returns its elapsed (busiest-disk) time."""
         if self.readahead_blocks < 1:
             raise SimulationError("readahead must be at least one block")
+        metrics = self.metrics if self.metrics is not None \
+            else NULL_METRICS
         streams = self._expand(accesses, placements, temp_cursor,
                                temp_name)
+        metrics.inc("sim.subplans")
+        metrics.inc("sim.streams", len(streams))
+        metrics.inc("sim.blocks",
+                    sum(len(s.indices) for s in streams))
         if not streams:
             return 0.0
         elapsed: dict[int, float] = {}

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.core.layout import Layout
 from repro.errors import SimulationError
+from repro.obs import NULL_METRICS, NULL_TRACER
 from repro.optimizer.planner import TEMPDB
 from repro.simulator.buffer import BufferPool
 from repro.simulator.engine import DiskState, SubplanRun
@@ -88,41 +89,56 @@ class WorkloadSimulator:
         readahead_blocks: Read-ahead unit in blocks (default 2 = 128 KB).
         cold_runs: Clear the buffer pool before every statement, matching
             the paper's "average of three cold runs" methodology.
+        tracer: Optional :class:`repro.obs.Tracer`; :meth:`run` emits
+            one ``simulate-workload`` span.
+        metrics: Optional :class:`repro.obs.MetricsRegistry`; the
+            engine records coarse ``sim.*`` counters and :meth:`run`
+            records buffer hit/miss gauges.
     """
 
     def __init__(self, tempdb: DiskSpec | None = None,
                  buffer_blocks: int = 2400,
                  readahead_blocks: int = 2,
-                 cold_runs: bool = True):
+                 cold_runs: bool = True,
+                 tracer=None, metrics=None):
         self._tempdb = tempdb
         self._buffer_blocks = buffer_blocks
         self._readahead = readahead_blocks
         self._cold_runs = cold_runs
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._metrics = metrics if metrics is not None else NULL_METRICS
 
     def run(self, workload: AnalyzedWorkload,
             layout: Layout) -> SimulationReport:
         """Simulate the whole workload under ``layout``."""
-        materialized = layout.materialize()
-        placements = {name: list(materialized.logical_blocks(name))
-                      for name in materialized.object_names}
-        disks = [DiskState(spec) for spec in layout.farm]
-        temp_state = DiskState(self._tempdb) if self._tempdb else None
-        pool = BufferPool(self._buffer_blocks)
-        report = SimulationReport()
-        for index, analyzed in enumerate(workload):
-            if self._cold_runs:
-                pool.clear()
-            name = analyzed.statement.name or f"stmt{index + 1}"
-            seconds = self._run_statement(analyzed, placements, disks,
-                                          temp_state, pool)
-            report.statements.append(StatementTiming(
-                name=name, seconds=seconds,
-                weight=analyzed.statement.weight))
-        report.buffer_hits = pool.hits
-        report.buffer_misses = pool.misses
-        report.disk_busy_seconds = [d.total_busy_s for d in disks]
-        if temp_state is not None:
-            report.tempdb_busy_seconds = temp_state.total_busy_s
+        with self._tracer.span("simulate-workload",
+                               statements=len(workload)) as span:
+            materialized = layout.materialize()
+            placements = {name: list(materialized.logical_blocks(name))
+                          for name in materialized.object_names}
+            disks = [DiskState(spec) for spec in layout.farm]
+            temp_state = DiskState(self._tempdb) if self._tempdb \
+                else None
+            pool = BufferPool(self._buffer_blocks)
+            report = SimulationReport()
+            for index, analyzed in enumerate(workload):
+                if self._cold_runs:
+                    pool.clear()
+                name = analyzed.statement.name or f"stmt{index + 1}"
+                seconds = self._run_statement(analyzed, placements,
+                                              disks, temp_state, pool)
+                report.statements.append(StatementTiming(
+                    name=name, seconds=seconds,
+                    weight=analyzed.statement.weight))
+            report.buffer_hits = pool.hits
+            report.buffer_misses = pool.misses
+            report.disk_busy_seconds = [d.total_busy_s for d in disks]
+            if temp_state is not None:
+                report.tempdb_busy_seconds = temp_state.total_busy_s
+            span.set("simulated_seconds",
+                     round(report.total_seconds, 6))
+            self._metrics.set_gauge("sim.buffer_hits", pool.hits)
+            self._metrics.set_gauge("sim.buffer_misses", pool.misses)
         return report
 
     def run_statement(self, analyzed: AnalyzedStatement,
@@ -140,7 +156,8 @@ class WorkloadSimulator:
     def _run_statement(self, analyzed: AnalyzedStatement, placements,
                        disks, temp_state, pool: BufferPool) -> float:
         runner = SubplanRun(disks=disks, tempdb=temp_state,
-                            readahead_blocks=self._readahead)
+                            readahead_blocks=self._readahead,
+                            metrics=self._metrics)
         temp_cursor = [0]
         total = 0.0
         for subplan in analyzed.subplans:

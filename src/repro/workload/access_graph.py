@@ -13,6 +13,7 @@ from typing import Iterable, Mapping
 
 from repro.catalog.schema import Database
 from repro.errors import WorkloadError
+from repro.obs import NULL_METRICS, NULL_TRACER
 from repro.workload.access import AnalyzedWorkload
 
 
@@ -127,7 +128,8 @@ class AccessGraph:
 
 
 def build_access_graph(analyzed: AnalyzedWorkload,
-                       db: Database | None = None) -> AccessGraph:
+                       db: Database | None = None,
+                       tracer=None, metrics=None) -> AccessGraph:
     """Construct the access graph per the paper's Figure 6 algorithm.
 
     Steps (with statement weights ``w_Q`` applied to both node and edge
@@ -145,21 +147,35 @@ def build_access_graph(analyzed: AnalyzedWorkload,
         db: Optional catalog; when given, every catalog object gets a
             node even if the workload never touches it (as in Fig. 6
             step 1).
+        tracer: Optional :class:`repro.obs.Tracer`; emits one
+            ``build-access-graph`` span.
+        metrics: Optional :class:`repro.obs.MetricsRegistry`; records
+            ``graph.nodes`` / ``graph.edges`` /
+            ``graph.total_edge_weight`` gauges.
     """
-    graph = AccessGraph(
-        o.name for o in (db.objects() if db is not None else ()))
-    for item in analyzed:
-        w = item.weight
-        for subplan in item.subplans:
-            blocks = subplan.blocks_by_object(include_temp=False)
-            per_object: dict[str, float] = {}
-            for (name, _write), b in blocks.items():
-                per_object[name] = per_object.get(name, 0.0) + b
-            for name, b in per_object.items():
-                graph.add_node_weight(name, w * b)
-            names = sorted(per_object)
-            for i, u in enumerate(names):
-                for v in names[i + 1:]:
-                    graph.add_edge_weight(
-                        u, v, w * (per_object[u] + per_object[v]))
+    tracer = tracer if tracer is not None else NULL_TRACER
+    metrics = metrics if metrics is not None else NULL_METRICS
+    with tracer.span("build-access-graph") as span:
+        graph = AccessGraph(
+            o.name for o in (db.objects() if db is not None else ()))
+        for item in analyzed:
+            w = item.weight
+            for subplan in item.subplans:
+                blocks = subplan.blocks_by_object(include_temp=False)
+                per_object: dict[str, float] = {}
+                for (name, _write), b in blocks.items():
+                    per_object[name] = per_object.get(name, 0.0) + b
+                for name, b in per_object.items():
+                    graph.add_node_weight(name, w * b)
+                names = sorted(per_object)
+                for i, u in enumerate(names):
+                    for v in names[i + 1:]:
+                        graph.add_edge_weight(
+                            u, v, w * (per_object[u] + per_object[v]))
+        span.set("nodes", len(graph))
+        span.set("edges", len(graph.edges))
+        metrics.set_gauge("graph.nodes", len(graph))
+        metrics.set_gauge("graph.edges", len(graph.edges))
+        metrics.set_gauge("graph.total_edge_weight",
+                          graph.total_edge_weight())
     return graph

@@ -1,8 +1,11 @@
 """Tests for the end-to-end LayoutAdvisor facade."""
 
+import json
+
 import pytest
 
 from repro.core.advisor import LayoutAdvisor
+from repro.obs import MetricsRegistry, Tracer
 from repro.core.constraints import (
     CoLocated,
     ConstraintSet,
@@ -144,3 +147,52 @@ class TestConstrainedAdvisor:
         rec = advisor.recommend(join_workload, current_layout=current)
         # Nothing may move, so the recommendation is the current layout.
         assert current.data_movement_blocks(rec.layout) <= 1.0
+
+
+class TestObservedAdvisor:
+    def test_traced_recommend_emits_the_pipeline_phases(
+            self, mini_db, join_workload, farm8):
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        advisor = LayoutAdvisor(mini_db, farm8, tracer=tracer,
+                                metrics=metrics)
+        rec = advisor.recommend(join_workload)
+        root = tracer.find("recommend")
+        assert root is not None
+        phases = [child.name for child in root.children]
+        for expected in ["analyze-workload", "baseline-layout",
+                         "build-evaluator", "build-access-graph",
+                         "ts-greedy"]:
+            assert expected in phases
+        greedy = root.find("ts-greedy")
+        assert greedy.find("ts-greedy/step1") is not None
+        assert greedy.find("ts-greedy/step2") is not None
+        # Leaf spans must cover (nearly) all of the root's wall time.
+        leaf_time = sum(s.duration_s for s in root.leaves())
+        assert leaf_time >= 0.9 * root.duration_s
+        # Search telemetry: the cost model ran, KL partitioning ran.
+        assert rec.search.evaluations > 0
+        assert rec.search.kl_passes >= 1
+        assert metrics.value("costmodel.full_evaluations") > 0
+
+    def test_tracing_does_not_change_the_recommendation(
+            self, mini_db, join_workload, farm8):
+        plain = LayoutAdvisor(mini_db, farm8).recommend(join_workload)
+        traced = LayoutAdvisor(
+            mini_db, farm8, tracer=Tracer(),
+            metrics=MetricsRegistry()).recommend(join_workload)
+        assert traced.estimated_cost == plain.estimated_cost
+        assert traced.current_cost == plain.current_cost
+        for name in plain.layout.object_names:
+            assert traced.layout.fractions_of(name) == \
+                plain.layout.fractions_of(name)
+
+    def test_untraced_search_still_carries_telemetry(
+            self, mini_db, join_workload, farm8):
+        rec = LayoutAdvisor(mini_db, farm8).recommend(join_workload)
+        assert rec.search.kl_passes >= 1
+        assert rec.search.evaluations > 0
+        assert any(step.accepted for step in rec.search.steps)
+        payload = rec.search.telemetry_dict()
+        json.dumps(payload)  # must be JSON-clean end to end
+        assert payload["kl_passes"] == rec.search.kl_passes

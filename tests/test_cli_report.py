@@ -104,7 +104,7 @@ class TestCli:
                if f > 0}
         assert not big & mid
 
-    def test_recommend_from_trace(self, tool_files, capsys):
+    def test_recommend_from_profile_trace(self, tool_files, capsys):
         (tool_files / "trace.csv").write_text(
             "start,end,sql\n"
             "0.0,10.0,SELECT COUNT(*) FROM big b\n"
@@ -113,7 +113,7 @@ class TestCli:
         rc = main(["recommend",
                    "--database", str(tool_files / "db.json"),
                    "--disks", str(tool_files / "disks.json"),
-                   "--trace", str(tool_files / "trace.csv"),
+                   "--profile-trace", str(tool_files / "trace.csv"),
                    "--save-layout", str(out_path)])
         assert rc == 0
         data = json.loads(out_path.read_text())
@@ -129,8 +129,42 @@ class TestCli:
                    "--database", str(tool_files / "db.json"),
                    "--disks", str(tool_files / "disks.json")])
         assert rc == 2
-        assert "provide --workload or --trace" in \
+        assert "provide --workload or --profile-trace" in \
             capsys.readouterr().err
+
+    def test_recommend_trace_writes_span_json(self, tool_files, capsys):
+        trace_path = tool_files / "trace.json"
+        rc = main(["recommend", *_args(tool_files),
+                   "--trace", str(trace_path)])
+        assert rc == 0
+        data = json.loads(trace_path.read_text())
+        root = data["spans"][0]
+        assert root["name"] == "recommend"
+        children = [c["name"] for c in root["children"]]
+        assert "analyze-workload" in children
+        assert "ts-greedy" in children
+        assert root["duration_s"] > 0
+
+    def test_recommend_metrics_and_verbose(self, tool_files, capsys):
+        rc = main(["recommend", *_args(tool_files), "--metrics", "-v"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "=== metrics ===" in out
+        assert "greedy.evaluations" in out
+        assert "=== trace ===" in out
+        assert "recommend" in out
+
+    def test_recommend_saves_recommendation_json(self, tool_files,
+                                                 capsys):
+        out_path = tool_files / "rec.json"
+        rc = main(["recommend", *_args(tool_files),
+                   "--save-recommendation", str(out_path)])
+        assert rc == 0
+        data = json.loads(out_path.read_text())
+        assert isinstance(data["improvement_pct"], float)
+        assert data["search"]["evaluations"] > 0
+        assert data["search"]["kl_passes"] >= 1
+        assert "layout" in data and "fractions" in data["layout"]
 
     def test_analyze_prints_graph_and_plans(self, tool_files, capsys):
         rc = main(["analyze",

@@ -1,0 +1,267 @@
+"""Tests for the observability layer: tracer, metrics and no-ops."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    NULL_METRICS,
+    NULL_TRACER,
+    Span,
+    Tracer,
+)
+
+
+class FakeClock:
+    """A deterministic clock that advances only on demand."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestSpanNesting:
+    def test_spans_nest_under_the_open_span(self, clock):
+        tracer = Tracer(clock=clock)
+        with tracer.span("outer"):
+            with tracer.span("inner-a"):
+                clock.advance(1.0)
+            with tracer.span("inner-b"):
+                clock.advance(2.0)
+        [root] = tracer.roots
+        assert root.name == "outer"
+        assert [c.name for c in root.children] == ["inner-a", "inner-b"]
+        assert root.children[0].children == []
+
+    def test_sibling_roots_form_a_forest(self, clock):
+        tracer = Tracer(clock=clock)
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [r.name for r in tracer.roots] == ["first", "second"]
+
+    def test_current_tracks_the_innermost_open_span(self, clock):
+        tracer = Tracer(clock=clock)
+        assert tracer.current is None
+        with tracer.span("outer"):
+            assert tracer.current.name == "outer"
+            with tracer.span("inner"):
+                assert tracer.current.name == "inner"
+            assert tracer.current.name == "outer"
+        assert tracer.current is None
+
+    def test_span_closes_even_when_the_body_raises(self, clock):
+        tracer = Tracer(clock=clock)
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                clock.advance(0.5)
+                raise RuntimeError("boom")
+        [root] = tracer.roots
+        assert root.duration_s == pytest.approx(0.5)
+        assert tracer.current is None
+
+
+class TestSpanTiming:
+    def test_durations_are_epoch_relative(self, clock):
+        clock.now = 500.0  # arbitrary absolute origin
+        tracer = Tracer(clock=clock)
+        clock.advance(2.0)
+        with tracer.span("work"):
+            clock.advance(3.0)
+        [root] = tracer.roots
+        assert root.start_s == pytest.approx(2.0)
+        assert root.duration_s == pytest.approx(3.0)
+
+    def test_open_span_reports_zero_duration(self, clock):
+        span = Span(name="open", start_s=1.0)
+        assert span.duration_s == 0.0
+
+    def test_child_time_is_contained_in_parent_time(self, clock):
+        tracer = Tracer(clock=clock)
+        with tracer.span("parent"):
+            clock.advance(1.0)
+            with tracer.span("child"):
+                clock.advance(2.0)
+            clock.advance(1.0)
+        [parent] = tracer.roots
+        [child] = parent.children
+        assert child.start_s >= parent.start_s
+        assert child.duration_s <= parent.duration_s
+        assert parent.duration_s == pytest.approx(4.0)
+
+
+class TestSpanQueries:
+    def test_find_is_preorder_within_a_tree(self, clock):
+        tracer = Tracer(clock=clock)
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("target"):
+                    pass
+        assert tracer.find("target").name == "target"
+        assert tracer.find("missing") is None
+
+    def test_find_prefers_the_most_recent_root(self, clock):
+        tracer = Tracer(clock=clock)
+        with tracer.span("run") as first:
+            first.set("generation", 1)
+        with tracer.span("run") as second:
+            second.set("generation", 2)
+        assert tracer.find("run").attrs["generation"] == 2
+
+    def test_leaves_yields_only_leaf_spans(self, clock):
+        tracer = Tracer(clock=clock)
+        with tracer.span("root"):
+            with tracer.span("mid"):
+                with tracer.span("leaf-1"):
+                    pass
+            with tracer.span("leaf-2"):
+                pass
+        [root] = tracer.roots
+        assert [s.name for s in root.leaves()] == ["leaf-1", "leaf-2"]
+
+
+class TestTraceSerialization:
+    def test_json_round_trip_preserves_the_tree(self, clock):
+        tracer = Tracer(clock=clock)
+        with tracer.span("root", method="ts-greedy"):
+            clock.advance(1.5)
+            with tracer.span("child"):
+                clock.advance(0.25)
+        data = json.loads(tracer.to_json())
+        rebuilt = Tracer.from_dict(data)
+        [root] = rebuilt.roots
+        assert root.name == "root"
+        assert root.attrs == {"method": "ts-greedy"}
+        assert root.duration_s == pytest.approx(1.75)
+        [child] = root.children
+        assert child.name == "child"
+        assert child.duration_s == pytest.approx(0.25)
+
+    def test_write_json_produces_a_valid_file(self, clock, tmp_path):
+        tracer = Tracer(clock=clock)
+        with tracer.span("root"):
+            clock.advance(1.0)
+        path = tmp_path / "trace.json"
+        tracer.write_json(path)
+        data = json.loads(path.read_text())
+        assert data["spans"][0]["name"] == "root"
+
+    def test_render_tree_shows_names_durations_and_attrs(self, clock):
+        tracer = Tracer(clock=clock)
+        with tracer.span("root", k=1):
+            clock.advance(2.0)
+            with tracer.span("half"):
+                clock.advance(2.0)
+        text = tracer.render_tree()
+        assert "root" in text and "half" in text
+        assert "[k=1]" in text
+        assert "50.0%" in text  # the child's share of the root
+
+
+class TestCounters:
+    def test_counter_accumulates(self):
+        metrics = MetricsRegistry()
+        metrics.inc("evals")
+        metrics.inc("evals", 4)
+        assert metrics.value("evals") == 5.0
+
+    def test_gauge_is_last_write_wins(self):
+        metrics = MetricsRegistry()
+        metrics.set_gauge("nodes", 10)
+        metrics.set_gauge("nodes", 3)
+        assert metrics.value("nodes") == 3.0
+
+    def test_unwritten_metric_reads_zero(self):
+        assert MetricsRegistry().value("never") == 0.0
+
+    def test_kind_clash_raises(self):
+        metrics = MetricsRegistry()
+        metrics.inc("thing")
+        with pytest.raises(ValueError, match="another kind"):
+            metrics.gauge("thing")
+
+
+class TestHistograms:
+    def test_summary_statistics(self):
+        metrics = MetricsRegistry()
+        for value in [1, 2, 3, 4, 100]:
+            metrics.observe("dist", value)
+        hist = metrics.histogram("dist")
+        assert hist.count == 5
+        assert hist.min == 1.0 and hist.max == 100.0
+        assert hist.mean == pytest.approx(22.0)
+        assert hist.percentile(50) == 3.0
+
+    def test_sample_cap_keeps_aggregates_exact(self):
+        hist = MetricsRegistry().histogram("capped")
+        hist.max_samples = 4
+        for value in range(10):
+            hist.observe(value)
+        assert len(hist.samples) == 4
+        assert hist.count == 10
+        assert hist.max == 9.0
+        assert hist.mean == pytest.approx(4.5)
+
+    def test_to_dict_is_json_serializable(self):
+        metrics = MetricsRegistry()
+        metrics.inc("c", 2)
+        metrics.set_gauge("g", 7)
+        metrics.observe("h", 1.5)
+        data = json.loads(metrics.to_json())
+        assert data["counters"]["c"] == 2.0
+        assert data["gauges"]["g"] == 7.0
+        assert data["histograms"]["h"]["count"] == 1
+
+    def test_render_lists_every_instrument(self):
+        metrics = MetricsRegistry()
+        metrics.inc("alpha")
+        metrics.observe("beta", 3)
+        text = metrics.render()
+        assert "=== metrics ===" in text
+        assert "alpha" in text and "beta" in text
+
+
+class TestNullObjects:
+    def test_null_tracer_matches_the_tracer_api(self):
+        with NULL_TRACER.span("anything", attr=1) as span:
+            span.set("key", "value")
+            assert span.find("x") is None
+            assert list(span.leaves()) == []
+        assert NULL_TRACER.roots == []
+        assert NULL_TRACER.current is None
+        assert NULL_TRACER.find("anything") is None
+        assert json.loads(NULL_TRACER.to_json()) == {"spans": []}
+        assert NULL_TRACER.render_tree() == ""
+
+    def test_null_tracer_hands_out_one_shared_context(self):
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+
+    def test_null_metrics_matches_the_registry_api(self):
+        NULL_METRICS.inc("c")
+        NULL_METRICS.set_gauge("g", 5)
+        NULL_METRICS.observe("h", 5)
+        assert NULL_METRICS.value("c") == 0.0
+        assert list(NULL_METRICS.names()) == []
+        assert NULL_METRICS.counter("c").value == 0.0
+        assert NULL_METRICS.histogram("h").percentile(95) == 0.0
+        assert json.loads(NULL_METRICS.to_json()) == {
+            "counters": {}, "gauges": {}, "histograms": {}}
+        assert NULL_METRICS.render() == ""
+
+    def test_null_objects_swallow_exceptions_properly(self):
+        # __exit__ must return falsy so exceptions still propagate.
+        with pytest.raises(RuntimeError):
+            with NULL_TRACER.span("doomed"):
+                raise RuntimeError("boom")
