@@ -11,7 +11,7 @@ stop paying and layout starts mattering.
 Run:  python examples/capacity_growth.py
 """
 
-from repro import LayoutAdvisor, full_striping, winbench_farm
+from repro import LayoutAdvisor, winbench_farm
 from repro.benchdb import sales
 
 

@@ -22,7 +22,6 @@ from repro import (
     DiskSpec,
     LayoutAdvisor,
     MaxDataMovement,
-    full_striping,
 )
 from repro.benchdb import sales
 

@@ -1,0 +1,292 @@
+-- name: Q1
+SELECT l.l_returnflag, l.l_linestatus, SUM(l.l_quantity) AS sum_qty,
+       SUM(l.l_extendedprice) AS sum_base_price,
+       SUM(l.l_extendedprice * (1 - l.l_discount)) AS sum_disc_price,
+       AVG(l.l_quantity) AS avg_qty, COUNT(*) AS count_order
+FROM lineitem l
+WHERE l.l_shipdate <= DATE '1998-09-23'
+GROUP BY l.l_returnflag, l.l_linestatus
+ORDER BY l.l_returnflag, l.l_linestatus;
+
+-- name: Q2
+SELECT TOP 100 s.s_acctbal, s.s_name, n.n_name, p.p_partkey, p.p_mfgr,
+       s.s_address, s.s_phone, s.s_comment
+FROM part p, supplier s, partsupp ps, nation n,
+     region r
+WHERE p.p_partkey = ps.ps_partkey AND s.s_suppkey = ps.ps_suppkey
+  AND p.p_size = 33 AND p.p_type LIKE '%BRASS'
+  AND s.s_nationkey = n.n_nationkey AND n.n_regionkey = r.r_regionkey
+  AND r.r_name = 'MIDDLE EAST'
+  AND ps.ps_supplycost = (
+      SELECT MIN(ps2.ps_supplycost)
+      FROM partsupp ps2, supplier s2, nation n2,
+           region r2
+      WHERE p.p_partkey = ps2.ps_partkey
+        AND s2.s_suppkey = ps2.ps_suppkey
+        AND s2.s_nationkey = n2.n_nationkey
+        AND n2.n_regionkey = r2.r_regionkey AND r2.r_name = 'MIDDLE EAST')
+ORDER BY s.s_acctbal DESC, n.n_name, s.s_name, p.p_partkey;
+
+-- name: Q3
+SELECT TOP 10 l.l_orderkey,
+       SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue,
+       o.o_orderdate, o.o_shippriority
+FROM customer c, orders o, lineitem l
+WHERE c.c_mktsegment = 'HOUSEHOLD' AND c.c_custkey = o.o_custkey
+  AND l.l_orderkey = o.o_orderkey AND o.o_orderdate < DATE '1995-03-20'
+  AND l.l_shipdate > DATE '1995-03-20'
+GROUP BY l.l_orderkey, o.o_orderdate, o.o_shippriority
+ORDER BY revenue DESC, o.o_orderdate;
+
+-- name: Q4
+SELECT o.o_orderpriority, COUNT(*) AS order_count
+FROM orders o
+WHERE o.o_orderdate >= DATE '1994-08-13'
+  AND o.o_orderdate < DATE '1994-11-13'
+  AND EXISTS (SELECT * FROM lineitem l
+              WHERE l.l_orderkey = o.o_orderkey
+                AND l.l_commitdate < l.l_receiptdate)
+GROUP BY o.o_orderpriority
+ORDER BY o.o_orderpriority;
+
+-- name: Q5
+SELECT n.n_name, SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+FROM customer c, orders o, lineitem l, supplier s,
+     nation n, region r
+WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey
+  AND l.l_suppkey = s.s_suppkey AND c.c_nationkey = s.s_nationkey
+  AND s.s_nationkey = n.n_nationkey AND n.n_regionkey = r.r_regionkey
+  AND r.r_name = 'AFRICA' AND o.o_orderdate >= DATE '1994-01-01'
+  AND o.o_orderdate < DATE '1995-01-01'
+GROUP BY n.n_name
+ORDER BY revenue DESC;
+
+-- name: Q6
+SELECT SUM(l.l_extendedprice * l.l_discount) AS revenue
+FROM lineitem l
+WHERE l.l_shipdate >= DATE '1994-01-01' AND l.l_shipdate < DATE '1995-01-01'
+  AND l.l_discount BETWEEN 0.08 AND 0.1
+  AND l.l_quantity < 25;
+
+-- name: Q7
+SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation,
+       SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+FROM supplier s, lineitem l, orders o, customer c,
+     nation n1, nation n2
+WHERE s.s_suppkey = l.l_suppkey AND o.o_orderkey = l.l_orderkey
+  AND c.c_custkey = o.o_custkey AND s.s_nationkey = n1.n_nationkey
+  AND c.c_nationkey = n2.n_nationkey
+  AND ((n1.n_name = 'CANADA' AND n2.n_name = 'VIETNAM')
+       OR (n1.n_name = 'VIETNAM' AND n2.n_name = 'CANADA'))
+  AND l.l_shipdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+GROUP BY n1.n_name, n2.n_name
+ORDER BY n1.n_name, n2.n_name;
+
+-- name: Q8
+SELECT o.o_orderdate,
+       SUM(CASE WHEN n2.n_name = 'ALGERIA'
+                THEN l.l_extendedprice * (1 - l.l_discount)
+                ELSE 0 END) AS nation_volume,
+       SUM(l.l_extendedprice * (1 - l.l_discount)) AS total_volume
+FROM part p, supplier s, lineitem l, orders o,
+     customer c, nation n1, nation n2, region r
+WHERE p.p_partkey = l.l_partkey AND s.s_suppkey = l.l_suppkey
+  AND l.l_orderkey = o.o_orderkey AND o.o_custkey = c.c_custkey
+  AND c.c_nationkey = n1.n_nationkey AND n1.n_regionkey = r.r_regionkey
+  AND r.r_name = 'AFRICA' AND s.s_nationkey = n2.n_nationkey
+  AND o.o_orderdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+  AND p.p_type = 'ECONOMY ANODIZED TIN'
+GROUP BY o.o_orderdate
+ORDER BY o.o_orderdate;
+
+-- name: Q9
+SELECT n.n_name, o.o_orderdate,
+       SUM(l.l_extendedprice * (1 - l.l_discount)
+           - ps.ps_supplycost * l.l_quantity) AS profit
+FROM part p, supplier s, lineitem l, partsupp ps,
+     orders o, nation n
+WHERE s.s_suppkey = l.l_suppkey AND ps.ps_suppkey = l.l_suppkey
+  AND ps.ps_partkey = l.l_partkey AND p.p_partkey = l.l_partkey
+  AND o.o_orderkey = l.l_orderkey AND s.s_nationkey = n.n_nationkey
+  AND p.p_name LIKE '%burnished%'
+GROUP BY n.n_name, o.o_orderdate
+ORDER BY n.n_name, o.o_orderdate DESC;
+
+-- name: Q10
+SELECT TOP 20 c.c_custkey, c.c_name,
+       SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue,
+       c.c_acctbal, n.n_name, c.c_address, c.c_phone, c.c_comment
+FROM customer c, orders o, lineitem l, nation n
+WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey
+  AND o.o_orderdate >= DATE '1995-01-15'
+  AND o.o_orderdate < DATE '1995-04-17'
+  AND l.l_returnflag = 'R' AND c.c_nationkey = n.n_nationkey
+GROUP BY c.c_custkey, c.c_name, c.c_acctbal, c.c_phone, n.n_name,
+         c.c_address, c.c_comment
+ORDER BY revenue DESC;
+
+-- name: Q11
+SELECT ps.ps_partkey,
+       SUM(ps.ps_supplycost * ps.ps_availqty) AS value
+FROM partsupp ps, supplier s, nation n
+WHERE ps.ps_suppkey = s.s_suppkey AND s.s_nationkey = n.n_nationkey
+  AND n.n_name = 'INDONESIA'
+GROUP BY ps.ps_partkey
+HAVING SUM(ps.ps_supplycost * ps.ps_availqty) > (
+    SELECT SUM(ps2.ps_supplycost * ps2.ps_availqty) * 0.0001
+    FROM partsupp ps2, supplier s2, nation n2
+    WHERE ps2.ps_suppkey = s2.s_suppkey
+      AND s2.s_nationkey = n2.n_nationkey AND n2.n_name = 'INDONESIA')
+ORDER BY value DESC;
+
+-- name: Q12
+SELECT l.l_shipmode,
+       SUM(CASE WHEN o.o_orderpriority = '1-URGENT'
+                 OR o.o_orderpriority = '2-HIGH'
+                THEN 1 ELSE 0 END) AS high_line_count,
+       SUM(CASE WHEN o.o_orderpriority <> '1-URGENT'
+                 AND o.o_orderpriority <> '2-HIGH'
+                THEN 1 ELSE 0 END) AS low_line_count
+FROM orders o, lineitem l
+WHERE o.o_orderkey = l.l_orderkey
+  AND l.l_shipmode IN ('FOB', 'RAIL')
+  AND l.l_commitdate < l.l_receiptdate
+  AND l.l_shipdate < l.l_commitdate
+  AND l.l_receiptdate >= DATE '1996-01-01'
+  AND l.l_receiptdate < DATE '1997-01-01'
+GROUP BY l.l_shipmode
+ORDER BY l.l_shipmode;
+
+-- name: Q13
+SELECT c.c_custkey, COUNT(*) AS c_count
+FROM customer c
+LEFT JOIN orders o
+  ON c.c_custkey = o.o_custkey
+ AND o.o_comment NOT LIKE '%express%requests%'
+GROUP BY c.c_custkey
+ORDER BY c.c_custkey;
+
+-- name: Q14
+SELECT 100.0 * SUM(CASE WHEN p.p_type LIKE 'PROMO%'
+                        THEN l.l_extendedprice * (1 - l.l_discount)
+                        ELSE 0 END)
+       / SUM(l.l_extendedprice * (1 - l.l_discount)) AS promo_revenue
+FROM lineitem l, part p
+WHERE l.l_partkey = p.p_partkey
+  AND l.l_shipdate >= DATE '1994-10-14'
+  AND l.l_shipdate < DATE '1994-11-13';
+
+-- name: Q15
+SELECT s.s_suppkey, s.s_name, s.s_address, s.s_phone,
+       SUM(l.l_extendedprice * (1 - l.l_discount)) AS total_revenue
+FROM supplier s, lineitem l
+WHERE s.s_suppkey = l.l_suppkey
+  AND l.l_shipdate >= DATE '1997-06-01'
+  AND l.l_shipdate < DATE '1997-08-30'
+GROUP BY s.s_suppkey, s.s_name, s.s_address, s.s_phone
+HAVING SUM(l.l_extendedprice * (1 - l.l_discount)) > (
+    SELECT MAX(l2.l_extendedprice) * 10
+    FROM lineitem l2
+    WHERE l2.l_shipdate >= DATE '1997-06-01'
+      AND l2.l_shipdate < DATE '1997-08-30')
+ORDER BY s.s_suppkey;
+
+-- name: Q16
+SELECT p.p_brand, p.p_type, p.p_size,
+       COUNT(DISTINCT ps.ps_suppkey) AS supplier_cnt
+FROM partsupp ps, part p
+WHERE p.p_partkey = ps.ps_partkey AND p.p_brand <> 'Brand#22'
+  AND p.p_type NOT LIKE 'STANDARD BRUSHED%'
+  AND p.p_size IN (37, 44, 25, 42, 8, 18, 46, 45)
+  AND ps.ps_suppkey NOT IN (
+      SELECT s.s_suppkey FROM supplier s
+      WHERE s.s_comment LIKE '%Customer%Complaints%')
+GROUP BY p.p_brand, p.p_type, p.p_size
+ORDER BY supplier_cnt DESC, p.p_brand, p.p_type, p.p_size;
+
+-- name: Q17
+SELECT SUM(l.l_extendedprice) / 7.0 AS avg_yearly
+FROM lineitem l, part p
+WHERE p.p_partkey = l.l_partkey AND p.p_brand = 'Brand#41'
+  AND p.p_container = 'SM CASE'
+  AND l.l_quantity < (SELECT 0.2 * AVG(l2.l_quantity)
+                      FROM lineitem l2
+                      WHERE l2.l_partkey = p.p_partkey);
+
+-- name: Q18
+SELECT TOP 100 c.c_name, c.c_custkey, o.o_orderkey, o.o_orderdate,
+       o.o_totalprice, SUM(l.l_quantity) AS total_qty
+FROM customer c, orders o, lineitem l
+WHERE o.o_orderkey IN (SELECT l2.l_orderkey FROM lineitem l2
+                       GROUP BY l2.l_orderkey
+                       HAVING SUM(l2.l_quantity) > 313)
+  AND c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey
+GROUP BY c.c_name, c.c_custkey, o.o_orderkey, o.o_orderdate,
+         o.o_totalprice
+ORDER BY o.o_totalprice DESC, o.o_orderdate;
+
+-- name: Q19
+SELECT SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+FROM lineitem l, part p
+WHERE p.p_partkey = l.l_partkey
+  AND ((p.p_brand = 'Brand#13'
+        AND p.p_container IN ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG')
+        AND l.l_quantity BETWEEN 8 AND 18
+        AND p.p_size BETWEEN 1 AND 5
+        AND l.l_shipmode IN ('AIR', 'REG AIR'))
+       OR (p.p_brand = 'Brand#12'
+        AND p.p_container IN ('MED BAG', 'MED BOX', 'MED PKG',
+                              'MED PACK')
+        AND l.l_quantity BETWEEN 19 AND 29
+        AND p.p_size BETWEEN 1 AND 10
+        AND l.l_shipmode IN ('AIR', 'REG AIR'))
+       OR (p.p_brand = 'Brand#25'
+        AND p.p_container IN ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG')
+        AND l.l_quantity BETWEEN 23 AND 33
+        AND p.p_size BETWEEN 1 AND 15
+        AND l.l_shipmode IN ('AIR', 'REG AIR')));
+
+-- name: Q20
+SELECT s.s_name, s.s_address
+FROM supplier s, nation n
+WHERE s.s_suppkey IN (
+    SELECT ps.ps_suppkey FROM partsupp ps
+    WHERE ps.ps_partkey IN (SELECT p.p_partkey FROM part p
+                            WHERE p.p_name LIKE 'blanched%')
+      AND ps.ps_availqty > (
+          SELECT 0.5 * SUM(l.l_quantity) FROM lineitem l
+          WHERE l.l_partkey = ps.ps_partkey
+            AND l.l_suppkey = ps.ps_suppkey
+            AND l.l_shipdate >= DATE '1997-01-01'
+            AND l.l_shipdate < DATE '1998-01-01'))
+  AND s.s_nationkey = n.n_nationkey AND n.n_name = 'CANADA'
+ORDER BY s.s_name;
+
+-- name: Q21
+SELECT TOP 100 s.s_name, COUNT(*) AS numwait
+FROM supplier s, lineitem l1, orders o, nation n
+WHERE s.s_suppkey = l1.l_suppkey AND o.o_orderkey = l1.l_orderkey
+  AND o.o_orderstatus = 'F' AND l1.l_receiptdate > l1.l_commitdate
+  AND EXISTS (SELECT * FROM lineitem l2
+              WHERE l2.l_orderkey = l1.l_orderkey
+                AND l2.l_suppkey <> l1.l_suppkey)
+  AND NOT EXISTS (SELECT * FROM lineitem l3
+                  WHERE l3.l_orderkey = l1.l_orderkey
+                    AND l3.l_suppkey <> l1.l_suppkey
+                    AND l3.l_receiptdate > l3.l_commitdate)
+  AND s.s_nationkey = n.n_nationkey AND n.n_name = 'MOZAMBIQUE'
+GROUP BY s.s_name
+ORDER BY numwait DESC, s.s_name;
+
+-- name: Q22
+SELECT c.c_nationkey, COUNT(*) AS numcust,
+       SUM(c.c_acctbal) AS totacctbal
+FROM customer c
+WHERE c.c_nationkey IN (16, 22, 20, 13, 18, 14, 21)
+  AND c.c_acctbal > (SELECT AVG(c2.c_acctbal) FROM customer c2
+                     WHERE c2.c_acctbal > 0.0
+                       AND c2.c_nationkey IN (16, 22, 20, 13, 18, 14, 21))
+  AND NOT EXISTS (SELECT * FROM orders o
+                  WHERE o.o_custkey = c.c_custkey)
+GROUP BY c.c_nationkey
+ORDER BY c.c_nationkey;

@@ -21,6 +21,7 @@ Quickstart::
 """
 
 from repro.errors import (
+    AnalysisError,
     CatalogError,
     ConstraintError,
     LayoutError,
@@ -76,6 +77,14 @@ from repro.core import (
     random_layout,
     stripe_fractions,
 )
+from repro.analysis import (
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    analyze_inputs,
+    audit_recommendation,
+    preflight,
+)
 from repro.simulator import SimulationReport, WorkloadSimulator
 from repro.obs import (
     MetricsRegistry,
@@ -91,8 +100,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     # errors
-    "ReproError", "CatalogError", "SqlSyntaxError", "PlanningError",
-    "LayoutError", "ConstraintError", "SimulationError", "WorkloadError",
+    "ReproError", "AnalysisError", "CatalogError", "SqlSyntaxError",
+    "PlanningError", "LayoutError", "ConstraintError", "SimulationError",
+    "WorkloadError",
     # catalog
     "Column", "ColumnStats", "Database", "DbObject", "Histogram", "Index",
     "MaterializedView", "ObjectKind", "Table",
@@ -109,6 +119,9 @@ __all__ = [
     "Layout", "LayoutAdvisor", "MaxDataMovement", "Recommendation",
     "TsGreedySearch", "WorkloadCostEvaluator", "exhaustive_search",
     "full_striping", "random_layout", "stripe_fractions",
+    # static analysis
+    "AnalysisReport", "Diagnostic", "Severity", "analyze_inputs",
+    "audit_recommendation", "preflight",
     # simulator
     "SimulationReport", "WorkloadSimulator",
     # observability

@@ -1,0 +1,59 @@
+"""repro.analysis — rule-based static diagnostics for advisor inputs.
+
+A lint pass for the paper's declarative inputs: before the search runs
+(and after it returns), every invariant the pipeline silently assumes —
+fraction rows summing to 1, satisfiable Section-2.3 constraints, plans
+that decompose, access-graph edges backed by real subplans — is checked
+by a registered rule with a stable ``ALR0xx`` ID, a severity, a located
+message and a suggested fix.
+
+Three entry points (see :mod:`repro.analysis.engine`):
+
+* :func:`analyze_inputs` — ``repro-advisor lint``'s engine; reports
+  everything, raises on nothing;
+* :func:`preflight` — the advisor's gate; raises
+  :class:`~repro.errors.AnalysisError` on error-level diagnostics;
+* :func:`audit_recommendation` — post-search audit of a finished
+  layout against the workload's co-access structure.
+
+Every rule is documented with a minimal triggering example in
+``docs/static-analysis.md``.
+"""
+
+from repro.analysis.diagnostics import (
+    REGISTRY,
+    AnalysisReport,
+    Diagnostic,
+    Rule,
+    Severity,
+    register,
+    rules_by_category,
+)
+from repro.analysis.engine import (
+    analyze_inputs,
+    audit_recommendation,
+    constraint_construction_diagnostic,
+    preflight,
+)
+from repro.analysis.layout_rules import check_layout
+from repro.analysis.constraint_rules import check_constraints
+from repro.analysis.workload_rules import check_workload
+from repro.analysis.audit_rules import check_recommendation
+
+__all__ = [
+    "REGISTRY",
+    "AnalysisReport",
+    "Diagnostic",
+    "Rule",
+    "Severity",
+    "register",
+    "rules_by_category",
+    "analyze_inputs",
+    "audit_recommendation",
+    "constraint_construction_diagnostic",
+    "preflight",
+    "check_layout",
+    "check_constraints",
+    "check_workload",
+    "check_recommendation",
+]

@@ -1,0 +1,98 @@
+"""Recommendation-audit rules (ALR030–ALR031): post-search smells.
+
+A layout can be perfectly *valid* and still be a bad idea.  The Fig.-7
+cost model charges ``k * SEEK_j * min-stream`` whenever ``k > 1``
+co-accessed streams share a disk — the seek blowup that made the paper
+separate `lineitem` from `orders` — and it credits parallelism only to
+disks that actually carry load.  These rules re-read a finished
+recommendation (or any layout) against the workload's access graph and
+flag placements the cost model itself says are expensive.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.diagnostics import Diagnostic, Severity, register
+from repro.core.layout import Layout
+from repro.core.tolerance import EPS_ZERO
+from repro.workload.access_graph import AccessGraph
+
+#: An object is "large" on a disk once it exceeds this share of the
+#: disk's capacity; seek interleaving between two such objects is no
+#: longer noise.
+LARGE_OBJECT_CAPACITY_SHARE = 0.05
+
+#: A disk is "hot" when its referenced-block load exceeds this multiple
+#: of the farm-wide mean.
+HOT_DISK_LOAD_FACTOR = 3.0
+
+ALR030 = register(
+    "ALR030", Severity.WARNING, "audit",
+    "Co-accessed large objects packed on one disk (seek blowup)")
+ALR031 = register(
+    "ALR031", Severity.INFO, "audit",
+    "Workload load is heavily skewed across disks")
+
+
+def check_recommendation(layout: Layout,
+                         graph: AccessGraph,
+                         ) -> Iterator[Diagnostic]:
+    """Audit a layout against the workload's co-access structure.
+
+    Args:
+        layout: The recommended (or any candidate) layout.
+        graph: The workload's access graph; co-access edges and
+            referenced-block node weights drive both rules.
+    """
+    farm = layout.farm
+
+    # ALR030: k > 1 co-accessed large objects on one disk.
+    reported: set[tuple[str, ...]] = set()
+    for j, disk in enumerate(farm):
+        threshold = LARGE_OBJECT_CAPACITY_SHARE * disk.capacity_blocks
+        large_here = [
+            name for name in layout.object_names
+            if layout.fraction(name, j) > EPS_ZERO
+            and layout.size_of(name) * layout.fraction(name, j)
+            >= threshold
+            and name in graph and graph.node_weight(name) > 0]
+        coaccessed = sorted(
+            name for name in large_here
+            if any(graph.edge_weight(name, other) > 0
+                   for other in large_here if other != name))
+        if len(coaccessed) > 1 and tuple(coaccessed) not in reported:
+            reported.add(tuple(coaccessed))
+            disks = sorted(
+                {farm[d].name for name in coaccessed
+                 for d in layout.disks_of(name)})
+            yield ALR030.diagnostic(
+                f"{len(coaccessed)} co-accessed large objects "
+                f"({', '.join(coaccessed)}) share disk {disk.name}; "
+                f"interleaved streams pay k seeks per stripe pass "
+                f"(Fig. 7's k>1 seek term)",
+                location=f"disk:{disk.name}",
+                suggestion="place co-accessed large objects on "
+                           "disjoint disk sets "
+                           f"(currently spanning {', '.join(disks)})")
+
+    # ALR031: referenced-block load skew across the farm.
+    loads = []
+    for j in range(len(farm)):
+        load = sum(graph.node_weight(name) * layout.fraction(name, j)
+                   for name in layout.object_names if name in graph)
+        loads.append(load)
+    total = sum(loads)
+    if total > 0 and len(loads) > 1:
+        mean = total / len(loads)
+        hottest = max(range(len(loads)), key=lambda j: loads[j])
+        if loads[hottest] > HOT_DISK_LOAD_FACTOR * mean:
+            yield ALR031.diagnostic(
+                f"disk {farm[hottest].name} carries "
+                f"{loads[hottest]:.0f} referenced blocks, "
+                f"{loads[hottest] / mean:.1f}x the farm mean "
+                f"({mean:.0f}); the farm's aggregate bandwidth is "
+                f"underused",
+                location=f"disk:{farm[hottest].name}",
+                suggestion="spread the hottest objects over more "
+                           "disks, or check the workload weights")

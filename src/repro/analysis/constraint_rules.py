@@ -1,0 +1,212 @@
+"""Constraint rules (ALR010–ALR015): Section-2.3 constraint feasibility.
+
+The search treats constraints as hard filters, so an unsatisfiable
+constraint set used to surface only deep inside TS-GREEDY as an opaque
+:class:`~repro.errors.ConstraintError` (or worse, as an exhaustive
+search that silently finds nothing).  These rules decide feasibility
+*statically*: contradictory co-location/availability combinations,
+requirements no disk in the farm can satisfy, movement budgets smaller
+than the movement the other constraints force, and constraints naming
+objects the database does not contain.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.analysis.diagnostics import Diagnostic, Severity, register
+from repro.core.constraints import ConstraintSet
+from repro.core.tolerance import EPS_CAPACITY, EPS_ZERO
+from repro.storage.disk import DiskFarm
+
+ALR010 = register(
+    "ALR010", Severity.ERROR, "constraints",
+    "Constraint references an object not in the database")
+ALR011 = register(
+    "ALR011", Severity.ERROR, "constraints",
+    "Co-location group has contradictory availability requirements")
+ALR012 = register(
+    "ALR012", Severity.ERROR, "constraints",
+    "No disk in the farm satisfies an availability requirement")
+ALR013 = register(
+    "ALR013", Severity.INFO, "constraints",
+    "Redundant Co-Located pair (already implied transitively)")
+ALR014 = register(
+    "ALR014", Severity.ERROR, "constraints",
+    "Data-movement budget is infeasible for the constraint set")
+ALR015 = register(
+    "ALR015", Severity.ERROR, "constraints",
+    "Constraint set is self-contradictory and could not be built")
+
+
+def _group_label(group: frozenset[str]) -> str:
+    return "{" + ", ".join(sorted(group)) + "}"
+
+
+def check_constraints(constraints: ConstraintSet,
+                      farm: DiskFarm,
+                      db_objects: Iterable[str],
+                      ) -> Iterator[Diagnostic]:
+    """Run every constraint rule over a constructed constraint set.
+
+    Args:
+        constraints: The Section-2.3 constraint bundle.
+        farm: Disk farm the layout will be searched over.
+        db_objects: Names of every layout object in the catalog.
+    """
+    known = set(db_objects)
+
+    # ALR010: references to unknown objects.
+    for pair in constraints.co_located:
+        for name in (pair.a, pair.b):
+            if name not in known:
+                yield ALR010.diagnostic(
+                    f"Co-Located({pair.a}, {pair.b}) references unknown "
+                    f"object {name!r}",
+                    location=f"constraint:CoLocated({pair.a}, {pair.b})",
+                    suggestion="fix the object name or drop the "
+                               "constraint")
+    for req in constraints.availability:
+        if req.obj not in known:
+            yield ALR010.diagnostic(
+                f"Avail-Requirement({req.obj}, {req.level}) references "
+                f"unknown object {req.obj!r}",
+                location=f"constraint:AvailRequirement({req.obj})",
+                suggestion="fix the object name or drop the constraint")
+    movement = constraints.movement
+    if movement is not None:
+        baseline_extra = sorted(
+            set(movement.baseline.object_names) - known)
+        baseline_missing = sorted(
+            known - set(movement.baseline.object_names))
+        for name in baseline_extra + baseline_missing:
+            yield ALR010.diagnostic(
+                f"Max-Data-Movement baseline layout and catalog "
+                f"disagree on object {name!r}",
+                location="constraint:MaxDataMovement",
+                suggestion="regenerate the baseline layout from the "
+                           "current catalog")
+
+    # ALR011/ALR012: availability feasibility per co-location group.
+    avail_by_obj = {req.obj: req for req in constraints.availability}
+    seen_groups: set[frozenset[str]] = set()
+    for obj in sorted(set(avail_by_obj) & known):
+        group = constraints.group_of(obj)
+        if group in seen_groups:
+            continue
+        seen_groups.add(group)
+        required = {name: avail_by_obj[name].level
+                    for name in sorted(group) if name in avail_by_obj}
+        levels = sorted({level.value for level in required.values()})
+        if len(levels) > 1:
+            detail = ", ".join(f"{name} requires {level}"
+                               for name, level in required.items())
+            yield ALR011.diagnostic(
+                f"co-location group {_group_label(group)} is "
+                f"contradictory: {detail}; a disk has exactly one "
+                f"availability level, so no disk set satisfies all "
+                f"members",
+                location=f"constraint:group{_group_label(group)}",
+                suggestion="drop one of the conflicting constraints or "
+                           "split the co-location group")
+            continue
+        allowed = set(range(len(farm)))
+        for req in required.values():
+            allowed &= {j for j, d in enumerate(farm)
+                        if d.availability is req}
+        if not allowed:
+            level = levels[0]
+            yield ALR012.diagnostic(
+                f"no disk in the farm has availability {level!r}, "
+                f"required by {_group_label(group)}",
+                location=f"constraint:group{_group_label(group)}",
+                suggestion=f"add a {level} disk to the farm or relax "
+                           f"the requirement")
+
+    # ALR013: redundant co-location edges (duplicates / cycle closers).
+    parent: dict[str, str] = {}
+
+    def find(x: str) -> str:
+        parent.setdefault(x, x)
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for pair in constraints.co_located:
+        root_a, root_b = find(pair.a), find(pair.b)
+        if root_a == root_b:
+            yield ALR013.diagnostic(
+                f"Co-Located({pair.a}, {pair.b}) is already implied by "
+                f"the transitive closure of the preceding pairs",
+                location=f"constraint:CoLocated({pair.a}, {pair.b})",
+                suggestion="drop the redundant pair")
+        else:
+            parent[root_a] = root_b
+
+    # ALR014: movement-budget feasibility.
+    if movement is not None:
+        yield from _check_movement(constraints, farm, known)
+
+
+def _check_movement(constraints: ConstraintSet, farm: DiskFarm,
+                    known: set[str]) -> Iterator[Diagnostic]:
+    """ALR014: can any constraint-satisfying layout fit the budget?"""
+    movement = constraints.movement
+    assert movement is not None
+    baseline = movement.baseline
+    budget = movement.max_blocks
+    if budget < 0:
+        yield ALR014.diagnostic(
+            f"data-movement budget is negative ({budget:.0f} blocks)",
+            location="constraint:MaxDataMovement",
+            suggestion="use a budget >= 0")
+        return
+    in_baseline = set(baseline.object_names)
+
+    # Blocks the availability requirements force off their current
+    # disks: a sound lower bound on mandatory movement.
+    forced = 0.0
+    for req in constraints.availability:
+        if req.obj not in in_baseline:
+            continue
+        allowed = set(req.allowed_disks(farm))
+        row = baseline.fractions_of(req.obj)
+        stranded = sum(f for j, f in enumerate(row)
+                       if j not in allowed and f > EPS_ZERO)
+        forced += stranded * baseline.size_of(req.obj)
+    if forced > budget + EPS_CAPACITY:
+        yield ALR014.diagnostic(
+            f"availability requirements force moving at least "
+            f"{forced:.0f} blocks off disallowed disks, but the budget "
+            f"is {budget:.0f} blocks",
+            location="constraint:MaxDataMovement",
+            suggestion=f"raise the budget to at least {forced:.0f} "
+                       f"blocks or relax the availability requirements")
+        return
+
+    # A zero budget pins the layout to the baseline; if the baseline
+    # itself violates a co-location pair, nothing feasible exists.
+    mismatched = [
+        pair for pair in constraints.co_located
+        if pair.a in in_baseline and pair.b in in_baseline
+        and baseline.disks_of(pair.a) != baseline.disks_of(pair.b)]
+    if budget <= EPS_CAPACITY:
+        if mismatched:
+            pairs = ", ".join(f"Co-Located({p.a}, {p.b})"
+                              for p in mismatched)
+            yield ALR014.diagnostic(
+                f"budget of 0 blocks pins the layout to the baseline, "
+                f"but the baseline violates {pairs}; no layout can "
+                f"satisfy both",
+                location="constraint:MaxDataMovement",
+                suggestion="raise the budget or drop the co-location "
+                           "constraint(s)")
+        else:
+            yield ALR014.diagnostic(
+                "budget of 0 blocks pins the layout to the baseline; "
+                "the advisor can only re-confirm the current layout",
+                location="constraint:MaxDataMovement",
+                severity=Severity.WARNING,
+                suggestion="raise the budget to let the advisor "
+                           "propose changes")

@@ -1,0 +1,226 @@
+"""Diagnostic primitives: severities, rules, diagnostics, reports.
+
+The static analyzer is organized like a compiler's lint pass: a
+*rule* is a registered, documented invariant with a stable ID
+(``ALR0xx`` — *Automated Layout Rule*), a default severity and a title;
+a *diagnostic* is one concrete violation of a rule, carrying a location
+and an optional suggested fix; a *report* is an ordered collection of
+diagnostics with severity roll-ups and text/JSON renderings.
+
+Rule IDs are part of the tool's public contract: scripts match on them
+(``--format json``), the advisor's pre-flight names them in exceptions,
+and ``docs/static-analysis.md`` documents each with a minimal
+triggering example.  Never renumber an existing rule.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator
+
+_SEVERITY_RANK = {"info": 0, "warning": 1, "error": 2}
+
+
+class Severity(enum.Enum):
+    """How bad a diagnostic is.
+
+    ``ERROR`` means the inputs cannot produce a meaningful
+    recommendation (the advisor's pre-flight refuses to search);
+    ``WARNING`` means the run can proceed but the result is suspect;
+    ``INFO`` is advisory.
+    """
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        """Numeric ordering: info < warning < error."""
+        return _SEVERITY_RANK[self.value]
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered analysis rule.
+
+    Attributes:
+        rule_id: Stable identifier, e.g. ``"ALR003"``.
+        severity: Default severity of diagnostics from this rule.
+        category: Which analyzer owns it: ``"layout"``,
+            ``"constraints"``, ``"workload"`` or ``"audit"``.
+        title: One-line summary used in listings and docs.
+    """
+
+    rule_id: str
+    severity: Severity
+    category: str
+    title: str
+
+    def diagnostic(self, message: str, location: str = "",
+                   suggestion: str | None = None,
+                   severity: Severity | None = None) -> "Diagnostic":
+        """A concrete violation of this rule."""
+        return Diagnostic(rule_id=self.rule_id,
+                          severity=severity or self.severity,
+                          message=message, location=location,
+                          suggestion=suggestion)
+
+
+#: Every registered rule by ID, in registration order.
+REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule_id: str, severity: Severity, category: str,
+             title: str) -> Rule:
+    """Register a rule under a stable ID (module-import time only)."""
+    if rule_id in REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_id!r}")
+    rule = Rule(rule_id=rule_id, severity=severity, category=category,
+                title=title)
+    REGISTRY[rule_id] = rule
+    return rule
+
+
+def rules_by_category(category: str | None = None) -> list[Rule]:
+    """All registered rules, optionally restricted to one category."""
+    return [r for r in REGISTRY.values()
+            if category is None or r.category == category]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One concrete finding of the static analyzer.
+
+    Attributes:
+        rule_id: The violated rule's stable ID.
+        severity: Effective severity (usually the rule's default).
+        message: Human-readable description naming the offenders.
+        location: Where the problem is, as ``kind:name`` (e.g.
+            ``"layout:lineitem"``, ``"constraint:CoLocated(a, b)"``,
+            ``"statement:Q3"``, ``"disk:D4"``).
+        suggestion: Optional one-line suggested fix.
+    """
+
+    rule_id: str
+    severity: Severity
+    message: str
+    location: str = ""
+    suggestion: str | None = None
+
+    def render(self) -> str:
+        """``severity ALR0xx [location] message  (fix: ...)``."""
+        where = f" [{self.location}]" if self.location else ""
+        fix = f"  (fix: {self.suggestion})" if self.suggestion else ""
+        return f"{self.severity.value:7s} {self.rule_id}{where} " \
+               f"{self.message}{fix}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (stable keys; ``suggestion`` may be null)."""
+        return {"rule": self.rule_id, "severity": self.severity.value,
+                "message": self.message, "location": self.location,
+                "suggestion": self.suggestion}
+
+
+class AnalysisReport:
+    """An ordered collection of diagnostics with severity roll-ups."""
+
+    def __init__(self, diagnostics: Iterable[Diagnostic] = ()):
+        self.diagnostics: list[Diagnostic] = list(diagnostics)
+
+    # -- collection ----------------------------------------------------------
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        """Append diagnostics (analyzers yield, the engine collects)."""
+        self.diagnostics.extend(diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __bool__(self) -> bool:
+        return bool(self.diagnostics)
+
+    # -- roll-ups ------------------------------------------------------------
+
+    def by_severity(self, severity: Severity) -> list[Diagnostic]:
+        """Diagnostics of exactly the given severity."""
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def max_severity(self) -> Severity | None:
+        """The worst severity present, or ``None`` for a clean report."""
+        if not self.diagnostics:
+            return None
+        return max((d.severity for d in self.diagnostics),
+                   key=lambda s: s.rank)
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit code: 0 clean/info, 1 warnings, 2 errors."""
+        worst = self.max_severity
+        if worst is Severity.ERROR:
+            return 2
+        if worst is Severity.WARNING:
+            return 1
+        return 0
+
+    def counts(self) -> dict[str, int]:
+        """``{"error": n, "warning": n, "info": n}``."""
+        out = {s.value: 0 for s in
+               (Severity.ERROR, Severity.WARNING, Severity.INFO)}
+        for d in self.diagnostics:
+            out[d.severity.value] += 1
+        return out
+
+    # -- renderings ----------------------------------------------------------
+
+    def render_text(self) -> str:
+        """One line per diagnostic (worst first), plus a summary line."""
+        ordered = sorted(self.diagnostics,
+                         key=lambda d: (-d.severity.rank, d.rule_id,
+                                        d.location))
+        lines = [d.render() for d in ordered]
+        c = self.counts()
+        lines.append(f"{len(self.diagnostics)} diagnostic(s): "
+                     f"{c['error']} error(s), {c['warning']} warning(s), "
+                     f"{c['info']} info")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form: diagnostics plus a summary block."""
+        return {"diagnostics": [d.to_dict() for d in self.diagnostics],
+                "summary": {**self.counts(),
+                            "max_severity":
+                                self.max_severity.value
+                                if self.max_severity else None}}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        c = self.counts()
+        return f"AnalysisReport({c['error']}E/{c['warning']}W/" \
+               f"{c['info']}I)"
+
+
+__all__ = [
+    "AnalysisReport",
+    "Diagnostic",
+    "REGISTRY",
+    "Rule",
+    "Severity",
+    "register",
+    "rules_by_category",
+]

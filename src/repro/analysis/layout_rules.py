@@ -1,0 +1,130 @@
+"""Layout rules (ALR001–ALR006): Definition-2 validity and layout smells.
+
+These rules re-check the paper's Definition 2 — non-negative fractions,
+full allocation, capacity — *without* constructing a
+:class:`~repro.core.layout.Layout` (whose constructor raises on the
+first violation), so a single lint pass can report every problem in a
+malformed fraction matrix at once.  The full-allocation check is shared
+with the materializer via
+:func:`repro.storage.allocation.validate_fractions`, so the analyzer and
+the storage engine can never disagree about what is valid.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+from repro.analysis.diagnostics import Diagnostic, Severity, register
+from repro.core.tolerance import EPS_CAPACITY, EPS_ZERO
+from repro.errors import LayoutError
+from repro.storage.allocation import validate_fractions
+from repro.storage.disk import DiskFarm
+
+ALR001 = register(
+    "ALR001", Severity.ERROR, "layout",
+    "Object's fractions do not sum to 1 (not fully allocated)")
+ALR002 = register(
+    "ALR002", Severity.ERROR, "layout",
+    "Object has a negative disk fraction")
+ALR003 = register(
+    "ALR003", Severity.ERROR, "layout",
+    "Disk over capacity under this layout")
+ALR004 = register(
+    "ALR004", Severity.WARNING, "layout",
+    "Disk holds no data under this layout (idle spindle)")
+ALR005 = register(
+    "ALR005", Severity.WARNING, "layout",
+    "Object striped over disks with mixed availability levels")
+ALR006 = register(
+    "ALR006", Severity.ERROR, "layout",
+    "Layout row set does not match the catalog's object set")
+
+
+def check_layout(farm: DiskFarm,
+                 object_sizes: Mapping[str, int],
+                 fractions: Mapping[str, Sequence[float]],
+                 catalog_objects: Sequence[str] | None = None,
+                 ) -> Iterator[Diagnostic]:
+    """Run every layout rule over a raw fraction matrix.
+
+    Args:
+        farm: The disk farm the fractions refer to.
+        object_sizes: Object name -> size in blocks.
+        fractions: Object name -> per-disk fraction row.
+        catalog_objects: When given, the catalog's object names; rows
+            missing from or extra to this set trigger ALR006.
+    """
+    # ALR006: row set vs catalog object set.
+    if catalog_objects is not None:
+        catalog = set(catalog_objects)
+        missing = sorted(catalog - set(fractions))
+        extra = sorted(set(fractions) - catalog)
+        for name in missing:
+            yield ALR006.diagnostic(
+                f"catalog object {name!r} has no fraction row",
+                location=f"layout:{name}",
+                suggestion="add a row for the object or drop it from "
+                           "the catalog")
+        for name in extra:
+            yield ALR006.diagnostic(
+                f"fraction row for unknown object {name!r}",
+                location=f"layout:{name}",
+                suggestion="remove the row or add the object to the "
+                           "catalog")
+
+    # ALR001/ALR002: per-row invariants, via the shared storage check.
+    valid_rows: dict[str, Sequence[float]] = {}
+    for name in sorted(fractions):
+        row = fractions[name]
+        if any(f < -EPS_ZERO for f in row):
+            yield ALR002.diagnostic(
+                f"object {name!r} has negative fraction(s) "
+                f"{[f for f in row if f < -EPS_ZERO]}",
+                location=f"layout:{name}",
+                suggestion="fractions are shares of the object; clamp "
+                           "to [0, 1]")
+            continue
+        try:
+            validate_fractions(row, obj=name, n_disks=len(farm))
+        except LayoutError as bad:
+            yield ALR001.diagnostic(
+                str(bad), location=f"layout:{name}",
+                suggestion="rescale the row so the fractions sum to "
+                           "exactly 1")
+            continue
+        valid_rows[name] = row
+
+    # ALR003/ALR004: per-disk roll-ups over the valid rows.
+    for j, disk in enumerate(farm):
+        used = sum(float(object_sizes.get(name, 0)) * row[j]
+                   for name, row in valid_rows.items())
+        if used > disk.capacity_blocks + EPS_CAPACITY:
+            yield ALR003.diagnostic(
+                f"disk {disk.name} needs {used:.0f} blocks but has "
+                f"capacity {disk.capacity_blocks}",
+                location=f"disk:{disk.name}",
+                suggestion="spread the largest objects over more disks "
+                           "or add capacity")
+        elif used <= EPS_ZERO and valid_rows:
+            yield ALR004.diagnostic(
+                f"disk {disk.name} ({disk.capacity_blocks} blocks) "
+                f"holds no data",
+                location=f"disk:{disk.name}",
+                suggestion="an idle spindle adds no bandwidth; stripe "
+                           "a hot object onto it or remove it from the "
+                           "farm description")
+
+    # ALR005: availability-heterogeneous stripe sets.
+    for name, row in valid_rows.items():
+        levels = {farm[j].availability
+                  for j, f in enumerate(row) if f > EPS_ZERO}
+        if len(levels) > 1:
+            names = ", ".join(sorted(level.value for level in levels))
+            yield ALR005.diagnostic(
+                f"object {name!r} is striped over disks with mixed "
+                f"availability levels ({names}); its effective "
+                f"availability is the weakest level",
+                location=f"layout:{name}",
+                suggestion="restrict the object to disks of one "
+                           "availability level, or add an "
+                           "Avail-Requirement constraint")

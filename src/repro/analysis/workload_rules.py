@@ -1,0 +1,166 @@
+"""Plan/workload rules (ALR020–ALR024): analyzed-workload sanity.
+
+The decomposition into non-blocking subplans (Section 4.2) and the
+access graph built from it (Figure 6) both assume well-formed inputs: a
+plan is a finite operator tree, every co-access edge is witnessed by a
+subplan, and statements carry meaningful weights.  Hand-built plans and
+synthetic workloads (the concurrency extension, test fixtures) can break
+each of those; these rules catch it before the search optimizes a graph
+that doesn't describe the workload.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.diagnostics import Diagnostic, Severity, register
+from repro.catalog.schema import Database
+from repro.workload.access import AnalyzedWorkload
+from repro.workload.access_graph import AccessGraph
+
+ALR020 = register(
+    "ALR020", Severity.ERROR, "workload",
+    "Execution plan is not a finite operator tree (cycle or shared "
+    "subtree)")
+ALR021 = register(
+    "ALR021", Severity.WARNING, "workload",
+    "Access-graph edge not backed by any non-blocking subplan")
+ALR022 = register(
+    "ALR022", Severity.WARNING, "workload",
+    "Statement has a non-positive effective weight")
+ALR023 = register(
+    "ALR023", Severity.INFO, "workload",
+    "Catalog object is never accessed by the workload")
+ALR024 = register(
+    "ALR024", Severity.WARNING, "workload",
+    "Statement's plan accesses no stored objects")
+
+
+def _statement_name(analyzed: AnalyzedWorkload, index: int) -> str:
+    stmt = analyzed.statements[index]
+    return stmt.statement.name or f"stmt{index + 1}"
+
+
+def _plan_shape_problem(plan) -> str | None:
+    """``"cycle"`` / ``"shared"`` / ``None`` for an operator graph.
+
+    Iterative DFS so a cyclic plan cannot blow the recursion limit
+    (plan cycles would otherwise hang :func:`repro.workload.access
+    .decompose` itself).
+    """
+    WHITE, GREY, BLACK = 0, 1, 2
+    state: dict[int, int] = {}
+    shared = False
+    stack = [(plan, False)]
+    while stack:
+        node, leaving = stack.pop()
+        key = id(node)
+        if leaving:
+            state[key] = BLACK
+            continue
+        mark = state.get(key, WHITE)
+        if mark == GREY:
+            return "cycle"
+        if mark == BLACK:
+            shared = True
+            continue
+        state[key] = GREY
+        stack.append((node, True))
+        for child in node.children:
+            stack.append((child, False))
+    return "shared" if shared else None
+
+
+def check_workload(analyzed: AnalyzedWorkload,
+                   db: Database | None = None,
+                   graph: AccessGraph | None = None,
+                   ) -> Iterator[Diagnostic]:
+    """Run every plan/workload rule over an analyzed workload.
+
+    Args:
+        analyzed: The planned-and-decomposed workload.
+        db: Optional catalog; enables the never-accessed-object rule.
+        graph: Optional access graph to audit against the workload's
+            subplans (when omitted, edge-witness checking is skipped —
+            a graph built by :func:`build_access_graph` from the same
+            workload is consistent by construction).
+    """
+    accessed: set[str] = set()
+    witnessed: set[tuple[str, str]] = set()
+    for index, item in enumerate(analyzed):
+        name = _statement_name(analyzed, index)
+
+        # ALR020: plan shape.
+        problem = _plan_shape_problem(item.plan)
+        if problem == "cycle":
+            yield ALR020.diagnostic(
+                f"statement {name}'s plan contains an operator cycle; "
+                f"subplan decomposition would not terminate",
+                location=f"statement:{name}",
+                suggestion="plans must be trees; rebuild the plan "
+                           "without back-edges")
+        elif problem == "shared":
+            yield ALR020.diagnostic(
+                f"statement {name}'s plan shares an operator subtree "
+                f"between parents; its accesses are counted once per "
+                f"parent",
+                location=f"statement:{name}",
+                severity=Severity.WARNING,
+                suggestion="duplicate the shared subtree (or plan with "
+                           "a spool) so each access is attributed once")
+            # Shared subtrees still decompose; fall through to the
+            # remaining per-statement rules.
+        if problem == "cycle":
+            continue
+
+        # ALR022: non-positive effective weights (only synthetic
+        # entries can carry them; real Statement weights are > 0).
+        if item.weight <= 0:
+            yield ALR022.diagnostic(
+                f"statement {name} has effective weight {item.weight:g}"
+                f"; it contributes nothing (or negatively) to every "
+                f"cost and graph weight",
+                location=f"statement:{name}",
+                suggestion="drop the statement or give it a positive "
+                           "weight")
+
+        # ALR024: statements that touch no stored object.
+        objects = {obj for subplan in item.subplans
+                   for obj in subplan.objects()}
+        if not objects:
+            yield ALR024.diagnostic(
+                f"statement {name}'s plan accesses no stored objects; "
+                f"it cannot influence the layout",
+                location=f"statement:{name}",
+                suggestion="check that the statement references "
+                           "catalog tables")
+        accessed |= objects
+        for subplan in item.subplans:
+            names = sorted(subplan.objects())
+            for i, u in enumerate(names):
+                for v in names[i + 1:]:
+                    witnessed.add((u, v))
+
+    # ALR021: graph edges with no witnessing subplan.
+    if graph is not None:
+        for (u, v), weight in sorted(graph.edges.items()):
+            if (u, v) not in witnessed:
+                yield ALR021.diagnostic(
+                    f"access-graph edge {u} -- {v} (weight {weight:.0f})"
+                    f" is not backed by any non-blocking subplan of the "
+                    f"workload",
+                    location=f"graph:{u}--{v}",
+                    suggestion="rebuild the graph from the analyzed "
+                               "workload, or remove the stale edge")
+
+    # ALR023: catalog objects the workload never touches.
+    if db is not None:
+        for obj in db.objects():
+            if obj.name not in accessed:
+                yield ALR023.diagnostic(
+                    f"object {obj.name!r} ({obj.size_blocks} blocks) is "
+                    f"never accessed by any statement; it will be "
+                    f"placed without workload evidence",
+                    location=f"object:{obj.name}",
+                    suggestion="drop unused physical structures from "
+                               "the catalog, or extend the workload")

@@ -52,17 +52,23 @@ def _stats_to_dict(stats: ColumnStats) -> dict[str, Any]:
     return out
 
 
-def _stats_from_dict(data: dict[str, Any]) -> ColumnStats:
-    histogram = None
-    if "histogram" in data:
-        h = data["histogram"]
-        histogram = Histogram(lo=h["lo"], hi=h["hi"],
-                              bucket_fractions=tuple(
-                                  h["bucket_fractions"]))
-    return ColumnStats(ndv=data["ndv"], lo=data.get("lo"),
-                       hi=data.get("hi"),
-                       null_fraction=data.get("null_fraction", 0.0),
-                       histogram=histogram)
+def _stats_from_dict(data: dict[str, Any],
+                     column: str | None = None) -> ColumnStats:
+    try:
+        histogram = None
+        if "histogram" in data:
+            h = data["histogram"]
+            histogram = Histogram(lo=h["lo"], hi=h["hi"],
+                                  bucket_fractions=tuple(
+                                      h["bucket_fractions"]))
+        return ColumnStats(ndv=data["ndv"], lo=data.get("lo"),
+                           hi=data.get("hi"),
+                           null_fraction=data.get("null_fraction", 0.0),
+                           histogram=histogram)
+    except CatalogError as bad:
+        if column is None:
+            raise
+        raise CatalogError(f"column {column!r}: {bad}") from None
 
 
 # -- database -------------------------------------------------------------------
@@ -102,7 +108,7 @@ def database_from_dict(data: dict[str, Any]) -> Database:
         tables = [
             Table(t["name"], t["row_count"],
                   [Column(c["name"], c["width_bytes"],
-                          _stats_from_dict(c["stats"])
+                          _stats_from_dict(c["stats"], column=c["name"])
                           if "stats" in c else None)
                    for c in t["columns"]],
                   clustered_on=t.get("clustered_on") or None)
@@ -284,6 +290,8 @@ def recommendation_to_dict(recommendation) -> dict[str, Any]:
             out["data_movement_blocks"] = float(movement)
     if rec.search is not None:
         out["search"] = rec.search.telemetry_dict()
+    if rec.diagnostics:
+        out["diagnostics"] = [d.to_dict() for d in rec.diagnostics]
     return out
 
 
@@ -295,17 +303,26 @@ def recommendation_from_dict(data: dict[str, Any], farm: DiskFarm):
     ``SearchResult`` — the layouts it referenced are gone); everything
     a report needs is reconstructed.
     """
+    from repro.analysis.diagnostics import Diagnostic, Severity
     from repro.core.advisor import Recommendation
     current = None
     if "current_layout" in data:
         current = layout_from_dict(data["current_layout"], farm)
+    diagnostics = [
+        Diagnostic(rule_id=d["rule"],
+                   severity=Severity(d["severity"]),
+                   message=d["message"],
+                   location=d.get("location", ""),
+                   suggestion=d.get("suggestion"))
+        for d in data.get("diagnostics", ())]
     return Recommendation(
         layout=layout_from_dict(data["layout"], farm),
         estimated_cost=float(data["estimated_cost"]),
         current_cost=float(data["current_cost"]),
         per_statement=[(name, float(c), float(p))
                        for name, c, p in data.get("per_statement", ())],
-        current_layout=current)
+        current_layout=current,
+        diagnostics=diagnostics)
 
 
 def save_recommendation(recommendation, path: str | Path) -> None:

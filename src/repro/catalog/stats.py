@@ -27,12 +27,16 @@ class Histogram:
     bucket_fractions: tuple[float, ...]
 
     def __post_init__(self) -> None:
+        # Deferred import: repro.core depends on this package at import
+        # time (layout -> schema -> stats), so the shared tolerance is
+        # looked up at call time to keep the layering acyclic.
+        from repro.core.tolerance import EPS_FRACTION
         if self.hi < self.lo:
             raise CatalogError("histogram domain is empty (hi < lo)")
         if not self.bucket_fractions:
             raise CatalogError("histogram needs at least one bucket")
         total = sum(self.bucket_fractions)
-        if abs(total - 1.0) > 1e-6:
+        if abs(total - 1.0) > EPS_FRACTION:
             raise CatalogError(
                 f"histogram bucket fractions must sum to 1 (got {total})")
         if any(f < 0 for f in self.bucket_fractions):

@@ -17,6 +17,14 @@ Subcommands::
                              --workload w.sql --layout l.json ...
     repro-advisor simulate   --database db.json --disks disks.json \\
                              --workload w.sql --layout l.json
+    repro-advisor lint       --database db.json [--disks disks.json] \\
+                             [--workload w.sql] [--constraints c.json] \\
+                             [--layout l.json] [--format text|json]
+
+``lint`` statically analyzes the inputs (see ``docs/static-analysis.md``
+for every ``ALR0xx`` rule); its exit code is 0 when clean (or info
+only), 1 with warnings, 2 with errors.  ``lint --rules`` lists every
+registered rule.
 
 Observability (see ``docs/observability.md``): ``--trace out.json``
 writes the advisor run's span tree as JSON, ``--metrics`` prints the
@@ -144,6 +152,29 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_inputs(simp)
     simp.add_argument("--layout", type=Path,
                       help="layout JSON (default: full striping)")
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically analyze advisor inputs (ALR0xx rules)")
+    lint.add_argument("--database", type=Path,
+                      help="database catalog JSON")
+    lint.add_argument("--disks", type=Path,
+                      help="disk-drive list JSON (enables constraint "
+                           "and layout rules)")
+    lint.add_argument("--workload", type=Path,
+                      help="workload SQL file (enables plan/workload "
+                           "rules)")
+    lint.add_argument("--constraints", type=Path,
+                      help="constraint set JSON")
+    lint.add_argument("--layout", type=Path,
+                      help="layout JSON (checked even when invalid)")
+    lint.add_argument("--format", choices=["text", "json"],
+                      default="text",
+                      help="output format (default: text)")
+    lint.add_argument("--rules", action="store_true",
+                      help="list every registered rule and exit")
+    lint.add_argument("-v", "--verbose", action="count", default=0,
+                      help="enable INFO (-v) / DEBUG (-vv) logging")
     return parser
 
 
@@ -280,11 +311,78 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """``lint``: static diagnostics over whatever inputs were given.
+
+    Exit code mirrors :attr:`AnalysisReport.exit_code`: 0 for a clean
+    (or info-only) report, 1 for warnings, 2 for errors — so CI can
+    gate on it like any other linter.
+    """
+    import json
+
+    from repro import analysis
+
+    if args.rules:
+        rules = analysis.rules_by_category()
+        if args.format == "json":
+            print(json.dumps([
+                {"rule": r.rule_id, "severity": r.severity.value,
+                 "category": r.category, "title": r.title}
+                for r in rules], indent=2))
+        else:
+            for rule in rules:
+                print(f"{rule.rule_id}  {rule.severity.value:7s} "
+                      f"{rule.category:11s} {rule.title}")
+        return 0
+
+    if args.database is None:
+        print("error: --database is required (or use --rules)",
+              file=sys.stderr)
+        return 2
+    db = load_database(args.database)
+    farm = load_farm(args.disks) if args.disks else None
+    workload = Workload.load(args.workload) if args.workload else None
+    layout = None
+    if args.layout:
+        if farm is None:
+            print("error: --layout requires --disks", file=sys.stderr)
+            return 2
+        # Raw dict, not load_layout(): an invalid layout cannot be
+        # constructed as a Layout, and linting it is the whole point.
+        layout = json.loads(args.layout.read_text())
+
+    report = analysis.AnalysisReport()
+    constraints = None
+    if args.constraints:
+        if farm is None:
+            print("error: --constraints requires --disks",
+                  file=sys.stderr)
+            return 2
+        try:
+            constraints = _load_constraints(args, farm, db)
+        except ReproError as error:
+            report.extend(analysis.constraint_construction_diagnostic(
+                error, source=args.constraints.name))
+
+    report.extend(analysis.analyze_inputs(
+        db=db, farm=farm, workload=workload, constraints=constraints,
+        layout=layout))
+
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    elif report:
+        print(report.render_text())
+    else:
+        print("clean: no diagnostics")
+    return report.exit_code
+
+
 _COMMANDS = {
     "recommend": cmd_recommend,
     "analyze": cmd_analyze,
     "estimate": cmd_estimate,
     "simulate": cmd_simulate,
+    "lint": cmd_lint,
 }
 
 

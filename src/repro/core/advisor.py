@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.catalog.schema import Database
 from repro.core.constraints import ConstraintSet
@@ -25,6 +26,9 @@ from repro.storage.disk import DiskFarm
 from repro.workload.access import AnalyzedWorkload, analyze_workload
 from repro.workload.access_graph import AccessGraph, build_access_graph
 from repro.workload.workload import Workload
+
+if TYPE_CHECKING:
+    from repro.analysis.diagnostics import AnalysisReport, Diagnostic
 
 logger = logging.getLogger("repro.core.advisor")
 
@@ -42,6 +46,9 @@ class Recommendation:
         per_statement: (statement name or index, current cost, new cost)
             triples for reporting.
         search: Raw search telemetry.
+        diagnostics: Static-analysis findings attached to the run —
+            pre-flight warnings plus the post-search audit of the
+            recommended layout (``repro.analysis`` rule IDs).
     """
 
     layout: Layout
@@ -51,6 +58,7 @@ class Recommendation:
         default_factory=list)
     search: SearchResult | None = None
     current_layout: Layout | None = None
+    diagnostics: "list[Diagnostic]" = field(default_factory=list)
 
     @property
     def improvement_pct(self) -> float:
@@ -119,6 +127,28 @@ class LayoutAdvisor:
                                          sorted(self._db.object_sizes()),
                                          metrics=self._metrics)
 
+    # -- static analysis ---------------------------------------------------------
+
+    def _preflight(self,
+                   analyzed: AnalyzedWorkload) -> "AnalysisReport":
+        """Gate the run on its inputs (raises AnalysisError on errors)."""
+        # Deferred import: repro.analysis is a higher layer built on top
+        # of repro.core, so repro.core modules must not import it at
+        # load time.
+        from repro.analysis.engine import preflight
+        return preflight(self._db, self._farm,
+                         constraints=self._constraints,
+                         analyzed=analyzed,
+                         tracer=self._tracer, metrics=self._metrics)
+
+    def _audit(self, layout: Layout,
+               graph: AccessGraph) -> "AnalysisReport":
+        """Post-search audit of the recommended layout."""
+        from repro.analysis.engine import audit_recommendation
+        return audit_recommendation(layout, graph,
+                                    tracer=self._tracer,
+                                    metrics=self._metrics)
+
     # -- recommendation -----------------------------------------------------------
 
     def recommend(self, workload: Workload | AnalyzedWorkload,
@@ -139,15 +169,21 @@ class LayoutAdvisor:
         Returns:
             A :class:`Recommendation`; its ``improvement_pct`` is the
             estimate the tool reports to the DBA.
+
+        Raises:
+            AnalysisError: If the pre-flight static analysis finds an
+                error-level diagnostic in the constraints or workload.
         """
         with self._tracer.span("recommend", method=method) as root:
             analyzed = workload if isinstance(workload, AnalyzedWorkload) \
                 else self.analyze(workload)
+            preflight_report = self._preflight(analyzed)
             sizes = self._db.object_sizes()
             if current_layout is None:
                 with self._tracer.span("baseline-layout"):
                     current_layout = full_striping(sizes, self._farm)
             evaluator = self.evaluator(analyzed)
+            graph: AccessGraph | None = None
             if method == "ts-greedy":
                 graph = self.access_graph(analyzed)
                 search = TsGreedySearch(self._farm, evaluator, sizes,
@@ -197,10 +233,15 @@ class LayoutAdvisor:
                                              current_layout),
                         model.statement_cost(analyzed_stmt,
                                              result.layout)))
+            audit_graph = graph if graph is not None \
+                else self.access_graph(analyzed)
+            diagnostics = list(preflight_report) \
+                + list(self._audit(result.layout, audit_graph))
             recommendation = Recommendation(
                 layout=result.layout, estimated_cost=result.cost,
                 current_cost=current_cost, per_statement=per_statement,
-                search=result, current_layout=current_layout)
+                search=result, current_layout=current_layout,
+                diagnostics=diagnostics)
             root.set("improvement_pct",
                      round(recommendation.improvement_pct, 3))
             self._metrics.set_gauge("advisor.improvement_pct",
@@ -239,6 +280,10 @@ class LayoutAdvisor:
             analyzed = workload \
                 if isinstance(workload, AnalyzedWorkload) \
                 else self.analyze(workload)
+            # Pre-flight runs on the *un-expanded* workload: the
+            # concurrency expansion legitimately adds negative
+            # correction weights that ALR022 would flag.
+            preflight_report = self._preflight(analyzed)
             sizes = self._db.object_sizes()
             if current_layout is None:
                 with self._tracer.span("baseline-layout"):
@@ -266,8 +311,11 @@ class LayoutAdvisor:
                     and self._constraints.is_satisfied(current_layout):
                 result = result.with_layout(current_layout,
                                             current_cost)
+            diagnostics = list(preflight_report) \
+                + list(self._audit(result.layout, graph))
             return Recommendation(layout=result.layout,
                                   estimated_cost=result.cost,
                                   current_cost=current_cost,
                                   search=result,
-                                  current_layout=current_layout)
+                                  current_layout=current_layout,
+                                  diagnostics=diagnostics)

@@ -29,6 +29,7 @@ from repro.core.costmodel import WorkloadCostEvaluator
 from repro.core.fullstripe import full_striping
 from repro.core.greedy import SearchResult
 from repro.core.layout import Layout, stripe_fractions
+from repro.core.tolerance import EPS_CAPACITY
 from repro.errors import LayoutError
 from repro.obs import NULL_METRICS, NULL_TRACER
 from repro.storage.disk import DiskFarm
@@ -115,7 +116,7 @@ def annealing_search(farm: DiskFarm,
             row = np.array(stripe_fractions(proposal, farm))
             old_row = np.array(current[name])
             delta_use = sizes[name] * (row - old_row)
-            if np.any(disk_used + delta_use > capacity + 1e-9):
+            if np.any(disk_used + delta_use > capacity + EPS_CAPACITY):
                 infeasible += 1
                 temperature *= cooling
                 continue

@@ -18,10 +18,9 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from repro.core.layout import Layout
+from repro.core.tolerance import EPS_CAPACITY
 from repro.errors import ConstraintError
 from repro.storage.disk import Availability, DiskFarm
-
-_EPS = 1e-9
 
 
 @dataclass(frozen=True)
@@ -72,7 +71,7 @@ class MaxDataMovement:
     def check(self, layout: Layout) -> None:
         """Raise :class:`ConstraintError` if the move budget is exceeded."""
         moved = self.baseline.data_movement_blocks(layout)
-        if moved > self.max_blocks + _EPS:
+        if moved > self.max_blocks + EPS_CAPACITY:
             raise ConstraintError(
                 f"data movement {moved:.0f} blocks exceeds bound "
                 f"{self.max_blocks:.0f}")

@@ -34,6 +34,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.layout import Layout
+from repro.core.tolerance import EPS_ZERO
 from repro.errors import LayoutError
 from repro.obs import NULL_METRICS
 from repro.storage.disk import DiskFarm, DiskSpec
@@ -42,8 +43,6 @@ from repro.workload.access import (
     AnalyzedWorkload,
     SubplanAccess,
 )
-
-_EPS = 1e-9
 
 
 class CostModel:
@@ -94,7 +93,7 @@ class CostModel:
             active: list[float] = []
             for name, write, blocks in streams:
                 here = layout.fraction(name, j) * blocks
-                if here <= _EPS:
+                if here <= EPS_ZERO:
                     continue
                 transfer += here / disk.transfer_blocks_s(write=write)
                 active.append(here)
@@ -240,7 +239,7 @@ class WorkloadCostEvaluator:
         # sub[s, k, j]: blocks of stream k on disk j.
         sub = matrix[idx] * blocks[:, :, None] * mask[:, :, None]
         transfer = (sub * inv).sum(axis=1)              # (S, m)
-        active = sub > _EPS
+        active = sub > EPS_ZERO
         k = active.sum(axis=1)                          # (S, m)
         stream_min = np.where(active, sub, np.inf).min(axis=1,
                                                        initial=np.inf)
@@ -361,7 +360,7 @@ class WorkloadCostEvaluator:
                            batch[:, None, None, :] * blocks_mask[None],
                            base_sub[None])
             transfer = (sub * inv[None]).sum(axis=2)         # (C, S, m)
-            active = sub > _EPS
+            active = sub > EPS_ZERO
             k = active.sum(axis=2)
             stream_min = np.where(active, sub, np.inf).min(
                 axis=2, initial=np.inf)

@@ -16,6 +16,7 @@ from repro.core.constraints import ConstraintSet
 from repro.core.costmodel import WorkloadCostEvaluator
 from repro.core.greedy import SearchResult
 from repro.core.layout import Layout, stripe_fractions
+from repro.core.tolerance import EPS_CAPACITY
 from repro.errors import LayoutError
 from repro.storage.disk import DiskFarm
 
@@ -79,7 +80,7 @@ def exhaustive_search(farm: DiskFarm, evaluator: WorkloadCostEvaluator,
                 for j in disks:
                     used[j] += object_sizes[name] * row[j]
         for j, u in enumerate(used):
-            if u > capacity[j] + 1e-9:
+            if u > capacity[j] + EPS_CAPACITY:
                 feasible = False
                 break
         if not feasible:

@@ -25,12 +25,12 @@ from repro.core.constraints import ConstraintSet
 from repro.core.costmodel import WorkloadCostEvaluator
 from repro.core.layout import Layout, stripe_fractions
 from repro.core.partitioning import PartitionStats, partition_access_graph
+from repro.core.tolerance import EPS_CAPACITY, EPS_COST, EPS_ZERO
 from repro.errors import LayoutError
 from repro.obs import NULL_METRICS, NULL_TRACER
 from repro.storage.disk import DiskFarm
 from repro.workload.access_graph import AccessGraph
 
-_EPS = 1e-9
 
 logger = logging.getLogger("repro.core.greedy")
 
@@ -354,7 +354,7 @@ class TsGreedySearch:
                                      for change in feasible])
                     costs = self._evaluator.costs_for_rows(name, rows)
                     for change, candidate_cost in zip(feasible, costs):
-                        if candidate_cost < best_cost - _EPS:
+                        if candidate_cost < best_cost - EPS_COST:
                             best_cost = float(candidate_cost)
                             best_change = change
                 else:
@@ -362,7 +362,7 @@ class TsGreedySearch:
                         candidate_cost = self._evaluator.cost_with_rows(
                             {n: np.asarray(r)
                              for n, r in change.items()})
-                        if candidate_cost < best_cost - _EPS:
+                        if candidate_cost < best_cost - EPS_COST:
                             best_cost = candidate_cost
                             best_change = change
             if best_change is None:
@@ -413,7 +413,7 @@ class TsGreedySearch:
         """
         lead = group[0]
         disks_now = tuple(j for j, f in enumerate(current[lead])
-                          if f > _EPS)
+                          if f > EPS_ZERO)
         allowed = self._constraints.allowed_disks(lead, self._farm)
         remaining = [j for j in allowed if j not in set(disks_now)]
         for size in range(1, self._k + 1):
@@ -436,7 +436,7 @@ class TsGreedySearch:
         for name, row in change.items():
             delta += self._sizes[name] * (np.asarray(row)
                                           - np.asarray(current[name]))
-        if np.any(disk_used + delta > capacity + _EPS):
+        if np.any(disk_used + delta > capacity + EPS_CAPACITY):
             return False
         movement = self._constraints.movement
         if movement is not None:
@@ -445,6 +445,6 @@ class TsGreedySearch:
             layout = Layout(self._farm, self._sizes, trial,
                             check_capacity=False)
             if movement.baseline.data_movement_blocks(layout) \
-                    > movement.max_blocks + _EPS:
+                    > movement.max_blocks + EPS_CAPACITY:
                 return False
         return True

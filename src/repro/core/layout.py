@@ -13,11 +13,10 @@ from __future__ import annotations
 from typing import Iterable, Mapping, Sequence
 
 from repro.catalog.schema import Database
+from repro.core.tolerance import EPS_CAPACITY, EPS_FRACTION, EPS_ZERO
 from repro.errors import LayoutError
 from repro.storage.allocation import MaterializedLayout
 from repro.storage.disk import DiskFarm
-
-_EPS = 1e-9
 
 
 def stripe_fractions(disks: Iterable[int], farm: DiskFarm,
@@ -80,10 +79,10 @@ class Layout:
                 raise LayoutError(
                     f"object {name!r}: row length {len(row)} != "
                     f"{len(farm)} disks")
-            if any(f < -_EPS for f in row):
+            if any(f < -EPS_ZERO for f in row):
                 raise LayoutError(f"object {name!r}: negative fraction")
             total = sum(row)
-            if abs(total - 1.0) > 1e-6:
+            if abs(total - 1.0) > EPS_FRACTION:
                 raise LayoutError(
                     f"object {name!r}: fractions sum to {total:.9f}, not 1")
             self._fractions[name] = row
@@ -98,7 +97,7 @@ class Layout:
         for j, disk in enumerate(self._farm):
             used = sum(self._sizes[name] * row[j]
                        for name, row in self._fractions.items())
-            if used > disk.capacity_blocks + _EPS:
+            if used > disk.capacity_blocks + EPS_CAPACITY:
                 raise LayoutError(
                     f"disk {disk.name} over capacity: {used:.0f} blocks "
                     f"needed, {disk.capacity_blocks} available")
@@ -134,7 +133,7 @@ class Layout:
     def disks_of(self, name: str) -> tuple[int, ...]:
         """Farm indices of disks holding a positive fraction of object."""
         return tuple(j for j, f in enumerate(self.fractions_of(name))
-                     if f > _EPS)
+                     if f > EPS_ZERO)
 
     def disk_used_blocks(self, disk: int) -> float:
         """Blocks allocated on one disk by this layout."""
@@ -194,7 +193,7 @@ class Layout:
         for name in sorted(self._fractions):
             parts = ", ".join(
                 f"{self._farm[j].name}:{f:.0%}"
-                for j, f in enumerate(self._fractions[name]) if f > _EPS)
+                for j, f in enumerate(self._fractions[name]) if f > EPS_ZERO)
             lines.append(f"{name} ({self._sizes[name]} blk) -> {parts}")
         return "\n".join(lines)
 

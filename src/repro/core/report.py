@@ -58,6 +58,12 @@ def render_report(recommendation: Recommendation,
         if diagnostics:
             lines.append("")
             lines.append(diagnostics)
+    if rec.diagnostics:
+        lines.append("")
+        lines.append("--- layout audit (static analysis) ---")
+        for finding in sorted(rec.diagnostics,
+                              key=lambda d: -d.severity.rank):
+            lines.append(finding.render())
     return "\n".join(lines)
 
 

@@ -1,0 +1,33 @@
+"""Central numeric tolerances for layout arithmetic.
+
+Every fraction/capacity comparison in the package goes through the
+constants defined here.  They used to be redefined module by module
+(``_EPS = 1e-9`` in four places, bare ``1e-6``/``1e-9`` literals in four
+more), which let the full-allocation check and the capacity check drift
+apart silently.  Keeping them in one module makes the two deliberately
+different tolerances visible:
+
+* sum-to-1 checks accumulate one rounding error per disk, so they get
+  the loose :data:`EPS_FRACTION`;
+* single-value comparisons (a fraction against zero, a block count
+  against a capacity or budget) get the tight :data:`EPS_CAPACITY` /
+  :data:`EPS_ZERO` / :data:`EPS_COST`.
+"""
+
+from __future__ import annotations
+
+#: Tolerance for "the fractions of an object sum to 1" (full-allocation)
+#: checks.  Loose because the sum accumulates one float rounding error
+#: per disk in the farm.
+EPS_FRACTION = 1e-6
+
+#: Slack allowed when comparing allocated blocks against a disk capacity
+#: or a data-movement budget.
+EPS_CAPACITY = 1e-9
+
+#: Threshold below which a single fraction is treated as exactly zero
+#: (e.g. when deriving the disk set of an object).
+EPS_ZERO = 1e-9
+
+#: Minimum cost decrease the search accepts as a strict improvement.
+EPS_COST = 1e-9

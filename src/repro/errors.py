@@ -47,6 +47,24 @@ class ConstraintError(LayoutError):
     """A manageability/availability constraint is unsatisfiable or violated."""
 
 
+class AnalysisError(ReproError):
+    """Static analysis found error-level diagnostics in the inputs.
+
+    Raised by the advisor's pre-flight (and by
+    :func:`repro.analysis.preflight` directly) before any search work is
+    done.  The message lists the rule IDs and messages of every
+    error-level diagnostic; the structured report is attached.
+
+    Attributes:
+        diagnostics: The error-level :class:`repro.analysis.Diagnostic`
+            objects that caused the failure.
+    """
+
+    def __init__(self, message: str, diagnostics: tuple = ()):
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics)
+
+
 class SimulationError(ReproError):
     """The I/O simulator was driven into an inconsistent state."""
 

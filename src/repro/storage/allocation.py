@@ -40,8 +40,45 @@ class Extent:
         return self.start_lba + self.n_blocks
 
 
+def validate_fractions(fractions: Sequence[float],
+                       obj: str | None = None,
+                       n_disks: int | None = None) -> None:
+    """Check one fraction row against Definition 2's row invariants.
+
+    The single home of the full-allocation check: non-negativity plus
+    "fractions sum to 1" within :data:`repro.core.tolerance.EPS_FRACTION`.
+    Both the materializer (:func:`apportion_blocks`) and the static
+    analyzer's layout rules call this, so the two can never disagree on
+    what counts as a fully-allocated object.
+
+    Args:
+        fractions: Per-disk fractions of one object.
+        obj: Object name to include in error messages, when known.
+        n_disks: Expected row length (the farm size), when known.
+
+    Raises:
+        LayoutError: Naming ``obj`` when given, if the row is malformed.
+    """
+    # Deferred import: repro.core depends on this module at import time
+    # (layout -> allocation), so the tolerance constants are looked up
+    # at call time to keep the layering acyclic.
+    from repro.core.tolerance import EPS_FRACTION
+    label = f"object {obj!r}" if obj is not None else "fraction row"
+    if n_disks is not None and len(fractions) != n_disks:
+        raise LayoutError(
+            f"{label}: expected {n_disks} fractions, got {len(fractions)}")
+    if any(f < 0 for f in fractions):
+        raise LayoutError(f"{label}: fractions must be non-negative")
+    total_fraction = sum(fractions)
+    if abs(total_fraction - 1.0) > EPS_FRACTION:
+        raise LayoutError(
+            f"{label}: fractions must sum to 1 "
+            f"(got {total_fraction:.9f})")
+
+
 def apportion_blocks(total_blocks: int,
-                     fractions: Sequence[float]) -> list[int]:
+                     fractions: Sequence[float],
+                     obj: str | None = None) -> list[int]:
     """Split ``total_blocks`` across disks per the given fractions.
 
     Uses largest-remainder rounding so the per-disk integer counts always
@@ -51,6 +88,7 @@ def apportion_blocks(total_blocks: int,
     Args:
         total_blocks: Size of the object in blocks.
         fractions: Per-disk fractions; must be non-negative and sum to ~1.
+        obj: Object name used in error messages, when known.
 
     Returns:
         Integer block counts, one per disk, summing to ``total_blocks``.
@@ -59,13 +97,10 @@ def apportion_blocks(total_blocks: int,
         LayoutError: If the fractions are negative or do not sum to 1.
     """
     if total_blocks < 0:
-        raise LayoutError("object size cannot be negative")
-    if any(f < 0 for f in fractions):
-        raise LayoutError("fractions must be non-negative")
-    total_fraction = sum(fractions)
-    if abs(total_fraction - 1.0) > 1e-6:
         raise LayoutError(
-            f"fractions must sum to 1 (got {total_fraction:.9f})")
+            f"object {obj!r} size cannot be negative" if obj is not None
+            else "object size cannot be negative")
+    validate_fractions(fractions, obj=obj)
     raw = [f * total_blocks for f in fractions]
     counts = [int(r) for r in raw]
     shortfall = total_blocks - sum(counts)
@@ -135,11 +170,8 @@ class MaterializedLayout:
             if name not in fractions:
                 raise LayoutError(f"no fractions supplied for object {name!r}")
             row = fractions[name]
-            if len(row) != len(farm):
-                raise LayoutError(
-                    f"object {name!r}: expected {len(farm)} fractions, "
-                    f"got {len(row)}")
-            counts = apportion_blocks(size, row)
+            validate_fractions(row, obj=name, n_disks=len(farm))
+            counts = apportion_blocks(size, row, obj=name)
             self._counts[name] = counts
             extents = []
             for j, n in enumerate(counts):

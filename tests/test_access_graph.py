@@ -5,7 +5,7 @@ import pytest
 from repro.errors import WorkloadError
 from repro.optimizer import operators as ops
 from repro.workload.access import AnalyzedStatement, AnalyzedWorkload
-from repro.workload.access import SubplanAccess, decompose
+from repro.workload.access import decompose
 from repro.workload.access_graph import AccessGraph, build_access_graph
 from repro.workload.workload import Statement
 

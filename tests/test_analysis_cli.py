@@ -1,0 +1,203 @@
+"""Tests for `repro-advisor lint` and the typing/lint gate plumbing."""
+
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.catalog.io import save_database, save_farm
+from repro.cli import main
+from repro.storage.disk import winbench_farm
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture
+def lint_files(tmp_path, mini_db):
+    save_database(mini_db, tmp_path / "db.json")
+    save_farm(winbench_farm(8), tmp_path / "disks.json")
+    (tmp_path / "w.sql").write_text(
+        "-- name: J1\n"
+        "SELECT COUNT(*) FROM big b, mid m WHERE b.k = m.k;\n")
+    return tmp_path
+
+
+def _base(lint_files, *extra):
+    return ["lint",
+            "--database", str(lint_files / "db.json"),
+            "--disks", str(lint_files / "disks.json"), *extra]
+
+
+class TestLintCommand:
+    def test_clean_inputs_exit_zero(self, lint_files, capsys):
+        rc = main(_base(lint_files))
+        assert rc == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_info_only_exit_zero(self, lint_files, capsys):
+        rc = main(_base(lint_files,
+                        "--workload", str(lint_files / "w.sql")))
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ALR023" in out  # unused indexes / small table
+
+    def test_error_constraints_exit_two(self, lint_files, capsys):
+        (lint_files / "c.json").write_text(json.dumps(
+            {"co_located": [["big", "order_archive"]]}))
+        rc = main(_base(lint_files,
+                        "--constraints", str(lint_files / "c.json")))
+        assert rc == 2
+        out = capsys.readouterr().out
+        assert "ALR010" in out and "order_archive" in out
+
+    def test_unbuildable_constraints_report_alr015(self, lint_files,
+                                                   capsys):
+        (lint_files / "c.json").write_text(json.dumps(
+            {"availability": [
+                {"object": "big", "level": "mirroring"},
+                {"object": "big", "level": "parity"}]}))
+        rc = main(_base(lint_files,
+                        "--constraints", str(lint_files / "c.json")))
+        assert rc == 2
+        assert "ALR015" in capsys.readouterr().out
+
+    def test_bad_layout_exit_two(self, lint_files, capsys):
+        (lint_files / "l.json").write_text(json.dumps({
+            "object_sizes": {"big": 100},
+            "fractions": {"big": [0.5, 0.4, 0, 0, 0, 0, 0, 0]}}))
+        rc = main(_base(lint_files,
+                        "--layout", str(lint_files / "l.json")))
+        assert rc == 2
+        assert "ALR001" in capsys.readouterr().out
+
+    def test_warning_layout_exit_one(self, lint_files, mini_db,
+                                     capsys):
+        """A valid one-disk layout leaves seven idle spindles."""
+        sizes = mini_db.object_sizes()
+        (lint_files / "l.json").write_text(json.dumps({
+            "object_sizes": sizes,
+            "fractions": {name: [1.0, 0, 0, 0, 0, 0, 0, 0]
+                          for name in sizes}}))
+        rc = main(_base(lint_files,
+                        "--layout", str(lint_files / "l.json")))
+        assert rc == 1
+        assert "ALR004" in capsys.readouterr().out
+
+    def test_json_format_is_machine_readable(self, lint_files,
+                                             capsys):
+        (lint_files / "c.json").write_text(json.dumps(
+            {"co_located": [["big", "order_archive"]]}))
+        rc = main(_base(lint_files,
+                        "--workload", str(lint_files / "w.sql"),
+                        "--constraints", str(lint_files / "c.json"),
+                        "--format", "json"))
+        assert rc == 2
+        payload = json.loads(capsys.readouterr().out)
+        rules = {d["rule"] for d in payload["diagnostics"]}
+        assert "ALR010" in rules
+        assert payload["summary"]["max_severity"] == "error"
+        sample = payload["diagnostics"][0]
+        assert set(sample) == {"rule", "severity", "message",
+                               "location", "suggestion"}
+
+    def test_rules_listing(self, capsys):
+        rc = main(["lint", "--rules"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for rule_id in ("ALR001", "ALR010", "ALR020", "ALR030"):
+            assert rule_id in out
+
+    def test_rules_listing_json(self, capsys):
+        rc = main(["lint", "--rules", "--format", "json"])
+        assert rc == 0
+        rules = json.loads(capsys.readouterr().out)
+        by_id = {r["rule"]: r for r in rules}
+        assert by_id["ALR001"]["severity"] == "error"
+        assert by_id["ALR004"]["category"] == "layout"
+
+    def test_database_required_without_rules(self, capsys):
+        rc = main(["lint"])
+        assert rc == 2
+        assert "--database" in capsys.readouterr().err
+
+    def test_layout_requires_disks(self, lint_files, tmp_path,
+                                   capsys):
+        (tmp_path / "l.json").write_text("{}")
+        rc = main(["lint",
+                   "--database", str(lint_files / "db.json"),
+                   "--layout", str(tmp_path / "l.json")])
+        assert rc == 2
+        assert "--disks" in capsys.readouterr().err
+
+
+class TestBundledFixtures:
+    """The TPC-H fixtures CI lints must exist and behave as documented."""
+
+    def test_fixture_files_exist(self):
+        fixtures = REPO / "examples" / "tpch"
+        for name in ("db.json", "disks.json", "workload.sql",
+                     "constraints.json", "constraints-infeasible.json"):
+            assert (fixtures / name).is_file(), name
+
+    def test_tpch_lint_is_info_only(self, capsys):
+        fixtures = REPO / "examples" / "tpch"
+        rc = main(["lint",
+                   "--database", str(fixtures / "db.json"),
+                   "--disks", str(fixtures / "disks.json"),
+                   "--workload", str(fixtures / "workload.sql"),
+                   "--constraints", str(fixtures / "constraints.json"),
+                   "--format", "json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["error"] == 0
+        assert payload["summary"]["warning"] == 0
+
+    def test_infeasible_fixture_fails(self, capsys):
+        fixtures = REPO / "examples" / "tpch"
+        rc = main(["lint",
+                   "--database", str(fixtures / "db.json"),
+                   "--disks", str(fixtures / "disks.json"),
+                   "--constraints",
+                   str(fixtures / "constraints-infeasible.json")])
+        assert rc == 2
+        out = capsys.readouterr().out
+        assert "ALR010" in out and "ALR012" in out
+
+
+class TestTypingGate:
+    """The packaging/config half of the lint gate."""
+
+    def test_py_typed_marker_exists(self):
+        assert (REPO / "src" / "repro" / "py.typed").is_file()
+
+    def test_pyproject_declares_gates(self):
+        text = (REPO / "pyproject.toml").read_text()
+        assert "[tool.ruff]" in text
+        assert "[tool.mypy]" in text
+        assert '"repro.analysis.*"' in text
+        assert 'repro = ["py.typed"]' in text
+
+    def test_ci_has_lint_job(self):
+        text = (REPO / ".github" / "workflows" / "ci.yml").read_text()
+        assert "ruff check" in text
+        assert "mypy" in text
+        assert "repro.cli lint" in text
+
+    @pytest.mark.skipif(shutil.which("ruff") is None,
+                        reason="ruff not installed")
+    def test_ruff_clean(self):
+        proc = subprocess.run(
+            ["ruff", "check", "src", "tests"], cwd=REPO,
+            capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    @pytest.mark.skipif(shutil.which("mypy") is None,
+                        reason="mypy not installed")
+    def test_mypy_gated_packages_clean(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "mypy"], cwd=REPO,
+            capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stdout + proc.stderr

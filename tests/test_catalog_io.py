@@ -10,9 +10,6 @@ from repro.catalog.io import (
     database_from_dict,
     database_to_dict,
     farm_from_dict,
-    farm_to_dict,
-    layout_from_dict,
-    layout_to_dict,
     load_database,
     load_farm,
     load_layout,

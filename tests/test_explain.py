@@ -1,7 +1,5 @@
 """Tests for the plan pretty-printer."""
 
-import pytest
-
 from repro.optimizer import explain
 from repro.optimizer import operators as ops
 from repro.optimizer.planner import plan_statement

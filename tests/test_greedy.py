@@ -150,7 +150,6 @@ class TestConstrainedSearch:
     def test_movement_constraint_limits_changes(self, mini_db,
                                                 join_workload, farm8):
         sizes = mini_db.object_sizes()
-        baseline = full_striping(sizes, farm8)
         # Start from a narrow layout; the bound blocks most widenings.
         narrow = Layout(farm8, sizes, {
             name: stripe_fractions([i % 8], farm8)

@@ -1,7 +1,5 @@
 """Tests for the OLTP/DML workload generator."""
 
-import pytest
-
 from repro.benchdb import oltp, tpch
 from repro.core.advisor import LayoutAdvisor
 from repro.optimizer.operators import DmlOp

@@ -6,7 +6,6 @@ subplans whose block counts are sane — and the resulting access graphs
 and costs must satisfy the model's global invariants.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

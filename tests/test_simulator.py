@@ -5,16 +5,14 @@ import pytest
 from repro.core.fullstripe import full_striping
 from repro.core.layout import Layout, stripe_fractions
 from repro.errors import SimulationError
-from repro.optimizer.operators import ObjectAccess
 from repro.simulator.buffer import BufferPool
 from repro.simulator.engine import (
     DiskState,
-    SubplanRun,
     _scatter_indices,
 )
 from repro.simulator.geometry import SeekModel
 from repro.simulator.measure import WorkloadSimulator
-from repro.storage.disk import DiskSpec, uniform_farm
+from repro.storage.disk import DiskSpec
 from repro.workload.access import analyze_workload
 from repro.workload.workload import Workload
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SqlSyntaxError
-from repro.sql.lexer import Token, TokenKind, tokenize
+from repro.sql.lexer import TokenKind, tokenize
 
 
 def kinds(text):

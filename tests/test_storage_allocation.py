@@ -1,7 +1,7 @@
 """Tests for block apportioning and layout materialization."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import LayoutError

@@ -68,7 +68,7 @@ class TestDiskSpec:
     def test_write_penalty_reaches_the_cost_model(self):
         """An UPDATE-heavy access costs more on a mirrored drive."""
         from repro.core.costmodel import CostModel
-        from repro.core.layout import Layout, stripe_fractions
+        from repro.core.layout import Layout
         from repro.optimizer.operators import ObjectAccess
         from repro.workload.access import SubplanAccess
         subplan = SubplanAccess([ObjectAccess("t", 100.0, write=True)])

@@ -1,13 +1,7 @@
 """Tests for plan decomposition into non-blocking subplans."""
 
-import pytest
-
 from repro.optimizer import operators as ops
-from repro.workload.access import (
-    SubplanAccess,
-    analyze_workload,
-    decompose,
-)
+from repro.workload.access import analyze_workload, decompose
 from repro.workload.workload import Workload
 
 
