@@ -7,7 +7,7 @@ runtime ratio to the 4-disk run grows slightly more than quadratically
 not the absolute seconds.
 """
 
-from conftest import full_scale, write_result
+from conftest import bench_jobs, full_scale, write_result
 
 from repro.experiments.common import format_table
 from repro.experiments.figure11 import run_figure11
@@ -15,8 +15,12 @@ from repro.experiments.figure11 import run_figure11
 
 def test_figure11(benchmark):
     disk_counts = (4, 8, 16, 32, 64) if full_scale() else (4, 8, 16, 32)
+    jobs = bench_jobs()
+    kwargs = {"disk_counts": disk_counts}
+    if jobs:
+        kwargs.update(method="portfolio", jobs=jobs)
     result = benchmark.pedantic(
-        run_figure11, kwargs={"disk_counts": disk_counts},
+        run_figure11, kwargs=kwargs,
         rounds=1, iterations=1)
     rows = []
     for name in result.seconds:

@@ -6,7 +6,7 @@ runtime ratio to N=1 grows quadratically (~40x at N=6).  The default
 bench sweeps N = 1..4 (set ``REPRO_BENCH_FULL=1`` for the full 1..6).
 """
 
-from conftest import full_scale, write_result
+from conftest import bench_jobs, full_scale, write_result
 
 from repro.experiments.common import format_table
 from repro.experiments.figure12 import run_figure12
@@ -14,8 +14,12 @@ from repro.experiments.figure12 import run_figure12
 
 def test_figure12(benchmark):
     factors = (1, 2, 3, 4, 5, 6) if full_scale() else (1, 2, 3, 4)
+    jobs = bench_jobs()
+    kwargs = {"factors": factors}
+    if jobs:
+        kwargs.update(method="portfolio", jobs=jobs)
     result = benchmark.pedantic(
-        run_figure12, kwargs={"factors": factors}, rounds=1,
+        run_figure12, kwargs=kwargs, rounds=1,
         iterations=1)
     ratios = result.ratios()
     rows = [[f"N={n}", objects, f"{seconds:.2f}s", f"{ratio:.1f}x"]

@@ -1,0 +1,219 @@
+"""SRCH — search-speed benchmark: pruning and the portfolio engine.
+
+Times four configurations of the layout search on a synthetic
+paper-scale workload (TPC-H schema, seeded query generator):
+
+1. TS-GREEDY with bound-based pruning disabled (the pre-optimization
+   baseline);
+2. TS-GREEDY with pruning enabled — must return the bit-identical
+   layout and cost while fully evaluating fewer candidates;
+3. the trajectory portfolio run serially (``jobs=1``);
+4. the same portfolio on worker processes (``jobs=N``) — must return
+   the bit-identical result of the serial portfolio.
+
+Writes a machine-readable ``BENCH_search.json`` at the repo root (wall
+times, evaluation/pruning counts, speedups, drift) in addition to the
+usual ``benchmarks/results/`` table.  CI's perf-smoke job runs the
+small mode and asserts pruning pruned something with zero result drift;
+wall-clock speedup is reported but only asserted when the machine has
+enough cores to make it achievable (``REPRO_BENCH_FULL=1`` also scales
+the workload up).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_search_speed.py [--jobs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))  # for conftest helpers
+from conftest import full_scale, write_result  # noqa: E402
+
+from repro.benchdb import tpch  # noqa: E402
+from repro.benchdb.synth import synthetic_workload  # noqa: E402
+from repro.core.costmodel import WorkloadCostEvaluator  # noqa: E402
+from repro.core.greedy import TsGreedySearch  # noqa: E402
+from repro.experiments import common  # noqa: E402
+from repro.obs import MetricsRegistry  # noqa: E402
+from repro.parallel import (  # noqa: E402
+    PortfolioSearch,
+    available_workers,
+    default_portfolio,
+)
+from repro.workload.access import analyze_workload  # noqa: E402
+from repro.workload.access_graph import build_access_graph  # noqa: E402
+
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_search.json"
+
+
+def _case(full: bool):
+    """The benchmark's (evaluator, graph, sizes, farm) quadruple."""
+    db = tpch.tpch_database()
+    n_queries, m_disks = (120, 16) if full else (40, 8)
+    workload = synthetic_workload(n_queries, seed=4_242,
+                                  name=f"SRCH-{n_queries}")
+    farm = common.paper_farm(m_disks)
+    analyzed = analyze_workload(workload, db)
+    sizes = db.object_sizes()
+    evaluator = WorkloadCostEvaluator(analyzed, farm, sorted(sizes))
+    graph = build_access_graph(analyzed, db)
+    return evaluator, graph, sizes, farm
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def run_bench(jobs: int = 0, full: bool | None = None) -> dict:
+    """Run all four configurations; return the BENCH_search payload."""
+    full = full_scale() if full is None else full
+    evaluator, graph, sizes, farm = _case(full)
+    n_trajectories = 6 if full else 4
+    cores = available_workers()
+    # At least 2 so the pooled path (shared memory, process pool) is
+    # always exercised — the drift check needs to cross the process
+    # boundary even on a single-core machine.
+    jobs = jobs if jobs > 0 else min(4, max(cores, 2))
+    specs = default_portfolio(n_trajectories)
+
+    # 1/2 — single-trajectory greedy, pruning off vs on.
+    metrics_off = MetricsRegistry()
+    plain, t_noprune = _timed(lambda: TsGreedySearch(
+        farm, evaluator, sizes, prune=False,
+        metrics=metrics_off).search(graph))
+    metrics_on = MetricsRegistry()
+    evaluator.bind_metrics(metrics_on)
+    try:
+        pruned_run, t_prune = _timed(lambda: TsGreedySearch(
+            farm, evaluator, sizes, prune=True,
+            metrics=metrics_on).search(graph))
+    finally:
+        evaluator.bind_metrics(None)
+    prune_drift = abs(pruned_run.cost - plain.cost)
+    same_layout = all(
+        pruned_run.layout.fractions_of(name)
+        == plain.layout.fractions_of(name)
+        for name in plain.layout.object_names)
+
+    # 3/4 — the portfolio, serial vs pooled.
+    serial, t_serial = _timed(lambda: PortfolioSearch(
+        farm, evaluator, sizes, specs=specs, jobs=1).search(graph))
+    pooled, t_pooled = _timed(lambda: PortfolioSearch(
+        farm, evaluator, sizes, specs=specs, jobs=jobs).search(graph))
+    portfolio_drift = abs(pooled.cost - serial.cost)
+
+    return {
+        "mode": "full" if full else "small",
+        "cores": cores,
+        "jobs": jobs,
+        "trajectories": n_trajectories,
+        "greedy_noprune": {
+            "wall_s": round(t_noprune, 4),
+            "evaluations": plain.evaluations,
+            "cost": plain.cost,
+        },
+        "greedy_prune": {
+            "wall_s": round(t_prune, 4),
+            "evaluations": pruned_run.evaluations,
+            "pruned_candidates": int(
+                pruned_run.extras.get("pruned_candidates", 0)),
+            "bound_evaluations": int(metrics_on.value(
+                "costmodel.bound_evaluations")),
+            "cost": pruned_run.cost,
+        },
+        "portfolio_serial": {
+            "wall_s": round(t_serial, 4),
+            "evaluations": serial.evaluations,
+            "cost": serial.cost,
+        },
+        "portfolio_parallel": {
+            "wall_s": round(t_pooled, 4),
+            "evaluations": pooled.evaluations,
+            "cost": pooled.cost,
+        },
+        "prune_eval_reduction": round(
+            1.0 - pruned_run.evaluations / max(plain.evaluations, 1), 4),
+        "prune_speedup": round(t_noprune / max(t_prune, 1e-9), 3),
+        "parallel_speedup": round(t_serial / max(t_pooled, 1e-9), 3),
+        "prune_drift": prune_drift,
+        "prune_same_layout": same_layout,
+        "portfolio_drift": portfolio_drift,
+    }
+
+
+def check_invariants(payload: dict) -> None:
+    """The correctness claims the optimization must not break."""
+    assert payload["greedy_prune"]["pruned_candidates"] > 0, \
+        "pruning never fired — the bound is not doing any work"
+    assert payload["prune_drift"] == 0.0, \
+        f"pruning changed the cost by {payload['prune_drift']}"
+    assert payload["prune_same_layout"], "pruning changed the layout"
+    assert payload["portfolio_drift"] == 0.0, \
+        f"jobs>1 changed the cost by {payload['portfolio_drift']}"
+    assert payload["greedy_prune"]["evaluations"] \
+        < payload["greedy_noprune"]["evaluations"]
+    # Parallel speedup needs parallel hardware: assert only when the
+    # machine has a spare core per extra worker.
+    if payload["cores"] >= payload["jobs"] >= 2:
+        assert payload["parallel_speedup"] > 1.2, \
+            f"no speedup on {payload['cores']} cores: " \
+            f"{payload['parallel_speedup']}x"
+
+
+def _render(payload: dict) -> str:
+    rows = [
+        [name, f"{payload[name]['wall_s']:.3f}s",
+         payload[name]["evaluations"],
+         f"{payload[name]['cost']:.4f}"]
+        for name in ("greedy_noprune", "greedy_prune",
+                     "portfolio_serial", "portfolio_parallel")]
+    table = common.format_table(
+        ["configuration", "wall", "evaluations", "cost"], rows)
+    return (f"{table}\n"
+            f"pruned {payload['greedy_prune']['pruned_candidates']} "
+            f"candidates "
+            f"({100 * payload['prune_eval_reduction']:.1f}% fewer full "
+            f"evaluations), prune speedup "
+            f"{payload['prune_speedup']}x, parallel speedup "
+            f"{payload['parallel_speedup']}x on {payload['cores']} "
+            f"core(s) with jobs={payload['jobs']}, drift 0.0")
+
+
+def test_search_speed():
+    """Pytest entry: run the bench (small unless REPRO_BENCH_FULL)."""
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "0") or 0)
+    payload = run_bench(jobs=jobs)
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    write_result("search_speed", _render(payload))
+    check_invariants(payload)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="workers for the parallel run "
+                             "(default: min(4, cores))")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale sweep (default: small)")
+    args = parser.parse_args()
+    payload = run_bench(jobs=args.jobs,
+                        full=args.full or full_scale())
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    print(_render(payload))
+    print(f"\nBENCH_search.json written to {BENCH_JSON}")
+    check_invariants(payload)
+    print("invariants: pruning>0, zero drift — OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,6 +24,17 @@ def full_scale() -> bool:
     return os.environ.get("REPRO_BENCH_FULL", "") == "1"
 
 
+def bench_jobs() -> int:
+    """``REPRO_BENCH_JOBS``: portfolio workers for the runtime sweeps.
+
+    0 (the default) keeps the paper's single serial TS-GREEDY run;
+    ``REPRO_BENCH_JOBS=N`` switches the Figure-11/12 sweeps to the
+    portfolio engine on ``N`` worker processes (results stay
+    deterministic; only the wall clock changes).
+    """
+    return int(os.environ.get("REPRO_BENCH_JOBS", "0") or 0)
+
+
 def write_result(name: str, text: str) -> None:
     """Persist a paper-style result table."""
     RESULTS_DIR.mkdir(exist_ok=True)

@@ -85,6 +85,11 @@ from repro.analysis import (
     audit_recommendation,
     preflight,
 )
+from repro.parallel import (
+    PortfolioSearch,
+    TrajectorySpec,
+    default_portfolio,
+)
 from repro.simulator import SimulationReport, WorkloadSimulator
 from repro.obs import (
     MetricsRegistry,
@@ -122,6 +127,8 @@ __all__ = [
     # static analysis
     "AnalysisReport", "Diagnostic", "Severity", "analyze_inputs",
     "audit_recommendation", "preflight",
+    # parallel portfolio search
+    "PortfolioSearch", "TrajectorySpec", "default_portfolio",
     # simulator
     "SimulationReport", "WorkloadSimulator",
     # observability

@@ -10,6 +10,7 @@ Subcommands::
     repro-advisor recommend  --database db.json --disks disks.json \\
                              --workload w.sql [--constraints c.json] \\
                              [--method ts-greedy] [--k 1] \\
+                             [--portfolio 4] [--jobs 4] \\
                              [--save-layout out.json] [--script] \\
                              [--trace trace.json] [--metrics] [-v]
     repro-advisor analyze    --database db.json --workload w.sql
@@ -25,6 +26,12 @@ Subcommands::
 for every ``ALR0xx`` rule); its exit code is 0 when clean (or info
 only), 1 with warnings, 2 with errors.  ``lint --rules`` lists every
 registered rule.
+
+Performance (see ``docs/performance.md``): ``--method portfolio`` runs
+several search trajectories (seeded TS-GREEDY multi-starts plus
+annealing restarts) and keeps the best layout; ``--jobs N`` spreads
+them over ``N`` worker processes sharing one cost evaluator in shared
+memory.  The recommendation is bit-identical for any ``--jobs`` value.
 
 Observability (see ``docs/observability.md``): ``--trace out.json``
 writes the advisor run's span tree as JSON, ``--metrics`` prints the
@@ -112,10 +119,18 @@ def build_parser() -> argparse.ArgumentParser:
     rec.add_argument("--current-layout", type=Path,
                      help="current layout JSON (default: full striping)")
     rec.add_argument("--method", default="ts-greedy",
-                     choices=["ts-greedy", "exhaustive",
+                     choices=["ts-greedy", "portfolio", "exhaustive",
                               "full-striping"])
     rec.add_argument("--k", type=int, default=1,
                      help="TS-GREEDY widening parameter")
+    rec.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="worker processes for --method portfolio "
+                          "(1 = serial in-process, 0 = all cores; "
+                          "the result is identical either way)")
+    rec.add_argument("--portfolio", type=int, default=None,
+                     metavar="N",
+                     help="trajectory count for --method portfolio "
+                          "(default: 4); implies --method portfolio")
     rec.add_argument("--save-layout", type=Path,
                      help="write the recommended layout as JSON")
     rec.add_argument("--script", action="store_true",
@@ -224,9 +239,12 @@ def cmd_recommend(args: argparse.Namespace) -> int:
         recommendation = advisor.recommend_concurrent(
             workload, spec, current_layout=current, k=args.k)
     else:
+        method = args.method
+        if args.portfolio is not None and method == "ts-greedy":
+            method = "portfolio"
         recommendation = advisor.recommend(
-            workload, current_layout=current, method=args.method,
-            k=args.k)
+            workload, current_layout=current, method=method,
+            k=args.k, jobs=args.jobs, portfolio=args.portfolio)
     print(render_report(recommendation))
     if args.script:
         print()

@@ -154,7 +154,8 @@ class LayoutAdvisor:
     def recommend(self, workload: Workload | AnalyzedWorkload,
                   current_layout: Layout | None = None,
                   method: str = "ts-greedy",
-                  k: int = 1) -> Recommendation:
+                  k: int = 1, jobs: int = 1,
+                  portfolio=None) -> Recommendation:
         """Recommend a layout for the workload.
 
         Args:
@@ -162,9 +163,15 @@ class LayoutAdvisor:
             current_layout: The database's current layout; defaults to
                 full striping, the traditional practice the paper
                 compares against.
-            method: ``"ts-greedy"`` (default), ``"full-striping"`` or
-                ``"exhaustive"``.
+            method: ``"ts-greedy"`` (default), ``"portfolio"``,
+                ``"full-striping"`` or ``"exhaustive"``.
             k: TS-GREEDY's widening parameter.
+            jobs: Worker processes for ``method="portfolio"`` (1 runs
+                the portfolio serially in-process, 0 auto-sizes to the
+                machine; results are identical either way).
+            portfolio: For ``method="portfolio"``: a trajectory count,
+                a sequence of :class:`repro.parallel.TrajectorySpec`,
+                or ``None`` for the default portfolio.
 
         Returns:
             A :class:`Recommendation`; its ``improvement_pct`` is the
@@ -193,6 +200,11 @@ class LayoutAdvisor:
                 initial = current_layout \
                     if self._constraints.movement is not None else None
                 result = search.search(graph, initial_layout=initial)
+            elif method == "portfolio":
+                graph = self.access_graph(analyzed)
+                result = self._portfolio_search(evaluator, sizes, graph,
+                                                current_layout, k, jobs,
+                                                portfolio)
             elif method == "full-striping":
                 with self._tracer.span("full-striping"):
                     layout = full_striping(sizes, self._farm)
@@ -251,6 +263,34 @@ class LayoutAdvisor:
                 "method=%s)", current_cost, result.cost,
                 recommendation.improvement_pct, method)
             return recommendation
+
+    def _portfolio_search(self, evaluator: WorkloadCostEvaluator,
+                          sizes: dict[str, int], graph: AccessGraph,
+                          current_layout: Layout, k: int, jobs: int,
+                          portfolio) -> SearchResult:
+        """Run the multi-start portfolio engine (method="portfolio")."""
+        # Deferred import: repro.parallel builds on repro.core, so the
+        # dependency must point parallel -> core at module-load time.
+        from repro.parallel import PortfolioSearch, default_portfolio
+        constrained = bool(self._constraints.co_located
+                           or self._constraints.availability
+                           or self._constraints.movement)
+        if portfolio is None:
+            specs = default_portfolio(
+                k=k, include_annealing=not constrained)
+        elif isinstance(portfolio, int):
+            specs = default_portfolio(
+                portfolio, k=k, include_annealing=not constrained)
+        else:
+            specs = list(portfolio)
+        engine = PortfolioSearch(self._farm, evaluator, sizes,
+                                 constraints=self._constraints,
+                                 specs=specs, jobs=jobs,
+                                 tracer=self._tracer,
+                                 metrics=self._metrics)
+        initial = current_layout \
+            if self._constraints.movement is not None else None
+        return engine.search(graph, initial_layout=initial)
 
     def recommend_concurrent(self, workload: "Workload | AnalyzedWorkload",
                              spec,

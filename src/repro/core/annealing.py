@@ -159,4 +159,5 @@ def annealing_search(farm: DiskFarm,
                         evaluations=evaluations,
                         extras={"accepted": float(accepted),
                                 "rejected": float(rejected),
-                                "infeasible": float(infeasible)})
+                                "infeasible": float(infeasible),
+                                "seed": float(seed)})

@@ -37,6 +37,7 @@ from repro.core.layout import Layout
 from repro.core.tolerance import EPS_ZERO
 from repro.errors import LayoutError
 from repro.obs import NULL_METRICS
+from repro.optimizer.planner import TEMPDB
 from repro.storage.disk import DiskFarm, DiskSpec
 from repro.workload.access import (
     AnalyzedStatement,
@@ -72,7 +73,6 @@ class CostModel:
         """
         if self._tempdb is None:
             return 0.0
-        from repro.optimizer.planner import TEMPDB
         return sum(
             blocks / self._tempdb.transfer_blocks_s(write=write)
             for (name, write), blocks
@@ -204,15 +204,31 @@ class WorkloadCostEvaluator:
         self._base_total: float = 0.0
         #: per-object cache of sliced arrays for batched delta eval
         self._slice_cache: dict[int, tuple] = {}
+        #: per-object cache of sliced arrays for batched lower bounds
+        self._bound_cache: dict[int, tuple] = {}
         self._metrics.set_gauge("costmodel.subplans", self._n_subplans)
         self._metrics.set_gauge("costmodel.subplans_raw",
                                 self.n_compressed_from)
 
     # -- matrix plumbing -----------------------------------------------------
 
+    def bind_metrics(self, metrics) -> None:
+        """Swap the registry recording ``costmodel.*`` counters.
+
+        The portfolio workers reuse one attached evaluator across
+        trajectories but want per-trajectory counter attribution; they
+        rebind a fresh registry before each run.
+        """
+        self._metrics = metrics if metrics is not None else NULL_METRICS
+
     @property
     def object_names(self) -> list[str]:
         return list(self._names)
+
+    @property
+    def farm(self) -> DiskFarm:
+        """The disk farm this evaluator's layouts are defined over."""
+        return self._farm
 
     @property
     def n_subplans(self) -> int:
@@ -273,6 +289,7 @@ class WorkloadCostEvaluator:
         self._base_costs = self._subplan_costs(matrix)
         self._base_total = float(self._base_costs @ self._weights)
         self._slice_cache.clear()
+        self._bound_cache.clear()
         return self._base_total
 
     def cost_with_row(self, object_name: str,
@@ -373,3 +390,98 @@ class WorkloadCostEvaluator:
             out[start:start + chunk] = \
                 self._base_total - affected_base + costs @ weights
         return out
+
+    # -- transfer-only lower bound ----------------------------------------------
+
+    def lower_bound_matrix(self, matrix: np.ndarray) -> float:
+        """Transfer-only lower bound on :meth:`cost_matrix`.
+
+        Drops the Figure-7 seek term: for every subplan the bound is
+        ``max_j sum_i x_ij * B_i / T_j``.  Since the seek term is
+        non-negative, this never exceeds the true cost — a provable
+        underestimate usable for branch-and-bound style pruning.
+        """
+        self._metrics.inc("costmodel.bound_evaluations")
+        sub = matrix[self._idx] * self._blocks[:, :, None] \
+            * self._mask[:, :, None]
+        transfer = (sub * self._inv).sum(axis=1)        # (S, m)
+        if transfer.shape[0] == 0:
+            return 0.0
+        return float(transfer.max(axis=1) @ self._weights)
+
+    def bounds_for_rows(self, object_name: str,
+                        rows: np.ndarray) -> np.ndarray:
+        """Lower bounds on :meth:`costs_for_rows`, one per candidate.
+
+        For the subplans touching ``object_name`` only the seek-free
+        transfer term is charged (a per-subplan underestimate); every
+        untouched subplan keeps its exact base cost.  The result
+        therefore never exceeds the true candidate cost, and costs
+        ``O(C * S_affected * m)`` — no per-stream axis and no seek
+        bookkeeping, an order of magnitude cheaper than full evaluation.
+        """
+        if self._base_matrix is None or self._base_costs is None:
+            raise LayoutError("set_base() must be called before "
+                              "bounds_for_rows()")
+        rows = np.asarray(rows, dtype=float)
+        self._metrics.inc("costmodel.bound_evaluations", len(rows))
+        i = self._index[object_name]
+        affected = self._touching[i]
+        if affected.size == 0:
+            return np.full(len(rows), self._base_total)
+        cached = self._bound_cache.get(i)
+        if cached is None:
+            idx = self._idx[affected]
+            blocks_mask = self._blocks[affected][:, :, None] \
+                * self._mask[affected][:, :, None]
+            inv = self._inv[affected]
+            is_target = (idx == i)[:, :, None]           # (S, K, 1)
+            base_sub = self._base_matrix[idx] * blocks_mask
+            # Transfer per disk split into the target object's streams
+            # (scales with the candidate row) and everything else
+            # (constant across candidates).
+            other_transfer = (np.where(is_target, 0.0, base_sub)
+                              * inv).sum(axis=1)         # (S, m)
+            target_coeff = (np.where(is_target, blocks_mask, 0.0)
+                            * inv).sum(axis=1)           # (S, m)
+            cached = (
+                other_transfer,
+                target_coeff,
+                self._weights[affected],
+                float(self._base_costs[affected]
+                      @ self._weights[affected]),
+            )
+            self._bound_cache[i] = cached
+        other_transfer, target_coeff, weights, affected_base = cached
+        # (C, S, m): candidate transfer time per subplan and disk.
+        transfer = other_transfer[None] \
+            + rows[:, None, :] * target_coeff[None]
+        bound = transfer.max(axis=2) @ weights            # (C,)
+        return self._base_total - affected_base + bound
+
+    # -- shared-memory plumbing --------------------------------------------------
+
+    def to_shared(self) -> "object":
+        """Publish the packed arrays in a shared-memory segment.
+
+        Returns a :class:`repro.parallel.shared.SharedEvaluatorState`
+        (a context manager) whose picklable :attr:`spec` lets worker
+        processes rebuild this evaluator with :meth:`from_shared`
+        without re-pickling the MB-scale ``(S, K, m)`` arrays.  The
+        caller owns the segment and must ``close()`` it (or use a
+        ``with`` block).
+        """
+        from repro.parallel.shared import share_evaluator
+        return share_evaluator(self)
+
+    @classmethod
+    def from_shared(cls, spec: "object",
+                    metrics=None) -> "WorkloadCostEvaluator":
+        """Rebuild an evaluator from a shared-memory spec (in a worker).
+
+        The packed arrays are zero-copy read-only views into the shared
+        segment; per-evaluator mutable state (base matrix, caches) stays
+        private to the process.
+        """
+        from repro.parallel.shared import attach_evaluator
+        return attach_evaluator(spec, metrics=metrics)

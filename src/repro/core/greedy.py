@@ -61,6 +61,15 @@ class GreedyStep:
                 "accepted": self.accepted,
                 "changed": list(self.changed)}
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "GreedyStep":
+        """Inverse of :meth:`to_dict`."""
+        return cls(iteration=int(data["iteration"]),
+                   candidates=int(data["candidates"]),
+                   best_cost=float(data["best_cost"]),
+                   accepted=bool(data["accepted"]),
+                   changed=tuple(data.get("changed", ())))
+
 
 @dataclass
 class SearchResult:
@@ -107,6 +116,30 @@ class SearchResult:
             "extras": {k: float(v) for k, v in self.extras.items()},
         }
 
+    @classmethod
+    def from_telemetry(cls, layout: Layout,
+                       data: dict) -> "SearchResult":
+        """Rebuild a result from :meth:`telemetry_dict` output.
+
+        The layout travels separately (telemetry is layout-free JSON);
+        the portfolio engine uses this to resurrect per-trajectory
+        results shipped back from worker processes.
+        """
+        return cls(
+            layout=layout,
+            cost=float(data["cost"]),
+            initial_cost=float(data["initial_cost"]),
+            iterations=int(data.get("iterations", 0)),
+            evaluations=int(data.get("evaluations", 0)),
+            elapsed_s=float(data.get("elapsed_s", 0.0)),
+            steps=[GreedyStep.from_dict(s)
+                   for s in data.get("steps", ())],
+            kl_passes=int(data.get("kl_passes", 0)),
+            kl_cut_weights=tuple(float(w)
+                                 for w in data.get("kl_cut_weights", ())),
+            extras={k: float(v)
+                    for k, v in data.get("extras", {}).items()})
+
     def with_layout(self, layout: Layout, cost: float) -> "SearchResult":
         """A copy recommending ``layout`` but keeping the telemetry.
 
@@ -139,12 +172,23 @@ class TsGreedySearch:
             with ``ts-greedy/step1`` and ``ts-greedy/step2`` children.
         metrics: Optional :class:`repro.obs.MetricsRegistry`; records
             ``greedy.*`` and ``partition.*`` instruments.
+        partition_seed: ``None`` runs the canonical deterministic KL
+            partitioning; an integer shuffles its processing order
+            (deterministically per seed), yielding a different step-1
+            starting point — the portfolio engine's multi-start lever.
+        prune: Skip full evaluation of candidate rows whose transfer-
+            only lower bound already exceeds the iteration's best cost.
+            The bound is a provable underestimate, so the search result
+            is bit-identical with pruning on or off; only the number of
+            full evaluations changes.
     """
 
     def __init__(self, farm: DiskFarm, evaluator: WorkloadCostEvaluator,
                  object_sizes: dict[str, int],
                  constraints: ConstraintSet | None = None,
-                 k: int = 1, tracer=None, metrics=None):
+                 k: int = 1, tracer=None, metrics=None,
+                 partition_seed: int | None = None,
+                 prune: bool = True):
         if k < 1:
             raise LayoutError("k must be at least 1")
         self._farm = farm
@@ -154,6 +198,8 @@ class TsGreedySearch:
         self._k = k
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._metrics = metrics if metrics is not None else NULL_METRICS
+        self._partition_seed = partition_seed
+        self._prune = prune
         self._allow_removals = False
         self._names = evaluator.object_names
         missing = set(self._names) - set(self._sizes)
@@ -207,7 +253,8 @@ class TsGreedySearch:
         partitions = [p for p in
                       partition_access_graph(graph, m, nodes=self._names,
                                              stats=kl_stats,
-                                             metrics=self._metrics)
+                                             metrics=self._metrics,
+                                             seed=self._partition_seed)
                       if p]
         partitions = self._apply_co_location(partitions)
         partitions.sort(key=lambda p: (-sum(graph.node_weight(o)
@@ -327,13 +374,18 @@ class TsGreedySearch:
                   for name in self._names}
         result = SearchResult(layout=layout, cost=cost,
                               initial_cost=initial_cost)
-        current = {name: layout.fractions_of(name)
+        # Rows live as ndarrays for the whole search: `_fits` runs per
+        # candidate, so converting per check (np.asarray on tuples)
+        # would dominate the capacity test.
+        current = {name: np.asarray(layout.fractions_of(name),
+                                    dtype=float)
                    for name in self._names}
+        pruned_total = 0
         while True:
             result.iterations += 1
             iteration_evals = 0
             best_cost = cost
-            best_change: dict[str, tuple[float, ...]] | None = None
+            best_change: dict[str, np.ndarray] | None = None
             seen_groups: set[tuple[str, ...]] = set()
             for name in self._names:
                 group = tuple(groups[name])
@@ -346,22 +398,34 @@ class TsGreedySearch:
                                           capacity)]
                 if not feasible:
                     continue
-                result.evaluations += len(feasible)
-                iteration_evals += len(feasible)
                 if len(group) == 1:
                     # Single-object moves: one vectorized batch.
                     rows = np.array([change[name]
                                      for change in feasible])
-                    costs = self._evaluator.costs_for_rows(name, rows)
-                    for change, candidate_cost in zip(feasible, costs):
+                    if self._prune:
+                        bounds = self._evaluator.bounds_for_rows(name,
+                                                                 rows)
+                        keep = np.nonzero(
+                            bounds < best_cost - EPS_COST)[0]
+                        pruned_total += len(feasible) - keep.size
+                    else:
+                        keep = np.arange(len(feasible))
+                    if keep.size == 0:
+                        continue
+                    result.evaluations += int(keep.size)
+                    iteration_evals += int(keep.size)
+                    costs = self._evaluator.costs_for_rows(name,
+                                                           rows[keep])
+                    for index, candidate_cost in zip(keep, costs):
                         if candidate_cost < best_cost - EPS_COST:
                             best_cost = float(candidate_cost)
-                            best_change = change
+                            best_change = feasible[index]
                 else:
+                    result.evaluations += len(feasible)
+                    iteration_evals += len(feasible)
                     for change in feasible:
                         candidate_cost = self._evaluator.cost_with_rows(
-                            {n: np.asarray(r)
-                             for n, r in change.items()})
+                            dict(change))
                         if candidate_cost < best_cost - EPS_COST:
                             best_cost = candidate_cost
                             best_change = change
@@ -372,9 +436,7 @@ class TsGreedySearch:
                     accepted=False))
                 break
             for name, row in best_change.items():
-                delta = self._sizes[name] * (np.asarray(row)
-                                             - np.asarray(current[name]))
-                disk_used += delta
+                disk_used += self._sizes[name] * (row - current[name])
                 current[name] = row
             matrix = np.array([current[n] for n in self._names])
             cost = self._evaluator.set_base(matrix)
@@ -388,8 +450,10 @@ class TsGreedySearch:
                 ",".join(sorted(best_change)), cost, iteration_evals)
         self._metrics.inc("greedy.iterations", result.iterations)
         self._metrics.inc("greedy.evaluations", result.evaluations)
+        self._metrics.inc("greedy.pruned_candidates", pruned_total)
         self._metrics.inc("greedy.accepted_moves",
                           sum(1 for s in result.steps if s.accepted))
+        result.extras["pruned_candidates"] = float(pruned_total)
         for step in result.steps:
             self._metrics.observe("greedy.candidates_per_iteration",
                                   step.candidates)
@@ -404,12 +468,12 @@ class TsGreedySearch:
         return result
 
     def _moves(self, group: tuple[str, ...],
-               current: dict[str, tuple[float, ...]]):
+               current: dict[str, np.ndarray]):
         """Yield candidate fraction-row changes for one object group.
 
         A move adds 1..k disks (from the group's allowed set) to the
         group's current disk set; every member of the group gets the same
-        widened, rate-proportional row.
+        widened, rate-proportional row (one shared ndarray per move).
         """
         lead = group[0]
         disks_now = tuple(j for j, f in enumerate(current[lead])
@@ -418,24 +482,24 @@ class TsGreedySearch:
         remaining = [j for j in allowed if j not in set(disks_now)]
         for size in range(1, self._k + 1):
             for combo in itertools.combinations(remaining, size):
-                row = stripe_fractions(disks_now + combo, self._farm)
+                row = np.array(stripe_fractions(disks_now + combo,
+                                                self._farm))
                 yield {name: row for name in group}
         if getattr(self, "_allow_removals", False):
             for size in range(1, min(self._k, len(disks_now) - 1) + 1):
                 for combo in itertools.combinations(disks_now, size):
                     kept = tuple(j for j in disks_now
                                  if j not in set(combo))
-                    row = stripe_fractions(kept, self._farm)
+                    row = np.array(stripe_fractions(kept, self._farm))
                     yield {name: row for name in group}
 
-    def _fits(self, change: dict[str, tuple[float, ...]],
-              current: dict[str, tuple[float, ...]],
+    def _fits(self, change: dict[str, np.ndarray],
+              current: dict[str, np.ndarray],
               disk_used: np.ndarray, capacity: np.ndarray) -> bool:
         """Capacity (and movement-constraint) feasibility of a move."""
         delta = np.zeros(len(self._farm))
         for name, row in change.items():
-            delta += self._sizes[name] * (np.asarray(row)
-                                          - np.asarray(current[name]))
+            delta += self._sizes[name] * (row - current[name])
         if np.any(disk_used + delta > capacity + EPS_CAPACITY):
             return False
         movement = self._constraints.movement

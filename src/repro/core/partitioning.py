@@ -19,6 +19,7 @@ name), which keeps every downstream experiment reproducible.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -57,7 +58,8 @@ def partition_access_graph(graph: AccessGraph, p: int,
                            nodes: Sequence[str] | None = None,
                            max_passes: int = 16,
                            stats: PartitionStats | None = None,
-                           metrics=NULL_METRICS) -> list[list[str]]:
+                           metrics=NULL_METRICS,
+                           seed: int | None = None) -> list[list[str]]:
     """Partition the graph's nodes into ``p`` parts maximizing cut weight.
 
     Args:
@@ -70,6 +72,11 @@ def partition_access_graph(graph: AccessGraph, p: int,
             telemetry (cut weight per KL pass, move/swap counts).
         metrics: Optional metrics registry; records the same telemetry
             under ``partition.*`` names.
+        seed: ``None`` (default) keeps the canonical deterministic
+            processing order.  An integer shuffles the order with a
+            seeded RNG, steering greedy seeding and refinement into a
+            different — still deterministic per seed — local optimum;
+            the portfolio engine uses this for multi-start search.
 
     Returns:
         ``p`` lists of object names (some possibly empty), sorted within
@@ -90,6 +97,8 @@ def partition_access_graph(graph: AccessGraph, p: int,
                         for v in graph.neighbors(name))), name)
 
     ordered = sorted(names, key=priority)
+    if seed is not None:
+        random.Random(seed).shuffle(ordered)
     assign: dict[str, int] = {}
     member_set = set(names)
 

@@ -72,8 +72,10 @@ def render_search_diagnostics(search, max_steps: int = 8) -> str:
 
     Shows the KL partitioning convergence (cut weight per pass) and the
     greedy trajectory (candidates tried and best cost per accepted
-    move).  Returns the empty string when the search carried no
-    telemetry (e.g. full striping or a plain exhaustive run).
+    move).  Portfolio runs get a summary line (trajectories, workers,
+    winner) and pruned-candidate counts their own line.  Returns the
+    empty string when the search carried no telemetry (e.g. full
+    striping or a plain exhaustive run).
 
     Args:
         search: A :class:`repro.core.greedy.SearchResult`.
@@ -85,6 +87,20 @@ def render_search_diagnostics(search, max_steps: int = 8) -> str:
     cut_weights = list(getattr(search, "kl_cut_weights", ()) or ())
     steps = list(getattr(search, "steps", ()) or ())
     extras = dict(getattr(search, "extras", {}) or {})
+    if "trajectories" in extras:
+        trajectories = int(extras.pop("trajectories"))
+        workers = int(extras.pop("workers", 1))
+        best = int(extras.pop("best_trajectory", 0))
+        extras.pop("best_trajectory_cost", None)
+        lines.append(f"portfolio: {trajectories} trajectories on "
+                     f"{workers} worker(s); winner: trajectory {best}")
+    pruned = extras.pop("pruned_candidates", None)
+    bound_evals = extras.pop("bound_evaluations", None)
+    if pruned is not None:
+        line = f"pruning: {int(pruned)} candidates skipped"
+        if bound_evals is not None:
+            line += f" via {int(bound_evals)} lower-bound evaluations"
+        lines.append(line + " (result unchanged by construction)")
     if kl_passes or cut_weights:
         trail = " -> ".join(f"{w:.0f}" for w in cut_weights)
         lines.append(f"partitioning: {kl_passes} KL pass(es), "

@@ -46,11 +46,18 @@ def figure11_cases() -> list[tuple[Database, Workload]]:
 
 def run_figure11(disk_counts: tuple[int, ...] = DISK_COUNTS,
                  cases: list[tuple[Database, Workload]] | None = None,
+                 method: str = "ts-greedy", jobs: int = 1,
                  ) -> Figure11Result:
     """Measure TS-GREEDY runtime as the number of disks grows.
 
     Workload analysis (planning) happens once per workload; only the
     search is timed, as in the paper.
+
+    Args:
+        disk_counts: Farm sizes to sweep.
+        cases: (database, workload) pairs; default: the paper's three.
+        method: ``"ts-greedy"`` (the paper's run) or ``"portfolio"``.
+        jobs: Worker processes when ``method="portfolio"``.
     """
     cases = cases if cases is not None else figure11_cases()
     result = Figure11Result(disk_counts=tuple(disk_counts))
@@ -62,7 +69,7 @@ def run_figure11(disk_counts: tuple[int, ...] = DISK_COUNTS,
             farm = common.paper_farm(m)
             tracer = Tracer()
             advisor = LayoutAdvisor(db, farm, tracer=tracer)
-            advisor.recommend(analyzed)
+            advisor.recommend(analyzed, method=method, jobs=jobs)
             series.append(tracer.find("recommend").duration_s)
         result.seconds[workload.name] = series
     return result

@@ -35,12 +35,16 @@ class Figure12Result:
 
 def run_figure12(factors: tuple[int, ...] = REPLICATION_FACTORS,
                  m_disks: int = 8,
-                 with_indexes: bool = False) -> Figure12Result:
+                 with_indexes: bool = False,
+                 method: str = "ts-greedy",
+                 jobs: int = 1) -> Figure12Result:
     """Measure TS-GREEDY runtime as the number of objects grows.
 
     ``with_indexes=False`` keeps the object count equal to the table
     count (8 N objects), matching the paper's description most closely;
-    pass True to also replicate the index set.
+    pass True to also replicate the index set.  ``method="portfolio"``
+    with ``jobs > 1`` sweeps the parallel multi-start engine instead of
+    the single canonical run.
     """
     result = Figure12Result(factors=tuple(factors))
     farm = common.paper_farm(m_disks)
@@ -50,7 +54,7 @@ def run_figure12(factors: tuple[int, ...] = REPLICATION_FACTORS,
         tracer = Tracer()
         advisor = LayoutAdvisor(db, farm, tracer=tracer)
         analyzed = advisor.analyze(workload)
-        advisor.recommend(analyzed)
+        advisor.recommend(analyzed, method=method, jobs=jobs)
         result.seconds.append(tracer.find("recommend").duration_s)
         result.n_objects.append(len(db.objects()))
     return result

@@ -78,6 +78,24 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def merge_summary(self, summary: dict) -> None:
+        """Fold a :meth:`MetricsRegistry.to_dict` histogram entry in.
+
+        Count, total, min and max merge exactly.  The remote samples
+        are gone by snapshot time, so percentiles after a merge are
+        approximate: the snapshot's p50/p95 stand in as samples.
+        """
+        count = int(summary.get("count", 0))
+        if count <= 0:
+            return
+        self.count += count
+        self.total += float(summary.get("total", 0.0))
+        self.min = min(self.min, float(summary["min"]))
+        self.max = max(self.max, float(summary["max"]))
+        for key in ("p50", "p95"):
+            if key in summary and len(self.samples) < self.max_samples:
+                self.samples.append(float(summary[key]))
+
     def percentile(self, q: float) -> float:
         """Nearest-rank percentile over the retained samples."""
         if not self.samples:
@@ -146,6 +164,22 @@ class MetricsRegistry:
         yield from self._counters
         yield from self._gauges
         yield from self._histograms
+
+    def merge(self, snapshot: dict[str, Any]) -> "MetricsRegistry":
+        """Fold a :meth:`to_dict` snapshot into this registry.
+
+        Counters add, gauges take the snapshot's value (last write
+        wins), histograms merge via :meth:`Histogram.merge_summary`.
+        This is how per-trajectory worker metrics reach the parent
+        registry after a portfolio run.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(float(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(float(value))
+        for name, summary in snapshot.get("histograms", {}).items():
+            self.histogram(name).merge_summary(summary)
+        return self
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready snapshot of every instrument."""
@@ -237,6 +271,9 @@ class NullMetrics:
 
     def names(self) -> Iterator[str]:
         return iter(())
+
+    def merge(self, snapshot: dict[str, Any]) -> "NullMetrics":
+        return self
 
     def to_dict(self) -> dict[str, Any]:
         return {"counters": {}, "gauges": {}, "histograms": {}}

@@ -147,6 +147,20 @@ class Tracer:
                 return found
         return None
 
+    def attach(self, span: Span) -> None:
+        """Graft a completed span (tree) into the trace.
+
+        Nests under the currently open span, or becomes a new root if
+        none is open.  Used to merge span trees imported from other
+        processes (e.g. portfolio workers); the attached tree keeps its
+        original relative timings, which refer to the *exporting*
+        tracer's epoch, not this one's.
+        """
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self._roots.append(span)
+
     # -- export -----------------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
@@ -245,6 +259,9 @@ class NullTracer:
 
     def find(self, name: str) -> None:
         return None
+
+    def attach(self, span: Span) -> None:
+        pass
 
     def to_dict(self) -> dict[str, Any]:
         return {"spans": []}

@@ -1,0 +1,50 @@
+"""repro.parallel — portfolio search over shared-memory cost evaluation.
+
+Runs several independent search trajectories (seeded TS-GREEDY
+variants, annealing restarts) concurrently in a process pool and keeps
+the best layout.  The precompiled cost evaluator's packed arrays are
+published once in ``multiprocessing.shared_memory`` so workers attach
+zero-copy instead of re-pickling megabytes per process.
+
+Results are bit-identical regardless of ``jobs``: the trajectory list
+is deterministic and the winner is chosen by ``min((cost, index))``.
+
+See ``docs/performance.md`` for the engine's design, the shared-memory
+lifecycle, and tuning guidance.
+"""
+
+from repro.parallel.portfolio import (
+    DEFAULT_TRAJECTORIES,
+    PortfolioSearch,
+    TrajectorySpec,
+    available_workers,
+    default_portfolio,
+)
+from repro.parallel.shared import (
+    SharedArraySpec,
+    SharedEvaluatorSpec,
+    SharedEvaluatorState,
+    attach_evaluator,
+    share_evaluator,
+)
+from repro.parallel.worker import (
+    TrajectoryContext,
+    rebuild_result,
+    run_trajectory,
+)
+
+__all__ = [
+    "DEFAULT_TRAJECTORIES",
+    "PortfolioSearch",
+    "SharedArraySpec",
+    "SharedEvaluatorSpec",
+    "SharedEvaluatorState",
+    "TrajectoryContext",
+    "TrajectorySpec",
+    "attach_evaluator",
+    "available_workers",
+    "default_portfolio",
+    "rebuild_result",
+    "run_trajectory",
+    "share_evaluator",
+]

@@ -1,0 +1,299 @@
+"""The portfolio search engine: parallel multi-start layout search.
+
+Exhaustive layout search is NP-complete (Section 6.1), so TS-GREEDY is
+a local search — and local searches are only as good as their starting
+points.  The portfolio engine runs several independent *trajectories*
+concurrently and keeps the best result:
+
+* TS-GREEDY from the canonical KL partitioning (the paper's run);
+* TS-GREEDY from seeded KL variants (different step-1 local optima)
+  and, for larger portfolios, a wider ``k``;
+* simulated-annealing restarts with distinct RNG seeds.
+
+Trajectories share one precompiled
+:class:`~repro.core.costmodel.WorkloadCostEvaluator` whose packed
+arrays are published once in shared memory
+(:mod:`repro.parallel.shared`) instead of being re-pickled per worker.
+
+Determinism: the trajectory list is fixed up front and the winner is
+``min((cost, index))`` — exact float comparison with ties broken on
+trajectory order — so a run with ``jobs=4`` returns the bit-identical
+layout and cost of the same trajectory list run serially (``jobs=1``).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import get_all_start_methods, get_context
+from typing import Sequence
+
+from repro.core.constraints import ConstraintSet
+from repro.core.costmodel import WorkloadCostEvaluator
+from repro.core.greedy import SearchResult
+from repro.errors import LayoutError
+from repro.obs import NULL_METRICS, NULL_TRACER, Span
+from repro.parallel.shared import share_evaluator
+from repro.parallel.worker import (
+    TrajectoryContext,
+    init_worker,
+    rebuild_result,
+    run_trajectory,
+    run_trajectory_task,
+)
+from repro.storage.disk import DiskFarm
+from repro.workload.access_graph import AccessGraph
+
+logger = logging.getLogger("repro.parallel.portfolio")
+
+#: Trajectories in a default portfolio when none are specified.
+DEFAULT_TRAJECTORIES = 4
+
+
+@dataclass(frozen=True)
+class TrajectorySpec:
+    """One independent search trajectory of a portfolio.
+
+    Attributes:
+        method: ``"ts-greedy"`` or ``"annealing"``.
+        partition_seed: KL processing-order seed (TS-GREEDY only);
+            ``None`` is the canonical deterministic partitioning.
+        k: TS-GREEDY widening parameter.
+        seed: Annealing RNG seed.
+        iterations: Annealing proposal budget.
+        prune: Enable bound-based candidate pruning (TS-GREEDY only;
+            never changes the result, only the evaluation count).
+        label: Optional display name for telemetry.
+    """
+
+    method: str = "ts-greedy"
+    partition_seed: int | None = None
+    k: int = 1
+    seed: int = 0
+    iterations: int = 2_000
+    prune: bool = True
+    label: str = ""
+
+    def describe(self) -> str:
+        """Short human-readable identity for spans and logs."""
+        if self.method == "annealing":
+            return f"annealing[seed={self.seed}]"
+        seed = "base" if self.partition_seed is None \
+            else f"seed={self.partition_seed}"
+        return f"ts-greedy[{seed}, k={self.k}]"
+
+
+def default_portfolio(n: int = DEFAULT_TRAJECTORIES, k: int = 1,
+                      base_seed: int = 101,
+                      annealing_iterations: int = 2_000,
+                      include_annealing: bool = True,
+                      ) -> list[TrajectorySpec]:
+    """A deterministic default trajectory list of size ``n``.
+
+    Trajectory 0 is always the canonical TS-GREEDY run (the paper's
+    algorithm), so a 1-trajectory portfolio degenerates to plain
+    TS-GREEDY.  Remaining slots mix seeded KL variants with annealing
+    restarts (every third slot); portfolios of five or more spend one
+    slot on a ``k+1`` widening.
+
+    Args:
+        n: Portfolio size.
+        k: TS-GREEDY widening parameter for the greedy trajectories.
+        base_seed: First seed; slot ``i`` uses ``base_seed + i``.
+        annealing_iterations: Proposal budget per annealing restart.
+        include_annealing: Set ``False`` for constrained problems —
+            the annealing baseline only enforces capacity and raises
+            on richer constraints, so its slots become seeded greedy
+            trajectories instead.
+    """
+    if n < 1:
+        raise LayoutError("portfolio needs at least one trajectory")
+    specs = [TrajectorySpec(method="ts-greedy", k=k,
+                            label="greedy-base")]
+    wide_k_spent = False
+    for i in range(1, n):
+        if i % 3 == 0 and include_annealing:
+            specs.append(TrajectorySpec(
+                method="annealing", seed=base_seed + i,
+                iterations=annealing_iterations,
+                label=f"anneal-{base_seed + i}"))
+        elif n >= 5 and not wide_k_spent:
+            wide_k_spent = True
+            specs.append(TrajectorySpec(
+                method="ts-greedy", k=k + 1,
+                partition_seed=base_seed + i,
+                label=f"greedy-{base_seed + i}-k{k + 1}"))
+        else:
+            specs.append(TrajectorySpec(
+                method="ts-greedy", k=k, partition_seed=base_seed + i,
+                label=f"greedy-{base_seed + i}"))
+    return specs
+
+
+def available_workers() -> int:
+    """CPUs usable by this process (affinity-aware where supported)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+class PortfolioSearch:
+    """Runs a trajectory portfolio and returns the best result.
+
+    Args:
+        farm: Available disk drives.
+        evaluator: Precompiled workload cost evaluator.  For parallel
+            runs its packed arrays are published in shared memory and
+            the evaluator itself never crosses the process boundary.
+        object_sizes: Object name -> size in blocks.
+        constraints: Optional manageability/availability constraints.
+        specs: Trajectory list; defaults to :func:`default_portfolio`.
+        jobs: Worker processes.  ``1`` runs every trajectory serially
+            in-process (bit-identical results, no processes spawned);
+            ``0`` auto-sizes to the available cores.
+        tracer: Optional tracer; emits one ``portfolio`` span with a
+            ``portfolio/trajectory-i`` child per trajectory (worker
+            span trees are merged in, times relative to each worker's
+            own epoch).
+        metrics: Optional registry; worker-side ``costmodel.*`` /
+            ``greedy.*`` / ``annealing.*`` counters are merged in, plus
+            ``portfolio.trajectories`` / ``portfolio.workers`` gauges.
+    """
+
+    def __init__(self, farm: DiskFarm, evaluator: WorkloadCostEvaluator,
+                 object_sizes: dict[str, int],
+                 constraints: ConstraintSet | None = None,
+                 specs: Sequence[TrajectorySpec] | None = None,
+                 jobs: int = 1, tracer=None, metrics=None):
+        if jobs < 0:
+            raise LayoutError("jobs must be >= 0 (0 = auto)")
+        self._farm = farm
+        self._evaluator = evaluator
+        self._sizes = dict(object_sizes)
+        self._constraints = constraints or ConstraintSet()
+        self._specs = tuple(specs) if specs is not None \
+            else tuple(default_portfolio())
+        if not self._specs:
+            raise LayoutError("portfolio needs at least one trajectory")
+        self._jobs = jobs if jobs > 0 else available_workers()
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._metrics = metrics if metrics is not None else NULL_METRICS
+
+    @property
+    def specs(self) -> tuple[TrajectorySpec, ...]:
+        return self._specs
+
+    def search(self, graph: AccessGraph,
+               initial_layout=None) -> SearchResult:
+        """Run every trajectory; return the winner with merged telemetry.
+
+        Args:
+            graph: The workload's access graph (drives TS-GREEDY step 1).
+            initial_layout: Optional starting layout for incremental
+                mode (forwarded to every TS-GREEDY trajectory).
+        """
+        start = time.perf_counter()
+        jobs = max(1, min(self._jobs, len(self._specs)))
+        with self._tracer.span("portfolio",
+                               trajectories=len(self._specs),
+                               jobs=jobs) as span:
+            if jobs == 1:
+                payloads = self._run_serial(graph, initial_layout)
+            else:
+                payloads = self._run_parallel(graph, initial_layout,
+                                              jobs)
+            result = self._merge(payloads, jobs)
+            result.elapsed_s = time.perf_counter() - start
+            span.set("best_cost", round(result.cost, 6))
+            span.set("best_trajectory",
+                     int(result.extras["best_trajectory"]))
+        logger.info(
+            "portfolio: %d trajectories on %d worker(s), best cost "
+            "%.3f from trajectory %d (%s), %.3fs", len(self._specs),
+            jobs, result.cost, int(result.extras["best_trajectory"]),
+            self._specs[int(result.extras["best_trajectory"])]
+            .describe(), result.elapsed_s)
+        return result
+
+    # -- execution paths ---------------------------------------------------
+
+    def _run_serial(self, graph: AccessGraph,
+                    initial_layout) -> list[dict]:
+        context = TrajectoryContext(
+            evaluator=self._evaluator, farm=self._farm,
+            sizes=self._sizes, constraints=self._constraints,
+            graph=graph, initial_layout=initial_layout,
+            specs=self._specs)
+        return [run_trajectory(context, index)
+                for index in range(len(self._specs))]
+
+    def _run_parallel(self, graph: AccessGraph, initial_layout,
+                      jobs: int) -> list[dict]:
+        mp_context = get_context(
+            "fork" if "fork" in get_all_start_methods() else "spawn")
+        state = share_evaluator(self._evaluator)
+        try:
+            with ProcessPoolExecutor(
+                    max_workers=jobs, mp_context=mp_context,
+                    initializer=init_worker,
+                    initargs=(state.spec, self._farm, self._sizes,
+                              self._constraints, graph, initial_layout,
+                              self._specs)) as pool:
+                payloads = list(pool.map(run_trajectory_task,
+                                         range(len(self._specs))))
+        finally:
+            # The executor is shut down (workers joined) before the
+            # segment is unlinked, so no mapping outlives its backing.
+            state.close()
+        return payloads
+
+    # -- result merging ----------------------------------------------------
+
+    def _merge(self, payloads: list[dict], jobs: int) -> SearchResult:
+        best = min(payloads, key=lambda p: (p["cost"], p["index"]))
+        result = rebuild_result(best, self._farm, self._sizes)
+        total_evaluations = 0
+        pruned = 0.0
+        bound_evaluations = 0.0
+        for payload in payloads:
+            telemetry = payload["telemetry"]
+            total_evaluations += int(telemetry.get("evaluations", 0))
+            pruned += float(telemetry.get("extras", {})
+                            .get("pruned_candidates", 0.0))
+            bound_evaluations += float(
+                payload["metrics"].get("counters", {})
+                .get("costmodel.bound_evaluations", 0.0))
+            self._metrics.merge(payload["metrics"])
+            self._attach_spans(payload)
+        result.evaluations = total_evaluations
+        result.extras.update({
+            "trajectories": float(len(payloads)),
+            "workers": float(jobs),
+            "best_trajectory": float(best["index"]),
+            "best_trajectory_cost": float(best["cost"]),
+            "pruned_candidates": pruned,
+            "bound_evaluations": bound_evaluations,
+        })
+        self._metrics.set_gauge("portfolio.trajectories",
+                                len(payloads))
+        self._metrics.set_gauge("portfolio.workers", jobs)
+        self._metrics.set_gauge("portfolio.best_trajectory",
+                                best["index"])
+        return result
+
+    def _attach_spans(self, payload: dict) -> None:
+        """Graft one trajectory's span tree under the portfolio span."""
+        children = [Span.from_dict(data)
+                    for data in payload["spans"].get("spans", ())]
+        duration = sum(child.duration_s for child in children)
+        wrapper = Span(
+            name=f"portfolio/trajectory-{payload['index']}",
+            start_s=0.0, end_s=duration,
+            attrs={"label": payload["label"],
+                   "cost": round(float(payload["cost"]), 6)},
+            children=children)
+        self._tracer.attach(wrapper)

@@ -265,3 +265,94 @@ class TestNullObjects:
         with pytest.raises(RuntimeError):
             with NULL_TRACER.span("doomed"):
                 raise RuntimeError("boom")
+
+
+class TestTracerAttach:
+    def test_attach_as_root_when_nothing_open(self, clock):
+        tracer = Tracer(clock=clock)
+        imported = Span(name="worker-run", start_s=0.0, end_s=1.5)
+        tracer.attach(imported)
+        assert tracer.roots == [imported]
+
+    def test_attach_nests_under_the_open_span(self, clock):
+        tracer = Tracer(clock=clock)
+        imported = Span(name="portfolio/trajectory-0", start_s=0.0,
+                        end_s=0.25,
+                        children=[Span("ts-greedy", 0.0, 0.2)])
+        with tracer.span("portfolio") as parent:
+            tracer.attach(imported)
+        assert parent.children == [imported]
+        assert tracer.find("ts-greedy") is imported.children[0]
+
+    def test_attached_tree_survives_serialization(self, clock):
+        tracer = Tracer(clock=clock)
+        with tracer.span("portfolio"):
+            tracer.attach(Span("portfolio/trajectory-1", 0.0, 0.5,
+                               attrs={"label": "anneal-104"}))
+        data = tracer.to_dict()
+        rebuilt = Tracer.from_dict(data)
+        found = rebuilt.find("portfolio/trajectory-1")
+        assert found is not None
+        assert found.attrs["label"] == "anneal-104"
+
+    def test_null_tracer_attach_is_a_noop(self):
+        NULL_TRACER.attach(Span("x", 0.0, 1.0))
+        assert NULL_TRACER.roots == []
+
+
+class TestMetricsMerge:
+    def test_counters_add_and_gauges_overwrite(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("c", 3)
+        a.set_gauge("g", 1)
+        b.inc("c", 4)
+        b.set_gauge("g", 9)
+        a.merge(b.to_dict())
+        assert a.value("c") == 7.0
+        assert a.value("g") == 9.0
+
+    def test_histogram_aggregates_merge_exactly(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for v in (1, 2, 3):
+            a.observe("h", v)
+        for v in (10, 20):
+            b.observe("h", v)
+        a.merge(b.to_dict())
+        hist = a.histogram("h")
+        assert hist.count == 5
+        assert hist.total == 36.0
+        assert hist.min == 1.0
+        assert hist.max == 20.0
+
+    def test_merge_into_empty_registry(self):
+        src = MetricsRegistry()
+        src.inc("greedy.evaluations", 42)
+        src.observe("candidates", 7)
+        dst = MetricsRegistry().merge(src.to_dict())
+        assert dst.value("greedy.evaluations") == 42.0
+        assert dst.histogram("candidates").count == 1
+
+    def test_merge_skips_empty_histograms(self):
+        src = MetricsRegistry()
+        src.histogram("empty")  # created, never observed
+        dst = MetricsRegistry()
+        dst.merge(src.to_dict())
+        assert dst.histogram("empty").count == 0
+        assert dst.histogram("empty").samples == []
+
+    def test_merge_is_associative_over_snapshots(self):
+        parts = []
+        for base in (0, 10, 20):
+            reg = MetricsRegistry()
+            reg.inc("n", base + 1)
+            parts.append(reg.to_dict())
+        one_shot = MetricsRegistry()
+        for part in parts:
+            one_shot.merge(part)
+        assert one_shot.value("n") == 33.0
+
+    def test_null_metrics_merge_is_a_noop(self):
+        src = MetricsRegistry()
+        src.inc("c", 5)
+        assert NULL_METRICS.merge(src.to_dict()) is NULL_METRICS
+        assert NULL_METRICS.value("c") == 0.0

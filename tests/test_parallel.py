@@ -1,0 +1,245 @@
+"""Tests for repro.parallel: shared memory, trajectories, portfolio."""
+
+from __future__ import annotations
+
+import warnings
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.core.advisor import LayoutAdvisor
+from repro.core.costmodel import WorkloadCostEvaluator
+from repro.core.fullstripe import full_striping
+from repro.core.greedy import TsGreedySearch
+from repro.core.random_layout import random_layout
+from repro.errors import LayoutError
+from repro.obs import MetricsRegistry, Tracer
+from repro.parallel import (
+    PortfolioSearch,
+    TrajectorySpec,
+    attach_evaluator,
+    default_portfolio,
+    share_evaluator,
+)
+from repro.parallel.worker import TrajectoryContext, run_trajectory
+from repro.workload.access import analyze_workload
+from repro.workload.access_graph import build_access_graph
+
+
+@pytest.fixture
+def case(mini_db, join_workload, farm8):
+    analyzed = analyze_workload(join_workload, mini_db)
+    sizes = mini_db.object_sizes()
+    evaluator = WorkloadCostEvaluator(analyzed, farm8, sorted(sizes))
+    graph = build_access_graph(analyzed, mini_db)
+    return evaluator, graph, sizes, farm8
+
+
+def _fractions(layout):
+    return {name: layout.fractions_of(name)
+            for name in layout.object_names}
+
+
+class TestSharedEvaluator:
+    def test_round_trip_is_bit_identical(self, case):
+        evaluator, _, sizes, farm = case
+        layouts = [full_striping(sizes, farm)] + \
+            [random_layout(sizes, farm, seed) for seed in range(5)]
+        with share_evaluator(evaluator) as state:
+            attached = attach_evaluator(state.spec)
+            for layout in layouts:
+                assert attached.cost(layout) == evaluator.cost(layout)
+            del attached  # release the views before unlink
+
+    def test_attached_arrays_are_read_only_views(self, case):
+        evaluator, _, _, _ = case
+        with share_evaluator(evaluator) as state:
+            attached = attach_evaluator(state.spec)
+            assert not attached._blocks.flags.writeable
+            np.testing.assert_array_equal(attached._blocks,
+                                          evaluator._blocks)
+            with pytest.raises(ValueError):
+                attached._blocks[0, 0] = 1.0
+            del attached
+
+    def test_close_unlinks_the_segment(self, case):
+        evaluator, _, _, _ = case
+        state = share_evaluator(evaluator)
+        name = state.spec.shm_name
+        state.close()
+        with pytest.raises(LayoutError, match="gone"):
+            attach_evaluator(state.spec)
+        # And raw reattachment by name fails too: truly unlinked.
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_close_is_idempotent(self, case):
+        evaluator, _, _, _ = case
+        state = share_evaluator(evaluator)
+        state.close()
+        state.close()  # second close must not raise
+
+    def test_no_resource_tracker_warnings(self, case):
+        evaluator, graph, sizes, farm = case
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            engine = PortfolioSearch(farm, evaluator, sizes,
+                                     specs=default_portfolio(2),
+                                     jobs=2)
+            engine.search(graph)
+
+    def test_segment_cleaned_up_when_worker_raises(self, case):
+        evaluator, graph, sizes, farm = case
+        bad = [TrajectorySpec(method="no-such-method")]
+        engine = PortfolioSearch(farm, evaluator, sizes, specs=bad,
+                                 jobs=2)
+        with pytest.raises(LayoutError):
+            engine.search(graph)
+        # The finally-path unlink ran: a fresh share uses a new name
+        # and nothing of the failed run lingers to collide with it.
+        with share_evaluator(evaluator) as state:
+            assert state.spec.shm_name
+
+
+class TestTrajectories:
+    def test_unknown_method_raises(self, case):
+        evaluator, graph, sizes, farm = case
+        from repro.core.constraints import ConstraintSet
+        context = TrajectoryContext(
+            evaluator=evaluator, farm=farm, sizes=sizes,
+            constraints=ConstraintSet(), graph=graph,
+            initial_layout=None,
+            specs=(TrajectorySpec(method="quantum"),))
+        with pytest.raises(LayoutError, match="quantum"):
+            run_trajectory(context, 0)
+
+    def test_payload_rebuilds_the_result(self, case):
+        evaluator, graph, sizes, farm = case
+        from repro.core.constraints import ConstraintSet
+        from repro.parallel import rebuild_result
+        context = TrajectoryContext(
+            evaluator=evaluator, farm=farm, sizes=sizes,
+            constraints=ConstraintSet(), graph=graph,
+            initial_layout=None, specs=(TrajectorySpec(),))
+        payload = run_trajectory(context, 0)
+        rebuilt = rebuild_result(payload, farm, sizes)
+        direct = TsGreedySearch(farm, evaluator, sizes).search(graph)
+        assert rebuilt.cost == direct.cost
+        assert _fractions(rebuilt.layout) == _fractions(direct.layout)
+        assert rebuilt.evaluations == direct.evaluations
+        assert len(rebuilt.steps) == len(direct.steps)
+
+    def test_default_portfolio_shape(self):
+        specs = default_portfolio(6)
+        assert len(specs) == 6
+        assert specs[0].partition_seed is None  # canonical run first
+        methods = [s.method for s in specs]
+        assert "annealing" in methods
+        assert default_portfolio(1)[0].method == "ts-greedy"
+        no_anneal = default_portfolio(6, include_annealing=False)
+        assert all(s.method == "ts-greedy" for s in no_anneal)
+        with pytest.raises(LayoutError):
+            default_portfolio(0)
+
+
+class TestPortfolioSearch:
+    def test_parallel_matches_serial_bit_identically(self, case):
+        evaluator, graph, sizes, farm = case
+        specs = default_portfolio(4)
+        serial = PortfolioSearch(farm, evaluator, sizes, specs=specs,
+                                 jobs=1).search(graph)
+        pooled = PortfolioSearch(farm, evaluator, sizes, specs=specs,
+                                 jobs=4).search(graph)
+        assert pooled.cost == serial.cost
+        assert _fractions(pooled.layout) == _fractions(serial.layout)
+        assert pooled.evaluations == serial.evaluations
+        assert pooled.extras["best_trajectory"] \
+            == serial.extras["best_trajectory"]
+
+    def test_winner_equals_best_individual_trajectory(self, case):
+        evaluator, graph, sizes, farm = case
+        specs = default_portfolio(4)
+        result = PortfolioSearch(farm, evaluator, sizes, specs=specs,
+                                 jobs=1).search(graph)
+        individual = []
+        for spec in specs:
+            if spec.method == "ts-greedy":
+                individual.append(TsGreedySearch(
+                    farm, evaluator, sizes, k=spec.k,
+                    partition_seed=spec.partition_seed,
+                    prune=spec.prune).search(graph).cost)
+            else:
+                from repro.core.annealing import annealing_search
+                individual.append(annealing_search(
+                    farm, evaluator, sizes, seed=spec.seed,
+                    iterations=spec.iterations).cost)
+        assert result.cost == min(individual)
+        assert int(result.extras["best_trajectory"]) \
+            == individual.index(min(individual))
+
+    def test_never_worse_than_canonical_greedy(self, case):
+        evaluator, graph, sizes, farm = case
+        canonical = TsGreedySearch(farm, evaluator, sizes).search(graph)
+        result = PortfolioSearch(farm, evaluator, sizes,
+                                 specs=default_portfolio(3),
+                                 jobs=1).search(graph)
+        assert result.cost <= canonical.cost
+
+    def test_merged_telemetry_and_metrics(self, case):
+        evaluator, graph, sizes, farm = case
+        tracer, metrics = Tracer(), MetricsRegistry()
+        specs = default_portfolio(3)
+        result = PortfolioSearch(farm, evaluator, sizes, specs=specs,
+                                 jobs=2, tracer=tracer,
+                                 metrics=metrics).search(graph)
+        assert result.extras["trajectories"] == 3.0
+        assert result.extras["workers"] == 2.0
+        root = tracer.find("portfolio")
+        assert root is not None
+        names = [child.name for child in root.children]
+        assert names == [f"portfolio/trajectory-{i}" for i in range(3)]
+        assert metrics.value("portfolio.trajectories") == 3.0
+        assert metrics.value("portfolio.workers") == 2.0
+        # Worker-side counters really crossed the process boundary.
+        assert metrics.value("greedy.iterations") > 0
+        assert metrics.value("costmodel.bound_evaluations") > 0
+
+    def test_rejects_bad_arguments(self, case):
+        evaluator, _, sizes, farm = case
+        with pytest.raises(LayoutError):
+            PortfolioSearch(farm, evaluator, sizes, jobs=-1)
+        with pytest.raises(LayoutError):
+            PortfolioSearch(farm, evaluator, sizes, specs=[])
+
+
+class TestAdvisorPortfolio:
+    def test_method_portfolio_matches_jobs_invariance(
+            self, mini_db, join_workload, farm8):
+        advisor = LayoutAdvisor(mini_db, farm8)
+        serial = advisor.recommend(join_workload, method="portfolio",
+                                   portfolio=3, jobs=1)
+        pooled = advisor.recommend(join_workload, method="portfolio",
+                                   portfolio=3, jobs=2)
+        assert pooled.estimated_cost == serial.estimated_cost
+        assert _fractions(pooled.layout) == _fractions(serial.layout)
+
+    def test_portfolio_never_worse_than_ts_greedy(
+            self, mini_db, join_workload, farm8):
+        advisor = LayoutAdvisor(mini_db, farm8)
+        greedy = advisor.recommend(join_workload, method="ts-greedy")
+        portfolio = advisor.recommend(join_workload,
+                                      method="portfolio", portfolio=3)
+        assert portfolio.estimated_cost <= greedy.estimated_cost
+
+    def test_constrained_portfolio_drops_annealing(
+            self, mini_db, join_workload, farm8):
+        from repro.core.constraints import CoLocated, ConstraintSet
+        constraints = ConstraintSet(
+            co_located=[CoLocated("big", "idx_big_d")])
+        advisor = LayoutAdvisor(mini_db, farm8,
+                                constraints=constraints)
+        rec = advisor.recommend(join_workload, method="portfolio",
+                                portfolio=4, jobs=2)
+        assert rec.search.extras["trajectories"] == 4.0
+        constraints.check(rec.layout)
