@@ -32,7 +32,7 @@ from repro.core.constraints import (
     MaxDataMovement,
 )
 from repro.core.layout import Layout
-from repro.errors import CatalogError
+from repro.errors import CatalogError, RecommendationFormatError
 from repro.storage.disk import Availability, DiskFarm, DiskSpec
 
 # -- column statistics ---------------------------------------------------------
@@ -295,34 +295,52 @@ def recommendation_to_dict(recommendation) -> dict[str, Any]:
     return out
 
 
-def recommendation_from_dict(data: dict[str, Any], farm: DiskFarm):
+def recommendation_from_dict(data: dict[str, Any], farm: DiskFarm,
+                             path: str | Path | None = None):
     """Rebuild a recommendation from its JSON form.
 
     Search telemetry is restored as the raw telemetry dict (the
     ``search_telemetry`` attribute is not reattached as a
     ``SearchResult`` — the layouts it referenced are gone); everything
     a report needs is reconstructed.
+
+    Raises:
+        RecommendationFormatError: When the payload is missing a
+            required key or a field cannot be coerced; the message
+            names ``path`` (when given) and the offending key.
     """
     from repro.analysis.diagnostics import Diagnostic, Severity
     from repro.core.advisor import Recommendation
-    current = None
-    if "current_layout" in data:
-        current = layout_from_dict(data["current_layout"], farm)
-    diagnostics = [
-        Diagnostic(rule_id=d["rule"],
-                   severity=Severity(d["severity"]),
-                   message=d["message"],
-                   location=d.get("location", ""),
-                   suggestion=d.get("suggestion"))
-        for d in data.get("diagnostics", ())]
-    return Recommendation(
-        layout=layout_from_dict(data["layout"], farm),
-        estimated_cost=float(data["estimated_cost"]),
-        current_cost=float(data["current_cost"]),
-        per_statement=[(name, float(c), float(p))
-                       for name, c, p in data.get("per_statement", ())],
-        current_layout=current,
-        diagnostics=diagnostics)
+    location = str(path) if path is not None else None
+    try:
+        current = None
+        if "current_layout" in data:
+            current = layout_from_dict(data["current_layout"], farm)
+        diagnostics = [
+            Diagnostic(rule_id=d["rule"],
+                       severity=Severity(d["severity"]),
+                       message=d["message"],
+                       location=d.get("location", ""),
+                       suggestion=d.get("suggestion"))
+            for d in data.get("diagnostics", ())]
+        return Recommendation(
+            layout=layout_from_dict(data["layout"], farm),
+            estimated_cost=float(data["estimated_cost"]),
+            current_cost=float(data["current_cost"]),
+            per_statement=[(name, float(c), float(p))
+                           for name, c, p
+                           in data.get("per_statement", ())],
+            current_layout=current,
+            diagnostics=diagnostics)
+    except KeyError as missing:
+        key = missing.args[0] if missing.args else str(missing)
+        raise RecommendationFormatError(
+            "recommendation JSON missing required key",
+            path=location, key=str(key)) from None
+    except (TypeError, ValueError) as bad:
+        raise RecommendationFormatError(
+            f"recommendation JSON malformed: {bad}",
+            path=location) from None
 
 
 def save_recommendation(recommendation, path: str | Path) -> None:
@@ -332,6 +350,20 @@ def save_recommendation(recommendation, path: str | Path) -> None:
 
 
 def load_recommendation(path: str | Path, farm: DiskFarm):
-    """Read a recommendation from JSON."""
-    return recommendation_from_dict(
-        json.loads(Path(path).read_text()), farm)
+    """Read a recommendation from JSON.
+
+    Raises:
+        RecommendationFormatError: When the file is not valid JSON or
+            the payload is malformed; the message names the file.
+    """
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as bad:
+        raise RecommendationFormatError(
+            f"recommendation file is not valid JSON: {bad}",
+            path=str(path)) from None
+    if not isinstance(data, dict):
+        raise RecommendationFormatError(
+            "recommendation JSON must be an object, got "
+            f"{type(data).__name__}", path=str(path))
+    return recommendation_from_dict(data, farm, path=path)

@@ -11,6 +11,8 @@ Subcommands::
                              --workload w.sql [--constraints c.json] \\
                              [--method ts-greedy] [--k 1] \\
                              [--portfolio 4] [--jobs 4] \\
+                             [--deadline 30] [--retries 2] \\
+                             [--trajectory-timeout 10] \\
                              [--save-layout out.json] [--script] \\
                              [--trace trace.json] [--metrics] [-v]
     repro-advisor analyze    --database db.json --workload w.sql
@@ -33,6 +35,15 @@ annealing restarts) and keeps the best layout; ``--jobs N`` spreads
 them over ``N`` worker processes sharing one cost evaluator in shared
 memory.  The recommendation is bit-identical for any ``--jobs`` value.
 
+Resilience (see ``docs/resilience.md``): ``--deadline S`` bounds the
+portfolio search's wall clock; on expiry (or worker crashes) the
+advisor returns the exact best layout over the trajectories that
+completed and marks the run *degraded* instead of raising.
+``--retries N`` bounds in-process re-runs of failed trajectories,
+``--trajectory-timeout S`` caps each worker future, and ``--faults``
+injects deterministic faults for testing (same syntax as the
+``REPRO_FAULTS`` environment variable).
+
 Observability (see ``docs/observability.md``): ``--trace out.json``
 writes the advisor run's span tree as JSON, ``--metrics`` prints the
 metric summary, ``-v`` prints the span tree and enables INFO logging,
@@ -46,6 +57,7 @@ from __future__ import annotations
 import argparse
 import logging
 import sys
+import warnings
 from pathlib import Path
 
 from repro.catalog.io import (
@@ -60,8 +72,9 @@ from repro.core.advisor import LayoutAdvisor
 from repro.core.costmodel import CostModel
 from repro.core.fullstripe import full_striping
 from repro.core.report import render_filegroup_script, render_report
-from repro.errors import ReproError
+from repro.errors import DegradedResult, ReproError
 from repro.obs import MetricsRegistry, Tracer
+from repro.resilience import FaultPlan, RetryPolicy
 from repro.optimizer.explain import explain
 from repro.simulator.measure import WorkloadSimulator
 from repro.workload.access import analyze_workload
@@ -131,6 +144,26 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="N",
                      help="trajectory count for --method portfolio "
                           "(default: 4); implies --method portfolio")
+    rec.add_argument("--deadline", type=float, default=None,
+                     metavar="SECONDS",
+                     help="wall-clock budget for --method portfolio; "
+                          "on expiry the advisor returns the exact "
+                          "best layout over the trajectories that "
+                          "completed (a degraded result) instead of "
+                          "raising")
+    rec.add_argument("--retries", type=int, default=None, metavar="N",
+                     help="attempts per failed portfolio trajectory "
+                          "when it is re-run in-process (default: 2)")
+    rec.add_argument("--trajectory-timeout", type=float, default=None,
+                     metavar="SECONDS", dest="trajectory_timeout",
+                     help="per-trajectory cap while draining portfolio "
+                          "workers; slower trajectories are recorded "
+                          "as timeout failures")
+    rec.add_argument("--faults", default=None, metavar="SPEC",
+                     help="fault-injection plan for testing/chaos runs "
+                          "(e.g. 'kill_worker=1,delay=2:0.5'); "
+                          "overrides the REPRO_FAULTS environment "
+                          "variable")
     rec.add_argument("--save-layout", type=Path,
                      help="write the recommended layout as JSON")
     rec.add_argument("--script", action="store_true",
@@ -242,9 +275,28 @@ def cmd_recommend(args: argparse.Namespace) -> int:
         method = args.method
         if args.portfolio is not None and method == "ts-greedy":
             method = "portfolio"
-        recommendation = advisor.recommend(
-            workload, current_layout=current, method=method,
-            k=args.k, jobs=args.jobs, portfolio=args.portfolio)
+        retry = None
+        if args.retries is not None:
+            retry = RetryPolicy(attempts=max(1, args.retries))
+        faults = FaultPlan.from_spec(args.faults) if args.faults \
+            else None
+        # The CLI renders degradation itself (stderr line + report
+        # section), so the library's warning would be a duplicate.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedResult)
+            recommendation = advisor.recommend(
+                workload, current_layout=current, method=method,
+                k=args.k, jobs=args.jobs, portfolio=args.portfolio,
+                deadline=args.deadline, retry=retry,
+                trajectory_timeout_s=args.trajectory_timeout,
+                faults=faults)
+        search = recommendation.search
+        if search is not None and search.degraded:
+            print(f"warning: degraded: {len(search.failures)}/"
+                  f"{int(search.extras.get('trajectories', 0))} "
+                  f"trajectories failed "
+                  f"({', '.join(sorted({f.cause for f in search.failures}))})",
+                  file=sys.stderr)
     print(render_report(recommendation))
     if args.script:
         print()

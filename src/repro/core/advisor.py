@@ -9,6 +9,7 @@ exactly the tool interface the paper describes.
 from __future__ import annotations
 
 import logging
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -19,7 +20,7 @@ from repro.core.exhaustive import exhaustive_search
 from repro.core.fullstripe import full_striping
 from repro.core.greedy import SearchResult, TsGreedySearch
 from repro.core.layout import Layout
-from repro.errors import LayoutError
+from repro.errors import DegradedResult, LayoutError
 from repro.obs import NULL_METRICS, NULL_TRACER
 from repro.optimizer.planner import Planner
 from repro.storage.disk import DiskFarm
@@ -155,7 +156,9 @@ class LayoutAdvisor:
                   current_layout: Layout | None = None,
                   method: str = "ts-greedy",
                   k: int = 1, jobs: int = 1,
-                  portfolio=None) -> Recommendation:
+                  portfolio=None, deadline=None, retry=None,
+                  trajectory_timeout_s: float | None = None,
+                  faults=None) -> Recommendation:
         """Recommend a layout for the workload.
 
         Args:
@@ -172,14 +175,36 @@ class LayoutAdvisor:
             portfolio: For ``method="portfolio"``: a trajectory count,
                 a sequence of :class:`repro.parallel.TrajectorySpec`,
                 or ``None`` for the default portfolio.
+            deadline: For ``method="portfolio"``: wall-clock budget for
+                the search — seconds, a :class:`repro.resilience.Budget`
+                or a live :class:`repro.resilience.Deadline`.  When it
+                expires the advisor returns the exact best layout over
+                the trajectories that completed (a *degraded* result; a
+                :class:`~repro.errors.DegradedResult` warning is
+                emitted) rather than raising.
+            retry: For ``method="portfolio"``: a
+                :class:`repro.resilience.RetryPolicy` governing serial
+                re-runs of failed trajectories.
+            trajectory_timeout_s: For ``method="portfolio"``: per-
+                trajectory cap while draining worker futures.
+            faults: For ``method="portfolio"``: a
+                :class:`repro.resilience.FaultPlan` for tests/chaos
+                runs (defaults to the ``REPRO_FAULTS`` environment
+                variable; ``None`` in production).
 
         Returns:
             A :class:`Recommendation`; its ``improvement_pct`` is the
-            estimate the tool reports to the DBA.
+            estimate the tool reports to the DBA.  Check
+            ``recommendation.search.degraded`` / ``.failures`` to see
+            whether (and why) trajectories were lost.
 
         Raises:
             AnalysisError: If the pre-flight static analysis finds an
                 error-level diagnostic in the constraints or workload.
+            SearchTimeout: If a ``deadline`` expired before *any*
+                portfolio trajectory completed.
+            WorkerCrash: If every portfolio trajectory was lost to
+                worker failures (after serial re-runs).
         """
         with self._tracer.span("recommend", method=method) as root:
             analyzed = workload if isinstance(workload, AnalyzedWorkload) \
@@ -202,9 +227,21 @@ class LayoutAdvisor:
                 result = search.search(graph, initial_layout=initial)
             elif method == "portfolio":
                 graph = self.access_graph(analyzed)
-                result = self._portfolio_search(evaluator, sizes, graph,
-                                                current_layout, k, jobs,
-                                                portfolio)
+                result = self._portfolio_search(
+                    evaluator, sizes, graph, current_layout, k, jobs,
+                    portfolio, deadline=deadline, retry=retry,
+                    trajectory_timeout_s=trajectory_timeout_s,
+                    faults=faults)
+                if result.degraded:
+                    detail = "; ".join(f.describe()
+                                       for f in result.failures)
+                    warnings.warn(
+                        f"degraded recommendation: "
+                        f"{len(result.failures)}/"
+                        f"{int(result.extras.get('trajectories', 0))} "
+                        f"trajectories failed ({detail}); the layout "
+                        f"is the exact best over the completed ones",
+                        DegradedResult, stacklevel=2)
             elif method == "full-striping":
                 with self._tracer.span("full-striping"):
                     layout = full_striping(sizes, self._farm)
@@ -267,7 +304,9 @@ class LayoutAdvisor:
     def _portfolio_search(self, evaluator: WorkloadCostEvaluator,
                           sizes: dict[str, int], graph: AccessGraph,
                           current_layout: Layout, k: int, jobs: int,
-                          portfolio) -> SearchResult:
+                          portfolio, deadline=None, retry=None,
+                          trajectory_timeout_s: float | None = None,
+                          faults=None) -> SearchResult:
         """Run the multi-start portfolio engine (method="portfolio")."""
         # Deferred import: repro.parallel builds on repro.core, so the
         # dependency must point parallel -> core at module-load time.
@@ -287,7 +326,10 @@ class LayoutAdvisor:
                                  constraints=self._constraints,
                                  specs=specs, jobs=jobs,
                                  tracer=self._tracer,
-                                 metrics=self._metrics)
+                                 metrics=self._metrics,
+                                 deadline=deadline, retry=retry,
+                                 trajectory_timeout_s=trajectory_timeout_s,
+                                 faults=faults)
         initial = current_layout \
             if self._constraints.movement is not None else None
         return engine.search(graph, initial_layout=initial)

@@ -71,6 +71,50 @@ class GreedyStep:
                    changed=tuple(data.get("changed", ())))
 
 
+@dataclass(frozen=True)
+class TrajectoryFailure:
+    """Record of one portfolio trajectory that produced no result.
+
+    Attributes:
+        index: The trajectory's position in the portfolio spec list.
+        label: Its display label (``TrajectorySpec.describe()``).
+        cause: ``"timeout"``, ``"crash"`` (worker process died) or
+            ``"error"`` (the trajectory raised).
+        attempts: Total attempts made (including serial re-runs after
+            a worker failure).
+        message: The final error message, for diagnostics.
+    """
+
+    index: int
+    label: str
+    cause: str
+    attempts: int = 1
+    message: str = ""
+
+    def to_dict(self) -> dict:
+        return {"index": self.index, "label": self.label,
+                "cause": self.cause, "attempts": self.attempts,
+                "message": self.message}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrajectoryFailure":
+        """Inverse of :meth:`to_dict`."""
+        return cls(index=int(data["index"]),
+                   label=str(data.get("label", "")),
+                   cause=str(data.get("cause", "error")),
+                   attempts=int(data.get("attempts", 1)),
+                   message=str(data.get("message", "")))
+
+    def describe(self) -> str:
+        """One-line rendering for logs and reports."""
+        noun = "attempt" if self.attempts == 1 else "attempts"
+        text = (f"trajectory {self.index} ({self.label}): {self.cause} "
+                f"after {self.attempts} {noun}")
+        if self.message:
+            text += f" — {self.message}"
+        return text
+
+
 @dataclass
 class SearchResult:
     """Outcome and telemetry of one search run.
@@ -89,6 +133,9 @@ class SearchResult:
         kl_cut_weights: Cut weight after each KL pass.
         extras: Method-specific scalar telemetry (e.g. annealing
             accept/reject counts).
+        degraded: ``True`` when some portfolio trajectories failed and
+            the result is the exact best over the *completed* ones.
+        failures: One :class:`TrajectoryFailure` per lost trajectory.
     """
 
     layout: Layout
@@ -101,10 +148,12 @@ class SearchResult:
     kl_passes: int = 0
     kl_cut_weights: tuple[float, ...] = ()
     extras: dict[str, float] = field(default_factory=dict)
+    degraded: bool = False
+    failures: list[TrajectoryFailure] = field(default_factory=list)
 
     def telemetry_dict(self) -> dict:
         """JSON-ready telemetry (everything except the layout itself)."""
-        return {
+        out = {
             "cost": float(self.cost),
             "initial_cost": float(self.initial_cost),
             "iterations": self.iterations,
@@ -115,6 +164,10 @@ class SearchResult:
             "kl_cut_weights": [float(w) for w in self.kl_cut_weights],
             "extras": {k: float(v) for k, v in self.extras.items()},
         }
+        if self.degraded or self.failures:
+            out["degraded"] = bool(self.degraded)
+            out["failures"] = [f.to_dict() for f in self.failures]
+        return out
 
     @classmethod
     def from_telemetry(cls, layout: Layout,
@@ -138,7 +191,10 @@ class SearchResult:
             kl_cut_weights=tuple(float(w)
                                  for w in data.get("kl_cut_weights", ())),
             extras={k: float(v)
-                    for k, v in data.get("extras", {}).items()})
+                    for k, v in data.get("extras", {}).items()},
+            degraded=bool(data.get("degraded", False)),
+            failures=[TrajectoryFailure.from_dict(f)
+                      for f in data.get("failures", ())])
 
     def with_layout(self, layout: Layout, cost: float) -> "SearchResult":
         """A copy recommending ``layout`` but keeping the telemetry.
@@ -155,7 +211,9 @@ class SearchResult:
                             steps=list(self.steps),
                             kl_passes=self.kl_passes,
                             kl_cut_weights=tuple(self.kl_cut_weights),
-                            extras=dict(self.extras))
+                            extras=dict(self.extras),
+                            degraded=self.degraded,
+                            failures=list(self.failures))
 
 
 class TsGreedySearch:

@@ -92,8 +92,18 @@ def render_search_diagnostics(search, max_steps: int = 8) -> str:
         workers = int(extras.pop("workers", 1))
         best = int(extras.pop("best_trajectory", 0))
         extras.pop("best_trajectory_cost", None)
+        extras.pop("failed_trajectories", None)
         lines.append(f"portfolio: {trajectories} trajectories on "
                      f"{workers} worker(s); winner: trajectory {best}")
+        failures = list(getattr(search, "failures", ()) or ())
+        if getattr(search, "degraded", False) or failures:
+            causes = ", ".join(sorted({f.cause for f in failures})) \
+                or "unknown"
+            lines.append(f"degraded: {len(failures)}/{trajectories} "
+                         f"trajectories failed ({causes}); result is "
+                         f"the exact best over the rest")
+            for failure in failures:
+                lines.append(f"  {failure.describe()}")
     pruned = extras.pop("pruned_candidates", None)
     bound_evals = extras.pop("bound_evaluations", None)
     if pruned is not None:

@@ -71,3 +71,82 @@ class SimulationError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload file or statement set is malformed."""
+
+
+class SharedStateError(LayoutError):
+    """Publishing or attaching shared search state failed.
+
+    Raised by :mod:`repro.parallel.shared` when the shared-memory
+    segment carrying the cost evaluator's packed arrays cannot be
+    populated or attached.  Subclasses :class:`LayoutError` so existing
+    callers of the parallel engine keep catching it.
+    """
+
+
+class SearchTimeout(ReproError):
+    """A search deadline expired before any usable result was produced.
+
+    Only raised when *nothing* completed: the resilient portfolio
+    engine prefers returning a degraded partial result (see
+    ``SearchResult.failures``) over raising.
+
+    Attributes:
+        elapsed_s: Seconds spent before giving up, when known.
+    """
+
+    def __init__(self, message: str, elapsed_s: float | None = None):
+        if elapsed_s is not None:
+            message = f"{message} (after {elapsed_s:.3f}s)"
+        super().__init__(message)
+        self.elapsed_s = elapsed_s
+
+
+class WorkerCrash(ReproError):
+    """A search worker process died or failed irrecoverably.
+
+    Raised in-process by the fault-injection harness (standing in for a
+    killed worker) and by the portfolio engine when every trajectory
+    was lost to worker failure.
+    """
+
+
+class FaultSpecError(ReproError):
+    """A ``REPRO_FAULTS`` / ``--faults`` fault specification is malformed."""
+
+
+class DegradedResult(ReproError, UserWarning):
+    """Warning category: a search finished degraded.
+
+    Emitted (via :mod:`warnings`) when the advisor returns a partial
+    portfolio result — some trajectories failed or timed out, and the
+    recommendation is the exact best over the *completed* ones.  Filter
+    with ``warnings.simplefilter("error", DegradedResult)`` to turn
+    degraded runs into hard failures.
+    """
+
+
+class RecommendationFormatError(CatalogError):
+    """A persisted recommendation artifact is malformed.
+
+    Raised by :func:`repro.catalog.io.load_recommendation` with the
+    offending file path and, for missing-field failures, the offending
+    key — so degraded-run artifacts fail loud when reloaded instead of
+    surfacing a bare ``KeyError``.
+
+    Attributes:
+        path: The artifact's file path, when known.
+        key: The missing or malformed JSON key, when known.
+    """
+
+    def __init__(self, message: str, path: str | None = None,
+                 key: str | None = None):
+        details = []
+        if path is not None:
+            details.append(f"file {path!r}")
+        if key is not None:
+            details.append(f"key {key!r}")
+        if details:
+            message = f"{message} ({', '.join(details)})"
+        super().__init__(message)
+        self.path = path
+        self.key = key

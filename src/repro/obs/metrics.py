@@ -8,7 +8,14 @@ subplans per statement, candidate layouts per greedy step).
 
 Metric naming convention (see ``docs/observability.md``): lowercase
 ``component.metric`` with dots as separators, e.g.
-``costmodel.batch_rows`` or ``partition.kl_passes``.
+``costmodel.batch_rows`` or ``partition.kl_passes``.  The resilience
+layer records its failure handling under ``resilience.*``:
+``resilience.retries`` (extra in-process attempts),
+``resilience.timeouts`` (trajectories lost to deadlines or per-future
+caps), ``resilience.worker_crashes`` (trajectories lost to pool
+breakage), ``resilience.serial_fallbacks`` (in-process re-runs after a
+worker failure) and ``resilience.degraded`` (trajectories missing from
+a returned result).
 
 Like the tracer, every ``metrics=`` parameter in the library defaults to
 :data:`NULL_METRICS`, whose instruments are shared no-op singletons.

@@ -19,22 +19,50 @@ Determinism: the trajectory list is fixed up front and the winner is
 ``min((cost, index))`` — exact float comparison with ties broken on
 trajectory order — so a run with ``jobs=4`` returns the bit-identical
 layout and cost of the same trajectory list run serially (``jobs=1``).
+
+Fault tolerance (see ``docs/resilience.md``): the engine is built to
+run unattended inside a tuning service, so every failure mode short of
+losing the whole process degrades instead of raising:
+
+* a killed worker (``BrokenProcessPool``) marks its trajectories
+  failed and re-runs them serially in-process under the
+  :class:`~repro.resilience.RetryPolicy`;
+* a hung trajectory is abandoned after its per-future timeout or the
+  run's :class:`~repro.resilience.Deadline`;
+* the winner is always the exact ``min((cost, index))`` over the
+  trajectories that *completed*, with :class:`TrajectoryFailure`
+  records for the rest (``SearchResult.degraded`` / ``failures``);
+* the shared-memory segment is unlinked on every path (``finally`` in
+  the owner plus the :func:`repro.parallel.shared.reap_orphans`
+  ``atexit`` sweeper).
+
+Only when *no* trajectory completes does the engine raise — a typed
+:class:`~repro.errors.SearchTimeout` / :class:`~repro.errors.WorkerCrash`
+(or the trajectory's own error), never a bare pool internals error.
 """
 
 from __future__ import annotations
 
 import logging
+import math
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from multiprocessing import get_all_start_methods, get_context
 from typing import Sequence
 
 from repro.core.constraints import ConstraintSet
 from repro.core.costmodel import WorkloadCostEvaluator
-from repro.core.greedy import SearchResult
-from repro.errors import LayoutError
+from repro.core.greedy import SearchResult, TrajectoryFailure
+from repro.errors import (
+    LayoutError,
+    ReproError,
+    SearchTimeout,
+    WorkerCrash,
+)
 from repro.obs import NULL_METRICS, NULL_TRACER, Span
 from repro.parallel.shared import share_evaluator
 from repro.parallel.worker import (
@@ -44,6 +72,8 @@ from repro.parallel.worker import (
     run_trajectory,
     run_trajectory_task,
 )
+from repro.resilience import Deadline, FaultPlan, RetryPolicy
+from repro.resilience import faults as fault_injection
 from repro.storage.disk import DiskFarm
 from repro.workload.access_graph import AccessGraph
 
@@ -51,6 +81,9 @@ logger = logging.getLogger("repro.parallel.portfolio")
 
 #: Trajectories in a default portfolio when none are specified.
 DEFAULT_TRAJECTORIES = 4
+
+#: Worker-count override honored by :func:`available_workers`.
+MAX_WORKERS_ENV = "REPRO_MAX_WORKERS"
 
 
 @dataclass(frozen=True)
@@ -134,11 +167,34 @@ def default_portfolio(n: int = DEFAULT_TRAJECTORIES, k: int = 1,
 
 
 def available_workers() -> int:
-    """CPUs usable by this process (affinity-aware where supported)."""
+    """CPUs usable by this process (affinity-aware where supported).
+
+    Respects a positive integer ``REPRO_MAX_WORKERS`` environment
+    override as a cap (useful in containers whose affinity mask lies).
+    Falls back to ``os.cpu_count()`` when affinity is unsupported *or*
+    reports an empty set (seen on some cgroup/BSD configurations);
+    never returns less than 1.
+    """
+    cap = None
+    raw = os.environ.get(MAX_WORKERS_ENV, "").strip()
+    if raw:
+        try:
+            cap = int(raw)
+        except ValueError:
+            logger.warning("ignoring non-integer %s=%r",
+                           MAX_WORKERS_ENV, raw)
+        else:
+            if cap < 1:
+                logger.warning("ignoring non-positive %s=%d",
+                               MAX_WORKERS_ENV, cap)
+                cap = None
     try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # non-Linux
-        return os.cpu_count() or 1
+        cpus = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # non-Linux / restricted
+        cpus = 0
+    if cpus < 1:  # affinity may legally report an empty set
+        cpus = os.cpu_count() or 1
+    return min(cpus, cap) if cap is not None else cpus
 
 
 class PortfolioSearch:
@@ -161,16 +217,39 @@ class PortfolioSearch:
             own epoch).
         metrics: Optional registry; worker-side ``costmodel.*`` /
             ``greedy.*`` / ``annealing.*`` counters are merged in, plus
-            ``portfolio.trajectories`` / ``portfolio.workers`` gauges.
+            ``portfolio.trajectories`` / ``portfolio.workers`` gauges
+            and the ``resilience.*`` failure-handling counters.
+        deadline: Wall-clock budget for the whole search — seconds, a
+            :class:`~repro.resilience.Budget` (starts counting when
+            :meth:`search` begins), or a live
+            :class:`~repro.resilience.Deadline`.  When it expires the
+            engine stops waiting and returns the best result found so
+            far (degraded), raising :class:`SearchTimeout` only if
+            nothing completed at all.
+        retry: :class:`~repro.resilience.RetryPolicy` for in-process
+            (re-)runs of failed trajectories; defaults to two attempts
+            with deterministic jitter.  Retries never change *what* a
+            trajectory computes, only whether a transient failure is
+            survived.
+        trajectory_timeout_s: Optional per-trajectory cap when draining
+            worker futures; a trajectory that produces no result in
+            time is recorded as a ``"timeout"`` failure.
+        faults: Fault-injection plan for tests/chaos runs; defaults to
+            whatever ``REPRO_FAULTS`` names (``None`` in production).
     """
 
     def __init__(self, farm: DiskFarm, evaluator: WorkloadCostEvaluator,
                  object_sizes: dict[str, int],
                  constraints: ConstraintSet | None = None,
                  specs: Sequence[TrajectorySpec] | None = None,
-                 jobs: int = 1, tracer=None, metrics=None):
+                 jobs: int = 1, tracer=None, metrics=None,
+                 deadline=None, retry: RetryPolicy | None = None,
+                 trajectory_timeout_s: float | None = None,
+                 faults: FaultPlan | None = None):
         if jobs < 0:
             raise LayoutError("jobs must be >= 0 (0 = auto)")
+        if trajectory_timeout_s is not None and trajectory_timeout_s <= 0:
+            raise LayoutError("trajectory_timeout_s must be > 0")
         self._farm = farm
         self._evaluator = evaluator
         self._sizes = dict(object_sizes)
@@ -182,14 +261,30 @@ class PortfolioSearch:
         self._jobs = jobs if jobs > 0 else available_workers()
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._metrics = metrics if metrics is not None else NULL_METRICS
+        self._deadline_spec = deadline
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._timeout_s = trajectory_timeout_s
+        if faults is None:
+            faults = FaultPlan.from_env()
+        self._faults = None if faults is None or faults.empty else faults
 
     @property
     def specs(self) -> tuple[TrajectorySpec, ...]:
         return self._specs
 
+    def _label(self, index: int) -> str:
+        spec = self._specs[index]
+        return spec.label or spec.describe()
+
     def search(self, graph: AccessGraph,
                initial_layout=None) -> SearchResult:
         """Run every trajectory; return the winner with merged telemetry.
+
+        Returns the exact ``min((cost, index))`` over the trajectories
+        that completed.  Lost trajectories (worker crash, timeout,
+        error) are recorded in ``SearchResult.failures`` and mark the
+        result ``degraded``; the call raises only when *nothing*
+        completed.
 
         Args:
             graph: The workload's access graph (drives TS-GREEDY step 1).
@@ -197,20 +292,46 @@ class PortfolioSearch:
                 mode (forwarded to every TS-GREEDY trajectory).
         """
         start = time.perf_counter()
+        deadline = Deadline.coerce(self._deadline_spec)
         jobs = max(1, min(self._jobs, len(self._specs)))
-        with self._tracer.span("portfolio",
-                               trajectories=len(self._specs),
-                               jobs=jobs) as span:
-            if jobs == 1:
-                payloads = self._run_serial(graph, initial_layout)
-            else:
-                payloads = self._run_parallel(graph, initial_layout,
-                                              jobs)
-            result = self._merge(payloads, jobs)
-            result.elapsed_s = time.perf_counter() - start
-            span.set("best_cost", round(result.cost, 6))
-            span.set("best_trajectory",
-                     int(result.extras["best_trajectory"]))
+        context = TrajectoryContext(
+            evaluator=self._evaluator, farm=self._farm,
+            sizes=self._sizes, constraints=self._constraints,
+            graph=graph, initial_layout=initial_layout,
+            specs=self._specs, faults=self._faults)
+        # Install the plan in this process too (workers install their
+        # own copy in init_worker): the in-process hooks keep per-search
+        # counters that must start fresh each run.
+        fault_injection.install(self._faults)
+        try:
+            with self._tracer.span("portfolio",
+                                   trajectories=len(self._specs),
+                                   jobs=jobs) as span:
+                if jobs == 1:
+                    payloads, failures, errors = self._run_serial(
+                        context, deadline)
+                else:
+                    payloads, failures, errors = self._run_parallel(
+                        context, jobs, deadline)
+                if not payloads:
+                    self._raise_total_failure(failures, errors,
+                                              deadline)
+                result = self._merge(payloads, failures, jobs)
+                result.elapsed_s = time.perf_counter() - start
+                span.set("best_cost", round(result.cost, 6))
+                span.set("best_trajectory",
+                         int(result.extras["best_trajectory"]))
+                if failures:
+                    span.set("degraded", True)
+                    span.set("failed_trajectories", len(failures))
+        finally:
+            fault_injection.install(None)
+        if failures:
+            logger.warning(
+                "portfolio degraded: %d/%d trajectories failed (%s)",
+                len(failures), len(self._specs),
+                "; ".join(failures[i].describe()
+                          for i in sorted(failures)))
         logger.info(
             "portfolio: %d trajectories on %d worker(s), best cost "
             "%.3f from trajectory %d (%s), %.3fs", len(self._specs),
@@ -221,45 +342,223 @@ class PortfolioSearch:
 
     # -- execution paths ---------------------------------------------------
 
-    def _run_serial(self, graph: AccessGraph,
-                    initial_layout) -> list[dict]:
-        context = TrajectoryContext(
-            evaluator=self._evaluator, farm=self._farm,
-            sizes=self._sizes, constraints=self._constraints,
-            graph=graph, initial_layout=initial_layout,
-            specs=self._specs)
-        return [run_trajectory(context, index)
-                for index in range(len(self._specs))]
+    def _run_serial(self, context: TrajectoryContext,
+                    deadline: Deadline):
+        """Run every trajectory in-process, honoring the deadline."""
+        payloads: dict[int, dict] = {}
+        failures: dict[int, TrajectoryFailure] = {}
+        errors: dict[int, BaseException] = {}
+        for index in range(len(self._specs)):
+            if payloads and deadline.expired():
+                self._metrics.inc("resilience.timeouts")
+                failures[index] = TrajectoryFailure(
+                    index, self._label(index), "timeout", 0,
+                    "deadline expired before the trajectory started")
+                continue
+            payload, failure, error = self._attempt(context, index,
+                                                    deadline)
+            if payload is not None:
+                payloads[index] = payload
+            else:
+                failures[index] = failure
+                if error is not None:
+                    errors[index] = error
+        return payloads, failures, errors
 
-    def _run_parallel(self, graph: AccessGraph, initial_layout,
-                      jobs: int) -> list[dict]:
+    def _run_parallel(self, context: TrajectoryContext, jobs: int,
+                      deadline: Deadline):
+        """Run trajectories in a process pool, surviving worker loss.
+
+        The shared segment is unlinked on *every* exit path: the
+        ``finally`` below owns it, and the module-level ``atexit``
+        sweeper (:func:`repro.parallel.shared.reap_orphans`) backstops
+        a crash inside this window.
+        """
         mp_context = get_context(
             "fork" if "fork" in get_all_start_methods() else "spawn")
+        payloads: dict[int, dict] = {}
+        failures: dict[int, TrajectoryFailure] = {}
+        errors: dict[int, BaseException] = {}
         state = share_evaluator(self._evaluator)
         try:
-            with ProcessPoolExecutor(
-                    max_workers=jobs, mp_context=mp_context,
-                    initializer=init_worker,
-                    initargs=(state.spec, self._farm, self._sizes,
-                              self._constraints, graph, initial_layout,
-                              self._specs)) as pool:
-                payloads = list(pool.map(run_trajectory_task,
-                                         range(len(self._specs))))
+            executor = ProcessPoolExecutor(
+                max_workers=jobs, mp_context=mp_context,
+                initializer=init_worker,
+                initargs=(state.spec, self._farm, self._sizes,
+                          self._constraints, context.graph,
+                          context.initial_layout, self._specs,
+                          self._faults))
+            try:
+                futures = [executor.submit(run_trajectory_task, index)
+                           for index in range(len(self._specs))]
+                hung = self._drain(futures, deadline, payloads,
+                                   failures, errors)
+            except BaseException:
+                # Interrupt/crash while draining: abandon workers
+                # without waiting so the finally can unlink promptly.
+                executor.shutdown(wait=False, cancel_futures=True)
+                raise
+            # A hung worker would block a waiting join forever; a
+            # healthy pool is joined before unlink as in the serial
+            # creator-owns lifecycle.
+            executor.shutdown(wait=not hung, cancel_futures=True)
         finally:
-            # The executor is shut down (workers joined) before the
-            # segment is unlinked, so no mapping outlives its backing.
             state.close()
-        return payloads
+        # Graceful degradation: crashed/errored trajectories are re-run
+        # serially in-process (against the parent's own evaluator —
+        # the shared segment is gone).  Timeouts are *not* re-run: a
+        # trajectory too slow for its budget would blow through the
+        # deadline again in-process, where it cannot be preempted.
+        self._fallback(context, deadline, payloads, failures, errors)
+        return payloads, failures, errors
+
+    def _drain(self, futures, deadline: Deadline,
+               payloads: dict[int, dict],
+               failures: dict[int, TrajectoryFailure],
+               errors: dict[int, BaseException]) -> bool:
+        """Collect worker results; True when a worker may be hung.
+
+        Futures are visited in trajectory order; each wait is capped by
+        the remaining deadline and the per-trajectory timeout.  Because
+        workers run concurrently, the per-future cap is an *at least*
+        guarantee — a future reached late has usually finished already.
+        """
+        hung = False
+        for index, future in enumerate(futures):
+            budget = deadline.remaining()
+            if self._timeout_s is not None:
+                budget = min(budget, self._timeout_s)
+            timeout = None if math.isinf(budget) else budget
+            try:
+                payloads[index] = future.result(timeout=timeout)
+            except FutureTimeout:
+                future.cancel()
+                hung = True
+                self._metrics.inc("resilience.timeouts")
+                failures[index] = TrajectoryFailure(
+                    index, self._label(index), "timeout", 1,
+                    f"no result within {budget:.3f}s")
+                logger.warning("trajectory %d (%s) timed out after "
+                               "%.3fs; abandoning its worker", index,
+                               self._label(index), budget)
+            except BrokenProcessPool as error:
+                self._metrics.inc("resilience.worker_crashes")
+                failures[index] = TrajectoryFailure(
+                    index, self._label(index), "crash", 1,
+                    str(error) or "worker process died")
+                errors[index] = error
+                logger.warning("trajectory %d (%s) lost to a worker "
+                               "crash", index, self._label(index))
+            except Exception as error:  # the trajectory itself raised
+                failures[index] = TrajectoryFailure(
+                    index, self._label(index), "error", 1,
+                    f"{type(error).__name__}: {error}")
+                errors[index] = error
+        return hung
+
+    def _fallback(self, context: TrajectoryContext, deadline: Deadline,
+                  payloads: dict[int, dict],
+                  failures: dict[int, TrajectoryFailure],
+                  errors: dict[int, BaseException]) -> None:
+        """Re-run crashed/errored trajectories serially in-process."""
+        for index in sorted(failures):
+            failure = failures[index]
+            if failure.cause == "timeout":
+                continue
+            if deadline.expired():
+                break
+            self._metrics.inc("resilience.serial_fallbacks")
+            logger.warning("re-running trajectory %d (%s) in-process "
+                           "after %s", index, failure.label,
+                           failure.cause)
+            payload, new_failure, error = self._attempt(
+                context, index, deadline,
+                attempts_base=failure.attempts)
+            if payload is not None:
+                payloads[index] = payload
+                del failures[index]
+                errors.pop(index, None)
+            else:
+                failures[index] = new_failure
+                if error is not None:
+                    errors[index] = error
+
+    def _attempt(self, context: TrajectoryContext, index: int,
+                 deadline: Deadline, attempts_base: int = 0):
+        """One in-process trajectory run under the retry policy.
+
+        Returns ``(payload, None, None)`` on success or
+        ``(None, TrajectoryFailure, last_error)`` once attempts (or the
+        deadline) are exhausted.  Backoff jitter is seeded from the
+        trajectory index, so the schedule is reproducible.
+        """
+        attempt = 0
+        last_error: Exception | None = None
+        for pause in self._retry.delays(seed=index):
+            if attempt and deadline.expired():
+                break
+            if pause > 0.0:
+                pause = min(pause, deadline.remaining())
+                if pause > 0.0:
+                    time.sleep(pause)
+            attempt += 1
+            if attempt > 1:
+                self._metrics.inc("resilience.retries")
+            try:
+                payload = run_trajectory(context, index)
+            except Exception as error:
+                last_error = error
+                logger.warning(
+                    "trajectory %d (%s) attempt %d failed: %s", index,
+                    self._label(index), attempts_base + attempt, error)
+                continue
+            if attempt > 1:
+                logger.info("trajectory %d (%s) recovered on attempt "
+                            "%d", index, self._label(index),
+                            attempts_base + attempt)
+            return payload, None, None
+        assert last_error is not None
+        cause = "error"
+        if isinstance(last_error, WorkerCrash):
+            cause = "crash"
+        elif isinstance(last_error, SearchTimeout):
+            cause = "timeout"
+        failure = TrajectoryFailure(
+            index, self._label(index), cause,
+            attempts_base + attempt,
+            f"{type(last_error).__name__}: {last_error}")
+        return None, failure, last_error
+
+    def _raise_total_failure(self, failures, errors,
+                             deadline: Deadline) -> None:
+        """Nothing completed: raise the most informative typed error."""
+        first = min(failures) if failures else 0
+        error = errors.get(first)
+        if isinstance(error, ReproError):
+            raise error
+        if failures and all(f.cause == "timeout"
+                            for f in failures.values()):
+            raise SearchTimeout(
+                f"portfolio deadline expired before any of the "
+                f"{len(self._specs)} trajectories completed",
+                elapsed_s=deadline.elapsed())
+        summary = "; ".join(failures[i].describe()
+                            for i in sorted(failures)) or "no detail"
+        raise WorkerCrash(
+            f"no portfolio trajectory completed: {summary}") from error
 
     # -- result merging ----------------------------------------------------
 
-    def _merge(self, payloads: list[dict], jobs: int) -> SearchResult:
-        best = min(payloads, key=lambda p: (p["cost"], p["index"]))
+    def _merge(self, payloads: dict[int, dict],
+               failures: dict[int, TrajectoryFailure],
+               jobs: int) -> SearchResult:
+        ordered = [payloads[index] for index in sorted(payloads)]
+        best = min(ordered, key=lambda p: (p["cost"], p["index"]))
         result = rebuild_result(best, self._farm, self._sizes)
         total_evaluations = 0
         pruned = 0.0
         bound_evaluations = 0.0
-        for payload in payloads:
+        for payload in ordered:
             telemetry = payload["telemetry"]
             total_evaluations += int(telemetry.get("evaluations", 0))
             pruned += float(telemetry.get("extras", {})
@@ -271,15 +570,20 @@ class PortfolioSearch:
             self._attach_spans(payload)
         result.evaluations = total_evaluations
         result.extras.update({
-            "trajectories": float(len(payloads)),
+            "trajectories": float(len(self._specs)),
             "workers": float(jobs),
             "best_trajectory": float(best["index"]),
             "best_trajectory_cost": float(best["cost"]),
             "pruned_candidates": pruned,
             "bound_evaluations": bound_evaluations,
         })
+        if failures:
+            result.degraded = True
+            result.failures = [failures[i] for i in sorted(failures)]
+            result.extras["failed_trajectories"] = float(len(failures))
+            self._metrics.inc("resilience.degraded", len(failures))
         self._metrics.set_gauge("portfolio.trajectories",
-                                len(payloads))
+                                len(self._specs))
         self._metrics.set_gauge("portfolio.workers", jobs)
         self._metrics.set_gauge("portfolio.best_trajectory",
                                 best["index"])

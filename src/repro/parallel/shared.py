@@ -18,17 +18,29 @@ attach with :func:`attach_evaluator` and never unlink; their mappings
 die with the process.  Keeping to this split is what makes the
 ``resource_tracker`` happy: every registration is balanced by exactly
 one unlink, so no "leaked shared_memory objects" warnings appear.
+
+Crash recovery: every segment this process creates is also recorded in
+a module-level ledger; :func:`reap_orphans` (registered with
+``atexit``) unlinks anything still alive, so a crash between create
+and unlink — an exception path someone forgot, a ``KeyboardInterrupt``
+in a window ``finally`` does not cover — cannot leak a segment in
+``/dev/shm`` past process exit.
 """
 
 from __future__ import annotations
 
+import atexit
+import logging
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 
 import numpy as np
 
-from repro.errors import LayoutError
+from repro.errors import SharedStateError
+from repro.resilience.faults import fire_shm_attach
 from repro.storage.disk import DiskFarm
+
+logger = logging.getLogger("repro.parallel.shared")
 
 #: Evaluator attributes published in the shared segment, in layout order.
 _SHARED_ARRAYS = ("_idx", "_blocks", "_mask", "_inv", "_weights",
@@ -40,6 +52,42 @@ _ALIGN = 64
 
 def _aligned(offset: int) -> int:
     return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+# -- orphan ledger -----------------------------------------------------------
+
+#: Names of segments created by this process and not yet unlinked.
+_LIVE_SEGMENTS: set[str] = set()
+
+
+def reap_orphans() -> list[str]:
+    """Unlink any segment this process created but never closed.
+
+    The normal lifecycle (creator-owned ``close()`` in a ``finally``)
+    never leaves anything for this to do; it exists for crash paths.
+    Registered with ``atexit`` at import, and callable directly — e.g.
+    by a supervisor after killing a stuck advisor run.  Returns the
+    names reaped (empty on a healthy run).
+    """
+    reaped: list[str] = []
+    for name in sorted(_LIVE_SEGMENTS):
+        _LIVE_SEGMENTS.discard(name)
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            continue  # already gone; ledger was just stale
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            continue
+        logger.warning("reaped orphaned shared-memory segment %r "
+                       "(creator never unlinked it)", name)
+        reaped.append(name)
+    return reaped
+
+
+atexit.register(reap_orphans)
 
 
 @dataclass(frozen=True)
@@ -100,6 +148,7 @@ class SharedEvaluatorState:
         if self._shm is None:
             return
         shm, self._shm = self._shm, None
+        _LIVE_SEGMENTS.discard(shm.name)
         shm.close()
         try:
             shm.unlink()
@@ -135,6 +184,7 @@ def share_evaluator(evaluator) -> SharedEvaluatorState:
                                      shape=array.shape, offset=offset))
         offset += array.nbytes
     shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    _LIVE_SEGMENTS.add(shm.name)
     try:
         for spec in specs:
             source = np.ascontiguousarray(getattr(evaluator, spec.attr))
@@ -147,11 +197,30 @@ def share_evaluator(evaluator) -> SharedEvaluatorState:
             farm=evaluator.farm,
             n_subplans=evaluator.n_subplans,
             n_compressed_from=evaluator.n_compressed_from)
-    except Exception:
-        shm.close()
-        shm.unlink()
+    except (AttributeError, TypeError, ValueError, OSError) as error:
+        logger.exception(
+            "failed to populate shared segment %r; unlinking it",
+            shm.name)
+        _reclaim(shm)
+        raise SharedStateError(
+            f"could not publish evaluator arrays into shared segment "
+            f"{shm.name!r}: {error}") from error
+    except BaseException:
+        # Anything else (KeyboardInterrupt included) must still not
+        # leak the segment; re-raise untyped.
+        _reclaim(shm)
         raise
     return SharedEvaluatorState(full_spec, shm)
+
+
+def _reclaim(shm: shared_memory.SharedMemory) -> None:
+    """Close and unlink a segment on a failed-publication path."""
+    _LIVE_SEGMENTS.discard(shm.name)
+    shm.close()
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
 
 
 def attach_evaluator(spec: SharedEvaluatorSpec, metrics=None):
@@ -169,10 +238,13 @@ def attach_evaluator(spec: SharedEvaluatorSpec, metrics=None):
     from repro.core.costmodel import WorkloadCostEvaluator
     from repro.obs import NULL_METRICS
 
+    fire_shm_attach(spec.shm_name)
     try:
         shm = shared_memory.SharedMemory(name=spec.shm_name)
     except FileNotFoundError as error:
-        raise LayoutError(
+        logger.error("shared evaluator segment %r is gone",
+                     spec.shm_name)
+        raise SharedStateError(
             f"shared evaluator segment {spec.shm_name!r} is gone "
             "(creator closed it before workers attached?)") from error
     evaluator = WorkloadCostEvaluator.__new__(WorkloadCostEvaluator)

@@ -18,7 +18,7 @@ snapshot) — no live objects cross the process boundary.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from repro.core.annealing import annealing_search
@@ -27,6 +27,8 @@ from repro.core.greedy import SearchResult, TsGreedySearch
 from repro.core.layout import Layout
 from repro.errors import LayoutError
 from repro.obs import MetricsRegistry, Tracer
+from repro.resilience import faults as fault_injection
+from repro.resilience.faults import FaultPlan
 from repro.storage.disk import DiskFarm
 from repro.workload.access_graph import AccessGraph
 
@@ -46,6 +48,8 @@ class TrajectoryContext:
     graph: AccessGraph
     initial_layout: Layout | None
     specs: "tuple[TrajectorySpec, ...]"
+    #: Fault-injection plan (tests/chaos runs only; ``None`` in prod).
+    faults: FaultPlan | None = field(default=None)
 
 
 def run_trajectory(context: TrajectoryContext, index: int,
@@ -58,6 +62,12 @@ def run_trajectory(context: TrajectoryContext, index: int,
     observability data without shipping live objects between processes.
     """
     spec = context.specs[index]
+    # Fault-injection hooks: no-ops unless a FaultPlan targets this
+    # trajectory (kill fires before any work, mimicking a worker lost
+    # mid-flight; the eval fault stands in for a cost-model crash).
+    fault_injection.fire_kill(context.faults, index)
+    fault_injection.fire_delay(context.faults, index)
+    fault_injection.fire_eval(context.faults, index)
     tracer = Tracer()
     metrics = MetricsRegistry()
     context.evaluator.bind_metrics(metrics)
@@ -110,21 +120,25 @@ _WORKER_CONTEXT: TrajectoryContext | None = None
 def init_worker(shared_spec, farm: DiskFarm, sizes: dict[str, int],
                 constraints: ConstraintSet, graph: AccessGraph,
                 initial_layout: Layout | None,
-                specs: "tuple[TrajectorySpec, ...]") -> None:
+                specs: "tuple[TrajectorySpec, ...]",
+                faults: FaultPlan | None = None) -> None:
     """Pool initializer: attach the shared evaluator, stash context.
 
     Runs once per worker process.  The evaluator attaches zero-copy to
     the creator's shared segment; everything else arrives pickled once
-    here instead of once per task.
+    here instead of once per task.  The fault plan (if any) is
+    installed *before* the attach so ``fail_shm_attach`` can fire.
     """
     from repro.core.costmodel import WorkloadCostEvaluator
 
     global _WORKER_CONTEXT
+    fault_injection.install(faults)
     evaluator = WorkloadCostEvaluator.from_shared(shared_spec)
     _WORKER_CONTEXT = TrajectoryContext(
         evaluator=evaluator, farm=farm, sizes=sizes,
         constraints=constraints, graph=graph,
-        initial_layout=initial_layout, specs=tuple(specs))
+        initial_layout=initial_layout, specs=tuple(specs),
+        faults=faults)
 
 
 def run_trajectory_task(index: int) -> dict[str, Any]:

@@ -1,0 +1,31 @@
+"""repro.resilience — deadlines, retries and fault injection.
+
+The resilience layer makes every search entry point survive worker
+failure, respect a wall-clock budget, and always return the best
+layout found so far:
+
+* :class:`Deadline` / :class:`Budget` — wall-clock cutoffs polled by
+  the portfolio engine between trajectories and while draining worker
+  futures.
+* :class:`RetryPolicy` — bounded attempts with exponential backoff and
+  deterministic jitter (seeded from the trajectory index, so resilient
+  runs stay reproducible).
+* :class:`FaultPlan` — deterministic fault injection (kill a worker,
+  delay a trajectory, raise in cost evaluation, fail the shared-memory
+  attach), enabled via the ``REPRO_FAULTS`` environment variable or the
+  CLI ``--faults`` flag; used by the test suite and the chaos CI job.
+
+See ``docs/resilience.md`` for deadline semantics, the degradation
+contract and the fault-injection cookbook.
+"""
+
+from repro.resilience.faults import ENV_VAR, FaultPlan
+from repro.resilience.policy import Budget, Deadline, RetryPolicy
+
+__all__ = [
+    "Budget",
+    "Deadline",
+    "ENV_VAR",
+    "FaultPlan",
+    "RetryPolicy",
+]

@@ -1,0 +1,212 @@
+"""Deterministic fault injection for the search stack.
+
+A :class:`FaultPlan` names the failures to inject into a portfolio run
+— kill the worker running trajectory *N*, delay trajectory *M* by *T*
+seconds, raise from trajectory *N*'s cost evaluation, or fail the
+shared-memory attach — so resilience behavior is testable without
+flaky sleeps or real crashes.  Plans are plain frozen dataclasses:
+picklable (they ride the process-pool initializer into workers) and
+parseable from a compact spec string used by the ``REPRO_FAULTS``
+environment variable and the CLI ``--faults`` flag::
+
+    kill_worker=1                 # trajectory 1's process dies hard
+    delay=2:0.75                  # trajectory 2 sleeps 0.75s first
+    fail_eval=0:2                 # trajectory 0 raises on its first
+                                  # 2 attempts (then succeeds)
+    fail_shm_attach               # attach_evaluator raises
+    kill_worker=1,delay=2:0.5     # faults compose with commas
+
+Injection points call the ``fire_*`` hooks below.  ``fire_kill`` only
+hard-exits when running inside a *worker* process
+(``multiprocessing.parent_process()`` is not ``None``); in the parent
+— e.g. during the serial fallback that re-runs a crashed trajectory —
+it raises :class:`~repro.errors.WorkerCrash` instead, so an injected
+crash stays a crash across retries and the run degrades honestly.
+
+Everything here is deterministic: the same plan fires the same faults
+at the same points on every run.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+from repro.errors import FaultSpecError, SharedStateError, WorkerCrash
+
+logger = logging.getLogger("repro.resilience.faults")
+
+#: Environment variable holding the active fault spec.
+ENV_VAR = "REPRO_FAULTS"
+
+#: Process-exit code used by an injected worker kill (diagnosable in
+#: logs; any non-zero code breaks the pool identically).
+KILL_EXIT_CODE = 86
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Which failures to inject, keyed by trajectory index.
+
+    Attributes:
+        kill_worker: Trajectory whose executing process dies hard
+            (``os._exit``) — in the parent process the same fault
+            raises :class:`WorkerCrash` instead of exiting.
+        delay_trajectory: Trajectory that sleeps before searching.
+        delay_s: Sleep length for ``delay_trajectory``.
+        fail_eval: Trajectory whose cost evaluation raises
+            :class:`WorkerCrash`.
+        fail_eval_times: How many attempts of ``fail_eval`` fail before
+            it succeeds; ``0`` means every attempt fails.
+        fail_shm_attach: Make :func:`repro.parallel.shared.attach_evaluator`
+            raise :class:`SharedStateError` (exercises the
+            broken-pool -> serial-fallback path).
+    """
+
+    kill_worker: int | None = None
+    delay_trajectory: int | None = None
+    delay_s: float = 0.0
+    fail_eval: int | None = None
+    fail_eval_times: int = 0
+    fail_shm_attach: bool = False
+
+    @property
+    def empty(self) -> bool:
+        return (self.kill_worker is None
+                and self.delay_trajectory is None
+                and self.fail_eval is None
+                and not self.fail_shm_attach)
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultPlan":
+        """Parse a compact fault spec (see the module docstring)."""
+        plan = cls()
+        for raw in spec.split(","):
+            entry = raw.strip()
+            if not entry:
+                continue
+            name, _, value = entry.partition("=")
+            name = name.strip()
+            value = value.strip()
+            try:
+                if name == "kill_worker":
+                    plan = replace(plan, kill_worker=int(value))
+                elif name == "delay":
+                    index, _, seconds = value.partition(":")
+                    plan = replace(plan, delay_trajectory=int(index),
+                                   delay_s=float(seconds or 1.0))
+                elif name == "fail_eval":
+                    index, _, times = value.partition(":")
+                    plan = replace(plan, fail_eval=int(index),
+                                   fail_eval_times=int(times or 0))
+                elif name == "fail_shm_attach":
+                    plan = replace(
+                        plan,
+                        fail_shm_attach=value.lower()
+                        not in ("0", "false", "no") if value else True)
+                else:
+                    raise FaultSpecError(
+                        f"unknown fault {name!r} in spec {spec!r}")
+            except (ValueError, TypeError) as bad:
+                raise FaultSpecError(
+                    f"malformed fault entry {entry!r} in spec "
+                    f"{spec!r}: {bad}") from None
+        return plan
+
+    @classmethod
+    def from_env(cls, environ: Mapping[str, str] | None = None,
+                 ) -> "FaultPlan | None":
+        """The plan named by ``REPRO_FAULTS``, or ``None`` when unset."""
+        spec = (environ if environ is not None else os.environ).get(
+            ENV_VAR, "").strip()
+        if not spec:
+            return None
+        plan = cls.from_spec(spec)
+        return None if plan.empty else plan
+
+
+# -- process-global plan (needed where no context object reaches) ------------
+
+_ACTIVE: FaultPlan | None = None
+#: Per-process count of fail_eval firings (supports fail_eval_times).
+_EVAL_FIRED: dict[int, int] = {}
+
+
+def install(plan: FaultPlan | None) -> None:
+    """Set the process-global plan (used by the shm-attach hook)."""
+    global _ACTIVE
+    _ACTIVE = None if plan is None or plan.empty else plan
+    _EVAL_FIRED.clear()
+
+
+def active() -> FaultPlan | None:
+    """The installed plan, or ``None``."""
+    return _ACTIVE
+
+
+def _in_worker_process() -> bool:
+    return multiprocessing.parent_process() is not None
+
+
+# -- injection hooks ----------------------------------------------------------
+
+
+def fire_kill(plan: FaultPlan | None, index: int) -> None:
+    """Kill the current worker if the plan targets trajectory ``index``.
+
+    In a worker process this hard-exits (no cleanup — exactly what a
+    SIGKILLed or OOM-killed worker looks like to the parent pool).  In
+    the parent it raises :class:`WorkerCrash`, so serial fallback
+    attempts of the same doomed trajectory keep failing and the run
+    degrades instead of silently un-crashing.
+    """
+    if plan is None or plan.kill_worker != index:
+        return
+    if _in_worker_process():
+        logger.warning("fault injection: killing worker running "
+                       "trajectory %d", index)
+        os._exit(KILL_EXIT_CODE)
+    raise WorkerCrash(
+        f"fault injection: trajectory {index} worker killed")
+
+
+def fire_delay(plan: FaultPlan | None, index: int,
+               sleep=time.sleep) -> None:
+    """Sleep if the plan delays trajectory ``index``."""
+    if plan is None or plan.delay_trajectory != index:
+        return
+    logger.warning("fault injection: delaying trajectory %d by %.3fs",
+                   index, plan.delay_s)
+    sleep(plan.delay_s)
+
+
+def fire_eval(plan: FaultPlan | None, index: int) -> None:
+    """Raise from trajectory ``index``'s cost evaluation.
+
+    Honors ``fail_eval_times``: with a positive limit the fault fires
+    only on the first N attempts *in this process*, letting retry
+    policies demonstrate recovery deterministically.
+    """
+    if plan is None or plan.fail_eval != index:
+        return
+    fired = _EVAL_FIRED.get(index, 0)
+    if plan.fail_eval_times and fired >= plan.fail_eval_times:
+        return
+    _EVAL_FIRED[index] = fired + 1
+    raise WorkerCrash(
+        f"fault injection: cost evaluation failed for trajectory "
+        f"{index} (attempt {fired + 1})")
+
+
+def fire_shm_attach(segment_name: str) -> None:
+    """Fail a shared-memory attach when the installed plan says so."""
+    plan = _ACTIVE
+    if plan is None or not plan.fail_shm_attach:
+        return
+    raise SharedStateError(
+        f"fault injection: refusing to attach shared segment "
+        f"{segment_name!r}")

@@ -209,3 +209,40 @@ class TestCli:
                    "--disks", str(tool_files / "disks.json"),
                    "--workload", str(tool_files / "bad.sql")])
         assert rc == 2
+
+
+class TestResilienceCli:
+    def test_faults_flag_degrades_cleanly(self, tool_files, capsys):
+        rc = main(["recommend", *_args(tool_files),
+                   "--method", "portfolio", "--portfolio", "4",
+                   "--jobs", "4", "--faults", "kill_worker=1"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "degraded: 1/4 trajectories failed" in captured.out
+        assert "degraded" in captured.err
+        assert "estimated improvement" in captured.out
+
+    def test_deadline_flag_degrades_cleanly(self, tool_files, capsys):
+        rc = main(["recommend", *_args(tool_files),
+                   "--method", "portfolio", "--portfolio", "3",
+                   "--deadline", "0.0"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "degraded" in captured.err
+        assert "timeout" in captured.out
+
+    def test_retries_and_timeout_flags_accepted(self, tool_files,
+                                                capsys):
+        rc = main(["recommend", *_args(tool_files),
+                   "--method", "portfolio", "--portfolio", "2",
+                   "--retries", "3", "--trajectory-timeout", "60"])
+        assert rc == 0
+        assert "degraded" not in capsys.readouterr().out
+
+    def test_malformed_faults_spec_is_a_clean_error(self, tool_files,
+                                                    capsys):
+        rc = main(["recommend", *_args(tool_files),
+                   "--method", "portfolio",
+                   "--faults", "explode=now"])
+        assert rc == 2
+        assert "unknown fault" in capsys.readouterr().err

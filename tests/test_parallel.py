@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+import time
 import warnings
 from multiprocessing import shared_memory
 
@@ -13,16 +15,25 @@ from repro.core.costmodel import WorkloadCostEvaluator
 from repro.core.fullstripe import full_striping
 from repro.core.greedy import TsGreedySearch
 from repro.core.random_layout import random_layout
-from repro.errors import LayoutError
+from repro.errors import (
+    DegradedResult,
+    LayoutError,
+    SearchTimeout,
+    WorkerCrash,
+)
 from repro.obs import MetricsRegistry, Tracer
 from repro.parallel import (
     PortfolioSearch,
     TrajectorySpec,
     attach_evaluator,
+    available_workers,
     default_portfolio,
+    reap_orphans,
     share_evaluator,
 )
+from repro.parallel.portfolio import MAX_WORKERS_ENV
 from repro.parallel.worker import TrajectoryContext, run_trajectory
+from repro.resilience import Budget, FaultPlan, RetryPolicy
 from repro.workload.access import analyze_workload
 from repro.workload.access_graph import build_access_graph
 
@@ -213,6 +224,229 @@ class TestPortfolioSearch:
             PortfolioSearch(farm, evaluator, sizes, specs=[])
 
 
+class TestAvailableWorkers:
+    def test_empty_affinity_falls_back_to_cpu_count(self, monkeypatch):
+        monkeypatch.delenv(MAX_WORKERS_ENV, raising=False)
+        monkeypatch.setattr(os, "sched_getaffinity",
+                            lambda pid: set(), raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 6)
+        assert available_workers() == 6
+
+    def test_missing_affinity_api_falls_back(self, monkeypatch):
+        monkeypatch.delenv(MAX_WORKERS_ENV, raising=False)
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 5)
+        assert available_workers() == 5
+
+    def test_never_returns_less_than_one(self, monkeypatch):
+        monkeypatch.delenv(MAX_WORKERS_ENV, raising=False)
+        monkeypatch.setattr(os, "sched_getaffinity",
+                            lambda pid: set(), raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert available_workers() == 1
+
+    def test_env_override_caps_the_count(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity",
+                            lambda pid: {0, 1, 2, 3}, raising=False)
+        monkeypatch.setenv(MAX_WORKERS_ENV, "2")
+        assert available_workers() == 2
+        # A cap above the machine's cores is clamped to the cores.
+        monkeypatch.setenv(MAX_WORKERS_ENV, "64")
+        assert available_workers() == 4
+
+    def test_env_override_invalid_values_ignored(self, monkeypatch):
+        monkeypatch.setattr(os, "sched_getaffinity",
+                            lambda pid: {0, 1, 2, 3}, raising=False)
+        for bad in ("banana", "0", "-2", ""):
+            monkeypatch.setenv(MAX_WORKERS_ENV, bad)
+            assert available_workers() == 4
+
+
+class TestFaultTolerance:
+    """Deterministic fault injection against the full engine."""
+
+    def test_killed_worker_degrades_to_survivor_best(self, case):
+        evaluator, graph, sizes, farm = case
+        specs = default_portfolio(4)
+        engine = PortfolioSearch(farm, evaluator, sizes, specs=specs,
+                                 jobs=4,
+                                 faults=FaultPlan(kill_worker=1))
+        result = engine.search(graph)
+        assert result.degraded
+        assert [f.index for f in result.failures] == [1]
+        failure = result.failures[0]
+        assert failure.cause == "crash"
+        assert failure.attempts >= 2  # pool try + serial retries
+        assert failure.label == specs[1].label
+        assert result.extras["trajectories"] == 4.0
+        assert result.extras["failed_trajectories"] == 1.0
+        # The layout is the exact serial best over the survivors.
+        survivors = [spec for i, spec in enumerate(specs) if i != 1]
+        baseline = PortfolioSearch(farm, evaluator, sizes,
+                                   specs=survivors, jobs=1).search(graph)
+        assert result.cost == baseline.cost
+        assert _fractions(result.layout) == _fractions(baseline.layout)
+        assert reap_orphans() == []  # no shm segment left behind
+
+    def test_resilience_params_cause_zero_drift(self, case):
+        evaluator, graph, sizes, farm = case
+        specs = default_portfolio(3)
+        plain = PortfolioSearch(farm, evaluator, sizes, specs=specs,
+                                jobs=1).search(graph)
+        guarded = PortfolioSearch(
+            farm, evaluator, sizes, specs=specs, jobs=2,
+            deadline=Budget(seconds=300.0), retry=RetryPolicy(),
+            trajectory_timeout_s=120.0).search(graph)
+        assert not guarded.degraded
+        assert guarded.failures == []
+        assert guarded.cost == plain.cost
+        assert _fractions(guarded.layout) == _fractions(plain.layout)
+        assert guarded.evaluations == plain.evaluations
+
+    def test_eval_fault_recovers_via_retry(self, case):
+        evaluator, graph, sizes, farm = case
+        specs = default_portfolio(2)
+        baseline = PortfolioSearch(farm, evaluator, sizes, specs=specs,
+                                   jobs=1).search(graph)
+        metrics = MetricsRegistry()
+        engine = PortfolioSearch(
+            farm, evaluator, sizes, specs=specs, jobs=1,
+            metrics=metrics,
+            retry=RetryPolicy(attempts=2, base_delay_s=0.0),
+            faults=FaultPlan(fail_eval=0, fail_eval_times=1))
+        result = engine.search(graph)
+        assert not result.degraded
+        assert result.cost == baseline.cost
+        assert metrics.value("resilience.retries") == 1.0
+
+    def test_eval_fault_exhausts_retries_and_degrades(self, case):
+        evaluator, graph, sizes, farm = case
+        engine = PortfolioSearch(
+            farm, evaluator, sizes, specs=default_portfolio(2),
+            jobs=1, retry=RetryPolicy(attempts=2, base_delay_s=0.0),
+            faults=FaultPlan(fail_eval=0))  # fails every attempt
+        result = engine.search(graph)
+        assert result.degraded
+        assert [f.index for f in result.failures] == [0]
+        assert result.failures[0].cause == "crash"
+        assert result.failures[0].attempts == 2
+
+    def test_shm_attach_fault_falls_back_serially(self, case):
+        evaluator, graph, sizes, farm = case
+        specs = default_portfolio(3)
+        baseline = PortfolioSearch(farm, evaluator, sizes, specs=specs,
+                                   jobs=1).search(graph)
+        metrics = MetricsRegistry()
+        engine = PortfolioSearch(
+            farm, evaluator, sizes, specs=specs, jobs=2,
+            metrics=metrics, faults=FaultPlan(fail_shm_attach=True))
+        result = engine.search(graph)
+        # Every worker died attaching; the serial fallback recovered
+        # every trajectory, so the run is NOT degraded and the result
+        # is bit-identical to the healthy serial run.
+        assert not result.degraded
+        assert result.cost == baseline.cost
+        assert _fractions(result.layout) == _fractions(baseline.layout)
+        assert metrics.value("resilience.serial_fallbacks") == 3.0
+        assert reap_orphans() == []
+
+    def test_slow_trajectory_times_out(self, case):
+        evaluator, graph, sizes, farm = case
+        engine = PortfolioSearch(
+            farm, evaluator, sizes, specs=default_portfolio(2),
+            jobs=2, trajectory_timeout_s=0.5,
+            faults=FaultPlan(delay_trajectory=1, delay_s=3.0))
+        result = engine.search(graph)
+        assert result.degraded
+        assert [f.index for f in result.failures] == [1]
+        assert result.failures[0].cause == "timeout"
+        assert reap_orphans() == []
+
+    def test_deadline_skips_remaining_trajectories(self, case):
+        evaluator, graph, sizes, farm = case
+        specs = default_portfolio(3)
+        engine = PortfolioSearch(farm, evaluator, sizes, specs=specs,
+                                 jobs=1, deadline=0.0)
+        result = engine.search(graph)
+        # Trajectory 0 always runs (a result beats an empty timeout);
+        # the rest are recorded as timeouts without being started.
+        assert result.degraded
+        assert [f.index for f in result.failures] == [1, 2]
+        assert all(f.cause == "timeout" for f in result.failures)
+        only_first = PortfolioSearch(farm, evaluator, sizes,
+                                     specs=specs[:1],
+                                     jobs=1).search(graph)
+        assert result.cost == only_first.cost
+
+    def test_nothing_completes_raises_search_timeout(
+            self, case, monkeypatch):
+        evaluator, graph, sizes, farm = case
+
+        def stuck(context, index):
+            time.sleep(2.0)
+            raise AssertionError("should have been abandoned")
+
+        # fork workers inherit the patched module state.
+        monkeypatch.setattr("repro.parallel.worker.run_trajectory",
+                            stuck)
+        engine = PortfolioSearch(farm, evaluator, sizes,
+                                 specs=default_portfolio(2), jobs=2,
+                                 trajectory_timeout_s=0.2)
+        with pytest.raises(SearchTimeout):
+            engine.search(graph)
+        assert reap_orphans() == []
+
+    def test_all_crash_raises_worker_crash(self, case):
+        evaluator, graph, sizes, farm = case
+        engine = PortfolioSearch(
+            farm, evaluator, sizes, specs=[TrajectorySpec()], jobs=1,
+            retry=RetryPolicy(attempts=2, base_delay_s=0.0),
+            faults=FaultPlan(kill_worker=0))
+        with pytest.raises(WorkerCrash):
+            engine.search(graph)
+
+    def test_keyboard_interrupt_unlinks_segment(self, case,
+                                                monkeypatch):
+        evaluator, graph, sizes, farm = case
+        captured = {}
+        original = share_evaluator
+
+        def capturing(ev):
+            state = original(ev)
+            captured["name"] = state.spec.shm_name
+            return state
+
+        monkeypatch.setattr("repro.parallel.portfolio.share_evaluator",
+                            capturing)
+        engine = PortfolioSearch(farm, evaluator, sizes,
+                                 specs=default_portfolio(2), jobs=2)
+
+        def interrupted(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(engine, "_drain", interrupted)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ResourceWarning)
+            with pytest.raises(KeyboardInterrupt):
+                engine.search(graph)
+        # The finally-owned close ran: the segment is really unlinked
+        # and the orphan ledger has nothing left to sweep.
+        assert "name" in captured
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=captured["name"])
+        assert reap_orphans() == []
+
+    def test_faults_spec_string_round_trips_from_env(self, case,
+                                                     monkeypatch):
+        evaluator, graph, sizes, farm = case
+        monkeypatch.setenv("REPRO_FAULTS", "kill_worker=1")
+        engine = PortfolioSearch(farm, evaluator, sizes,
+                                 specs=default_portfolio(2), jobs=2)
+        result = engine.search(graph)
+        assert result.degraded
+        assert [f.index for f in result.failures] == [1]
+
+
 class TestAdvisorPortfolio:
     def test_method_portfolio_matches_jobs_invariance(
             self, mini_db, join_workload, farm8):
@@ -243,3 +477,46 @@ class TestAdvisorPortfolio:
                                 portfolio=4, jobs=2)
         assert rec.search.extras["trajectories"] == 4.0
         constraints.check(rec.layout)
+
+    def test_degraded_run_warns_and_matches_survivors(
+            self, mini_db, join_workload, farm8):
+        advisor = LayoutAdvisor(mini_db, farm8)
+        with pytest.warns(DegradedResult,
+                          match=r"1/4 trajectories failed"):
+            rec = advisor.recommend(join_workload, method="portfolio",
+                                    portfolio=4, jobs=4,
+                                    faults=FaultPlan(kill_worker=1))
+        assert rec.search.degraded
+        assert [f.index for f in rec.search.failures] == [1]
+        assert rec.search.failures[0].cause == "crash"
+        # The recommendation equals a healthy run over the survivors.
+        specs = default_portfolio(4)
+        survivors = [spec for i, spec in enumerate(specs) if i != 1]
+        baseline = advisor.recommend(join_workload, method="portfolio",
+                                     portfolio=survivors, jobs=1)
+        assert rec.estimated_cost == baseline.estimated_cost
+        assert _fractions(rec.layout) == _fractions(baseline.layout)
+        assert reap_orphans() == []
+
+    def test_deadline_parameter_reaches_the_engine(
+            self, mini_db, join_workload, farm8):
+        advisor = LayoutAdvisor(mini_db, farm8)
+        with pytest.warns(DegradedResult):
+            rec = advisor.recommend(join_workload, method="portfolio",
+                                    portfolio=3, jobs=1, deadline=0.0)
+        assert rec.search.degraded
+        # One trajectory still ran, so the layout is real and valid.
+        assert rec.layout.object_names
+        causes = {f.cause for f in rec.search.failures}
+        assert causes == {"timeout"}
+
+    def test_report_shows_degradation(self, mini_db, join_workload,
+                                      farm8):
+        from repro.core.report import render_report
+        advisor = LayoutAdvisor(mini_db, farm8)
+        with pytest.warns(DegradedResult):
+            rec = advisor.recommend(join_workload, method="portfolio",
+                                    portfolio=4, jobs=4,
+                                    faults=FaultPlan(kill_worker=1))
+        text = render_report(rec)
+        assert "degraded: 1/4 trajectories failed (crash)" in text
