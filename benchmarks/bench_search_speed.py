@@ -13,15 +13,32 @@ paper-scale workload (TPC-H schema, seeded query generator):
 
 Writes a machine-readable ``BENCH_search.json`` at the repo root (wall
 times, evaluation/pruning counts, speedups, drift) in addition to the
-usual ``benchmarks/results/`` table.  CI's perf-smoke job runs the
-small mode and asserts pruning pruned something with zero result drift;
-wall-clock speedup is reported but only asserted when the machine has
-enough cores to make it achievable (``REPRO_BENCH_FULL=1`` also scales
-the workload up).
+usual ``benchmarks/results/`` table.
+
+Three sizes, selected with ``--mode`` (or ``REPRO_BENCH_MODE``):
+
+* ``small`` (default) — seconds-fast smoke run.  At this scale the
+  per-run wall clock is dominated by fixed overheads (process-pool
+  startup, candidate generation), so speedup ratios are noise; only
+  the *invariants* are asserted — pruning fired, strictly fewer full
+  evaluations, and zero cost/layout drift for both pruning and
+  ``jobs>1``.
+* ``ci`` — calibrated so the ratios mean something: 6 trajectories at
+  80 queries/12 disks put ~0.2 s of search behind each trajectory,
+  which amortizes pool startup on a multi-core runner.  Asserts the
+  invariants plus: pruning skips >=50% of full evaluations without
+  being a net wall-clock loss, and the pooled portfolio beats the
+  serial one whenever the machine actually has the cores
+  (``cores >= jobs >= 2``).  This is the payload CI's perf-gate
+  compares against its stored baseline.
+* ``full`` — paper-scale (120 queries / 16 disks); same assertions as
+  ``ci`` with a stronger parallel-speedup floor.  ``REPRO_BENCH_FULL=1``
+  selects it for backward compatibility.
 
 Run directly::
 
-    PYTHONPATH=src python benchmarks/bench_search_speed.py [--jobs N]
+    PYTHONPATH=src python benchmarks/bench_search_speed.py \
+        [--mode small|ci|full] [--jobs N]
 """
 
 from __future__ import annotations
@@ -52,11 +69,27 @@ from repro.workload.access_graph import build_access_graph  # noqa: E402
 
 BENCH_JSON = Path(__file__).parent.parent / "BENCH_search.json"
 
+#: Per-mode calibration: (queries, disks, portfolio trajectories).
+MODES = {
+    "small": (40, 8, 4),
+    "ci": (80, 12, 6),
+    "full": (120, 16, 6),
+}
 
-def _case(full: bool):
+
+def resolve_mode(mode: str | None = None) -> str:
+    """CLI/env mode resolution (``REPRO_BENCH_FULL=1`` means full)."""
+    if mode:
+        return mode
+    if full_scale():
+        return "full"
+    return os.environ.get("REPRO_BENCH_MODE", "") or "small"
+
+
+def _case(mode: str):
     """The benchmark's (evaluator, graph, sizes, farm) quadruple."""
     db = tpch.tpch_database()
-    n_queries, m_disks = (120, 16) if full else (40, 8)
+    n_queries, m_disks, _ = MODES[mode]
     workload = synthetic_workload(n_queries, seed=4_242,
                                   name=f"SRCH-{n_queries}")
     farm = common.paper_farm(m_disks)
@@ -73,11 +106,14 @@ def _timed(fn):
     return result, time.perf_counter() - start
 
 
-def run_bench(jobs: int = 0, full: bool | None = None) -> dict:
+def run_bench(jobs: int = 0, mode: str | None = None) -> dict:
     """Run all four configurations; return the BENCH_search payload."""
-    full = full_scale() if full is None else full
-    evaluator, graph, sizes, farm = _case(full)
-    n_trajectories = 6 if full else 4
+    mode = resolve_mode(mode)
+    if mode not in MODES:
+        raise ValueError(f"unknown bench mode {mode!r}; "
+                         f"pick one of {sorted(MODES)}")
+    evaluator, graph, sizes, farm = _case(mode)
+    n_trajectories = MODES[mode][2]
     cores = available_workers()
     # At least 2 so the pooled path (shared memory, process pool) is
     # always exercised — the drift check needs to cross the process
@@ -112,7 +148,7 @@ def run_bench(jobs: int = 0, full: bool | None = None) -> dict:
     portfolio_drift = abs(pooled.cost - serial.cost)
 
     return {
-        "mode": "full" if full else "small",
+        "mode": mode,
         "cores": cores,
         "jobs": jobs,
         "trajectories": n_trajectories,
@@ -151,7 +187,15 @@ def run_bench(jobs: int = 0, full: bool | None = None) -> dict:
 
 
 def check_invariants(payload: dict) -> None:
-    """The correctness claims the optimization must not break."""
+    """The correctness claims the optimization must not break.
+
+    Always asserted, in every mode: pruning fired, needed strictly
+    fewer full evaluations, and neither pruning nor ``jobs>1`` changed
+    the result by one bit.  Wall-clock claims are asserted only in
+    ``ci``/``full`` modes, where the case is sized so the ratios are
+    not dominated by fixed overheads — and the parallel claim only
+    when the machine actually has the cores.
+    """
     assert payload["greedy_prune"]["pruned_candidates"] > 0, \
         "pruning never fired — the bound is not doing any work"
     assert payload["prune_drift"] == 0.0, \
@@ -161,10 +205,23 @@ def check_invariants(payload: dict) -> None:
         f"jobs>1 changed the cost by {payload['portfolio_drift']}"
     assert payload["greedy_prune"]["evaluations"] \
         < payload["greedy_noprune"]["evaluations"]
+    if payload["mode"] == "small":
+        return
+    # Pruning must be net-positive: most full evaluations skipped, and
+    # the cheap bound evaluations must not eat the saving (>= 0.85
+    # rather than > 1.0 leaves room for timer noise on a sub-second
+    # phase; the eval-reduction floor is the deterministic claim).
+    assert payload["prune_eval_reduction"] >= 0.5, \
+        f"pruning skipped only " \
+        f"{100 * payload['prune_eval_reduction']:.0f}% of evaluations"
+    assert payload["prune_speedup"] >= 0.85, \
+        f"pruning is a net wall-clock loss: " \
+        f"{payload['prune_speedup']}x"
     # Parallel speedup needs parallel hardware: assert only when the
     # machine has a spare core per extra worker.
     if payload["cores"] >= payload["jobs"] >= 2:
-        assert payload["parallel_speedup"] > 1.2, \
+        floor = 1.2 if payload["mode"] == "full" else 1.0
+        assert payload["parallel_speedup"] > floor, \
             f"no speedup on {payload['cores']} cores: " \
             f"{payload['parallel_speedup']}x"
 
@@ -189,7 +246,7 @@ def _render(payload: dict) -> str:
 
 
 def test_search_speed():
-    """Pytest entry: run the bench (small unless REPRO_BENCH_FULL)."""
+    """Pytest entry: run the bench (mode from the environment)."""
     jobs = int(os.environ.get("REPRO_BENCH_JOBS", "0") or 0)
     payload = run_bench(jobs=jobs)
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
@@ -202,16 +259,23 @@ def main() -> int:
     parser.add_argument("--jobs", type=int, default=0,
                         help="workers for the parallel run "
                              "(default: min(4, cores))")
+    parser.add_argument("--mode", choices=sorted(MODES), default=None,
+                        help="benchmark size (default: small, or "
+                             "REPRO_BENCH_MODE / REPRO_BENCH_FULL)")
     parser.add_argument("--full", action="store_true",
-                        help="paper-scale sweep (default: small)")
+                        help="alias for --mode full")
+    parser.add_argument("--out", type=Path, default=BENCH_JSON,
+                        help="where to write the JSON payload "
+                             "(default: repo-root BENCH_search.json)")
     args = parser.parse_args()
-    payload = run_bench(jobs=args.jobs,
-                        full=args.full or full_scale())
-    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    mode = "full" if args.full else args.mode
+    payload = run_bench(jobs=args.jobs, mode=mode)
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
     print(_render(payload))
-    print(f"\nBENCH_search.json written to {BENCH_JSON}")
+    print(f"\nbench payload written to {args.out}")
     check_invariants(payload)
-    print("invariants: pruning>0, zero drift — OK")
+    print(f"invariants ({payload['mode']} mode): pruning>0, "
+          f"zero drift — OK")
     return 0
 
 

@@ -1,0 +1,163 @@
+"""Perf-regression gate: compare two BENCH_search payloads.
+
+CI's ``perf-gate`` job runs :mod:`bench_search_speed` in ``ci`` mode
+and feeds the fresh payload through this comparator against a stored
+baseline — the previous successful run's artifact when one is cached,
+else the committed ``benchmarks/results/baseline.json``.
+
+Two classes of check:
+
+* **Machine-independent** (always on): the candidate's own invariants
+  hold (pruning fired, zero drift); and — when the two payloads were
+  produced by the same bench mode — the search is *deterministic
+  enough* that evaluation counts match the baseline exactly and final
+  costs match within epsilon.  A drifted count or cost means the
+  search itself changed behaviour, which is a perf-gate failure no
+  matter how fast the run was.
+* **Wall-clock** (skippable with ``--skip-wall``): each configuration's
+  wall time must be within ``--max-regression`` (default 25%) of the
+  baseline.  Only meaningful when baseline and candidate ran on
+  comparable hardware — CI skips it when falling back to the committed
+  baseline, which was recorded on a different machine.
+
+Exit status 0 on pass, 1 on any violation (all violations are listed,
+not just the first).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/perf_gate.py \
+        --baseline benchmarks/results/baseline.json \
+        --candidate BENCH_search.json [--skip-wall]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))  # for bench helpers
+from bench_search_speed import check_invariants  # noqa: E402
+
+#: Configurations whose wall/evaluations/cost are compared.
+CONFIGS = ("greedy_noprune", "greedy_prune",
+           "portfolio_serial", "portfolio_parallel")
+
+#: Absolute tolerance for cost comparisons across runs.  The search is
+#: seeded and deterministic; this only absorbs float-accumulation
+#: differences across Python/numpy versions.
+EPS_COST = 1e-6
+
+#: Default allowed wall-clock regression (25%).
+DEFAULT_MAX_REGRESSION = 0.25
+
+
+def compare(baseline: dict, candidate: dict,
+            max_regression: float = DEFAULT_MAX_REGRESSION,
+            skip_wall: bool = False) -> list[str]:
+    """All gate violations of ``candidate`` against ``baseline``.
+
+    Returns an empty list when the candidate passes.
+    """
+    violations: list[str] = []
+
+    # The candidate must satisfy the bench's own invariants no matter
+    # what the baseline says.
+    try:
+        check_invariants(candidate)
+    except AssertionError as exc:
+        violations.append(f"candidate invariants: {exc}")
+
+    same_mode = baseline.get("mode") == candidate.get("mode")
+    if not same_mode:
+        violations.append(
+            f"mode mismatch: baseline ran {baseline.get('mode')!r}, "
+            f"candidate ran {candidate.get('mode')!r} — counts and "
+            f"costs are not comparable")
+
+    for name in CONFIGS:
+        base, cand = baseline.get(name), candidate.get(name)
+        if base is None or cand is None:
+            violations.append(f"{name}: missing from "
+                              f"{'baseline' if base is None else 'candidate'}")
+            continue
+        if same_mode:
+            # Deterministic search: a changed evaluation count means a
+            # changed search, not a slower one.
+            if cand["evaluations"] != base["evaluations"]:
+                violations.append(
+                    f"{name}: evaluation count drifted "
+                    f"{base['evaluations']} -> {cand['evaluations']}")
+            if abs(cand["cost"] - base["cost"]) > EPS_COST:
+                violations.append(
+                    f"{name}: cost drifted {base['cost']:.6f} -> "
+                    f"{cand['cost']:.6f}")
+        if not skip_wall:
+            limit = base["wall_s"] * (1.0 + max_regression)
+            if cand["wall_s"] > limit:
+                violations.append(
+                    f"{name}: wall {cand['wall_s']:.3f}s exceeds "
+                    f"{base['wall_s']:.3f}s + {max_regression:.0%} "
+                    f"allowance ({limit:.3f}s)")
+
+    if same_mode:
+        # Pruning effectiveness must not erode (small slack for
+        # count rounding).
+        base_red = float(baseline.get("prune_eval_reduction", 0.0))
+        cand_red = float(candidate.get("prune_eval_reduction", 0.0))
+        if cand_red < base_red - 0.05:
+            violations.append(
+                f"prune_eval_reduction eroded "
+                f"{base_red:.1%} -> {cand_red:.1%}")
+    return violations
+
+
+def load_payload(path: Path, role: str) -> dict:
+    try:
+        data = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise SystemExit(f"perf-gate: {role} payload {path} not found")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"perf-gate: {role} payload {path} "
+                         f"is not valid JSON: {exc}")
+    if not isinstance(data, dict):
+        raise SystemExit(f"perf-gate: {role} payload {path} "
+                         f"must be a JSON object")
+    return data
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="baseline BENCH_search payload")
+    parser.add_argument("--candidate", type=Path, required=True,
+                        help="candidate BENCH_search payload")
+    parser.add_argument("--max-regression", type=float,
+                        default=DEFAULT_MAX_REGRESSION,
+                        help="allowed wall-clock regression fraction "
+                             "(default 0.25 = 25%%)")
+    parser.add_argument("--skip-wall", action="store_true",
+                        help="skip wall-clock checks (baseline from a "
+                             "different machine)")
+    args = parser.parse_args(argv)
+    baseline = load_payload(args.baseline, "baseline")
+    candidate = load_payload(args.candidate, "candidate")
+    violations = compare(baseline, candidate,
+                         max_regression=args.max_regression,
+                         skip_wall=args.skip_wall)
+    if violations:
+        print(f"perf-gate: FAIL ({len(violations)} violation(s))")
+        for violation in violations:
+            print(f"  - {violation}")
+        return 1
+    checked = "counts+costs+invariants" \
+        if args.skip_wall else "counts+costs+invariants+wall"
+    print(f"perf-gate: PASS ({checked}; baseline "
+          f"{baseline.get('mode')} mode vs candidate "
+          f"{candidate.get('mode')} mode)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -47,6 +47,9 @@ from repro.storage import (
     BLOCK_BYTES,
     DiskFarm,
     DiskSpec,
+    MigrationPlan,
+    MigrationStep,
+    plan_migration,
     uniform_farm,
     winbench_farm,
 )
@@ -54,10 +57,12 @@ from repro.workload import (
     AccessGraph,
     AnalyzedWorkload,
     ConcurrencySpec,
+    DriftReport,
     Statement,
     Workload,
     analyze_workload,
     build_access_graph,
+    detect_drift,
     load_trace,
 )
 from repro.optimizer import Planner, explain, plan_statement
@@ -66,6 +71,7 @@ from repro.core import (
     CoLocated,
     ConstraintSet,
     CostModel,
+    IncrementalSearch,
     Layout,
     LayoutAdvisor,
     MaxDataMovement,
@@ -112,18 +118,20 @@ __all__ = [
     "Column", "ColumnStats", "Database", "DbObject", "Histogram", "Index",
     "MaterializedView", "ObjectKind", "Table",
     # storage
-    "Availability", "BLOCK_BYTES", "DiskFarm", "DiskSpec", "uniform_farm",
-    "winbench_farm",
+    "Availability", "BLOCK_BYTES", "DiskFarm", "DiskSpec", "MigrationPlan",
+    "MigrationStep", "plan_migration", "uniform_farm", "winbench_farm",
     # workload
-    "AccessGraph", "AnalyzedWorkload", "ConcurrencySpec", "Statement",
-    "Workload", "analyze_workload", "build_access_graph", "load_trace",
+    "AccessGraph", "AnalyzedWorkload", "ConcurrencySpec", "DriftReport",
+    "Statement", "Workload", "analyze_workload", "build_access_graph",
+    "detect_drift", "load_trace",
     # optimizer
     "Planner", "explain", "plan_statement",
     # core
     "AvailabilityRequirement", "CoLocated", "ConstraintSet", "CostModel",
-    "Layout", "LayoutAdvisor", "MaxDataMovement", "Recommendation",
-    "TsGreedySearch", "WorkloadCostEvaluator", "exhaustive_search",
-    "full_striping", "random_layout", "stripe_fractions",
+    "IncrementalSearch", "Layout", "LayoutAdvisor", "MaxDataMovement",
+    "Recommendation", "TsGreedySearch", "WorkloadCostEvaluator",
+    "exhaustive_search", "full_striping", "random_layout",
+    "stripe_fractions",
     # static analysis
     "AnalysisReport", "Diagnostic", "Severity", "analyze_inputs",
     "audit_recommendation", "preflight",

@@ -31,6 +31,7 @@ from repro.analysis.diagnostics import (
 )
 from repro.analysis.engine import (
     analyze_inputs,
+    audit_migration,
     audit_recommendation,
     constraint_construction_diagnostic,
     preflight,
@@ -38,7 +39,7 @@ from repro.analysis.engine import (
 from repro.analysis.layout_rules import check_layout
 from repro.analysis.constraint_rules import check_constraints
 from repro.analysis.workload_rules import check_workload
-from repro.analysis.audit_rules import check_recommendation
+from repro.analysis.audit_rules import check_migration, check_recommendation
 
 __all__ = [
     "REGISTRY",
@@ -49,11 +50,13 @@ __all__ = [
     "register",
     "rules_by_category",
     "analyze_inputs",
+    "audit_migration",
     "audit_recommendation",
     "constraint_construction_diagnostic",
     "preflight",
     "check_layout",
     "check_constraints",
     "check_workload",
+    "check_migration",
     "check_recommendation",
 ]

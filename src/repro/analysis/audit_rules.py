@@ -15,7 +15,8 @@ from typing import Iterator
 
 from repro.analysis.diagnostics import Diagnostic, Severity, register
 from repro.core.layout import Layout
-from repro.core.tolerance import EPS_ZERO
+from repro.core.tolerance import EPS_CAPACITY, EPS_FRACTION, EPS_ZERO
+from repro.storage.migration import MigrationPlan
 from repro.workload.access_graph import AccessGraph
 
 #: An object is "large" on a disk once it exceeds this share of the
@@ -33,6 +34,12 @@ ALR030 = register(
 ALR031 = register(
     "ALR031", Severity.INFO, "audit",
     "Workload load is heavily skewed across disks")
+ALR032 = register(
+    "ALR032", Severity.ERROR, "audit",
+    "Incremental recommendation exceeds its data-movement budget")
+ALR033 = register(
+    "ALR033", Severity.ERROR, "audit",
+    "Migration plan overflows a disk at an intermediate step")
 
 
 def check_recommendation(layout: Layout,
@@ -96,3 +103,48 @@ def check_recommendation(layout: Layout,
                 location=f"disk:{farm[hottest].name}",
                 suggestion="spread the hottest objects over more "
                            "disks, or check the workload weights")
+
+
+def check_migration(plan: MigrationPlan, current: Layout,
+                    movement_budget: float | None = None,
+                    ) -> Iterator[Diagnostic]:
+    """Audit an incremental run's migration plan.
+
+    ALR032: the plan's net moved fraction must stay within the Δ
+    movement budget the search ran under (plus the shared fraction
+    tolerance).  ALR033: replaying the plan's steps against the current
+    layout must keep every disk within capacity at every intermediate
+    point.  Both firing means the incremental engine has a bug — they
+    are the post-search proof that the Section-2.3 guarantees hold.
+
+    Args:
+        plan: The migration plan attached to the recommendation.
+        current: The layout the data is in now (the replay baseline).
+        movement_budget: Δ as a fraction of total blocks; ``None``
+            skips the budget check (ALR032).
+    """
+    if movement_budget is not None \
+            and plan.moved_fraction > movement_budget + EPS_FRACTION:
+        yield ALR032.diagnostic(
+            f"plan moves {plan.moved_fraction:.1%} of the database "
+            f"({plan.moved_blocks:.0f} blocks) but the movement budget "
+            f"was {movement_budget:.1%}",
+            location="migration:budget",
+            suggestion="re-run the incremental advisor; this indicates "
+                       "a search bug worth reporting")
+    farm = current.farm
+    used = [current.disk_used_blocks(j) for j in range(len(farm))]
+    for index, step in enumerate(plan.steps):
+        if used[step.dst] + step.blocks \
+                > farm[step.dst].capacity_blocks + EPS_CAPACITY:
+            yield ALR033.diagnostic(
+                f"step {index + 1} ({step.blocks:.0f} blocks of "
+                f"{step.obj} onto {farm[step.dst].name}) overflows the "
+                f"disk: {used[step.dst] + step.blocks:.0f} blocks "
+                f"needed, {farm[step.dst].capacity_blocks} available",
+                location=f"migration:step{index + 1}",
+                suggestion="re-run the incremental advisor; the planner "
+                           "should have staged this move")
+            return
+        used[step.dst] += step.blocks
+        used[step.src] -= step.blocks

@@ -19,7 +19,10 @@ from __future__ import annotations
 import logging
 from typing import Any, Mapping, Sequence
 
-from repro.analysis.audit_rules import check_recommendation
+from repro.analysis.audit_rules import (
+    check_migration,
+    check_recommendation,
+)
 from repro.analysis.constraint_rules import ALR015, check_constraints
 from repro.analysis.diagnostics import (
     AnalysisReport,
@@ -212,4 +215,27 @@ def audit_recommendation(layout: Layout,
         report.extend(check_recommendation(layout, graph))
         span.set("findings", len(report))
         metrics.inc("analysis.audit_findings", len(report))
+    return report
+
+
+def audit_migration(plan, current: Layout,
+                    movement_budget: float | None = None,
+                    tracer: Any = None, metrics: Any = None,
+                    ) -> AnalysisReport:
+    """Post-search audit of an incremental run's migration plan.
+
+    Runs the migration rules (ALR032 budget respected, ALR033
+    intermediate capacity safe) and records
+    ``analysis.migration_findings`` in ``metrics``.  A clean report is
+    the run's proof that the Section-2.3 incrementality guarantees
+    actually held.
+    """
+    tracer = tracer if tracer is not None else NULL_TRACER
+    metrics = metrics if metrics is not None else NULL_METRICS
+    with tracer.span("audit-migration") as span:
+        report = AnalysisReport()
+        report.extend(check_migration(plan, current,
+                                      movement_budget=movement_budget))
+        span.set("findings", len(report))
+        metrics.inc("analysis.migration_findings", len(report))
     return report

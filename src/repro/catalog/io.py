@@ -34,6 +34,8 @@ from repro.core.constraints import (
 from repro.core.layout import Layout
 from repro.errors import CatalogError, RecommendationFormatError
 from repro.storage.disk import Availability, DiskFarm, DiskSpec
+from repro.storage.migration import MigrationPlan
+from repro.workload.drift import DriftReport
 
 # -- column statistics ---------------------------------------------------------
 
@@ -292,6 +294,10 @@ def recommendation_to_dict(recommendation) -> dict[str, Any]:
         out["search"] = rec.search.telemetry_dict()
     if rec.diagnostics:
         out["diagnostics"] = [d.to_dict() for d in rec.diagnostics]
+    if rec.migration is not None:
+        out["migration"] = migration_plan_to_dict(rec.migration)
+    if rec.movement_budget is not None:
+        out["movement_budget"] = float(rec.movement_budget)
     return out
 
 
@@ -323,6 +329,10 @@ def recommendation_from_dict(data: dict[str, Any], farm: DiskFarm,
                        location=d.get("location", ""),
                        suggestion=d.get("suggestion"))
             for d in data.get("diagnostics", ())]
+        migration = None
+        if "migration" in data:
+            migration = MigrationPlan.from_dict(data["migration"])
+        budget = data.get("movement_budget")
         return Recommendation(
             layout=layout_from_dict(data["layout"], farm),
             estimated_cost=float(data["estimated_cost"]),
@@ -331,7 +341,10 @@ def recommendation_from_dict(data: dict[str, Any], farm: DiskFarm,
                            for name, c, p
                            in data.get("per_statement", ())],
             current_layout=current,
-            diagnostics=diagnostics)
+            diagnostics=diagnostics,
+            migration=migration,
+            movement_budget=float(budget) if budget is not None
+            else None)
     except KeyError as missing:
         key = missing.args[0] if missing.args else str(missing)
         raise RecommendationFormatError(
@@ -367,3 +380,119 @@ def load_recommendation(path: str | Path, farm: DiskFarm):
             "recommendation JSON must be an object, got "
             f"{type(data).__name__}", path=str(path))
     return recommendation_from_dict(data, farm, path=path)
+
+
+# -- migration plan --------------------------------------------------------------
+
+
+def migration_plan_to_dict(plan: MigrationPlan) -> dict[str, Any]:
+    """The JSON-ready form of a migration plan."""
+    return plan.to_dict()
+
+
+def migration_plan_from_dict(data: dict[str, Any],
+                             path: str | Path | None = None,
+                             ) -> MigrationPlan:
+    """Rebuild a migration plan from its JSON form.
+
+    Raises:
+        RecommendationFormatError: When the payload is missing a
+            required key or a field cannot be coerced; the message
+            names ``path`` (when given) and the offending key.
+    """
+    location = str(path) if path is not None else None
+    try:
+        return MigrationPlan.from_dict(data)
+    except KeyError as missing:
+        key = missing.args[0] if missing.args else str(missing)
+        raise RecommendationFormatError(
+            "migration-plan JSON missing required key",
+            path=location, key=str(key)) from None
+    except (TypeError, ValueError, AttributeError) as bad:
+        raise RecommendationFormatError(
+            f"migration-plan JSON malformed: {bad}",
+            path=location) from None
+
+
+def save_migration_plan(plan: MigrationPlan, path: str | Path) -> None:
+    """Write a migration plan as JSON."""
+    Path(path).write_text(
+        json.dumps(migration_plan_to_dict(plan), indent=2))
+
+
+def load_migration_plan(path: str | Path) -> MigrationPlan:
+    """Read a migration plan from JSON.
+
+    Raises:
+        RecommendationFormatError: When the file is not valid JSON or
+            the payload is malformed; the message names the file.
+    """
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as bad:
+        raise RecommendationFormatError(
+            f"migration-plan file is not valid JSON: {bad}",
+            path=str(path)) from None
+    if not isinstance(data, dict):
+        raise RecommendationFormatError(
+            "migration-plan JSON must be an object, got "
+            f"{type(data).__name__}", path=str(path))
+    return migration_plan_from_dict(data, path=path)
+
+
+# -- drift report ----------------------------------------------------------------
+
+
+def drift_report_to_dict(report: DriftReport) -> dict[str, Any]:
+    """The JSON-ready form of a workload drift report."""
+    return report.to_dict()
+
+
+def drift_report_from_dict(data: dict[str, Any],
+                           path: str | Path | None = None,
+                           ) -> DriftReport:
+    """Rebuild a drift report from its JSON form.
+
+    Raises:
+        RecommendationFormatError: When the payload is missing a
+            required key or a field cannot be coerced; the message
+            names ``path`` (when given) and the offending key.
+    """
+    location = str(path) if path is not None else None
+    try:
+        return DriftReport.from_dict(data)
+    except KeyError as missing:
+        key = missing.args[0] if missing.args else str(missing)
+        raise RecommendationFormatError(
+            "drift-report JSON missing required key",
+            path=location, key=str(key)) from None
+    except (TypeError, ValueError, AttributeError) as bad:
+        raise RecommendationFormatError(
+            f"drift-report JSON malformed: {bad}",
+            path=location) from None
+
+
+def save_drift_report(report: DriftReport, path: str | Path) -> None:
+    """Write a drift report as JSON."""
+    Path(path).write_text(
+        json.dumps(drift_report_to_dict(report), indent=2))
+
+
+def load_drift_report(path: str | Path) -> DriftReport:
+    """Read a drift report from JSON.
+
+    Raises:
+        RecommendationFormatError: When the file is not valid JSON or
+            the payload is malformed; the message names the file.
+    """
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as bad:
+        raise RecommendationFormatError(
+            f"drift-report file is not valid JSON: {bad}",
+            path=str(path)) from None
+    if not isinstance(data, dict):
+        raise RecommendationFormatError(
+            "drift-report JSON must be an object, got "
+            f"{type(data).__name__}", path=str(path))
+    return drift_report_from_dict(data, path=path)

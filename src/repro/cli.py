@@ -23,6 +23,12 @@ Subcommands::
     repro-advisor lint       --database db.json [--disks disks.json] \\
                              [--workload w.sql] [--constraints c.json] \\
                              [--layout l.json] [--format text|json]
+    repro-advisor incremental --database db.json --disks disks.json \\
+                             --workload w.sql --current rec.json \\
+                             [--budget 0.2] [--save-plan plan.json] ...
+    repro-advisor drift      --database db.json --before old.sql \\
+                             --after new.sql [--threshold 0.1] \\
+                             [--format text|json] [--save report.json]
 
 ``lint`` statically analyzes the inputs (see ``docs/static-analysis.md``
 for every ``ALR0xx`` rule); its exit code is 0 when clean (or info
@@ -43,6 +49,14 @@ completed and marks the run *degraded* instead of raising.
 ``--trajectory-timeout S`` caps each worker future, and ``--faults``
 injects deterministic faults for testing (same syntax as the
 ``REPRO_FAULTS`` environment variable).
+
+Incremental re-layout (see ``docs/incremental.md``): ``drift`` compares
+two workload windows and exits 1 when the shift is large enough that a
+re-layout is recommended; ``incremental`` re-runs the advisor seeded
+from the *current* layout (``--current`` accepts a layout JSON or a
+saved recommendation JSON) while keeping the moved fraction of the
+database within ``--budget``, and prints/saves the capacity-safe
+migration plan.
 
 Observability (see ``docs/observability.md``): ``--trace out.json``
 writes the advisor run's span tree as JSON, ``--metrics`` prints the
@@ -65,7 +79,10 @@ from repro.catalog.io import (
     load_database,
     load_farm,
     load_layout,
+    load_recommendation,
+    save_drift_report,
     save_layout,
+    save_migration_plan,
     save_recommendation,
 )
 from repro.core.advisor import LayoutAdvisor
@@ -79,6 +96,7 @@ from repro.optimizer.explain import explain
 from repro.simulator.measure import WorkloadSimulator
 from repro.workload.access import analyze_workload
 from repro.workload.access_graph import build_access_graph
+from repro.workload.drift import RELAYOUT_THRESHOLD, detect_drift
 from repro.workload.workload import Workload
 
 
@@ -133,7 +151,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="current layout JSON (default: full striping)")
     rec.add_argument("--method", default="ts-greedy",
                      choices=["ts-greedy", "portfolio", "exhaustive",
-                              "full-striping"])
+                              "full-striping", "incremental"])
+    rec.add_argument("--budget", type=float, default=None,
+                     metavar="FRACTION",
+                     help="for --method incremental: max fraction of "
+                          "the database allowed to move (default: 1.0)")
     rec.add_argument("--k", type=int, default=1,
                      help="TS-GREEDY widening parameter")
     rec.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -223,6 +245,59 @@ def build_parser() -> argparse.ArgumentParser:
                       help="list every registered rule and exit")
     lint.add_argument("-v", "--verbose", action="count", default=0,
                       help="enable INFO (-v) / DEBUG (-vv) logging")
+
+    inc = sub.add_parser(
+        "incremental",
+        help="re-layout for a drifted workload under a data-movement "
+             "budget, with a capacity-safe migration plan")
+    _add_common_inputs(inc)
+    inc.add_argument("--current", required=True, type=Path,
+                     help="the database's current layout: a layout "
+                          "JSON, or a saved recommendation JSON "
+                          "(its recommended layout is used)")
+    inc.add_argument("--budget", type=float, default=1.0,
+                     metavar="FRACTION",
+                     help="max fraction of the database allowed to "
+                          "move (Section 2.3's Δ; default: 1.0 = "
+                          "unbounded)")
+    inc.add_argument("--constraints", type=Path,
+                     help="constraint set JSON")
+    inc.add_argument("--k", type=int, default=1,
+                     help="TS-GREEDY widening parameter")
+    inc.add_argument("--save-plan", type=Path,
+                     help="write the migration plan as JSON")
+    inc.add_argument("--save-layout", type=Path,
+                     help="write the recommended layout as JSON")
+    inc.add_argument("--save-recommendation", type=Path,
+                     help="write the full recommendation (layout, "
+                          "costs, migration plan) as JSON")
+    inc.add_argument("--trace", type=Path, metavar="OUT_JSON",
+                     help="write the run's span tree as JSON")
+    inc.add_argument("--metrics", action="store_true",
+                     help="print the metric summary after the report")
+
+    drf = sub.add_parser(
+        "drift",
+        help="compare two workload windows; exit 1 when a re-layout "
+             "is recommended")
+    drf.add_argument("--database", required=True, type=Path,
+                     help="database catalog JSON")
+    drf.add_argument("--before", required=True, type=Path,
+                     help="earlier workload window (SQL file)")
+    drf.add_argument("--after", required=True, type=Path,
+                     help="later workload window (SQL file)")
+    drf.add_argument("--threshold", type=float,
+                     default=RELAYOUT_THRESHOLD, metavar="SCORE",
+                     help="drift score at or above which a re-layout "
+                          f"is recommended (default: "
+                          f"{RELAYOUT_THRESHOLD})")
+    drf.add_argument("--format", choices=["text", "json"],
+                     default="text",
+                     help="output format (default: text)")
+    drf.add_argument("--save", type=Path,
+                     help="write the drift report as JSON")
+    drf.add_argument("-v", "--verbose", action="count", default=0,
+                     help="enable INFO (-v) / DEBUG (-vv) logging")
     return parser
 
 
@@ -289,7 +364,7 @@ def cmd_recommend(args: argparse.Namespace) -> int:
                 k=args.k, jobs=args.jobs, portfolio=args.portfolio,
                 deadline=args.deadline, retry=retry,
                 trajectory_timeout_s=args.trajectory_timeout,
-                faults=faults)
+                faults=faults, movement_budget=args.budget)
         search = recommendation.search
         if search is not None and search.degraded:
             print(f"warning: degraded: {len(search.failures)}/"
@@ -447,12 +522,98 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _load_current_for_incremental(path: Path, farm):
+    """A layout from either a layout JSON or a recommendation JSON.
+
+    The ``incremental`` subcommand's ``--current`` points at whatever
+    the DBA has on hand: the layout file the last run saved with
+    ``--save-layout``, or the full recommendation saved with
+    ``--save-recommendation`` (in which case the *recommended* layout —
+    the one presumably implemented — is the current one).
+    """
+    import json
+    data = json.loads(path.read_text())
+    if isinstance(data, dict) and "fractions" in data:
+        from repro.catalog.io import layout_from_dict
+        return layout_from_dict(data, farm)
+    return load_recommendation(path, farm).layout
+
+
+def cmd_incremental(args: argparse.Namespace) -> int:
+    """``incremental``: budget-bounded re-layout plus migration plan."""
+    db = load_database(args.database)
+    farm = load_farm(args.disks)
+    workload = Workload.load(args.workload)
+    constraints = _load_constraints(args, farm, db)
+    observing = bool(args.trace or args.metrics or args.verbose)
+    tracer = Tracer() if observing else None
+    metrics = MetricsRegistry() if observing else None
+    advisor = LayoutAdvisor(db, farm, constraints=constraints,
+                            tracer=tracer, metrics=metrics)
+    current = _load_current_for_incremental(args.current, farm)
+    recommendation = advisor.recommend(
+        workload, current_layout=current, method="incremental",
+        k=args.k, movement_budget=args.budget)
+    print(render_report(recommendation))
+    if args.save_plan:
+        save_migration_plan(recommendation.migration, args.save_plan)
+        print(f"\nmigration plan written to {args.save_plan}")
+    if args.save_layout:
+        save_layout(recommendation.layout, args.save_layout)
+        print(f"\nlayout written to {args.save_layout}")
+    if args.save_recommendation:
+        save_recommendation(recommendation, args.save_recommendation)
+        print(f"\nrecommendation written to "
+              f"{args.save_recommendation}")
+    if args.verbose and tracer is not None:
+        print()
+        print("=== trace ===")
+        print(tracer.render_tree())
+    if args.metrics and metrics is not None:
+        print()
+        print(metrics.render())
+    if args.trace and tracer is not None:
+        tracer.write_json(args.trace)
+        print(f"\ntrace written to {args.trace}")
+    return 0
+
+
+def cmd_drift(args: argparse.Namespace) -> int:
+    """``drift``: compare two workload windows.
+
+    Exit code 1 means the drift score reached the threshold and a
+    re-layout is recommended — so a cron job can chain straight into
+    ``repro-advisor incremental``; 0 means the layout still fits.
+    """
+    import json
+    db = load_database(args.database)
+    before = Workload.load(args.before)
+    after = Workload.load(args.after)
+    graph_before = build_access_graph(
+        analyze_workload(before, db), db)
+    graph_after = build_access_graph(
+        analyze_workload(after, db), db)
+    report = detect_drift(graph_before, graph_after,
+                          threshold=args.threshold)
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.describe())
+    if args.save:
+        save_drift_report(report, args.save)
+        if args.format != "json":
+            print(f"\ndrift report written to {args.save}")
+    return 1 if report.relayout_recommended else 0
+
+
 _COMMANDS = {
     "recommend": cmd_recommend,
     "analyze": cmd_analyze,
     "estimate": cmd_estimate,
     "simulate": cmd_simulate,
     "lint": cmd_lint,
+    "incremental": cmd_incremental,
+    "drift": cmd_drift,
 }
 
 

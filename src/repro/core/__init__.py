@@ -27,6 +27,7 @@ from repro.core.exhaustive import exhaustive_search
 from repro.core.annealing import annealing_search
 from repro.core.random_layout import random_layout
 from repro.core.advisor import LayoutAdvisor, Recommendation
+from repro.core.incremental import IncrementalSearch
 
 __all__ = [
     "Layout",
@@ -46,6 +47,7 @@ __all__ = [
     "exhaustive_search",
     "annealing_search",
     "random_layout",
+    "IncrementalSearch",
     "LayoutAdvisor",
     "Recommendation",
 ]

@@ -24,6 +24,7 @@ from repro.errors import DegradedResult, LayoutError
 from repro.obs import NULL_METRICS, NULL_TRACER
 from repro.optimizer.planner import Planner
 from repro.storage.disk import DiskFarm
+from repro.storage.migration import MigrationPlan, plan_migration
 from repro.workload.access import AnalyzedWorkload, analyze_workload
 from repro.workload.access_graph import AccessGraph, build_access_graph
 from repro.workload.workload import Workload
@@ -50,6 +51,10 @@ class Recommendation:
         diagnostics: Static-analysis findings attached to the run —
             pre-flight warnings plus the post-search audit of the
             recommended layout (``repro.analysis`` rule IDs).
+        migration: Ordered capacity-safe move plan from
+            ``current_layout`` to ``layout`` (incremental runs only).
+        movement_budget: The Δ movement-budget fraction the search ran
+            under (incremental runs only).
     """
 
     layout: Layout
@@ -60,6 +65,8 @@ class Recommendation:
     search: SearchResult | None = None
     current_layout: Layout | None = None
     diagnostics: "list[Diagnostic]" = field(default_factory=list)
+    migration: MigrationPlan | None = None
+    movement_budget: float | None = None
 
     @property
     def improvement_pct(self) -> float:
@@ -75,6 +82,16 @@ class Recommendation:
         if self.current_layout is None:
             return None
         return self.current_layout.data_movement_blocks(self.layout)
+
+    @property
+    def moved_fraction(self) -> float | None:
+        """Moved blocks as a fraction of the database's total blocks,
+        or ``None`` when no current layout was recorded."""
+        moved = self.data_movement_blocks
+        if moved is None:
+            return None
+        total = sum(self.layout.object_sizes.values())
+        return moved / total if total else 0.0
 
 
 class LayoutAdvisor:
@@ -150,6 +167,16 @@ class LayoutAdvisor:
                                     tracer=self._tracer,
                                     metrics=self._metrics)
 
+    def _audit_migration(self, migration: MigrationPlan,
+                         current_layout: Layout,
+                         movement_budget: float) -> "AnalysisReport":
+        """Post-search audit of an incremental run's migration plan."""
+        from repro.analysis.engine import audit_migration
+        return audit_migration(migration, current_layout,
+                               movement_budget,
+                               tracer=self._tracer,
+                               metrics=self._metrics)
+
     # -- recommendation -----------------------------------------------------------
 
     def recommend(self, workload: Workload | AnalyzedWorkload,
@@ -158,7 +185,9 @@ class LayoutAdvisor:
                   k: int = 1, jobs: int = 1,
                   portfolio=None, deadline=None, retry=None,
                   trajectory_timeout_s: float | None = None,
-                  faults=None) -> Recommendation:
+                  faults=None,
+                  movement_budget: float | None = None,
+                  ) -> Recommendation:
         """Recommend a layout for the workload.
 
         Args:
@@ -167,7 +196,8 @@ class LayoutAdvisor:
                 full striping, the traditional practice the paper
                 compares against.
             method: ``"ts-greedy"`` (default), ``"portfolio"``,
-                ``"full-striping"`` or ``"exhaustive"``.
+                ``"incremental"``, ``"full-striping"`` or
+                ``"exhaustive"``.
             k: TS-GREEDY's widening parameter.
             jobs: Worker processes for ``method="portfolio"`` (1 runs
                 the portfolio serially in-process, 0 auto-sizes to the
@@ -191,6 +221,14 @@ class LayoutAdvisor:
                 :class:`repro.resilience.FaultPlan` for tests/chaos
                 runs (defaults to the ``REPRO_FAULTS`` environment
                 variable; ``None`` in production).
+            movement_budget: For ``method="incremental"``: Δ, the
+                maximum fraction of the database's blocks that may
+                change disks relative to ``current_layout`` (defaults
+                to 1.0, i.e. unbounded).  The search is seeded from
+                the current layout, over-budget moves are projected
+                back onto the budget, and the recommendation carries
+                an ordered capacity-safe :class:`MigrationPlan` (see
+                ``docs/incremental.md``).
 
         Returns:
             A :class:`Recommendation`; its ``improvement_pct`` is the
@@ -242,6 +280,16 @@ class LayoutAdvisor:
                         f"trajectories failed ({detail}); the layout "
                         f"is the exact best over the completed ones",
                         DegradedResult, stacklevel=2)
+            elif method == "incremental":
+                from repro.core.incremental import IncrementalSearch
+                budget = 1.0 if movement_budget is None \
+                    else movement_budget
+                graph = self.access_graph(analyzed)
+                engine = IncrementalSearch(
+                    self._farm, evaluator, sizes,
+                    constraints=self._constraints, k=k,
+                    tracer=self._tracer, metrics=self._metrics)
+                result = engine.search(graph, current_layout, budget)
             elif method == "full-striping":
                 with self._tracer.span("full-striping"):
                     layout = full_striping(sizes, self._farm)
@@ -286,11 +334,23 @@ class LayoutAdvisor:
                 else self.access_graph(analyzed)
             diagnostics = list(preflight_report) \
                 + list(self._audit(result.layout, audit_graph))
+            migration = None
+            budget_used = None
+            if method == "incremental":
+                budget_used = 1.0 if movement_budget is None \
+                    else movement_budget
+                migration = plan_migration(current_layout,
+                                           result.layout,
+                                           tracer=self._tracer,
+                                           metrics=self._metrics)
+                diagnostics += list(self._audit_migration(
+                    migration, current_layout, budget_used))
             recommendation = Recommendation(
                 layout=result.layout, estimated_cost=result.cost,
                 current_cost=current_cost, per_statement=per_statement,
                 search=result, current_layout=current_layout,
-                diagnostics=diagnostics)
+                diagnostics=diagnostics, migration=migration,
+                movement_budget=budget_used)
             root.set("improvement_pct",
                      round(recommendation.improvement_pct, 3))
             self._metrics.set_gauge("advisor.improvement_pct",

@@ -49,6 +49,11 @@ def render_report(recommendation: Recommendation,
         lines.append("")
         lines.append(f"implementing this layout moves "
                      f"{moved_gb:.2f} GB ({movement:.0f} blocks)")
+    if rec.migration is not None:
+        lines.append("")
+        lines.append(render_migration(rec.migration,
+                                      farm=rec.layout.farm,
+                                      movement_budget=rec.movement_budget))
     if rec.search is not None:
         lines.append("")
         lines.append(f"search: {rec.search.iterations} iterations, "
@@ -64,6 +69,58 @@ def render_report(recommendation: Recommendation,
         for finding in sorted(rec.diagnostics,
                               key=lambda d: -d.severity.rank):
             lines.append(finding.render())
+    return "\n".join(lines)
+
+
+def render_migration(plan, farm=None,
+                     movement_budget: float | None = None,
+                     max_steps: int = 12) -> str:
+    """The migration plan, rendered for the DBA.
+
+    Lists the ordered per-object moves (head and tail kept, middle
+    elided past ``max_steps``), the totals, and — when the run carried
+    a movement budget — the moved fraction against it.
+
+    Args:
+        plan: A :class:`repro.storage.migration.MigrationPlan`.
+        farm: The :class:`~repro.storage.disk.DiskFarm` the plan's disk
+            indices refer to; names the disks when given.
+        movement_budget: The Δ fraction the search ran under, if any.
+        max_steps: Cap on steps listed individually.
+    """
+    def disk(j: int) -> str:
+        return farm[j].name if farm is not None else f"disk{j}"
+
+    lines = ["--- migration plan ---"]
+    if not plan.steps:
+        lines.append("no data movement required")
+        return "\n".join(lines)
+    steps = list(plan.steps)
+    shown_from = shown_until = None
+    if len(steps) > max_steps:
+        shown_from, shown_until = max_steps - 2, len(steps) - 2
+    for index, step in enumerate(steps):
+        if shown_from is not None and shown_from <= index < shown_until:
+            if index == shown_from:
+                lines.append(f"  ... {shown_until - shown_from} "
+                             f"steps elided ...")
+            continue
+        staged = "  (staged)" if step.staged else ""
+        lines.append(f"  step {index + 1:3d}: {step.obj:20s} "
+                     f"{disk(step.src)} -> {disk(step.dst)}  "
+                     f"{step.blocks:10.0f} blocks  "
+                     f"{step.est_seconds:7.1f}s{staged}")
+    moved_gb = plan.moved_blocks * BLOCK_BYTES / 1024 ** 3
+    totals = (f"total: {len(plan.steps)} steps, "
+              f"{plan.moved_blocks:.0f} blocks ({moved_gb:.2f} GB) "
+              f"moved, est. {plan.est_seconds:.1f}s transfer time")
+    if plan.staged_blocks > 0:
+        totals += (f"; {plan.staged_blocks:.0f} blocks staged "
+                   f"through a temporary disk (moved twice)")
+    lines.append(totals)
+    if movement_budget is not None:
+        lines.append(f"moved fraction: {plan.moved_fraction:.1%} of "
+                     f"the database (budget {movement_budget:.0%})")
     return "\n".join(lines)
 
 

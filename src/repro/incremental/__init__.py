@@ -1,0 +1,49 @@
+"""repro.incremental — the adaptive re-layout loop in one place.
+
+The paper's Section-2.3 incrementality constraint exists so the advisor
+can be re-run as workloads drift.  This facade bundles the three pieces
+of that loop, each living in its natural layer:
+
+* **drift detection** (:mod:`repro.workload.drift`) — compare two
+  workload windows through their access graphs and decide whether a
+  re-layout is worth running (:func:`detect_drift`,
+  :class:`DriftReport`);
+* **budget-bounded search** (:mod:`repro.core.incremental`) — seed
+  TS-GREEDY from the *current* layout and keep the cumulative moved
+  fraction within Δ, projecting over-budget moves back onto the budget
+  (:class:`IncrementalSearch`); reachable through
+  ``LayoutAdvisor.recommend(method="incremental", movement_budget=Δ)``;
+* **migration planning** (:mod:`repro.storage.migration`) — convert the
+  ``(current, target)`` layout pair into an ordered sequence of per-
+  object/per-disk moves that never overflows any disk at an
+  intermediate step (:func:`plan_migration`, :class:`MigrationPlan`).
+
+See ``docs/incremental.md`` for the drift scoring, the budget
+semantics versus the paper, and the migration-plan safety argument.
+"""
+
+from repro.core.incremental import IncrementalSearch
+from repro.storage.migration import (
+    MigrationPlan,
+    MigrationStep,
+    plan_migration,
+)
+from repro.workload.drift import (
+    RELAYOUT_THRESHOLD,
+    DriftReport,
+    EdgeDrift,
+    ObjectDrift,
+    detect_drift,
+)
+
+__all__ = [
+    "RELAYOUT_THRESHOLD",
+    "DriftReport",
+    "EdgeDrift",
+    "ObjectDrift",
+    "detect_drift",
+    "IncrementalSearch",
+    "MigrationPlan",
+    "MigrationStep",
+    "plan_migration",
+]

@@ -17,6 +17,11 @@ from repro.storage.disk import (
     winbench_farm,
 )
 from repro.storage.allocation import Extent, MaterializedLayout
+from repro.storage.migration import (
+    MigrationPlan,
+    MigrationStep,
+    plan_migration,
+)
 
 __all__ = [
     "BLOCK_BYTES",
@@ -28,4 +33,7 @@ __all__ = [
     "winbench_farm",
     "Extent",
     "MaterializedLayout",
+    "MigrationPlan",
+    "MigrationStep",
+    "plan_migration",
 ]

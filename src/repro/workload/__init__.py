@@ -20,6 +20,13 @@ from repro.workload.access import (
     decompose,
 )
 from repro.workload.access_graph import AccessGraph, build_access_graph
+from repro.workload.drift import (
+    RELAYOUT_THRESHOLD,
+    DriftReport,
+    EdgeDrift,
+    ObjectDrift,
+    detect_drift,
+)
 from repro.workload.concurrency import (
     ConcurrencySpec,
     build_access_graph_concurrent,
@@ -51,4 +58,9 @@ __all__ = [
     "decompose",
     "AccessGraph",
     "build_access_graph",
+    "RELAYOUT_THRESHOLD",
+    "DriftReport",
+    "EdgeDrift",
+    "ObjectDrift",
+    "detect_drift",
 ]

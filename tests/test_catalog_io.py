@@ -149,3 +149,142 @@ class TestLayoutRoundTrip:
         for name in layout.object_names:
             assert rebuilt.fractions_of(name) == pytest.approx(
                 layout.fractions_of(name))
+
+
+@pytest.fixture
+def incremental_rec(mini_db, farm8, join_workload):
+    """A full incremental recommendation (diagnostics + plan)."""
+    from repro.core.advisor import LayoutAdvisor
+    current = full_striping(mini_db.object_sizes(), farm8)
+    advisor = LayoutAdvisor(mini_db, farm8)
+    return advisor.recommend(join_workload, current_layout=current,
+                             method="incremental",
+                             movement_budget=0.5)
+
+
+class TestRecommendationRoundTrip:
+    def test_incremental_fields_round_trip(self, incremental_rec,
+                                           farm8, tmp_path):
+        from repro.catalog.io import (
+            load_recommendation,
+            save_recommendation,
+        )
+        path = tmp_path / "rec.json"
+        save_recommendation(incremental_rec, path)
+        rebuilt = load_recommendation(path, farm8)
+        assert rebuilt.movement_budget == 0.5
+        assert rebuilt.migration.to_dict() == \
+            incremental_rec.migration.to_dict()
+        assert rebuilt.moved_fraction == pytest.approx(
+            incremental_rec.moved_fraction)
+        assert rebuilt.estimated_cost == pytest.approx(
+            incremental_rec.estimated_cost)
+
+    def test_diagnostics_round_trip(self, incremental_rec, farm8,
+                                    tmp_path):
+        from repro.catalog.io import (
+            load_recommendation,
+            save_recommendation,
+        )
+        path = tmp_path / "rec.json"
+        save_recommendation(incremental_rec, path)
+        rebuilt = load_recommendation(path, farm8)
+        assert [(d.rule_id, d.severity, d.message)
+                for d in rebuilt.diagnostics] == \
+            [(d.rule_id, d.severity, d.message)
+             for d in incremental_rec.diagnostics]
+
+    def test_plain_recommendation_stays_plain(self, mini_db, farm8,
+                                              join_workload,
+                                              tmp_path):
+        from repro.catalog.io import (
+            load_recommendation,
+            recommendation_to_dict,
+            save_recommendation,
+        )
+        from repro.core.advisor import LayoutAdvisor
+        rec = LayoutAdvisor(mini_db, farm8).recommend(join_workload)
+        assert "migration" not in recommendation_to_dict(rec)
+        path = tmp_path / "rec.json"
+        save_recommendation(rec, path)
+        rebuilt = load_recommendation(path, farm8)
+        assert rebuilt.migration is None
+        assert rebuilt.movement_budget is None
+
+
+class TestMigrationPlanIo:
+    def test_file_round_trip(self, incremental_rec, tmp_path):
+        from repro.catalog.io import (
+            load_migration_plan,
+            save_migration_plan,
+        )
+        path = tmp_path / "plan.json"
+        save_migration_plan(incremental_rec.migration, path)
+        rebuilt = load_migration_plan(path)
+        assert rebuilt.to_dict() == incremental_rec.migration.to_dict()
+
+    def test_not_json_reported(self, tmp_path):
+        from repro.catalog.io import load_migration_plan
+        from repro.errors import RecommendationFormatError
+        path = tmp_path / "plan.json"
+        path.write_text("{not json")
+        with pytest.raises(RecommendationFormatError,
+                           match="not valid JSON"):
+            load_migration_plan(path)
+
+    def test_wrong_shape_reported(self, tmp_path):
+        from repro.catalog.io import load_migration_plan
+        from repro.errors import RecommendationFormatError
+        path = tmp_path / "plan.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(RecommendationFormatError,
+                           match="must be an object"):
+            load_migration_plan(path)
+
+    def test_missing_key_names_the_key(self, tmp_path):
+        from repro.catalog.io import load_migration_plan
+        from repro.errors import RecommendationFormatError
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(
+            {"steps": [{"obj": "t", "src": 0, "dst": 1}]}))
+        with pytest.raises(RecommendationFormatError,
+                           match="blocks"):
+            load_migration_plan(path)
+
+    def test_uncoercible_value_reported(self, tmp_path):
+        from repro.catalog.io import load_migration_plan
+        from repro.errors import RecommendationFormatError
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(
+            {"steps": [], "moved_blocks": "lots",
+             "est_seconds": 0.0}))
+        with pytest.raises(RecommendationFormatError,
+                           match="malformed"):
+            load_migration_plan(path)
+
+
+class TestDriftReportIo:
+    def test_file_round_trip(self, tmp_path):
+        from repro.catalog.io import (
+            load_drift_report,
+            save_drift_report,
+        )
+        from repro.workload.access_graph import AccessGraph
+        from repro.workload.drift import detect_drift
+        before, after = AccessGraph(["a"]), AccessGraph(["b"])
+        before.add_node_weight("a", 100.0)
+        after.add_node_weight("b", 80.0)
+        report = detect_drift(before, after)
+        path = tmp_path / "drift.json"
+        save_drift_report(report, path)
+        rebuilt = load_drift_report(path)
+        assert rebuilt.to_dict() == report.to_dict()
+
+    def test_malformed_file_reported(self, tmp_path):
+        from repro.catalog.io import load_drift_report
+        from repro.errors import RecommendationFormatError
+        path = tmp_path / "drift.json"
+        path.write_text(json.dumps({"score": 0.5}))
+        with pytest.raises(RecommendationFormatError,
+                           match="node_drift"):
+            load_drift_report(path)

@@ -1,0 +1,158 @@
+"""Tests for the CI perf-regression gate (benchmarks/perf_gate.py)."""
+
+import copy
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
+
+from perf_gate import compare, main  # noqa: E402
+
+
+def payload(mode="ci"):
+    """A well-formed BENCH_search payload that passes every invariant."""
+    return {
+        "mode": mode,
+        "cores": 4,
+        "jobs": 2,
+        "trajectories": 6,
+        "greedy_noprune": {
+            "wall_s": 0.2, "evaluations": 7881, "cost": 54.7029},
+        "greedy_prune": {
+            "wall_s": 0.18, "evaluations": 1295,
+            "pruned_candidates": 6586, "bound_evaluations": 9000,
+            "cost": 54.7029},
+        "portfolio_serial": {
+            "wall_s": 1.2, "evaluations": 11448, "cost": 54.7029},
+        "portfolio_parallel": {
+            "wall_s": 0.8, "evaluations": 11448, "cost": 54.7029},
+        "prune_eval_reduction": 0.836,
+        "prune_speedup": 1.11,
+        "parallel_speedup": 1.5,
+        "prune_drift": 0.0,
+        "prune_same_layout": True,
+        "portfolio_drift": 0.0,
+    }
+
+
+class TestCompare:
+    def test_identical_payload_passes(self):
+        assert compare(payload(), payload()) == []
+
+    def test_small_wall_noise_tolerated(self):
+        candidate = payload()
+        for name in ("greedy_noprune", "portfolio_serial"):
+            candidate[name]["wall_s"] *= 1.2  # under the 25% allowance
+        assert compare(payload(), candidate) == []
+
+    def test_tightened_baseline_fails_on_wall(self):
+        # The demo CI documents: shrink the baseline's wall times and
+        # the gate must flag the (unchanged) candidate as a regression.
+        tightened = payload()
+        for name in ("greedy_noprune", "greedy_prune",
+                     "portfolio_serial", "portfolio_parallel"):
+            tightened[name]["wall_s"] *= 0.5
+        violations = compare(tightened, payload())
+        assert violations
+        assert all("wall" in v for v in violations)
+
+    def test_skip_wall_ignores_wall_regressions(self):
+        candidate = payload()
+        candidate["portfolio_serial"]["wall_s"] *= 10
+        assert compare(payload(), candidate, skip_wall=True) == []
+
+    def test_eval_count_drift_fails_even_without_wall(self):
+        candidate = payload()
+        candidate["greedy_prune"]["evaluations"] += 100
+        violations = compare(payload(), candidate, skip_wall=True)
+        assert any("evaluation count drifted" in v for v in violations)
+
+    def test_cost_drift_fails(self):
+        candidate = payload()
+        candidate["portfolio_serial"]["cost"] += 0.01
+        violations = compare(payload(), candidate, skip_wall=True)
+        assert any("cost drifted" in v for v in violations)
+
+    def test_mode_mismatch_refuses_count_comparison(self):
+        violations = compare(payload("small"), payload("ci"),
+                             skip_wall=True)
+        assert any("mode mismatch" in v for v in violations)
+
+    def test_candidate_invariant_failure_reported(self):
+        candidate = payload()
+        candidate["prune_drift"] = 0.5
+        violations = compare(payload(), candidate, skip_wall=True)
+        assert any("candidate invariants" in v for v in violations)
+
+    def test_eroded_prune_reduction_fails(self):
+        candidate = payload()
+        candidate["prune_eval_reduction"] = 0.6
+        violations = compare(payload(), candidate, skip_wall=True)
+        assert any("prune_eval_reduction eroded" in v
+                   for v in violations)
+
+    def test_all_violations_listed(self):
+        candidate = payload()
+        candidate["greedy_prune"]["evaluations"] += 1
+        candidate["portfolio_serial"]["cost"] += 1.0
+        violations = compare(payload(), candidate, skip_wall=True)
+        assert len(violations) >= 2
+
+
+class TestCli:
+    def _write(self, tmp_path, name, data):
+        path = tmp_path / name
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_pass_exit_zero(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", payload())
+        cand = self._write(tmp_path, "cand.json", payload())
+        assert main(["--baseline", base, "--candidate", cand]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_tightened_baseline_exit_one(self, tmp_path, capsys):
+        tightened = payload()
+        for name in ("greedy_noprune", "greedy_prune",
+                     "portfolio_serial", "portfolio_parallel"):
+            tightened[name]["wall_s"] *= 0.5
+        base = self._write(tmp_path, "base.json", tightened)
+        cand = self._write(tmp_path, "cand.json", payload())
+        assert main(["--baseline", base, "--candidate", cand]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_missing_baseline_reported(self, tmp_path):
+        cand = self._write(tmp_path, "cand.json", payload())
+        with pytest.raises(SystemExit, match="not found"):
+            main(["--baseline", str(tmp_path / "nope.json"),
+                  "--candidate", cand])
+
+    def test_invalid_json_reported(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{oops")
+        cand = self._write(tmp_path, "cand.json", payload())
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            main(["--baseline", str(bad), "--candidate", cand])
+
+    def test_committed_baseline_is_gate_compatible(self):
+        # The repo ships a ci-mode baseline for runs with no cached
+        # artifact; it must parse and self-compare cleanly.
+        committed = Path(__file__).parent.parent / "benchmarks" / \
+            "results" / "baseline.json"
+        data = json.loads(committed.read_text())
+        assert data["mode"] == "ci"
+        assert compare(data, copy.deepcopy(data)) == []
+
+
+def test_real_small_bench_payload_passes_gate():
+    """End-to-end: a real small-mode run gates cleanly against itself."""
+    from bench_search_speed import run_bench
+    candidate = run_bench(jobs=2, mode="small")
+    baseline = copy.deepcopy(candidate)
+    assert compare(baseline, candidate) == []
+    # And a tightened copy of itself fails, as the CI demo documents.
+    baseline["greedy_noprune"]["wall_s"] = 1e-6
+    assert compare(baseline, candidate, skip_wall=False)
