@@ -12,8 +12,12 @@ paper-scale workload (TPC-H schema, seeded query generator):
    the bit-identical result of the serial portfolio.
 
 Writes a machine-readable ``BENCH_search.json`` at the repo root (wall
-times, evaluation/pruning counts, speedups, drift) in addition to the
-usual ``benchmarks/results/`` table.
+times, evaluation/pruning counts, speedups, drift, and — since
+``phases_version`` 1 — a per-configuration phase breakdown plus a
+telemetry-overhead measurement) in addition to the usual
+``benchmarks/results/`` table.  The per-phase wall/CPU/count numbers
+let ``perf_gate.py`` attribute a wall-clock regression to the search
+phase that caused it.
 
 Three sizes, selected with ``--mode`` (or ``REPRO_BENCH_MODE``):
 
@@ -58,7 +62,8 @@ from repro.benchdb.synth import synthetic_workload  # noqa: E402
 from repro.core.costmodel import WorkloadCostEvaluator  # noqa: E402
 from repro.core.greedy import TsGreedySearch  # noqa: E402
 from repro.experiments import common  # noqa: E402
-from repro.obs import MetricsRegistry  # noqa: E402
+from repro.obs import EventRecorder, MetricsRegistry, Tracer  # noqa: E402
+from repro.obs.profile import PROFILE_VERSION, phase_breakdown  # noqa: E402
 from repro.parallel import (  # noqa: E402
     PortfolioSearch,
     available_workers,
@@ -106,6 +111,38 @@ def _timed(fn):
     return result, time.perf_counter() - start
 
 
+def measure_telemetry_overhead(farm, evaluator, sizes, graph,
+                               repeats: int = 3) -> dict:
+    """Wall cost of full telemetry vs none on the pruned greedy search.
+
+    Best-of-``repeats`` for both arms (minimum is the standard noise
+    filter for micro-benchmarks).  "Full" means a live flight recorder,
+    a recording tracer, and a bound metric registry — everything the
+    CLI turns on for ``--events`` — against a run with all three off.
+    """
+    def run_off():
+        return TsGreedySearch(farm, evaluator, sizes,
+                              prune=True).search(graph)
+
+    def run_on():
+        recorder = EventRecorder()
+        tracer = Tracer(recorder=recorder)
+        metrics = MetricsRegistry()
+        evaluator.bind_metrics(metrics)
+        try:
+            return TsGreedySearch(
+                farm, evaluator, sizes, prune=True, tracer=tracer,
+                metrics=metrics, recorder=recorder).search(graph)
+        finally:
+            evaluator.bind_metrics(None)
+
+    off_s = min(_timed(run_off)[1] for _ in range(repeats))
+    on_s = min(_timed(run_on)[1] for _ in range(repeats))
+    overhead_pct = 100.0 * (on_s - off_s) / max(off_s, 1e-9)
+    return {"off_s": round(off_s, 4), "on_s": round(on_s, 4),
+            "overhead_pct": round(overhead_pct, 2)}
+
+
 def run_bench(jobs: int = 0, mode: str | None = None) -> dict:
     """Run all four configurations; return the BENCH_search payload."""
     mode = resolve_mode(mode)
@@ -121,16 +158,20 @@ def run_bench(jobs: int = 0, mode: str | None = None) -> dict:
     jobs = jobs if jobs > 0 else min(4, max(cores, 2))
     specs = default_portfolio(n_trajectories)
 
-    # 1/2 — single-trajectory greedy, pruning off vs on.
+    # 1/2 — single-trajectory greedy, pruning off vs on.  Every
+    # configuration runs under its own tracer/registry so the payload
+    # can attribute wall time to search phases (expand/kl/greedy/...).
     metrics_off = MetricsRegistry()
+    tracer_off = Tracer()
     plain, t_noprune = _timed(lambda: TsGreedySearch(
-        farm, evaluator, sizes, prune=False,
+        farm, evaluator, sizes, prune=False, tracer=tracer_off,
         metrics=metrics_off).search(graph))
     metrics_on = MetricsRegistry()
+    tracer_on = Tracer()
     evaluator.bind_metrics(metrics_on)
     try:
         pruned_run, t_prune = _timed(lambda: TsGreedySearch(
-            farm, evaluator, sizes, prune=True,
+            farm, evaluator, sizes, prune=True, tracer=tracer_on,
             metrics=metrics_on).search(graph))
     finally:
         evaluator.bind_metrics(None)
@@ -141,10 +182,18 @@ def run_bench(jobs: int = 0, mode: str | None = None) -> dict:
         for name in plain.layout.object_names)
 
     # 3/4 — the portfolio, serial vs pooled.
+    metrics_serial = MetricsRegistry()
+    tracer_serial = Tracer()
     serial, t_serial = _timed(lambda: PortfolioSearch(
-        farm, evaluator, sizes, specs=specs, jobs=1).search(graph))
+        farm, evaluator, sizes, specs=specs, jobs=1,
+        tracer=tracer_serial,
+        metrics=metrics_serial).search(graph))
+    metrics_pooled = MetricsRegistry()
+    tracer_pooled = Tracer()
     pooled, t_pooled = _timed(lambda: PortfolioSearch(
-        farm, evaluator, sizes, specs=specs, jobs=jobs).search(graph))
+        farm, evaluator, sizes, specs=specs, jobs=jobs,
+        tracer=tracer_pooled,
+        metrics=metrics_pooled).search(graph))
     portfolio_drift = abs(pooled.cost - serial.cost)
 
     return {
@@ -152,10 +201,12 @@ def run_bench(jobs: int = 0, mode: str | None = None) -> dict:
         "cores": cores,
         "jobs": jobs,
         "trajectories": n_trajectories,
+        "phases_version": PROFILE_VERSION,
         "greedy_noprune": {
             "wall_s": round(t_noprune, 4),
             "evaluations": plain.evaluations,
             "cost": plain.cost,
+            "phases": phase_breakdown(tracer_off, metrics_off),
         },
         "greedy_prune": {
             "wall_s": round(t_prune, 4),
@@ -165,17 +216,22 @@ def run_bench(jobs: int = 0, mode: str | None = None) -> dict:
             "bound_evaluations": int(metrics_on.value(
                 "costmodel.bound_evaluations")),
             "cost": pruned_run.cost,
+            "phases": phase_breakdown(tracer_on, metrics_on),
         },
         "portfolio_serial": {
             "wall_s": round(t_serial, 4),
             "evaluations": serial.evaluations,
             "cost": serial.cost,
+            "phases": phase_breakdown(tracer_serial, metrics_serial),
         },
         "portfolio_parallel": {
             "wall_s": round(t_pooled, 4),
             "evaluations": pooled.evaluations,
             "cost": pooled.cost,
+            "phases": phase_breakdown(tracer_pooled, metrics_pooled),
         },
+        "telemetry_overhead": measure_telemetry_overhead(
+            farm, evaluator, sizes, graph),
         "prune_eval_reduction": round(
             1.0 - pruned_run.evaluations / max(plain.evaluations, 1), 4),
         "prune_speedup": round(t_noprune / max(t_prune, 1e-9), 3),
@@ -217,6 +273,15 @@ def check_invariants(payload: dict) -> None:
     assert payload["prune_speedup"] >= 0.85, \
         f"pruning is a net wall-clock loss: " \
         f"{payload['prune_speedup']}x"
+    # Observability must stay out of the hot path: full telemetry
+    # (flight recorder + tracer + bound metrics) may cost at most 5%
+    # wall on the pruned greedy search.  Payloads from before
+    # phases_version 1 carry no measurement; skip, don't crash.
+    overhead_info = payload.get("telemetry_overhead")
+    if overhead_info is not None:
+        overhead = overhead_info["overhead_pct"]
+        assert overhead <= 5.0, \
+            f"full telemetry costs {overhead:.1f}% wall (budget: 5%)"
     # Parallel speedup needs parallel hardware: assert only when the
     # machine has a spare core per extra worker.
     if payload["cores"] >= payload["jobs"] >= 2:
@@ -242,7 +307,9 @@ def _render(payload: dict) -> str:
             f"evaluations), prune speedup "
             f"{payload['prune_speedup']}x, parallel speedup "
             f"{payload['parallel_speedup']}x on {payload['cores']} "
-            f"core(s) with jobs={payload['jobs']}, drift 0.0")
+            f"core(s) with jobs={payload['jobs']}, drift 0.0, "
+            f"telemetry overhead "
+            f"{payload['telemetry_overhead']['overhead_pct']}%")
 
 
 def test_search_speed():

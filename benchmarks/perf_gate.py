@@ -18,7 +18,11 @@ Two classes of check:
   wall time must be within ``--max-regression`` (default 25%) of the
   baseline.  Only meaningful when baseline and candidate ran on
   comparable hardware — CI skips it when falling back to the committed
-  baseline, which was recorded on a different machine.
+  baseline, which was recorded on a different machine.  When both
+  payloads carry the per-phase breakdown (``phases_version`` 1), a
+  wall violation names the search phase whose wall time grew the most
+  (e.g. ``slowest-growing phase: greedy (+0.330s, ...)``), so the
+  regression is attributed, not just detected.
 
 Exit status 0 on pass, 1 on any violation (all violations are listed,
 not just the first).
@@ -51,6 +55,31 @@ EPS_COST = 1e-6
 
 #: Default allowed wall-clock regression (25%).
 DEFAULT_MAX_REGRESSION = 0.25
+
+
+def _attribute_phase(base_cfg: dict, cand_cfg: dict) -> str:
+    """Attribute a wall regression to the phase that grew the most.
+
+    Both payloads must carry the ``phases`` breakdown bench payloads
+    gained with ``phases_version`` 1; returns the empty string when
+    either predates it (the wall violation still fires, it just goes
+    unattributed) or when no phase actually grew.
+    """
+    base = (base_cfg.get("phases") or {}).get("phases") or {}
+    cand = (cand_cfg.get("phases") or {}).get("phases") or {}
+    if not base or not cand:
+        return ""
+    growth = max(
+        ((float((cand.get(phase) or {}).get("wall_s", 0.0))
+          - float((base.get(phase) or {}).get("wall_s", 0.0)), phase)
+         for phase in sorted(set(base) | set(cand))))
+    delta, phase = growth
+    if delta <= 0.0:
+        return ""
+    before = float((base.get(phase) or {}).get("wall_s", 0.0))
+    after = float((cand.get(phase) or {}).get("wall_s", 0.0))
+    return (f"; slowest-growing phase: {phase} (+{delta:.3f}s, "
+            f"{before:.3f}s -> {after:.3f}s)")
 
 
 def compare(baseline: dict, candidate: dict,
@@ -99,7 +128,8 @@ def compare(baseline: dict, candidate: dict,
                 violations.append(
                     f"{name}: wall {cand['wall_s']:.3f}s exceeds "
                     f"{base['wall_s']:.3f}s + {max_regression:.0%} "
-                    f"allowance ({limit:.3f}s)")
+                    f"allowance ({limit:.3f}s)"
+                    + _attribute_phase(base, cand))
 
     if same_mode:
         # Pruning effectiveness must not erode (small slack for

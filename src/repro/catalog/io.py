@@ -267,13 +267,17 @@ def load_layout(path: str | Path, farm: DiskFarm) -> Layout:
 # -- recommendation --------------------------------------------------------------
 
 
-def recommendation_to_dict(recommendation) -> dict[str, Any]:
+def recommendation_to_dict(recommendation,
+                           run_id: str | None = None) -> dict[str, Any]:
     """The JSON-ready form of an advisor recommendation.
 
     Serializes the layout, the cost comparison (all coerced to plain
     floats), the per-statement breakdown, and — when the search carried
     telemetry — the :meth:`SearchResult.telemetry_dict` payload, so a
     recommendation round-trips losslessly through ``json.dumps``.
+    When ``run_id`` is given (the flight recorder's run identifier) it
+    is embedded for provenance, linking the saved recommendation to its
+    event timeline.
     """
     rec = recommendation
     out: dict[str, Any] = {
@@ -298,6 +302,8 @@ def recommendation_to_dict(recommendation) -> dict[str, Any]:
         out["migration"] = migration_plan_to_dict(rec.migration)
     if rec.movement_budget is not None:
         out["movement_budget"] = float(rec.movement_budget)
+    if run_id:
+        out["run_id"] = str(run_id)
     return out
 
 
@@ -356,10 +362,16 @@ def recommendation_from_dict(data: dict[str, Any], farm: DiskFarm,
             path=location) from None
 
 
-def save_recommendation(recommendation, path: str | Path) -> None:
-    """Write a recommendation (costs, layout, telemetry) as JSON."""
+def save_recommendation(recommendation, path: str | Path,
+                        run_id: str | None = None) -> None:
+    """Write a recommendation (costs, layout, telemetry) as JSON.
+
+    ``run_id`` (optional) embeds the flight-recorder run identifier so
+    the saved file can be correlated with its ``--events`` timeline.
+    """
     Path(path).write_text(
-        json.dumps(recommendation_to_dict(recommendation), indent=2))
+        json.dumps(recommendation_to_dict(recommendation, run_id=run_id),
+                   indent=2))
 
 
 def load_recommendation(path: str | Path, farm: DiskFarm):

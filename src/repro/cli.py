@@ -29,6 +29,8 @@ Subcommands::
     repro-advisor drift      --database db.json --before old.sql \\
                              --after new.sql [--threshold 0.1] \\
                              [--format text|json] [--save report.json]
+    repro-advisor inspect    events.jsonl [--top 10] \\
+                             [--format text|json]
 
 ``lint`` statically analyzes the inputs (see ``docs/static-analysis.md``
 for every ``ALR0xx`` rule); its exit code is 0 when clean (or info
@@ -58,10 +60,16 @@ saved recommendation JSON) while keeping the moved fraction of the
 database within ``--budget``, and prints/saves the capacity-safe
 migration plan.
 
-Observability (see ``docs/observability.md``): ``--trace out.json``
-writes the advisor run's span tree as JSON, ``--metrics`` prints the
-metric summary, ``-v`` prints the span tree and enables INFO logging,
-``-vv`` enables DEBUG logging (per-iteration search progress).
+Observability (see ``docs/observability.md``): every subcommand takes
+``--events out.jsonl`` (stream the run's flight-recorder timeline as
+structured JSONL events) and ``--prom out.prom`` (dump the metric
+registry in Prometheus text exposition format); ``recommend`` and
+``incremental`` additionally take ``--otlp out.json`` (OTLP-style span
+export).  ``inspect`` renders a saved event log as a phase/trajectory
+timeline with a hotspot table.  ``--trace out.json`` writes the span
+tree as JSON, ``--metrics`` prints the metric summary, ``-v`` prints
+the span tree and enables INFO logging, ``-vv`` enables DEBUG logging
+(per-iteration search progress).
 
 Run any subcommand with ``-h`` for the full options.
 """
@@ -90,7 +98,17 @@ from repro.core.costmodel import CostModel
 from repro.core.fullstripe import full_striping
 from repro.core.report import render_filegroup_script, render_report
 from repro.errors import DegradedResult, ReproError
-from repro.obs import MetricsRegistry, Tracer
+from repro.obs import (
+    EVENT_SCHEMA_VERSION,
+    EventRecorder,
+    MetricsRegistry,
+    Tracer,
+    read_events,
+    render_timeline,
+    validate_events,
+    write_otlp,
+    write_prometheus,
+)
 from repro.resilience import FaultPlan, RetryPolicy
 from repro.optimizer.explain import explain
 from repro.simulator.measure import WorkloadSimulator
@@ -113,6 +131,83 @@ def _add_common_inputs(parser: argparse.ArgumentParser,
     parser.add_argument("-v", "--verbose", action="count", default=0,
                         help="-v: span tree + INFO logs; -vv: DEBUG "
                              "logs (per-iteration search progress)")
+
+
+def _add_obs_outputs(parser: argparse.ArgumentParser,
+                     otlp: bool = False) -> None:
+    """Attach the flight-recorder/exporter flags every subcommand gets."""
+    parser.add_argument("--events", type=Path, metavar="OUT_JSONL",
+                        help="stream the run's flight-recorder event "
+                             "timeline to a JSONL file (render it "
+                             "later with 'repro-advisor inspect')")
+    parser.add_argument("--prom", type=Path, metavar="OUT_PROM",
+                        help="write the run's metrics in Prometheus "
+                             "text exposition format")
+    if otlp:
+        parser.add_argument("--otlp", type=Path, metavar="OUT_JSON",
+                            help="write the run's span tree as "
+                                 "OTLP-style JSON")
+
+
+class _Obs:
+    """Per-invocation observability bundle.
+
+    All three fields are ``None`` when no observability flag is active,
+    so commands can pass them straight through to library entry points
+    (which treat ``None`` as "off").
+    """
+
+    def __init__(self, recorder: EventRecorder | None,
+                 tracer: Tracer | None,
+                 metrics: MetricsRegistry | None):
+        self.recorder = recorder
+        self.tracer = tracer
+        self.metrics = metrics
+
+
+def _obs_begin(args: argparse.Namespace, command: str) -> _Obs:
+    """Build the observability bundle a subcommand asked for.
+
+    The recorder streams to ``--events`` as the run progresses (a
+    crashed run still leaves a valid, truncated timeline on disk) and
+    opens with a ``run-start`` event.  The tracer and metric registry
+    exist whenever *any* observability flag is active, so spans and
+    metrics feed every requested exporter from one run.
+    """
+    events = getattr(args, "events", None)
+    active = bool(events or getattr(args, "prom", None)
+                  or getattr(args, "otlp", None)
+                  or getattr(args, "trace", None)
+                  or getattr(args, "metrics", False)
+                  or getattr(args, "verbose", 0))
+    if not active:
+        return _Obs(None, None, None)
+    recorder = EventRecorder(path=events) if events else None
+    if recorder is not None:
+        recorder.emit("run-start", command=command,
+                      schema=EVENT_SCHEMA_VERSION)
+    return _Obs(recorder, Tracer(recorder=recorder), MetricsRegistry())
+
+
+def _obs_finish(args: argparse.Namespace, obs: _Obs,
+                status: str = "ok") -> None:
+    """Close out the observability bundle: final event + exporters.
+
+    File-written notes go to stderr so ``--format json`` subcommands
+    keep a machine-readable stdout.
+    """
+    if obs.recorder is not None:
+        obs.recorder.emit("run-end", status=status)
+        obs.recorder.close()
+        print(f"events written to {args.events}", file=sys.stderr)
+    if getattr(args, "prom", None) and obs.metrics is not None:
+        write_prometheus(obs.metrics, args.prom)
+        print(f"prometheus metrics written to {args.prom}",
+              file=sys.stderr)
+    if getattr(args, "otlp", None) and obs.tracer is not None:
+        run_id = obs.recorder.run_id if obs.recorder is not None else ""
+        write_otlp(obs.tracer, args.otlp, run_id=run_id)
+        print(f"otlp spans written to {args.otlp}", file=sys.stderr)
 
 
 def _configure_logging(verbosity: int) -> None:
@@ -141,10 +236,13 @@ def build_parser() -> argparse.ArgumentParser:
     rec = sub.add_parser("recommend",
                          help="recommend a layout for a workload")
     _add_common_inputs(rec, workload_required=False)
-    rec.add_argument("--profile-trace", type=Path,
+    rec.add_argument("--workload-trace", type=Path,
+                     dest="workload_trace",
                      help="profiler trace CSV (start,end,sql); derives "
                           "both the workload and the overlap spec — "
                           "an alternative to --workload")
+    rec.add_argument("--profile-trace", type=Path, dest="profile_trace",
+                     help="deprecated alias for --workload-trace")
     rec.add_argument("--constraints", type=Path,
                      help="constraint set JSON")
     rec.add_argument("--current-layout", type=Path,
@@ -201,12 +299,14 @@ def build_parser() -> argparse.ArgumentParser:
     rec.add_argument("--save-recommendation", type=Path,
                      help="write the full recommendation (layout, "
                           "costs, search telemetry) as JSON")
+    _add_obs_outputs(rec, otlp=True)
 
     ana = sub.add_parser("analyze",
                          help="show plans and the access graph")
     _add_common_inputs(ana, with_disks=False)
     ana.add_argument("--plans", action="store_true",
                      help="print each statement's execution plan")
+    _add_obs_outputs(ana)
 
     est = sub.add_parser("estimate",
                          help="score one or more layouts with the "
@@ -216,12 +316,14 @@ def build_parser() -> argparse.ArgumentParser:
                      default=[],
                      help="layout JSON (repeatable; default adds "
                           "full striping)")
+    _add_obs_outputs(est)
 
     simp = sub.add_parser("simulate",
                           help="simulate workload execution on a layout")
     _add_common_inputs(simp)
     simp.add_argument("--layout", type=Path,
                       help="layout JSON (default: full striping)")
+    _add_obs_outputs(simp)
 
     lint = sub.add_parser(
         "lint",
@@ -245,6 +347,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="list every registered rule and exit")
     lint.add_argument("-v", "--verbose", action="count", default=0,
                       help="enable INFO (-v) / DEBUG (-vv) logging")
+    _add_obs_outputs(lint)
 
     inc = sub.add_parser(
         "incremental",
@@ -275,6 +378,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the run's span tree as JSON")
     inc.add_argument("--metrics", action="store_true",
                      help="print the metric summary after the report")
+    _add_obs_outputs(inc, otlp=True)
 
     drf = sub.add_parser(
         "drift",
@@ -298,6 +402,21 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the drift report as JSON")
     drf.add_argument("-v", "--verbose", action="count", default=0,
                      help="enable INFO (-v) / DEBUG (-vv) logging")
+    _add_obs_outputs(drf)
+
+    ins = sub.add_parser(
+        "inspect",
+        help="render a flight-recorder event log (--events output) as "
+             "a timeline with a phase hotspot table")
+    ins.add_argument("events", type=Path,
+                     help="events JSONL file written by --events")
+    ins.add_argument("--top", type=int, default=10, metavar="N",
+                     help="hotspot-table rows (default: 10)")
+    ins.add_argument("--format", choices=["text", "json"],
+                     default="text",
+                     help="output format (default: text)")
+    ins.add_argument("-v", "--verbose", action="count", default=0,
+                     help="enable INFO (-v) / DEBUG (-vv) logging")
     return parser
 
 
@@ -314,22 +433,35 @@ def cmd_recommend(args: argparse.Namespace) -> int:
     """``recommend``: run the advisor and print/save the result."""
     db = load_database(args.database)
     farm = load_farm(args.disks)
-    trace_spec = None
+    trace_path = args.workload_trace
     if args.profile_trace is not None:
+        warnings.warn(
+            "--profile-trace is deprecated; use --workload-trace",
+            DeprecationWarning, stacklevel=2)
+        print("note: --profile-trace is deprecated; "
+              "use --workload-trace", file=sys.stderr)
+        if trace_path is None:
+            trace_path = args.profile_trace
+    trace_spec = None
+    if trace_path is not None:
         from repro.workload.profiler import load_trace
-        workload, trace_spec = load_trace(args.profile_trace)
+        workload, trace_spec = load_trace(trace_path)
     elif args.workload is not None:
         workload = Workload.load(args.workload)
     else:
-        print("error: provide --workload or --profile-trace",
+        print("error: provide --workload or --workload-trace",
               file=sys.stderr)
         return 2
     constraints = _load_constraints(args, farm, db)
-    observing = bool(args.trace or args.metrics or args.verbose)
-    tracer = Tracer() if observing else None
-    metrics = MetricsRegistry() if observing else None
+    obs = _obs_begin(args, "recommend")
+    tracer, metrics = obs.tracer, obs.metrics
+    if obs.recorder is not None:
+        obs.recorder.emit(
+            "workload-ingest", statements=len(workload),
+            source="trace" if trace_spec is not None else "sql")
     advisor = LayoutAdvisor(db, farm, constraints=constraints,
-                            tracer=tracer, metrics=metrics)
+                            tracer=tracer, metrics=metrics,
+                            recorder=obs.recorder)
     current = None
     if args.current_layout:
         current = load_layout(args.current_layout, farm)
@@ -380,7 +512,10 @@ def cmd_recommend(args: argparse.Namespace) -> int:
         save_layout(recommendation.layout, args.save_layout)
         print(f"\nlayout written to {args.save_layout}")
     if args.save_recommendation:
-        save_recommendation(recommendation, args.save_recommendation)
+        run_id = obs.recorder.run_id if obs.recorder is not None \
+            else None
+        save_recommendation(recommendation, args.save_recommendation,
+                            run_id=run_id)
         print(f"\nrecommendation written to {args.save_recommendation}")
     if args.verbose and tracer is not None:
         print()
@@ -392,6 +527,7 @@ def cmd_recommend(args: argparse.Namespace) -> int:
     if args.trace and tracer is not None:
         tracer.write_json(args.trace)
         print(f"\ntrace written to {args.trace}")
+    _obs_finish(args, obs)
     return 0
 
 
@@ -399,13 +535,19 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     """``analyze``: print plans and the access-graph summary."""
     db = load_database(args.database)
     workload = Workload.load(args.workload)
-    analyzed = analyze_workload(workload, db)
+    obs = _obs_begin(args, "analyze")
+    if obs.recorder is not None:
+        obs.recorder.emit("workload-ingest",
+                          statements=len(workload), source="sql")
+    analyzed = analyze_workload(workload, db, tracer=obs.tracer,
+                                metrics=obs.metrics)
     if args.plans:
         for statement in analyzed:
             print(f"--- {statement.statement.name or 'statement'} ---")
             print(explain(statement.plan))
             print()
-    graph = build_access_graph(analyzed, db)
+    graph = build_access_graph(analyzed, db, tracer=obs.tracer,
+                               metrics=obs.metrics)
     print("=== access graph ===")
     print(f"{'object':30s} {'blocks referenced':>18s}")
     for name in sorted(graph.nodes,
@@ -418,6 +560,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     for (u, v), weight in sorted(graph.edges.items(),
                                  key=lambda kv: -kv[1]):
         print(f"{u + ' -- ' + v:45s} {weight:12.0f}")
+    _obs_finish(args, obs)
     return 0
 
 
@@ -426,7 +569,9 @@ def cmd_estimate(args: argparse.Namespace) -> int:
     db = load_database(args.database)
     farm = load_farm(args.disks)
     workload = Workload.load(args.workload)
-    analyzed = analyze_workload(workload, db)
+    obs = _obs_begin(args, "estimate")
+    analyzed = analyze_workload(workload, db, tracer=obs.tracer,
+                                metrics=obs.metrics)
     model = CostModel(farm)
     candidates = [("full-striping",
                    full_striping(db.object_sizes(), farm))]
@@ -436,6 +581,7 @@ def cmd_estimate(args: argparse.Namespace) -> int:
     for name, layout in candidates:
         print(f"{name:25s} "
               f"{model.workload_cost(analyzed, layout):19.1f}s")
+    _obs_finish(args, obs)
     return 0
 
 
@@ -444,15 +590,20 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     db = load_database(args.database)
     farm = load_farm(args.disks)
     workload = Workload.load(args.workload)
-    analyzed = analyze_workload(workload, db)
+    obs = _obs_begin(args, "simulate")
+    analyzed = analyze_workload(workload, db, tracer=obs.tracer,
+                                metrics=obs.metrics)
     layout = load_layout(args.layout, farm) if args.layout \
         else full_striping(db.object_sizes(), farm)
-    report = WorkloadSimulator().run(analyzed, layout)
+    report = WorkloadSimulator(tracer=obs.tracer,
+                               metrics=obs.metrics).run(analyzed,
+                                                        layout)
     print(f"{'statement':15s} {'simulated (s)':>14s} {'weight':>8s}")
     for timing in report.statements:
         print(f"{timing.name:15s} {timing.seconds:14.2f} "
               f"{timing.weight:8.1f}")
     print(f"{'TOTAL':15s} {report.total_seconds:14.2f}")
+    _obs_finish(args, obs)
     return 0
 
 
@@ -496,6 +647,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
         # constructed as a Layout, and linting it is the whole point.
         layout = json.loads(args.layout.read_text())
 
+    obs = _obs_begin(args, "lint")
     report = analysis.AnalysisReport()
     constraints = None
     if args.constraints:
@@ -519,6 +671,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
         print(report.render_text())
     else:
         print("clean: no diagnostics")
+    _obs_finish(args, obs, status="ok" if report.exit_code == 0
+                else "diagnostics")
     return report.exit_code
 
 
@@ -545,11 +699,14 @@ def cmd_incremental(args: argparse.Namespace) -> int:
     farm = load_farm(args.disks)
     workload = Workload.load(args.workload)
     constraints = _load_constraints(args, farm, db)
-    observing = bool(args.trace or args.metrics or args.verbose)
-    tracer = Tracer() if observing else None
-    metrics = MetricsRegistry() if observing else None
+    obs = _obs_begin(args, "incremental")
+    tracer, metrics = obs.tracer, obs.metrics
+    if obs.recorder is not None:
+        obs.recorder.emit("workload-ingest",
+                          statements=len(workload), source="sql")
     advisor = LayoutAdvisor(db, farm, constraints=constraints,
-                            tracer=tracer, metrics=metrics)
+                            tracer=tracer, metrics=metrics,
+                            recorder=obs.recorder)
     current = _load_current_for_incremental(args.current, farm)
     recommendation = advisor.recommend(
         workload, current_layout=current, method="incremental",
@@ -562,7 +719,10 @@ def cmd_incremental(args: argparse.Namespace) -> int:
         save_layout(recommendation.layout, args.save_layout)
         print(f"\nlayout written to {args.save_layout}")
     if args.save_recommendation:
-        save_recommendation(recommendation, args.save_recommendation)
+        run_id = obs.recorder.run_id if obs.recorder is not None \
+            else None
+        save_recommendation(recommendation, args.save_recommendation,
+                            run_id=run_id)
         print(f"\nrecommendation written to "
               f"{args.save_recommendation}")
     if args.verbose and tracer is not None:
@@ -575,6 +735,7 @@ def cmd_incremental(args: argparse.Namespace) -> int:
     if args.trace and tracer is not None:
         tracer.write_json(args.trace)
         print(f"\ntrace written to {args.trace}")
+    _obs_finish(args, obs)
     return 0
 
 
@@ -589,12 +750,18 @@ def cmd_drift(args: argparse.Namespace) -> int:
     db = load_database(args.database)
     before = Workload.load(args.before)
     after = Workload.load(args.after)
+    obs = _obs_begin(args, "drift")
     graph_before = build_access_graph(
-        analyze_workload(before, db), db)
+        analyze_workload(before, db, tracer=obs.tracer,
+                         metrics=obs.metrics),
+        db, tracer=obs.tracer, metrics=obs.metrics)
     graph_after = build_access_graph(
-        analyze_workload(after, db), db)
+        analyze_workload(after, db, tracer=obs.tracer,
+                         metrics=obs.metrics),
+        db, tracer=obs.tracer, metrics=obs.metrics)
     report = detect_drift(graph_before, graph_after,
-                          threshold=args.threshold)
+                          threshold=args.threshold, tracer=obs.tracer,
+                          metrics=obs.metrics, recorder=obs.recorder)
     if args.format == "json":
         print(json.dumps(report.to_dict(), indent=2))
     else:
@@ -603,7 +770,40 @@ def cmd_drift(args: argparse.Namespace) -> int:
         save_drift_report(report, args.save)
         if args.format != "json":
             print(f"\ndrift report written to {args.save}")
+    _obs_finish(args, obs, status="drift" if report.relayout_recommended
+                else "ok")
     return 1 if report.relayout_recommended else 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    """``inspect``: render a flight-recorder event log.
+
+    Text mode prints the reconstructed timeline (phases, search
+    iterations, portfolio trajectory lifecycle, degradation) followed
+    by a per-phase hotspot table; JSON mode prints a machine-readable
+    summary.  Exit code 2 on a malformed log (missing fields, broken
+    sequence order, undeclared event types).
+    """
+    events = read_events(args.events)
+    problems = validate_events(events)
+    if problems:
+        for problem in problems:
+            print(f"invalid: {problem}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        import json
+        counts: dict[str, int] = {}
+        for event in events:
+            counts[event["type"]] = counts.get(event["type"], 0) + 1
+        print(json.dumps({
+            "run_id": events[0]["run_id"] if events else "",
+            "events": len(events),
+            "sources": sorted({e["source"] for e in events}),
+            "types": dict(sorted(counts.items())),
+        }, indent=2))
+    else:
+        print(render_timeline(events, top=args.top))
+    return 0
 
 
 _COMMANDS = {
@@ -614,6 +814,7 @@ _COMMANDS = {
     "lint": cmd_lint,
     "incremental": cmd_incremental,
     "drift": cmd_drift,
+    "inspect": cmd_inspect,
 }
 
 

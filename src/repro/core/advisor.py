@@ -21,7 +21,7 @@ from repro.core.fullstripe import full_striping
 from repro.core.greedy import SearchResult, TsGreedySearch
 from repro.core.layout import Layout
 from repro.errors import DegradedResult, LayoutError
-from repro.obs import NULL_METRICS, NULL_TRACER
+from repro.obs import NULL_METRICS, NULL_RECORDER, NULL_TRACER
 from repro.optimizer.planner import Planner
 from repro.storage.disk import DiskFarm
 from repro.storage.migration import MigrationPlan, plan_migration
@@ -106,22 +106,30 @@ class LayoutAdvisor:
             of :meth:`recommend` emits a span under a ``recommend`` root.
         metrics: Optional :class:`repro.obs.MetricsRegistry`; the
             pipeline's components record their instruments into it.
+        recorder: Optional :class:`repro.obs.EventRecorder` (the flight
+            recorder); the search loops, the portfolio engine and the
+            migration planner emit their typed events into it.  Pass a
+            tracer built with the same recorder
+            (``Tracer(recorder=recorder)``) to get phase events too.
 
-    With neither ``tracer`` nor ``metrics`` the no-op implementations
-    are used: results are bit-identical and the overhead is a handful of
-    cheap method calls per phase (nothing per candidate layout).
+    With no ``tracer``/``metrics``/``recorder`` the no-op
+    implementations are used: results are bit-identical and the
+    overhead is a handful of cheap method calls per phase (nothing per
+    candidate layout).
     """
 
     def __init__(self, db: Database, farm: DiskFarm,
                  constraints: ConstraintSet | None = None,
                  planner: Planner | None = None,
-                 tracer=None, metrics=None):
+                 tracer=None, metrics=None, recorder=None):
         self._db = db
         self._farm = farm
         self._constraints = constraints or ConstraintSet()
         self._planner = planner or Planner(db)
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._metrics = metrics if metrics is not None else NULL_METRICS
+        self._recorder = recorder if recorder is not None \
+            else NULL_RECORDER
 
     # -- analysis --------------------------------------------------------------
 
@@ -259,7 +267,8 @@ class LayoutAdvisor:
                 search = TsGreedySearch(self._farm, evaluator, sizes,
                                         constraints=self._constraints,
                                         k=k, tracer=self._tracer,
-                                        metrics=self._metrics)
+                                        metrics=self._metrics,
+                                        recorder=self._recorder)
                 initial = current_layout \
                     if self._constraints.movement is not None else None
                 result = search.search(graph, initial_layout=initial)
@@ -288,7 +297,8 @@ class LayoutAdvisor:
                 engine = IncrementalSearch(
                     self._farm, evaluator, sizes,
                     constraints=self._constraints, k=k,
-                    tracer=self._tracer, metrics=self._metrics)
+                    tracer=self._tracer, metrics=self._metrics,
+                    recorder=self._recorder)
                 result = engine.search(graph, current_layout, budget)
             elif method == "full-striping":
                 with self._tracer.span("full-striping"):
@@ -342,7 +352,8 @@ class LayoutAdvisor:
                 migration = plan_migration(current_layout,
                                            result.layout,
                                            tracer=self._tracer,
-                                           metrics=self._metrics)
+                                           metrics=self._metrics,
+                                           recorder=self._recorder)
                 diagnostics += list(self._audit_migration(
                     migration, current_layout, budget_used))
             recommendation = Recommendation(
@@ -389,7 +400,8 @@ class LayoutAdvisor:
                                  metrics=self._metrics,
                                  deadline=deadline, retry=retry,
                                  trajectory_timeout_s=trajectory_timeout_s,
-                                 faults=faults)
+                                 faults=faults,
+                                 recorder=self._recorder)
         initial = current_layout \
             if self._constraints.movement is not None else None
         return engine.search(graph, initial_layout=initial)
@@ -442,7 +454,8 @@ class LayoutAdvisor:
             search = TsGreedySearch(self._farm, evaluator, sizes,
                                     constraints=self._constraints, k=k,
                                     tracer=self._tracer,
-                                    metrics=self._metrics)
+                                    metrics=self._metrics,
+                                    recorder=self._recorder)
             initial = current_layout \
                 if self._constraints.movement is not None else None
             result = search.search(graph, initial_layout=initial)

@@ -31,7 +31,7 @@ from repro.core.greedy import SearchResult
 from repro.core.layout import Layout, stripe_fractions
 from repro.core.tolerance import EPS_CAPACITY
 from repro.errors import LayoutError
-from repro.obs import NULL_METRICS, NULL_TRACER
+from repro.obs import NULL_METRICS, NULL_RECORDER, NULL_TRACER
 from repro.storage.disk import DiskFarm
 
 logger = logging.getLogger("repro.core.annealing")
@@ -45,7 +45,7 @@ def annealing_search(farm: DiskFarm,
                      initial_temperature: float | None = None,
                      cooling: float = 0.995,
                      constraints: ConstraintSet | None = None,
-                     tracer=None, metrics=None,
+                     tracer=None, metrics=None, recorder=None,
                      ) -> SearchResult:
     """Anneal over rate-proportionally-striped layouts.
 
@@ -66,6 +66,9 @@ def annealing_search(farm: DiskFarm,
         metrics: Optional :class:`repro.obs.MetricsRegistry`; records
             ``annealing.proposals`` / ``annealing.accepted`` /
             ``annealing.rejected`` / ``annealing.infeasible`` counters.
+        recorder: Optional :class:`repro.obs.EventRecorder`; emits
+            sampled ``anneal-step`` progress events (at most 32 per
+            run, evenly strided over the proposal budget).
 
     Returns:
         A :class:`SearchResult` with the best layout visited; its
@@ -75,6 +78,8 @@ def annealing_search(farm: DiskFarm,
         raise LayoutError("iterations must be positive")
     tracer = tracer if tracer is not None else NULL_TRACER
     metrics = metrics if metrics is not None else NULL_METRICS
+    recorder = recorder if recorder is not None else NULL_RECORDER
+    sample_stride = max(1, iterations // 32)
     constraints = constraints or ConstraintSet()
     rng = random.Random(seed)
     names = evaluator.object_names
@@ -99,7 +104,11 @@ def annealing_search(farm: DiskFarm,
     accepted = rejected = infeasible = 0
     with tracer.span("annealing", iterations=iterations,
                      seed=seed) as span:
-        for _ in range(iterations):
+        for proposal_index in range(iterations):
+            if proposal_index % sample_stride == 0:
+                recorder.emit("anneal-step", proposal=proposal_index,
+                              best_cost=float(best_cost),
+                              temperature=float(temperature))
             name = rng.choice(names)
             disks_now = [j for j, f in enumerate(current[name]) if f > 0]
             kind = rng.random()

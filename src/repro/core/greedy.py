@@ -27,7 +27,7 @@ from repro.core.layout import Layout, stripe_fractions
 from repro.core.partitioning import PartitionStats, partition_access_graph
 from repro.core.tolerance import EPS_CAPACITY, EPS_COST, EPS_ZERO
 from repro.errors import LayoutError
-from repro.obs import NULL_METRICS, NULL_TRACER
+from repro.obs import NULL_METRICS, NULL_RECORDER, NULL_TRACER
 from repro.storage.disk import DiskFarm
 from repro.workload.access_graph import AccessGraph
 
@@ -230,6 +230,9 @@ class TsGreedySearch:
             with ``ts-greedy/step1`` and ``ts-greedy/step2`` children.
         metrics: Optional :class:`repro.obs.MetricsRegistry`; records
             ``greedy.*`` and ``partition.*`` instruments.
+        recorder: Optional :class:`repro.obs.EventRecorder`; emits one
+            ``greedy-iteration`` event per step-2 iteration and one
+            ``kl-pass`` event per converged KL pass.
         partition_seed: ``None`` runs the canonical deterministic KL
             partitioning; an integer shuffles its processing order
             (deterministically per seed), yielding a different step-1
@@ -246,7 +249,7 @@ class TsGreedySearch:
                  constraints: ConstraintSet | None = None,
                  k: int = 1, tracer=None, metrics=None,
                  partition_seed: int | None = None,
-                 prune: bool = True):
+                 prune: bool = True, recorder=None):
         if k < 1:
             raise LayoutError("k must be at least 1")
         self._farm = farm
@@ -256,6 +259,8 @@ class TsGreedySearch:
         self._k = k
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._metrics = metrics if metrics is not None else NULL_METRICS
+        self._recorder = recorder if recorder is not None \
+            else NULL_RECORDER
         self._partition_seed = partition_seed
         self._prune = prune
         self._allow_removals = False
@@ -294,6 +299,9 @@ class TsGreedySearch:
             result.elapsed_s = time.perf_counter() - start
             result.kl_passes = kl_stats.passes
             result.kl_cut_weights = tuple(kl_stats.cut_weights)
+            for index, weight in enumerate(result.kl_cut_weights):
+                self._recorder.emit("kl-pass", pass_index=index + 1,
+                                    cut_weight=float(weight))
             span.set("iterations", result.iterations)
             span.set("evaluations", result.evaluations)
         logger.info(
@@ -492,6 +500,10 @@ class TsGreedySearch:
                     iteration=result.iterations,
                     candidates=iteration_evals, best_cost=float(cost),
                     accepted=False))
+                self._recorder.emit(
+                    "greedy-iteration", iteration=result.iterations,
+                    candidates=iteration_evals, best_cost=float(cost),
+                    accepted=False, changed=[])
                 break
             for name, row in best_change.items():
                 disk_used += self._sizes[name] * (row - current[name])
@@ -502,6 +514,10 @@ class TsGreedySearch:
                 iteration=result.iterations, candidates=iteration_evals,
                 best_cost=float(cost), accepted=True,
                 changed=tuple(sorted(best_change))))
+            self._recorder.emit(
+                "greedy-iteration", iteration=result.iterations,
+                candidates=iteration_evals, best_cost=float(cost),
+                accepted=True, changed=sorted(best_change))
             logger.debug(
                 "greedy iteration %d: widened %s, cost %.3f "
                 "(%d candidates)", result.iterations,

@@ -38,7 +38,7 @@ from repro.core.greedy import SearchResult, TsGreedySearch
 from repro.core.layout import Layout
 from repro.core.tolerance import EPS_CAPACITY, EPS_COST
 from repro.errors import LayoutError
-from repro.obs import NULL_METRICS, NULL_TRACER
+from repro.obs import NULL_METRICS, NULL_RECORDER, NULL_TRACER
 from repro.storage.disk import DiskFarm
 from repro.workload.access_graph import AccessGraph
 
@@ -113,12 +113,15 @@ class IncrementalSearch:
             ``incremental/full-relayout`` children.
         metrics: Optional :class:`repro.obs.MetricsRegistry`; records
             ``incremental.*`` instruments.
+        recorder: Optional :class:`repro.obs.EventRecorder`; forwarded
+            to the inner greedy searches (``greedy-iteration`` /
+            ``kl-pass`` events).
     """
 
     def __init__(self, farm: DiskFarm, evaluator: WorkloadCostEvaluator,
                  object_sizes: dict[str, int],
                  constraints: ConstraintSet | None = None,
-                 k: int = 1, tracer=None, metrics=None):
+                 k: int = 1, tracer=None, metrics=None, recorder=None):
         self._farm = farm
         self._evaluator = evaluator
         self._sizes = dict(object_sizes)
@@ -131,6 +134,8 @@ class IncrementalSearch:
         self._k = k
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._metrics = metrics if metrics is not None else NULL_METRICS
+        self._recorder = recorder if recorder is not None \
+            else NULL_RECORDER
 
     def search(self, graph: AccessGraph, current_layout: Layout,
                movement_budget: float) -> SearchResult:
@@ -167,7 +172,8 @@ class IncrementalSearch:
                 seeded = _BudgetedGreedySearch(
                     self._farm, self._evaluator, self._sizes,
                     constraints=budgeted, k=self._k,
-                    tracer=self._tracer, metrics=self._metrics)
+                    tracer=self._tracer, metrics=self._metrics,
+                    recorder=self._recorder)
                 result = seeded.search(graph,
                                        initial_layout=current_layout)
             # Fall back to a from-scratch re-layout when the budget can
@@ -178,8 +184,8 @@ class IncrementalSearch:
                 full = TsGreedySearch(
                     self._farm, self._evaluator, self._sizes,
                     constraints=self._constraints, k=self._k,
-                    tracer=self._tracer,
-                    metrics=self._metrics).search(graph)
+                    tracer=self._tracer, metrics=self._metrics,
+                    recorder=self._recorder).search(graph)
             full_moved = current_layout.data_movement_blocks(full.layout)
             used_full = (full_moved <= max_blocks + EPS_CAPACITY
                          and full.cost < result.cost - EPS_COST)

@@ -9,6 +9,8 @@ assignments — which is how a layout is actually realized (Section 2.1).
 
 from __future__ import annotations
 
+import math
+
 from repro.core.advisor import Recommendation
 from repro.core.layout import Layout
 from repro.storage.disk import BLOCK_BYTES
@@ -124,6 +126,13 @@ def render_migration(plan, farm=None,
     return "\n".join(lines)
 
 
+def _percentile(values: list[int], pct: float) -> float:
+    """Nearest-rank percentile (matches the metric histograms)."""
+    ordered = sorted(values)
+    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+    return float(ordered[rank - 1])
+
+
 def render_search_diagnostics(search, max_steps: int = 8) -> str:
     """The search's per-iteration telemetry, rendered for the DBA.
 
@@ -179,6 +188,12 @@ def render_search_diagnostics(search, max_steps: int = 8) -> str:
         lines.append(f"greedy: {len(accepted)} accepted moves over "
                      f"{len(steps)} iterations "
                      f"({candidates} candidates tried)")
+        per_iteration = [s.candidates for s in steps]
+        lines.append(
+            "  candidates/iteration: "
+            f"p50={_percentile(per_iteration, 50):g} "
+            f"p95={_percentile(per_iteration, 95):g} "
+            f"p99={_percentile(per_iteration, 99):g}")
         shown = accepted
         elided = 0
         if len(accepted) > max_steps:

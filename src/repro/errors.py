@@ -150,3 +150,30 @@ class RecommendationFormatError(CatalogError):
         super().__init__(message)
         self.path = path
         self.key = key
+
+
+class EventLogFormatError(ReproError):
+    """A flight-recorder event log (JSONL) is malformed.
+
+    Raised by :func:`repro.obs.events.read_events` when a file cannot
+    be read or a line is not a valid JSON event record; the CLI's
+    ``inspect`` subcommand maps it to exit code 2 like other input
+    errors.
+
+    Attributes:
+        path: The event log's file path, when known.
+        line: 1-based line number of the offending record, when known.
+    """
+
+    def __init__(self, message: str, path: str | None = None,
+                 line: int | None = None):
+        details = []
+        if path is not None:
+            details.append(f"file {path!r}")
+        if line is not None:
+            details.append(f"line {line}")
+        if details:
+            message = f"{message} ({', '.join(details)})"
+        super().__init__(message)
+        self.path = path
+        self.line = line

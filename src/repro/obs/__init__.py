@@ -1,16 +1,38 @@
 """repro.obs — observability for the advisor pipeline.
 
-Tracing spans (:class:`Tracer`), metrics (:class:`MetricsRegistry`) and
-their zero-overhead no-op defaults (:data:`NULL_TRACER`,
-:data:`NULL_METRICS`).  Every instrumented entry point in the library
-accepts optional ``tracer=`` / ``metrics=`` arguments; passing nothing
-selects the no-ops, which keep untouched callers bit-identical in
-behavior and essentially free in cost.
+Tracing spans (:class:`Tracer`), metrics (:class:`MetricsRegistry`),
+the flight recorder (:class:`EventRecorder` — an append-only JSONL
+event timeline), exporters (Prometheus text exposition, OTLP-style
+JSON spans), a deterministic phase profiler, and the zero-overhead
+no-op defaults (:data:`NULL_TRACER`, :data:`NULL_METRICS`,
+:data:`NULL_RECORDER`).  Every instrumented entry point in the library
+accepts optional ``tracer=`` / ``metrics=`` / ``recorder=`` arguments;
+passing nothing selects the no-ops, which keep untouched callers
+bit-identical in behavior and essentially free in cost.
 
-See ``docs/observability.md`` for the span naming conventions and the
-metric catalog.
+See ``docs/observability.md`` for the span naming conventions, the
+event schema, and the metric catalog
+(:data:`repro.obs.names.METRIC_CATALOG`).
 """
 
+from repro.obs.events import (
+    EVENT_SCHEMA_VERSION,
+    EVENT_TYPES,
+    EventRecorder,
+    NULL_RECORDER,
+    NullRecorder,
+    canonical_lines,
+    read_events,
+    render_timeline,
+    validate_events,
+)
+from repro.obs.export import (
+    parse_prometheus,
+    to_otlp,
+    to_prometheus,
+    write_otlp,
+    write_prometheus,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -19,17 +41,37 @@ from repro.obs.metrics import (
     NULL_METRICS,
     NullMetrics,
 )
+from repro.obs.names import METRIC_CATALOG
+from repro.obs.profile import PHASES, phase_breakdown, render_breakdown
 from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
     "Counter",
+    "EVENT_SCHEMA_VERSION",
+    "EVENT_TYPES",
+    "EventRecorder",
     "Gauge",
     "Histogram",
+    "METRIC_CATALOG",
     "MetricsRegistry",
     "NULL_METRICS",
+    "NULL_RECORDER",
     "NULL_TRACER",
     "NullMetrics",
+    "NullRecorder",
     "NullTracer",
+    "PHASES",
     "Span",
     "Tracer",
+    "canonical_lines",
+    "parse_prometheus",
+    "phase_breakdown",
+    "read_events",
+    "render_breakdown",
+    "render_timeline",
+    "to_otlp",
+    "to_prometheus",
+    "validate_events",
+    "write_otlp",
+    "write_prometheus",
 ]

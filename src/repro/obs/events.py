@@ -1,0 +1,462 @@
+"""The flight recorder: an append-only, typed, structured event log.
+
+Where :mod:`repro.obs.trace` answers "how long did each phase take"
+and :mod:`repro.obs.metrics` answers "how much work happened", the
+flight recorder answers "*what happened, in what order*": every advisor
+run can emit a single ordered JSONL timeline of typed events — pipeline
+phases, greedy/KL/annealing iterations, portfolio trajectory lifecycle,
+resilience incidents (retries, timeouts, worker crashes, serial
+fallbacks, degraded results), drift scores and migration steps — that
+survives the process and can be shipped, diffed and rendered later
+(``repro-advisor inspect events.jsonl``).
+
+Event record (one JSON object per line)::
+
+    {"seq": 17, "ts_s": 0.0813, "run_id": "a3f1c9d2e4b5",
+     "source": "trajectory-2", "type": "greedy-iteration",
+     "data": {"iteration": 3, "candidates": 41, ...}}
+
+* ``seq`` is the parent-assigned append order — the total order of the
+  timeline.  Worker events are relayed through the portfolio engine's
+  telemetry-merge path and re-sequenced there in trajectory order, so
+  a ``jobs=4`` run produces the same ordered timeline as ``jobs=1``.
+* ``ts_s`` is a monotonic timestamp relative to the emitting
+  recorder's epoch (wall-clock free, machine-independent in meaning
+  though not in value).
+* ``run_id`` identifies the run; relayed worker events are re-stamped
+  with the parent's run id.
+* ``source`` is ``"parent"`` or ``"trajectory-<i>"``.
+* ``type`` must be declared in :data:`EVENT_TYPES` — an undeclared
+  type raises ``ValueError`` at emit time, so the schema below is the
+  schema, not a convention.
+
+Determinism: two identical seeded runs produce byte-identical event
+files once the volatile fields (timestamps, run ids, measured
+durations — see :data:`VOLATILE_FIELDS` / :data:`VOLATILE_DATA_KEYS`)
+are stripped; :func:`canonical_lines` does exactly that and is what the
+determinism tests compare.
+
+Like the tracer and the metrics registry, every ``recorder=`` parameter
+in the library defaults to :data:`NULL_RECORDER`, a shared no-op.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import uuid
+from pathlib import Path
+from typing import Any, Callable, IO, Iterable, Sequence
+
+from repro.errors import EventLogFormatError
+
+#: Current schema version, stamped into ``run-start`` events.
+EVENT_SCHEMA_VERSION = 1
+
+#: Every event type the pipeline may emit, with a one-line description.
+#: ``EventRecorder.emit`` rejects anything not declared here.
+EVENT_TYPES: dict[str, str] = {
+    "run-start": "an advisor CLI/bench run began (command, inputs)",
+    "run-end": "the run finished (status, wall_s)",
+    "phase-start": "a traced pipeline phase opened (phase)",
+    "phase-end": "a traced pipeline phase closed (phase, wall_s, cpu_s)",
+    "workload-ingest": "a profiler trace was folded into a workload "
+                       "(path, statements, groups, overlap_factor)",
+    "greedy-iteration": "one TS-GREEDY step-2 iteration (iteration, "
+                        "candidates, best_cost, accepted, changed)",
+    "kl-pass": "one KL partitioning pass converged (pass_index, "
+               "cut_weight)",
+    "anneal-step": "sampled annealing progress (proposal, best_cost, "
+                   "temperature)",
+    "trajectory-start": "a portfolio trajectory was dispatched "
+                        "(index, label)",
+    "trajectory-end": "a portfolio trajectory completed (index, label, "
+                      "cost)",
+    "trajectory-failed": "a trajectory produced no result (index, "
+                         "label, cause, attempts, message)",
+    "retry": "a failed trajectory is being re-attempted in-process "
+             "(index, label, attempt)",
+    "timeout": "a trajectory exceeded its budget (index, label, "
+               "budget_s)",
+    "worker-crash": "a trajectory was lost to a dead worker process "
+                    "(index, label, message)",
+    "serial-fallback": "a lost trajectory is re-run in-process "
+                       "(index, label, cause)",
+    "degraded": "the run returned a partial result (failed, total, "
+                "causes)",
+    "drift-score": "a workload drift comparison finished (score, "
+                   "node_drift, edge_drift, relayout_recommended)",
+    "migration-plan": "a migration plan was produced (steps, "
+                      "moved_blocks, staged_blocks, est_seconds)",
+    "migration-step": "one planned move (step, obj, src, dst, blocks, "
+                      "staged)",
+    "note": "free-form annotation (message)",
+}
+
+#: Top-level record fields stripped by :func:`canonical_lines` —
+#: timestamps and run identity vary between otherwise-identical runs.
+VOLATILE_FIELDS = ("ts_s", "run_id")
+
+#: ``data`` keys stripped by :func:`canonical_lines` — measured
+#: durations are real time, never deterministic.
+VOLATILE_DATA_KEYS = ("wall_s", "cpu_s", "budget_s", "elapsed_s")
+
+#: Fields every well-formed event record must carry.
+REQUIRED_FIELDS = ("seq", "ts_s", "run_id", "source", "type", "data")
+
+
+def new_run_id() -> str:
+    """A short unique run identifier (12 hex chars)."""
+    return uuid.uuid4().hex[:12]
+
+
+class EventRecorder:
+    """Collects (and optionally streams) the run's event timeline.
+
+    Args:
+        run_id: Run identifier; generated when omitted.  Relayed
+            worker events are re-stamped with this id by
+            :meth:`ingest`.
+        source: Name stamped on every event this recorder emits —
+            ``"parent"`` for the main process, ``"trajectory-<i>"``
+            inside portfolio workers.
+        clock: Monotonic time source (injectable for tests).
+        path: Optional JSONL sink; when given, every event is appended
+            and flushed as it is emitted, so a crashed run still leaves
+            a readable prefix of its timeline on disk.
+
+    Usage::
+
+        recorder = EventRecorder(path="events.jsonl")
+        recorder.emit("run-start", command="recommend")
+        ...
+        recorder.emit("run-end", status="ok")
+        recorder.close()
+    """
+
+    def __init__(self, run_id: str | None = None,
+                 source: str = "parent",
+                 clock: Callable[[], float] = time.perf_counter,
+                 path: str | Path | None = None):
+        self.run_id = run_id or new_run_id()
+        self.source = source
+        self._clock = clock
+        self._epoch = clock()
+        self._events: list[dict[str, Any]] = []
+        self._sink: IO[str] | None = None
+        self._path = Path(path) if path is not None else None
+        if self._path is not None:
+            self._sink = open(self._path, "a")
+
+    # -- write side --------------------------------------------------------
+
+    def emit(self, type_: str, **data: Any) -> dict[str, Any]:
+        """Append one typed event; returns the record.
+
+        Raises:
+            ValueError: When ``type_`` is not declared in
+                :data:`EVENT_TYPES` — every event type must be part of
+                the documented schema.
+        """
+        if type_ not in EVENT_TYPES:
+            raise ValueError(
+                f"undeclared event type {type_!r}; declare it in "
+                f"repro.obs.events.EVENT_TYPES")
+        event = {
+            "seq": len(self._events),
+            "ts_s": round(self._clock() - self._epoch, 9),
+            "run_id": self.run_id,
+            "source": self.source,
+            "type": type_,
+            "data": data,
+        }
+        self._append(event)
+        return event
+
+    def ingest(self, events: Iterable[dict[str, Any]],
+               ) -> list[dict[str, Any]]:
+        """Relay events recorded elsewhere (e.g. a pool worker).
+
+        Each event keeps its own ``source``, ``ts_s`` (relative to the
+        *emitting* recorder's epoch), ``type`` and ``data``, but is
+        re-sequenced into this recorder's timeline and re-stamped with
+        this recorder's ``run_id`` — one run, one id, one total order.
+        The portfolio engine calls this in sorted trajectory order, so
+        the merged timeline is deterministic regardless of ``jobs``.
+        """
+        ingested = []
+        for event in events:
+            type_ = event.get("type", "")
+            if type_ not in EVENT_TYPES:
+                raise ValueError(
+                    f"undeclared event type {type_!r} in relayed event")
+            record = {
+                "seq": len(self._events),
+                "ts_s": float(event.get("ts_s", 0.0)),
+                "run_id": self.run_id,
+                "source": str(event.get("source", "unknown")),
+                "type": type_,
+                "data": dict(event.get("data", {})),
+            }
+            self._append(record)
+            ingested.append(record)
+        return ingested
+
+    def _append(self, event: dict[str, Any]) -> None:
+        self._events.append(event)
+        if self._sink is not None:
+            self._sink.write(json.dumps(event, sort_keys=True) + "\n")
+            self._sink.flush()
+
+    # -- read side ---------------------------------------------------------
+
+    @property
+    def events(self) -> list[dict[str, Any]]:
+        """The recorded events, in append (= timeline) order."""
+        return list(self._events)
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """JSON-ready copy of every event, for cross-process relay."""
+        return [dict(e, data=dict(e["data"])) for e in self._events]
+
+    def write_jsonl(self, path: str | Path) -> None:
+        """Write the full timeline as a JSONL file (one event/line)."""
+        with open(path, "w") as handle:
+            for event in self._events:
+                handle.write(json.dumps(event, sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        """Close the streaming sink, if one is open."""
+        if self._sink is not None:
+            self._sink.close()
+            self._sink = None
+
+    def __enter__(self) -> "EventRecorder":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class NullRecorder:
+    """API-compatible recorder that records nothing (shared default)."""
+
+    run_id = ""
+    source = "null"
+
+    def emit(self, type_: str, **data: Any) -> dict[str, Any]:
+        return {}
+
+    def ingest(self, events: Iterable[dict[str, Any]],
+               ) -> list[dict[str, Any]]:
+        return []
+
+    @property
+    def events(self) -> list[dict[str, Any]]:
+        return []
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        return []
+
+    def write_jsonl(self, path: str | Path) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "NullRecorder":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        pass
+
+
+#: Shared no-op recorder used as the default everywhere.
+NULL_RECORDER = NullRecorder()
+
+
+# -- reading and validating event files ---------------------------------------
+
+
+def read_events(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a JSONL event file back into event records.
+
+    Raises:
+        EventLogFormatError: When the file cannot be read, a line is
+            not valid JSON, or a record is not a JSON object; the
+            message names the file and the offending line.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as error:
+        raise EventLogFormatError(
+            f"cannot read event log: {error}",
+            path=str(path)) from None
+    events: list[dict[str, Any]] = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise EventLogFormatError(
+                f"event log line is not valid JSON: {error}",
+                path=str(path), line=number) from None
+        if not isinstance(record, dict):
+            raise EventLogFormatError(
+                f"event record must be a JSON object, got "
+                f"{type(record).__name__}", path=str(path), line=number)
+        events.append(record)
+    return events
+
+
+def validate_events(events: Sequence[dict[str, Any]]) -> list[str]:
+    """Structural problems of an event timeline (empty list = valid).
+
+    Checks: required fields present, event types declared, ``seq``
+    strictly increasing from 0 (the single-total-order property the
+    ``inspect`` renderer relies on), one ``run_id`` per file.
+    """
+    problems: list[str] = []
+    run_ids = set()
+    for position, event in enumerate(events):
+        missing = [f for f in REQUIRED_FIELDS if f not in event]
+        if missing:
+            problems.append(f"event {position}: missing fields "
+                            f"{missing}")
+            continue
+        if event["type"] not in EVENT_TYPES:
+            problems.append(f"event {position}: undeclared type "
+                            f"{event['type']!r}")
+        if event["seq"] != position:
+            problems.append(f"event {position}: seq {event['seq']} "
+                            f"breaks the total order")
+        if not isinstance(event["data"], dict):
+            problems.append(f"event {position}: data is not an object")
+        run_ids.add(event["run_id"])
+    if len(run_ids) > 1:
+        problems.append(f"multiple run_ids in one timeline: "
+                        f"{sorted(run_ids)}")
+    return problems
+
+
+def canonical_lines(events: Sequence[dict[str, Any]]) -> list[str]:
+    """Deterministic rendering of a timeline, volatile fields stripped.
+
+    Two identical seeded runs must produce byte-identical canonical
+    lines; this is the form the determinism tests compare.  Strips
+    :data:`VOLATILE_FIELDS` from each record and
+    :data:`VOLATILE_DATA_KEYS` from each record's ``data``.
+    """
+    lines = []
+    for event in events:
+        record = {k: v for k, v in event.items()
+                  if k not in VOLATILE_FIELDS}
+        record["data"] = {k: v for k, v in event.get("data", {}).items()
+                          if k not in VOLATILE_DATA_KEYS}
+        lines.append(json.dumps(record, sort_keys=True))
+    return lines
+
+
+# -- the `inspect` renderer ----------------------------------------------------
+
+#: Event types shown line-by-line in the timeline (high-level
+#: lifecycle; per-iteration events are summarized, not listed).
+_TIMELINE_TYPES = frozenset({
+    "run-start", "run-end", "workload-ingest",
+    "trajectory-start", "trajectory-end", "trajectory-failed",
+    "retry", "timeout", "worker-crash", "serial-fallback", "degraded",
+    "drift-score", "migration-plan",
+})
+
+
+def _describe(event: dict[str, Any]) -> str:
+    data = event.get("data", {})
+    pairs = ", ".join(f"{k}={v}" for k, v in data.items()
+                      if not isinstance(v, (list, dict)))
+    return pairs
+
+
+def render_timeline(events: Sequence[dict[str, Any]],
+                    top: int = 10) -> str:
+    """Human-readable timeline + hotspot table for ``inspect``.
+
+    Shows the run header, the lifecycle timeline (phases collapsed to
+    their closing event, per-iteration events summarized as counts),
+    and a top-``top`` hotspot table aggregating ``phase-end`` wall/CPU
+    time by phase name across every source.
+    """
+    if not events:
+        return "(empty event log)"
+    run_id = events[0].get("run_id", "?")
+    sources = sorted({e.get("source", "?") for e in events})
+    counts: dict[str, int] = {}
+    for event in events:
+        counts[event.get("type", "?")] = \
+            counts.get(event.get("type", "?"), 0) + 1
+    lines = [
+        f"=== flight recorder: run {run_id} ===",
+        f"{len(events)} events from {len(sources)} source(s): "
+        f"{', '.join(sources)}",
+        "",
+        "--- timeline ---",
+    ]
+    for event in events:
+        type_ = event.get("type", "?")
+        if type_ in _TIMELINE_TYPES:
+            lines.append(f"  [{event.get('seq', '?'):>4}] "
+                         f"{event.get('source', '?'):14s} "
+                         f"{type_:18s} {_describe(event)}")
+        elif type_ == "phase-end":
+            data = event.get("data", {})
+            lines.append(f"  [{event.get('seq', '?'):>4}] "
+                         f"{event.get('source', '?'):14s} "
+                         f"{'phase':18s} "
+                         f"{data.get('phase', '?')} "
+                         f"({data.get('wall_s', 0.0):.4f}s)")
+    iteration_counts = {t: n for t, n in sorted(counts.items())
+                        if t in ("greedy-iteration", "kl-pass",
+                                 "anneal-step", "migration-step")}
+    if iteration_counts:
+        summary = ", ".join(f"{n} {t}" for t, n
+                            in iteration_counts.items())
+        lines.append(f"  (iteration events summarized: {summary})")
+    hotspots = _hotspots(events)
+    if hotspots:
+        lines.append("")
+        lines.append(f"--- top {min(top, len(hotspots))} hotspots "
+                     f"(by wall time) ---")
+        lines.append(f"  {'phase':28s} {'count':>5s} {'wall':>9s} "
+                     f"{'cpu':>9s}")
+        for phase, (count, wall, cpu) in hotspots[:top]:
+            lines.append(f"  {phase:28s} {count:5d} {wall:8.4f}s "
+                         f"{cpu:8.4f}s")
+    degraded = [e for e in events if e.get("type") == "degraded"]
+    if degraded:
+        data = degraded[-1].get("data", {})
+        lines.append("")
+        lines.append(f"degraded run: {data.get('failed', '?')}/"
+                     f"{data.get('total', '?')} trajectories failed "
+                     f"({data.get('causes', '?')})")
+    return "\n".join(lines)
+
+
+def _hotspots(events: Sequence[dict[str, Any]],
+              ) -> list[tuple[str, tuple[int, float, float]]]:
+    """(phase, (count, wall_s, cpu_s)) aggregated over phase-end
+    events, sorted by wall time descending (name-tiebroken)."""
+    totals: dict[str, list[float]] = {}
+    for event in events:
+        if event.get("type") != "phase-end":
+            continue
+        data = event.get("data", {})
+        phase = str(data.get("phase", "?"))
+        entry = totals.setdefault(phase, [0, 0.0, 0.0])
+        entry[0] += 1
+        entry[1] += float(data.get("wall_s", 0.0))
+        entry[2] += float(data.get("cpu_s", 0.0))
+    return sorted(
+        ((phase, (int(c), w, cpu))
+         for phase, (c, w, cpu) in totals.items()),
+        key=lambda item: (-item[1][1], item[0]))

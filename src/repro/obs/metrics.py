@@ -90,7 +90,7 @@ class Histogram:
 
         Count, total, min and max merge exactly.  The remote samples
         are gone by snapshot time, so percentiles after a merge are
-        approximate: the snapshot's p50/p95 stand in as samples.
+        approximate: the snapshot's p50/p95/p99 stand in as samples.
         """
         count = int(summary.get("count", 0))
         if count <= 0:
@@ -99,7 +99,7 @@ class Histogram:
         self.total += float(summary.get("total", 0.0))
         self.min = min(self.min, float(summary["min"]))
         self.max = max(self.max, float(summary["max"]))
-        for key in ("p50", "p95"):
+        for key in ("p50", "p95", "p99"):
             if key in summary and len(self.samples) < self.max_samples:
                 self.samples.append(float(summary[key]))
 
@@ -118,12 +118,20 @@ class MetricsRegistry:
 
     A name identifies exactly one instrument; asking for it again with a
     different kind raises ``ValueError`` (catching typos early).
+
+    With ``strict=True`` every accessed name must additionally be
+    declared with the matching kind in
+    :data:`repro.obs.names.METRIC_CATALOG`; an undeclared name raises
+    ``ValueError``.  The test suite runs the whole pipeline strict, so
+    new metric names must be added to the catalog before they can be
+    emitted.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, strict: bool = False) -> None:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self.strict = strict
 
     # -- instrument accessors ---------------------------------------------
 
@@ -145,6 +153,17 @@ class MetricsRegistry:
                 raise ValueError(
                     f"metric {name!r} already exists with another kind; "
                     f"cannot reuse it as a {kind}")
+        if self.strict and name not in expected:
+            from repro.obs.names import METRIC_CATALOG
+            declared = METRIC_CATALOG.get(name)
+            if declared is None:
+                raise ValueError(
+                    f"metric {name!r} is not declared in "
+                    f"repro.obs.names.METRIC_CATALOG")
+            if declared[0] != kind:
+                raise ValueError(
+                    f"metric {name!r} is declared as a {declared[0]}, "
+                    f"not a {kind}")
 
     # -- convenience write paths ------------------------------------------
 
@@ -200,7 +219,8 @@ class MetricsRegistry:
                        "min": h.min if h.count else 0.0,
                        "max": h.max if h.count else 0.0,
                        "mean": h.mean,
-                       "p50": h.percentile(50), "p95": h.percentile(95)}
+                       "p50": h.percentile(50), "p95": h.percentile(95),
+                       "p99": h.percentile(99)}
                 for name, h in sorted(self._histograms.items())},
         }
 
@@ -220,7 +240,8 @@ class MetricsRegistry:
             lines.append(
                 f"{name:40s} n={hist.count} mean={hist.mean:.6g} "
                 f"min={hist.min:.6g} p50={hist.percentile(50):.6g} "
-                f"p95={hist.percentile(95):.6g} max={hist.max:.6g}")
+                f"p95={hist.percentile(95):.6g} "
+                f"p99={hist.percentile(99):.6g} max={hist.max:.6g}")
         return "\n".join(lines)
 
 

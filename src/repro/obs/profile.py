@@ -1,0 +1,102 @@
+"""Deterministic per-phase profiling for the bench and the perf gate.
+
+Aggregates a run's tracer spans and metric counts into a fixed set of
+algorithm phases — the same six the paper's pipeline decomposes into —
+so `BENCH_search.json` can carry a versioned per-phase breakdown and
+the CI perf gate can attribute a wall-time regression to the phase
+that grew (see :func:`repro.perf_gate` — the violation message names
+the slowest-growing phase).
+
+The phase set is deliberately closed and stable: every breakdown
+contains all six phases (zeroed when a phase did not run), so gate
+comparisons never have to reconcile schemas.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: Schema version of the ``phases`` block in bench payloads.
+PROFILE_VERSION = 1
+
+#: The closed set of profiled phases, in pipeline order.
+PHASES = ("expand", "kl", "greedy", "bound-prune", "anneal",
+          "migration-plan")
+
+#: span name -> phase.  Spans not listed here (orchestration wrappers
+#: like ``recommend`` or ``portfolio``) are walked for their children
+#: but contribute no time themselves.
+_SPAN_PHASE: dict[str, str] = {
+    "analyze-workload": "expand",
+    "expand-concurrency": "expand",
+    "build-access-graph": "expand",
+    "build-evaluator": "expand",
+    "ts-greedy/step1": "kl",
+    "ts-greedy/step2": "greedy",
+    "annealing": "anneal",
+    "plan-migration": "migration-plan",
+}
+
+#: phase -> counter whose value is the phase's work count.  The
+#: bound-prune phase has no span of its own (pruning happens inside the
+#: greedy loop), so it contributes counts with zero attributed time.
+_PHASE_COUNTER: dict[str, str] = {
+    "expand": "analyze.statements",
+    "kl": "partition.kl_passes",
+    "greedy": "greedy.evaluations",
+    "bound-prune": "costmodel.bound_evaluations",
+    "anneal": "annealing.proposals",
+    "migration-plan": "incremental.migration_steps",
+}
+
+
+def phase_breakdown(tracer, metrics) -> dict[str, Any]:
+    """Aggregate a run's spans and metrics into the six-phase schema.
+
+    Args:
+        tracer: A :class:`repro.obs.Tracer` (or anything with
+            ``roots``); every span in the forest whose name maps to a
+            phase contributes its wall and CPU time.  Sub-phase spans
+            (``ts-greedy/step2`` under ``ts-greedy``) are counted once
+            — the mapping only names leaf-level phase spans.
+        metrics: A :class:`repro.obs.MetricsRegistry` (or anything with
+            ``value``); supplies each phase's work count.
+
+    Returns:
+        ``{"version": 1, "phases": {phase: {"wall_s", "cpu_s",
+        "count"}}}`` with every phase of :data:`PHASES` present.
+    """
+    totals = {phase: {"wall_s": 0.0, "cpu_s": 0.0, "count": 0.0}
+              for phase in PHASES}
+
+    def walk(span) -> None:
+        phase = _SPAN_PHASE.get(span.name)
+        if phase is not None:
+            totals[phase]["wall_s"] += float(span.duration_s)
+            totals[phase]["cpu_s"] += float(getattr(span, "cpu_s", 0.0))
+        for child in span.children:
+            walk(child)
+
+    for root in tracer.roots:
+        walk(root)
+    for phase, counter in _PHASE_COUNTER.items():
+        totals[phase]["count"] = float(metrics.value(counter))
+    return {
+        "version": PROFILE_VERSION,
+        "phases": {phase: {"wall_s": round(entry["wall_s"], 9),
+                           "cpu_s": round(entry["cpu_s"], 9),
+                           "count": entry["count"]}
+                   for phase, entry in totals.items()},
+    }
+
+
+def render_breakdown(breakdown: dict[str, Any]) -> str:
+    """One-line-per-phase rendering for bench output."""
+    lines = [f"{'phase':16s} {'count':>12s} {'wall':>10s} {'cpu':>10s}"]
+    for phase in PHASES:
+        entry = breakdown.get("phases", {}).get(phase)
+        if entry is None:
+            continue
+        lines.append(f"{phase:16s} {entry['count']:12.0f} "
+                     f"{entry['wall_s']:9.4f}s {entry['cpu_s']:9.4f}s")
+    return "\n".join(lines)

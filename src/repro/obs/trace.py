@@ -38,6 +38,7 @@ class Span:
     end_s: float | None = None
     attrs: dict[str, Any] = field(default_factory=dict)
     children: list["Span"] = field(default_factory=list)
+    cpu_s: float = 0.0
 
     @property
     def duration_s(self) -> float:
@@ -74,6 +75,7 @@ class Span:
             "name": self.name,
             "start_s": round(float(self.start_s), 9),
             "duration_s": round(float(self.duration_s), 9),
+            "cpu_s": round(float(self.cpu_s), 9),
         }
         if self.attrs:
             out["attrs"] = dict(self.attrs)
@@ -89,7 +91,8 @@ class Span:
                    end_s=start + float(data["duration_s"]),
                    attrs=dict(data.get("attrs", {})),
                    children=[cls.from_dict(c)
-                             for c in data.get("children", ())])
+                             for c in data.get("children", ())],
+                   cpu_s=float(data.get("cpu_s", 0.0)))
 
 
 class Tracer:
@@ -97,6 +100,15 @@ class Tracer:
 
     Args:
         clock: Monotonic time source in seconds (injectable for tests).
+        cpu_clock: Process CPU time source; each closed span carries
+            the CPU seconds it covered (``span.cpu_s``), which the
+            phase profiler aggregates.
+        recorder: Optional :class:`repro.obs.events.EventRecorder`;
+            when given, every span emits a ``phase-start`` event on
+            open and a ``phase-end`` event (with wall/CPU seconds) on
+            close, bridging the trace tree into the flight recorder's
+            timeline.  Spans grafted via :meth:`attach` do not emit —
+            the exporting process already recorded their events.
 
     Usage::
 
@@ -107,8 +119,12 @@ class Tracer:
         print(tracer.render_tree())
     """
 
-    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+    def __init__(self, clock: Callable[[], float] = time.perf_counter,
+                 cpu_clock: Callable[[], float] = time.process_time,
+                 recorder=None):
         self._clock = clock
+        self._cpu_clock = cpu_clock
+        self._recorder = recorder
         self._epoch = clock()
         self._roots: list[Span] = []
         self._stack: list[Span] = []
@@ -133,11 +149,20 @@ class Tracer:
         else:
             self._roots.append(node)
         self._stack.append(node)
+        cpu_start = self._cpu_clock()
+        if self._recorder is not None:
+            self._recorder.emit("phase-start", phase=name)
         try:
             yield node
         finally:
             node.end_s = self._clock() - self._epoch
+            node.cpu_s = self._cpu_clock() - cpu_start
             self._stack.pop()
+            if self._recorder is not None:
+                self._recorder.emit(
+                    "phase-end", phase=name,
+                    wall_s=round(node.duration_s, 9),
+                    cpu_s=round(node.cpu_s, 9))
 
     def find(self, name: str) -> Span | None:
         """Most recent span named ``name`` across all roots."""

@@ -63,7 +63,7 @@ from repro.errors import (
     SearchTimeout,
     WorkerCrash,
 )
-from repro.obs import NULL_METRICS, NULL_TRACER, Span
+from repro.obs import NULL_METRICS, NULL_RECORDER, NULL_TRACER, Span
 from repro.parallel.shared import share_evaluator
 from repro.parallel.worker import (
     TrajectoryContext,
@@ -236,6 +236,14 @@ class PortfolioSearch:
             time is recorded as a ``"timeout"`` failure.
         faults: Fault-injection plan for tests/chaos runs; defaults to
             whatever ``REPRO_FAULTS`` names (``None`` in production).
+        recorder: Optional :class:`~repro.obs.EventRecorder`; records
+            the trajectory lifecycle (``trajectory-start`` /
+            ``trajectory-end`` / ``trajectory-failed``), resilience
+            incidents (``retry`` / ``timeout`` / ``worker-crash`` /
+            ``serial-fallback`` / ``degraded``), and relays each
+            worker's own event stream into the parent timeline in
+            trajectory order — so a ``jobs=N`` run reconstructs to the
+            same ordered timeline as ``jobs=1``.
     """
 
     def __init__(self, farm: DiskFarm, evaluator: WorkloadCostEvaluator,
@@ -245,7 +253,7 @@ class PortfolioSearch:
                  jobs: int = 1, tracer=None, metrics=None,
                  deadline=None, retry: RetryPolicy | None = None,
                  trajectory_timeout_s: float | None = None,
-                 faults: FaultPlan | None = None):
+                 faults: FaultPlan | None = None, recorder=None):
         if jobs < 0:
             raise LayoutError("jobs must be >= 0 (0 = auto)")
         if trajectory_timeout_s is not None and trajectory_timeout_s <= 0:
@@ -261,6 +269,8 @@ class PortfolioSearch:
         self._jobs = jobs if jobs > 0 else available_workers()
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._metrics = metrics if metrics is not None else NULL_METRICS
+        self._recorder = recorder if recorder is not None \
+            else NULL_RECORDER
         self._deadline_spec = deadline
         self._retry = retry if retry is not None else RetryPolicy()
         self._timeout_s = trajectory_timeout_s
@@ -351,10 +361,15 @@ class PortfolioSearch:
         for index in range(len(self._specs)):
             if payloads and deadline.expired():
                 self._metrics.inc("resilience.timeouts")
+                self._recorder.emit("timeout", index=index,
+                                    label=self._label(index),
+                                    budget_s=0.0)
                 failures[index] = TrajectoryFailure(
                     index, self._label(index), "timeout", 0,
                     "deadline expired before the trajectory started")
                 continue
+            self._recorder.emit("trajectory-start", index=index,
+                                label=self._label(index))
             payload, failure, error = self._attempt(context, index,
                                                     deadline)
             if payload is not None:
@@ -389,8 +404,12 @@ class PortfolioSearch:
                           context.initial_layout, self._specs,
                           self._faults))
             try:
-                futures = [executor.submit(run_trajectory_task, index)
-                           for index in range(len(self._specs))]
+                futures = []
+                for index in range(len(self._specs)):
+                    self._recorder.emit("trajectory-start", index=index,
+                                        label=self._label(index))
+                    futures.append(
+                        executor.submit(run_trajectory_task, index))
                 hung = self._drain(futures, deadline, payloads,
                                    failures, errors)
             except BaseException:
@@ -435,6 +454,9 @@ class PortfolioSearch:
                 future.cancel()
                 hung = True
                 self._metrics.inc("resilience.timeouts")
+                self._recorder.emit("timeout", index=index,
+                                    label=self._label(index),
+                                    budget_s=round(budget, 6))
                 failures[index] = TrajectoryFailure(
                     index, self._label(index), "timeout", 1,
                     f"no result within {budget:.3f}s")
@@ -443,6 +465,10 @@ class PortfolioSearch:
                                self._label(index), budget)
             except BrokenProcessPool as error:
                 self._metrics.inc("resilience.worker_crashes")
+                self._recorder.emit(
+                    "worker-crash", index=index,
+                    label=self._label(index),
+                    message=str(error) or "worker process died")
                 failures[index] = TrajectoryFailure(
                     index, self._label(index), "crash", 1,
                     str(error) or "worker process died")
@@ -468,6 +494,9 @@ class PortfolioSearch:
             if deadline.expired():
                 break
             self._metrics.inc("resilience.serial_fallbacks")
+            self._recorder.emit("serial-fallback", index=index,
+                                label=failure.label,
+                                cause=failure.cause)
             logger.warning("re-running trajectory %d (%s) in-process "
                            "after %s", index, failure.label,
                            failure.cause)
@@ -504,6 +533,9 @@ class PortfolioSearch:
             attempt += 1
             if attempt > 1:
                 self._metrics.inc("resilience.retries")
+                self._recorder.emit("retry", index=index,
+                                    label=self._label(index),
+                                    attempt=attempts_base + attempt)
             try:
                 payload = run_trajectory(context, index)
             except Exception as error:
@@ -568,6 +600,11 @@ class PortfolioSearch:
                 .get("costmodel.bound_evaluations", 0.0))
             self._metrics.merge(payload["metrics"])
             self._attach_spans(payload)
+            self._recorder.ingest(payload.get("events", ()))
+            self._recorder.emit("trajectory-end",
+                                index=int(payload["index"]),
+                                label=payload["label"],
+                                cost=round(float(payload["cost"]), 6))
         result.evaluations = total_evaluations
         result.extras.update({
             "trajectories": float(len(self._specs)),
@@ -582,6 +619,18 @@ class PortfolioSearch:
             result.failures = [failures[i] for i in sorted(failures)]
             result.extras["failed_trajectories"] = float(len(failures))
             self._metrics.inc("resilience.degraded", len(failures))
+            for index in sorted(failures):
+                failure = failures[index]
+                self._recorder.emit(
+                    "trajectory-failed", index=failure.index,
+                    label=failure.label, cause=failure.cause,
+                    attempts=failure.attempts,
+                    message=failure.message)
+            self._recorder.emit(
+                "degraded", failed=len(failures),
+                total=len(self._specs),
+                causes=",".join(sorted({f.cause
+                                        for f in failures.values()})))
         self._metrics.set_gauge("portfolio.trajectories",
                                 len(self._specs))
         self._metrics.set_gauge("portfolio.workers", jobs)

@@ -26,7 +26,7 @@ from repro.core.constraints import ConstraintSet
 from repro.core.greedy import SearchResult, TsGreedySearch
 from repro.core.layout import Layout
 from repro.errors import LayoutError
-from repro.obs import MetricsRegistry, Tracer
+from repro.obs import EventRecorder, MetricsRegistry, Tracer
 from repro.resilience import faults as fault_injection
 from repro.resilience.faults import FaultPlan
 from repro.storage.disk import DiskFarm
@@ -68,7 +68,8 @@ def run_trajectory(context: TrajectoryContext, index: int,
     fault_injection.fire_kill(context.faults, index)
     fault_injection.fire_delay(context.faults, index)
     fault_injection.fire_eval(context.faults, index)
-    tracer = Tracer()
+    recorder = EventRecorder(source=f"trajectory-{index}")
+    tracer = Tracer(recorder=recorder)
     metrics = MetricsRegistry()
     context.evaluator.bind_metrics(metrics)
     try:
@@ -77,7 +78,7 @@ def run_trajectory(context: TrajectoryContext, index: int,
                 context.farm, context.evaluator, context.sizes,
                 constraints=context.constraints, k=spec.k,
                 partition_seed=spec.partition_seed, prune=spec.prune,
-                tracer=tracer, metrics=metrics)
+                tracer=tracer, metrics=metrics, recorder=recorder)
             result = search.search(
                 context.graph, initial_layout=context.initial_layout)
         elif spec.method == "annealing":
@@ -85,7 +86,7 @@ def run_trajectory(context: TrajectoryContext, index: int,
                 context.farm, context.evaluator, context.sizes,
                 seed=spec.seed, iterations=spec.iterations,
                 constraints=context.constraints, tracer=tracer,
-                metrics=metrics)
+                metrics=metrics, recorder=recorder)
         else:
             raise LayoutError(
                 f"unknown trajectory method {spec.method!r}")
@@ -101,6 +102,7 @@ def run_trajectory(context: TrajectoryContext, index: int,
         "telemetry": result.telemetry_dict(),
         "spans": tracer.to_dict(),
         "metrics": metrics.to_dict(),
+        "events": recorder.snapshot(),
     }
 
 

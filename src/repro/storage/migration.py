@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import LayoutError
-from repro.obs import NULL_METRICS, NULL_TRACER
+from repro.obs import NULL_METRICS, NULL_RECORDER, NULL_TRACER
 from repro.storage.disk import BLOCK_BYTES, DiskFarm
 
 if TYPE_CHECKING:
@@ -198,7 +198,8 @@ def _object_transfers(current: "Layout", target: "Layout",
 
 
 def plan_migration(current: "Layout", target: "Layout",
-                   tracer=None, metrics=None) -> MigrationPlan:
+                   tracer=None, metrics=None,
+                   recorder=None) -> MigrationPlan:
     """Build a capacity-safe ordered migration plan between two layouts.
 
     Args:
@@ -209,6 +210,9 @@ def plan_migration(current: "Layout", target: "Layout",
         metrics: Optional :class:`repro.obs.MetricsRegistry`; records
             ``incremental.migration_steps`` /
             ``incremental.staged_blocks`` / ``incremental.moved_blocks``.
+        recorder: Optional :class:`repro.obs.EventRecorder`; emits one
+            ``migration-plan`` summary event plus one
+            ``migration-step`` event per planned move.
 
     Returns:
         A :class:`MigrationPlan` whose steps never overflow any disk at
@@ -223,6 +227,7 @@ def plan_migration(current: "Layout", target: "Layout",
     """
     tracer = tracer if tracer is not None else NULL_TRACER
     metrics = metrics if metrics is not None else NULL_METRICS
+    recorder = recorder if recorder is not None else NULL_RECORDER
     farm = current.farm
     if len(target.farm) != len(farm):
         raise LayoutError("cannot plan a migration across different "
@@ -312,4 +317,13 @@ def plan_migration(current: "Layout", target: "Layout",
         metrics.inc("incremental.migration_steps", len(steps))
         metrics.set_gauge("incremental.moved_blocks", net_moved)
         metrics.set_gauge("incremental.staged_blocks", staged_total)
+        recorder.emit("migration-plan", steps=len(steps),
+                      moved_blocks=round(float(net_moved), 3),
+                      staged_blocks=round(float(staged_total), 3),
+                      est_seconds=round(float(plan.est_seconds), 6))
+        for index, step in enumerate(steps):
+            recorder.emit("migration-step", step=index,
+                          obj=step.obj, src=step.src, dst=step.dst,
+                          blocks=round(float(step.blocks), 3),
+                          staged=step.staged)
     return plan

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.obs import NULL_METRICS, NULL_TRACER
+from repro.obs import NULL_METRICS, NULL_RECORDER, NULL_TRACER
 from repro.workload.access_graph import AccessGraph
 
 #: Default drift score above which a re-layout run is recommended.
@@ -192,7 +192,8 @@ def _normalized_l1(before: dict, after: dict) -> float:
 
 def detect_drift(before: AccessGraph, after: AccessGraph,
                  threshold: float = RELAYOUT_THRESHOLD,
-                 tracer=None, metrics=None) -> DriftReport:
+                 tracer=None, metrics=None,
+                 recorder=None) -> DriftReport:
     """Compare two workload windows via their access graphs.
 
     Args:
@@ -205,6 +206,8 @@ def detect_drift(before: AccessGraph, after: AccessGraph,
         metrics: Optional :class:`repro.obs.MetricsRegistry`; records
             ``drift.score`` / ``drift.node_drift`` / ``drift.edge_drift``
             gauges and the ``drift.relayout_recommended`` counter.
+        recorder: Optional :class:`repro.obs.EventRecorder`; emits one
+            ``drift-score`` event with the report's headline numbers.
 
     Returns:
         A :class:`DriftReport`; ``report.relayout_recommended`` is the
@@ -213,6 +216,7 @@ def detect_drift(before: AccessGraph, after: AccessGraph,
     """
     tracer = tracer if tracer is not None else NULL_TRACER
     metrics = metrics if metrics is not None else NULL_METRICS
+    recorder = recorder if recorder is not None else NULL_RECORDER
     with tracer.span("detect-drift") as span:
         nodes_before = {n: before.node_weight(n) for n in before.nodes}
         nodes_after = {n: after.node_weight(n) for n in after.nodes}
@@ -243,4 +247,8 @@ def detect_drift(before: AccessGraph, after: AccessGraph,
         metrics.set_gauge("drift.edge_drift", edge_drift)
         if report.relayout_recommended:
             metrics.inc("drift.relayout_recommended")
+        recorder.emit("drift-score", score=round(score, 6),
+                      node_drift=round(node_drift, 6),
+                      edge_drift=round(edge_drift, 6),
+                      relayout_recommended=report.relayout_recommended)
     return report

@@ -129,7 +129,7 @@ class TestCli:
                    "--database", str(tool_files / "db.json"),
                    "--disks", str(tool_files / "disks.json")])
         assert rc == 2
-        assert "provide --workload or --profile-trace" in \
+        assert "provide --workload or --workload-trace" in \
             capsys.readouterr().err
 
     def test_recommend_trace_writes_span_json(self, tool_files, capsys):

@@ -1,0 +1,115 @@
+"""The metric-name registry: one catalog, no undeclared emissions."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.core.advisor import LayoutAdvisor
+from repro.obs import METRIC_CATALOG, MetricsRegistry
+from repro.obs.names import (
+    COUNTER,
+    GAUGE,
+    HISTOGRAM,
+    metric_help,
+    metric_kind,
+)
+
+SRC = Path(__file__).parent.parent / "src" / "repro"
+
+#: Literal metric emissions in library source: ``.inc("name"`` /
+#: ``.set_gauge("name"`` / ``.observe("name"``.
+_EMISSION = re.compile(
+    r"\.(inc|set_gauge|observe)\(\s*[\"']([a-z0-9_.]+)[\"']")
+
+_EXPECTED_KIND = {"inc": COUNTER, "set_gauge": GAUGE,
+                  "observe": HISTOGRAM}
+
+
+def _emissions():
+    for path in sorted(SRC.rglob("*.py")):
+        if path.name in ("metrics.py", "names.py"):
+            continue  # the registry machinery itself
+        for method, name in _EMISSION.findall(path.read_text()):
+            yield path.relative_to(SRC), method, name
+
+
+class TestCatalog:
+    def test_catalog_entries_are_well_formed(self):
+        for name, (kind, help_text) in METRIC_CATALOG.items():
+            assert kind in (COUNTER, GAUGE, HISTOGRAM), name
+            assert help_text, f"{name} has no help text"
+            assert re.fullmatch(r"[a-z0-9_.]+", name), name
+
+    def test_helpers_answer_for_every_entry(self):
+        for name in METRIC_CATALOG:
+            assert metric_kind(name)
+            assert metric_help(name)
+
+    def test_every_source_emission_is_declared(self):
+        undeclared = [
+            f"{path}: {method}({name!r})"
+            for path, method, name in _emissions()
+            if name not in METRIC_CATALOG]
+        assert not undeclared, \
+            "metric emissions missing from METRIC_CATALOG:\n  " \
+            + "\n  ".join(undeclared)
+
+    def test_every_source_emission_matches_declared_kind(self):
+        mismatched = [
+            f"{path}: {method}({name!r}) vs catalog "
+            f"{METRIC_CATALOG[name][0]}"
+            for path, method, name in _emissions()
+            if name in METRIC_CATALOG
+            and METRIC_CATALOG[name][0] != _EXPECTED_KIND[method]]
+        assert not mismatched, \
+            "metric emissions disagree with METRIC_CATALOG kind:\n  " \
+            + "\n  ".join(mismatched)
+
+    def test_source_scan_finds_emissions_at_all(self):
+        # Guard the regex itself: if the emission idiom changes, this
+        # scan must fail loudly rather than silently check nothing.
+        assert sum(1 for _ in _emissions()) >= 20
+
+
+class TestStrictRegistry:
+    def test_undeclared_name_rejected(self):
+        metrics = MetricsRegistry(strict=True)
+        with pytest.raises(ValueError, match="not declared"):
+            metrics.inc("made.up.counter")
+
+    def test_kind_mismatch_rejected(self):
+        metrics = MetricsRegistry(strict=True)
+        with pytest.raises(ValueError, match="declared as"):
+            metrics.set_gauge("greedy.evaluations", 1.0)
+
+    def test_declared_names_accepted(self):
+        metrics = MetricsRegistry(strict=True)
+        metrics.inc("greedy.evaluations")
+        metrics.set_gauge("drift.score", 0.5)
+        metrics.observe("greedy.candidates_per_iteration", 3)
+
+    def test_full_advisor_run_emits_only_declared_metrics(
+            self, mini_db, farm8, join_workload):
+        # The integration backstop: a real recommendation under a
+        # strict registry — any undeclared emission raises.
+        metrics = MetricsRegistry(strict=True)
+        advisor = LayoutAdvisor(mini_db, farm8, metrics=metrics)
+        recommendation = advisor.recommend(join_workload)
+        assert recommendation.estimated_cost > 0
+        snapshot = metrics.to_dict()
+        emitted = (set(snapshot["counters"]) | set(snapshot["gauges"])
+                   | set(snapshot["histograms"]))
+        assert emitted <= set(METRIC_CATALOG)
+
+    def test_portfolio_run_emits_only_declared_metrics(
+            self, mini_db, farm8, join_workload):
+        metrics = MetricsRegistry(strict=True)
+        advisor = LayoutAdvisor(mini_db, farm8, metrics=metrics)
+        advisor.recommend(join_workload, method="portfolio", jobs=2)
+        snapshot = metrics.to_dict()
+        emitted = (set(snapshot["counters"]) | set(snapshot["gauges"])
+                   | set(snapshot["histograms"]))
+        assert emitted <= set(METRIC_CATALOG)

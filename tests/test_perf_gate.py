@@ -3,13 +3,21 @@
 import copy
 import json
 import sys
+import time
 from pathlib import Path
 
 import pytest
 
 sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
 
-from perf_gate import compare, main  # noqa: E402
+from perf_gate import _attribute_phase, compare, main  # noqa: E402
+
+from repro.core.costmodel import WorkloadCostEvaluator
+from repro.core.greedy import TsGreedySearch
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.profile import phase_breakdown
+from repro.workload.access import analyze_workload
+from repro.workload.access_graph import build_access_graph
 
 
 def payload(mode="ci"):
@@ -100,6 +108,92 @@ class TestCompare:
         candidate["portfolio_serial"]["cost"] += 1.0
         violations = compare(payload(), candidate, skip_wall=True)
         assert len(violations) >= 2
+
+
+def _phases(**walls):
+    """A config-level phase breakdown in the bench payload shape."""
+    return {"version": 1,
+            "phases": {name: {"wall_s": wall, "cpu_s": wall, "count": 1}
+                       for name, wall in walls.items()}}
+
+
+class TestPhaseAttribution:
+    def test_wall_violation_names_slowest_growing_phase(self):
+        baseline = payload()
+        candidate = payload()
+        baseline["greedy_prune"]["phases"] = \
+            _phases(expand=0.02, greedy=0.10, kl=0.03)
+        candidate["greedy_prune"]["phases"] = \
+            _phases(expand=0.02, greedy=0.43, kl=0.04)
+        candidate["greedy_prune"]["wall_s"] *= 3
+        violations = compare(baseline, candidate)
+        [violation] = [v for v in violations if "greedy_prune" in v]
+        assert "slowest-growing phase: greedy" in violation
+        assert "+0.330s" in violation
+        assert "0.100s -> 0.430s" in violation
+
+    def test_attribution_silent_without_phase_data(self):
+        # Payloads from before phases_version 1 still gate on wall;
+        # the violation just goes unattributed.
+        candidate = payload()
+        candidate["portfolio_serial"]["wall_s"] *= 3
+        violations = compare(payload(), candidate)
+        [violation] = violations
+        assert "portfolio_serial" in violation
+        assert "phase" not in violation
+
+    def test_attribution_silent_when_no_phase_grew(self):
+        base_cfg = {"phases": _phases(greedy=0.2, kl=0.1)}
+        cand_cfg = {"phases": _phases(greedy=0.1, kl=0.05)}
+        assert _attribute_phase(base_cfg, cand_cfg) == ""
+
+    def test_injected_delay_in_greedy_evaluation_is_attributed(
+            self, mini_db, farm8, join_workload, monkeypatch):
+        """The acceptance demo: slow down greedy cost evaluation only,
+        and the gate must name the greedy phase in its violation."""
+        analyzed = analyze_workload(join_workload, mini_db)
+        sizes = mini_db.object_sizes()
+        evaluator = WorkloadCostEvaluator(analyzed, farm8,
+                                          sorted(sizes))
+        graph = build_access_graph(analyzed, mini_db)
+
+        def run_config():
+            tracer, metrics = Tracer(), MetricsRegistry()
+            start = time.perf_counter()
+            result = TsGreedySearch(
+                farm8, evaluator, sizes, prune=True, tracer=tracer,
+                metrics=metrics).search(graph)
+            return {
+                "wall_s": time.perf_counter() - start,
+                "evaluations": result.evaluations,
+                "cost": result.cost,
+                "phases": phase_breakdown(tracer, metrics),
+            }
+
+        fast = run_config()
+        real_costs = WorkloadCostEvaluator.costs_for_rows
+
+        def slow_costs(self, *args, **kwargs):
+            time.sleep(0.003)  # the injected greedy-phase delay
+            return real_costs(self, *args, **kwargs)
+
+        monkeypatch.setattr(WorkloadCostEvaluator, "costs_for_rows",
+                            slow_costs)
+        slow = run_config()
+        # The delay slows the search without changing it.
+        assert slow["evaluations"] == fast["evaluations"]
+        assert slow["cost"] == fast["cost"]
+        assert slow["wall_s"] > fast["wall_s"] * 1.25
+
+        baseline, candidate = payload("small"), payload("small")
+        baseline["greedy_prune"] = \
+            dict(baseline["greedy_prune"], **fast)
+        candidate["greedy_prune"] = \
+            dict(candidate["greedy_prune"], **slow)
+        violations = compare(baseline, candidate)
+        [violation] = [v for v in violations if "greedy_prune" in v]
+        assert "wall" in violation
+        assert "slowest-growing phase: greedy" in violation
 
 
 class TestCli:
