@@ -18,6 +18,13 @@ Three entry points (see :mod:`repro.analysis.engine`):
 
 Every rule is documented with a minimal triggering example in
 ``docs/static-analysis.md``.
+
+A second rule set lints the advisor's *source* rather than its inputs:
+:mod:`repro.analysis.code` (``RPC0xx`` — determinism, concurrency,
+telemetry-contract and numeric-hygiene rules over the AST), run as
+``repro-advisor selfcheck``.  Both rule sets share the
+Rule/Diagnostic/AnalysisReport primitives and both render to SARIF via
+:mod:`repro.analysis.sarif`.
 """
 
 from repro.analysis.diagnostics import (
@@ -40,6 +47,8 @@ from repro.analysis.layout_rules import check_layout
 from repro.analysis.constraint_rules import check_constraints
 from repro.analysis.workload_rules import check_workload
 from repro.analysis.audit_rules import check_migration, check_recommendation
+from repro.analysis.code import CodeReport, analyze_paths, code_rules
+from repro.analysis.sarif import to_sarif, validate_sarif
 
 __all__ = [
     "REGISTRY",
@@ -59,4 +68,9 @@ __all__ = [
     "check_workload",
     "check_migration",
     "check_recommendation",
+    "CodeReport",
+    "analyze_paths",
+    "code_rules",
+    "to_sarif",
+    "validate_sarif",
 ]

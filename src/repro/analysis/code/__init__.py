@@ -1,0 +1,69 @@
+"""repro.analysis.code — the AST contract linter (``RPC0xx`` rules).
+
+Four rule families over the advisor's own source, each guarding a
+promise the docs make and the data-level ``ALR0xx`` rules cannot see:
+
+* **determinism** (``RPC1xx``) — no wall-clock reads, no process-global
+  ``random``, no builtin ``hash()``, no unordered set iteration feeding
+  ordered consumers, injected clocks inside ``parallel/``;
+* **concurrency/resources** (``RPC2xx``) — shared-memory creation pairs
+  with the ``_LIVE_SEGMENTS`` ledger, no swallowed exceptions on
+  worker/drain paths, no fork-hostile mutable module globals;
+* **telemetry contracts** (``RPC3xx``) — every literal
+  ``inc``/``set_gauge``/``observe`` resolves to ``METRIC_CATALOG`` with
+  the right kind, every ``emit`` to ``EVENT_TYPES``;
+* **numeric hygiene** (``RPC4xx``) — epsilon comparisons go through
+  ``repro/core/tolerance.py``.
+
+Run it as ``repro-advisor selfcheck [paths...]`` (text/JSON/SARIF,
+exit code = max severity) or via :func:`analyze_paths`.  Findings are
+suppressed per line with a justified pragma::
+
+    shm.unlink()  # repro: noqa RPC202 -- idempotent unlink race
+
+Every rule is documented with a triggering example in
+``docs/static-analysis.md`` and backed by an adversarial fixture in
+``tests/fixtures/rpc/`` that CI asserts it still fires on.
+"""
+
+from repro.analysis.code.engine import (
+    CODE_CHECKERS,
+    CodeChecker,
+    CodeFinding,
+    CodeReport,
+    SourceFile,
+    analyze_paths,
+    analyze_source,
+    code_checker,
+    code_rules,
+    iter_source_files,
+    load_source,
+    parse_suppressions,
+)
+
+# Importing the rule modules registers their rules and checkers.
+from repro.analysis.code import concurrency as _concurrency  # noqa: F401
+from repro.analysis.code import determinism as _determinism  # noqa: F401
+from repro.analysis.code import numeric as _numeric  # noqa: F401
+from repro.analysis.code import telemetry as _telemetry  # noqa: F401
+from repro.analysis.code.telemetry import (
+    count_telemetry_sites,
+    telemetry_sites,
+)
+
+__all__ = [
+    "CODE_CHECKERS",
+    "CodeChecker",
+    "CodeFinding",
+    "CodeReport",
+    "SourceFile",
+    "analyze_paths",
+    "analyze_source",
+    "code_checker",
+    "code_rules",
+    "count_telemetry_sites",
+    "iter_source_files",
+    "load_source",
+    "parse_suppressions",
+    "telemetry_sites",
+]

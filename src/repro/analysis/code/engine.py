@@ -1,0 +1,369 @@
+"""The code-contract linter's engine: files, pragmas, suppressions.
+
+Where the ``ALR0xx`` rules lint the advisor's *data* (layouts,
+constraints, workloads), the ``RPC0xx`` rules (*RePro Code*) lint the
+advisor's *source*: the determinism, concurrency and telemetry
+contracts that ``docs/performance.md`` and ``docs/resilience.md``
+promise — ``jobs=1 ≡ jobs=N`` bit-identity, seeded-never-``hash()``
+jitter, monotonic clocks, creator-owns-unlink shared memory, every
+metric/event emission resolving to its declared catalog entry.
+
+This module owns the mechanics shared by every rule family:
+
+* a :class:`CodeChecker` registry (:func:`code_checker`) binding each
+  registered :class:`~repro.analysis.diagnostics.Rule` to an AST check
+  plus a path scope;
+* file discovery and parsing (:func:`iter_source_files`,
+  unparseable files become ``RPC001`` diagnostics);
+* the per-line suppression pragma::
+
+      segment.unlink()  # repro: noqa RPC202 -- idempotent unlink race
+
+  A pragma *must* name the suppressed rule IDs and *must* carry a
+  ``--``-separated justification (``RPC002`` otherwise); a suppression
+  whose rule did not actually fire on that line is itself reported as
+  stale (``RPC003``), so dead pragmas cannot accumulate.
+
+The rule families live in sibling modules (:mod:`.determinism`,
+:mod:`.concurrency`, :mod:`.telemetry`, :mod:`.numeric`); importing
+:mod:`repro.analysis.code` registers all of them.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.analysis.diagnostics import (
+    REGISTRY,
+    AnalysisReport,
+    Diagnostic,
+    Rule,
+    Severity,
+    register,
+)
+
+RPC001 = register(
+    "RPC001", Severity.ERROR, "code",
+    "Source file could not be parsed")
+RPC002 = register(
+    "RPC002", Severity.ERROR, "code",
+    "Suppression pragma without rule IDs or justification")
+RPC003 = register(
+    "RPC003", Severity.WARNING, "code",
+    "Stale suppression: rule did not fire on this line")
+
+
+@dataclass(frozen=True)
+class SourceFile:
+    """One parsed Python source file under analysis.
+
+    Attributes:
+        path: The file as discovered (kept relative when the scan
+            roots were relative, so locations are stable in CI logs).
+        display: ``path`` in POSIX form — used in diagnostic locations
+            and matched (by substring) against checker scopes.
+        tree: The parsed module AST.
+        lines: Source lines, 1-indexed via ``lines[lineno - 1]``.
+    """
+
+    path: Path
+    display: str
+    tree: ast.Module
+    lines: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class CodeFinding:
+    """One raw rule hit, before suppression handling."""
+
+    rule: Rule
+    line: int
+    message: str
+    suggestion: str | None = None
+
+
+Checker = Callable[[SourceFile], Iterable[CodeFinding]]
+
+
+@dataclass(frozen=True)
+class CodeChecker:
+    """A registered rule bound to its AST check and path scope.
+
+    ``include``/``exclude`` are substrings matched against
+    :attr:`SourceFile.display`: an empty ``include`` means the rule
+    runs everywhere; any ``exclude`` match wins over ``include``.
+    """
+
+    rule: Rule
+    check: Checker
+    include: tuple[str, ...] = ()
+    exclude: tuple[str, ...] = ()
+
+    def applies_to(self, display: str) -> bool:
+        if any(part in display for part in self.exclude):
+            return False
+        return not self.include or any(part in display
+                                       for part in self.include)
+
+
+#: Every registered code checker, in registration order.
+CODE_CHECKERS: list[CodeChecker] = []
+
+
+def code_checker(rule: Rule, include: Sequence[str] = (),
+                 exclude: Sequence[str] = (),
+                 ) -> Callable[[Checker], Checker]:
+    """Decorator: register ``rule``'s checker (module-import time)."""
+    def wrap(check: Checker) -> Checker:
+        CODE_CHECKERS.append(CodeChecker(
+            rule=rule, check=check, include=tuple(include),
+            exclude=tuple(exclude)))
+        return check
+    return wrap
+
+
+def code_rules() -> list[Rule]:
+    """Every registered ``RPC0xx`` rule (engine rules included)."""
+    return [rule for rule in REGISTRY.values()
+            if rule.rule_id.startswith("RPC")]
+
+
+# -- AST helpers shared by the rule modules ----------------------------------
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def parent_map(tree: ast.AST) -> dict[ast.AST, ast.AST]:
+    """Child -> parent for every node of ``tree``."""
+    return {child: parent
+            for parent in ast.walk(tree)
+            for child in ast.iter_child_nodes(parent)}
+
+
+# -- suppression pragmas -----------------------------------------------------
+
+_PRAGMA = re.compile(r"#\s*repro:\s*noqa\b(?P<rest>.*)$")
+_RULE_ID = re.compile(r"RPC\d{3}")
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# repro: noqa`` pragma."""
+
+    line: int
+    rule_ids: tuple[str, ...]
+    justification: str
+    used: set[str] = field(default_factory=set)
+
+    def covers(self, rule_id: str) -> bool:
+        return rule_id in self.rule_ids
+
+
+def parse_suppressions(lines: Sequence[str]) -> list[Suppression]:
+    """All pragmas in ``lines`` (1-based line numbers).
+
+    The source is tokenized so only real comments count: a pragma
+    spelled inside a string literal or docstring (documentation, a
+    suggestion message, this module's own regex) is not a suppression.
+    """
+    reader = io.StringIO("\n".join(lines) + "\n").readline
+    try:
+        tokens = list(tokenize.generate_tokens(reader))
+    except (tokenize.TokenError, IndentationError):
+        tokens = []
+    found: list[Suppression] = []
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA.search(token.string)
+        if match is None:
+            continue
+        rest = match.group("rest")
+        ids_part, sep, why = rest.partition("--")
+        found.append(Suppression(
+            line=token.start[0],
+            rule_ids=tuple(_RULE_ID.findall(ids_part)),
+            justification=why.strip() if sep else ""))
+    return found
+
+
+# -- analysis ----------------------------------------------------------------
+
+@dataclass
+class CodeReport:
+    """Outcome of one :func:`analyze_paths` run.
+
+    Attributes:
+        report: Unsuppressed diagnostics (plus engine findings) — the
+            gate; its :attr:`~AnalysisReport.exit_code` is the
+            ``selfcheck`` exit code.
+        suppressed: Findings silenced by a justified pragma, kept for
+            reporting (``N suppressed``) and audits.
+        files: Source files scanned.
+    """
+
+    report: AnalysisReport
+    suppressed: list[Diagnostic]
+    files: int
+
+
+def iter_source_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Python files under ``paths`` (dirs recursed, sorted, no caches)."""
+    for path in paths:
+        if path.is_dir():
+            for found in sorted(path.rglob("*.py")):
+                if "__pycache__" not in found.parts:
+                    yield found
+        elif path.suffix == ".py":
+            yield path
+        else:
+            raise FileNotFoundError(
+                f"{path}: not a Python file or directory")
+
+
+def _selected(rule_id: str, select: Sequence[str] | None) -> bool:
+    if select is None:
+        return True
+    return any(rule_id.startswith(prefix.strip().upper())
+               for prefix in select if prefix.strip())
+
+
+def load_source(path: Path) -> SourceFile:
+    """Parse one file (raises ``SyntaxError`` on unparseable source)."""
+    text = path.read_text(encoding="utf-8")
+    tree = ast.parse(text, filename=str(path))
+    return SourceFile(path=path, display=path.as_posix(), tree=tree,
+                      lines=tuple(text.splitlines()))
+
+
+def analyze_source(source: SourceFile,
+                   select: Sequence[str] | None = None,
+                   ) -> tuple[list[Diagnostic], list[Diagnostic]]:
+    """Run every in-scope checker; apply pragmas.
+
+    Returns ``(unsuppressed, suppressed)`` diagnostics.  Engine
+    findings (malformed pragmas, stale suppressions) are themselves
+    not suppressible — a pragma cannot vouch for itself.
+    """
+    suppressions = parse_suppressions(source.lines)
+    active = [checker for checker in CODE_CHECKERS
+              if checker.applies_to(source.display)
+              and _selected(checker.rule.rule_id, select)]
+    ran_ids = {checker.rule.rule_id for checker in active}
+
+    findings: list[CodeFinding] = []
+    seen: set[tuple[str, int]] = set()
+    for checker in active:
+        for finding in checker.check(source):
+            key = (finding.rule.rule_id, finding.line)
+            if key not in seen:
+                seen.add(key)
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.line, f.rule.rule_id))
+
+    unsuppressed: list[Diagnostic] = []
+    suppressed: list[Diagnostic] = []
+    for finding in findings:
+        diagnostic = finding.rule.diagnostic(
+            finding.message,
+            location=f"{source.display}:{finding.line}",
+            suggestion=finding.suggestion)
+        covering = next(
+            (s for s in suppressions
+             if s.line == finding.line
+             and s.covers(finding.rule.rule_id)), None)
+        if covering is not None:
+            covering.used.add(finding.rule.rule_id)
+            suppressed.append(diagnostic)
+        else:
+            unsuppressed.append(diagnostic)
+
+    if _selected(RPC002.rule_id, select):
+        for pragma in suppressions:
+            if not pragma.rule_ids:
+                unsuppressed.append(RPC002.diagnostic(
+                    "blanket 'repro: noqa' names no rule IDs",
+                    location=f"{source.display}:{pragma.line}",
+                    suggestion="name the rules: "
+                               "# repro: noqa RPC101 -- why"))
+            elif not pragma.justification:
+                unsuppressed.append(RPC002.diagnostic(
+                    f"suppression of {', '.join(pragma.rule_ids)} "
+                    "carries no justification",
+                    location=f"{source.display}:{pragma.line}",
+                    suggestion="append one: # repro: noqa "
+                               f"{pragma.rule_ids[0]} -- why"))
+    if _selected(RPC003.rule_id, select):
+        for pragma in suppressions:
+            for rule_id in pragma.rule_ids:
+                if rule_id in pragma.used:
+                    continue
+                if rule_id not in REGISTRY:
+                    unsuppressed.append(RPC003.diagnostic(
+                        f"suppressed rule {rule_id} is not registered",
+                        location=f"{source.display}:{pragma.line}",
+                        suggestion="remove the pragma or fix the "
+                                   "rule ID"))
+                elif rule_id in ran_ids:
+                    unsuppressed.append(RPC003.diagnostic(
+                        f"suppressed rule {rule_id} did not fire on "
+                        "this line",
+                        location=f"{source.display}:{pragma.line}",
+                        suggestion="remove the stale pragma"))
+    return unsuppressed, suppressed
+
+
+def analyze_paths(paths: Sequence[Path],
+                  select: Sequence[str] | None = None) -> CodeReport:
+    """Run the code-contract rules over files and directories.
+
+    Args:
+        paths: Files and/or directories to scan.
+        select: Optional rule-ID prefixes (``["RPC1", "RPC301"]``);
+            ``None`` runs everything.
+
+    Returns:
+        A :class:`CodeReport`; never raises on rule violations (an
+        unreadable/unparseable file becomes an ``RPC001`` diagnostic).
+    """
+    report = AnalysisReport()
+    suppressed: list[Diagnostic] = []
+    files = 0
+    for path in iter_source_files(paths):
+        files += 1
+        try:
+            source = load_source(path)
+        except SyntaxError as error:
+            if _selected(RPC001.rule_id, select):
+                report.extend([RPC001.diagnostic(
+                    f"syntax error: {error.msg}",
+                    location=f"{path.as_posix()}:{error.lineno or 0}",
+                    suggestion="fix the syntax; an unparseable file "
+                               "cannot be contract-checked")])
+            continue
+        except (OSError, UnicodeDecodeError) as error:
+            if _selected(RPC001.rule_id, select):
+                report.extend([RPC001.diagnostic(
+                    f"unreadable: {error}",
+                    location=f"{path.as_posix()}:0")])
+            continue
+        file_unsuppressed, file_suppressed = analyze_source(
+            source, select=select)
+        report.extend(file_unsuppressed)
+        suppressed.extend(file_suppressed)
+    return CodeReport(report=report, suppressed=suppressed, files=files)

@@ -1,0 +1,98 @@
+"""Numeric-hygiene rules (``RPC4xx``): one home for every epsilon.
+
+``repro/core/tolerance.py`` exists because per-module ``_EPS = 1e-9``
+literals let the full-allocation check and the capacity check drift
+apart silently (see that module's docstring).  This rule keeps the
+regression from creeping back: a tiny float literal used as a
+comparison tolerance — or an ``EPS_*`` constant minted outside the
+tolerance module — must route through the shared constants
+(``EPS_FRACTION``/``EPS_CAPACITY``/``EPS_ZERO``/``EPS_COST``/…).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.code.engine import (
+    CodeFinding,
+    SourceFile,
+    code_checker,
+)
+from repro.analysis.diagnostics import Severity, register
+
+RPC401 = register(
+    "RPC401", Severity.WARNING, "code",
+    "Epsilon literal outside core/tolerance.py")
+
+#: Floats at or below this are treated as comparison tolerances rather
+#: than domain values (the shared constants range 1e-6 .. 1e-12).
+_TINY = 1e-5
+
+_EXCLUDE = ("core/tolerance.py",)
+
+
+def _tiny_floats(node: ast.AST) -> list[float]:
+    """Tiny float constants in ``node``, not descending into calls.
+
+    A float inside a nested call — ``max(temperature, 1e-12)`` as a
+    division floor — is a clamp argument, not a comparison tolerance;
+    only literals in the comparison's own arithmetic count.
+    """
+    found: list[float] = []
+    stack: list[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, ast.Call) and current is not node:
+            continue
+        if (isinstance(current, ast.Constant)
+                and isinstance(current.value, float)
+                and current.value != 0.0
+                and abs(current.value) <= _TINY):
+            found.append(current.value)
+        stack.extend(ast.iter_child_nodes(current))
+    return found
+
+
+@code_checker(RPC401, exclude=_EXCLUDE)
+def check_epsilon_literals(source: SourceFile) -> Iterator[CodeFinding]:
+    """Flag tiny-float comparisons and out-of-place EPS constants."""
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        tiny = [value for operand in operands
+                for value in _tiny_floats(operand)]
+        if tiny:
+            yield CodeFinding(
+                RPC401, node.lineno,
+                f"float literal {tiny[0]!r} used as a comparison "
+                "tolerance",
+                suggestion="compare against the shared constants in "
+                           "repro/core/tolerance.py (EPS_FRACTION/"
+                           "EPS_CAPACITY/EPS_ZERO/EPS_COST/...)")
+    for statement in source.tree.body:
+        if isinstance(statement, ast.Assign):
+            targets = statement.targets
+            value = statement.value
+        elif isinstance(statement, ast.AnnAssign):
+            if statement.value is None:
+                continue
+            targets = [statement.target]
+            value = statement.value
+        else:
+            continue
+        if not (isinstance(value, ast.Constant)
+                and isinstance(value.value, float)
+                and value.value != 0.0
+                and abs(value.value) <= 1e-3):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and "EPS" in target.id:
+                yield CodeFinding(
+                    RPC401, statement.lineno,
+                    f"epsilon constant {target.id} defined outside "
+                    "core/tolerance.py",
+                    suggestion="move the constant into "
+                               "repro/core/tolerance.py and import it "
+                               "(or suppress with the layering reason)")

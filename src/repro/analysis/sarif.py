@@ -1,0 +1,214 @@
+"""SARIF 2.1.0 rendering for analysis reports.
+
+Both linters — ``repro-advisor lint`` (data-level ``ALR0xx`` rules) and
+``repro-advisor selfcheck`` (code-level ``RPC0xx`` rules) — can emit
+their findings as a SARIF log (``--format sarif``), the interchange
+format code-scanning UIs ingest.  CI uploads the ``selfcheck`` log as
+an artifact on every run.
+
+Location mapping: code diagnostics carry ``path.py:line`` locations and
+become SARIF *physical* locations (file + region); data diagnostics
+carry ``kind:name`` locations (``"constraint:CoLocated(a, b)"``) and
+become *logical* locations, which SARIF defines for exactly this
+"not-a-file" case.
+
+:func:`validate_sarif` is a dependency-free shape validator (the
+container has no ``jsonschema``): it checks the structural subset of
+the SARIF schema this module produces — required keys, value types,
+level vocabulary, rule-index consistency — and is what the round-trip
+test and CI assert against.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.analysis.diagnostics import (
+    REGISTRY,
+    AnalysisReport,
+    Diagnostic,
+)
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+#: Diagnostic severity -> SARIF result level.
+_LEVELS = {"info": "note", "warning": "warning", "error": "error"}
+
+#: ``path.py:42`` locations become physical locations.
+_FILE_LINE = re.compile(r"^(?P<uri>[^:]+\.py):(?P<line>\d+)$")
+
+
+def _location(diagnostic: Diagnostic) -> dict[str, Any]:
+    match = _FILE_LINE.match(diagnostic.location)
+    if match is not None:
+        return {"physicalLocation": {
+            "artifactLocation": {"uri": match.group("uri")},
+            "region": {"startLine": int(match.group("line"))},
+        }}
+    return {"logicalLocations": [
+        {"fullyQualifiedName": diagnostic.location or "input"}]}
+
+
+def to_sarif(report: AnalysisReport,
+             tool_name: str = "repro-advisor") -> dict[str, Any]:
+    """One SARIF run for ``report``.
+
+    The driver's rule table lists exactly the rules that produced
+    results (titles and default levels from the registry), and each
+    result carries ``ruleIndex`` into it, as scanners expect.
+    """
+    fired = sorted({d.rule_id for d in report.diagnostics})
+    rule_index = {rule_id: i for i, rule_id in enumerate(fired)}
+    rules = []
+    for rule_id in fired:
+        registered = REGISTRY.get(rule_id)
+        rules.append({
+            "id": rule_id,
+            "shortDescription": {
+                "text": registered.title if registered else rule_id},
+            "defaultConfiguration": {
+                "level": _LEVELS[registered.severity.value]
+                if registered else "warning"},
+        })
+    results = []
+    for diagnostic in report.diagnostics:
+        message = diagnostic.message
+        if diagnostic.suggestion:
+            message = f"{message} (fix: {diagnostic.suggestion})"
+        results.append({
+            "ruleId": diagnostic.rule_id,
+            "ruleIndex": rule_index[diagnostic.rule_id],
+            "level": _LEVELS[diagnostic.severity.value],
+            "message": {"text": message},
+            "locations": [_location(diagnostic)],
+        })
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": tool_name,
+                "informationUri":
+                    "https://example.invalid/repro/docs/"
+                    "static-analysis.md",
+                "rules": rules,
+            }},
+            "results": results,
+        }],
+    }
+
+
+def _expect(problems: list[str], condition: bool, where: str,
+            what: str) -> bool:
+    if not condition:
+        problems.append(f"{where}: {what}")
+    return condition
+
+
+def validate_sarif(document: Any) -> list[str]:
+    """Shape-validate a SARIF log; returns problems (empty = valid)."""
+    problems: list[str] = []
+    if not _expect(problems, isinstance(document, dict), "$",
+                   "log must be an object"):
+        return problems
+    _expect(problems, document.get("version") == SARIF_VERSION,
+            "$.version", f"must be {SARIF_VERSION!r}")
+    _expect(problems, isinstance(document.get("$schema"), str),
+            "$.$schema", "must be a string URI")
+    runs = document.get("runs")
+    if not _expect(problems, isinstance(runs, list) and runs,
+                   "$.runs", "must be a non-empty array"):
+        return problems
+    for run_index, run in enumerate(runs):
+        where = f"$.runs[{run_index}]"
+        if not _expect(problems, isinstance(run, dict), where,
+                       "run must be an object"):
+            continue
+        driver = run.get("tool", {}).get("driver") \
+            if isinstance(run.get("tool"), dict) else None
+        if _expect(problems, isinstance(driver, dict),
+                   f"{where}.tool.driver", "must be an object"):
+            _expect(problems,
+                    isinstance(driver.get("name"), str)
+                    and driver["name"],
+                    f"{where}.tool.driver.name",
+                    "must be a non-empty string")
+            rules = driver.get("rules", [])
+            _expect(problems, isinstance(rules, list),
+                    f"{where}.tool.driver.rules", "must be an array")
+        else:
+            rules = []
+        rule_ids = [rule.get("id") for rule in rules
+                    if isinstance(rule, dict)]
+        results = run.get("results")
+        if not _expect(problems, isinstance(results, list),
+                       f"{where}.results", "must be an array"):
+            continue
+        for result_index, result in enumerate(results):
+            rwhere = f"{where}.results[{result_index}]"
+            if not _expect(problems, isinstance(result, dict), rwhere,
+                           "result must be an object"):
+                continue
+            _expect(problems,
+                    isinstance(result.get("ruleId"), str),
+                    f"{rwhere}.ruleId", "must be a string")
+            _expect(problems,
+                    result.get("level") in ("note", "warning", "error"),
+                    f"{rwhere}.level",
+                    "must be note/warning/error")
+            message = result.get("message")
+            _expect(problems,
+                    isinstance(message, dict)
+                    and isinstance(message.get("text"), str),
+                    f"{rwhere}.message.text", "must be a string")
+            index = result.get("ruleIndex")
+            if index is not None:
+                _expect(problems,
+                        isinstance(index, int)
+                        and 0 <= index < len(rule_ids)
+                        and rule_ids[index] == result.get("ruleId"),
+                        f"{rwhere}.ruleIndex",
+                        "must index the matching driver rule")
+            locations = result.get("locations")
+            if not _expect(problems,
+                           isinstance(locations, list) and locations,
+                           f"{rwhere}.locations",
+                           "must be a non-empty array"):
+                continue
+            location = locations[0]
+            physical = location.get("physicalLocation") \
+                if isinstance(location, dict) else None
+            logical = location.get("logicalLocations") \
+                if isinstance(location, dict) else None
+            if physical is not None:
+                artifact = physical.get("artifactLocation", {}) \
+                    if isinstance(physical, dict) else {}
+                region = physical.get("region", {}) \
+                    if isinstance(physical, dict) else {}
+                _expect(problems,
+                        isinstance(artifact, dict)
+                        and isinstance(artifact.get("uri"), str),
+                        f"{rwhere}..artifactLocation.uri",
+                        "must be a string")
+                _expect(problems,
+                        isinstance(region, dict)
+                        and isinstance(region.get("startLine"), int)
+                        and region["startLine"] >= 1,
+                        f"{rwhere}..region.startLine",
+                        "must be a positive integer")
+            else:
+                _expect(problems,
+                        isinstance(logical, list) and logical
+                        and isinstance(logical[0], dict)
+                        and isinstance(
+                            logical[0].get("fullyQualifiedName"), str),
+                        f"{rwhere}.locations[0]",
+                        "needs physicalLocation or logicalLocations")
+    return problems
+
+
+__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "to_sarif",
+           "validate_sarif"]

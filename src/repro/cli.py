@@ -22,7 +22,10 @@ Subcommands::
                              --workload w.sql --layout l.json
     repro-advisor lint       --database db.json [--disks disks.json] \\
                              [--workload w.sql] [--constraints c.json] \\
-                             [--layout l.json] [--format text|json]
+                             [--layout l.json] \\
+                             [--format text|json|sarif]
+    repro-advisor selfcheck  [paths ...] [--format text|json|sarif] \\
+                             [--select RPC1,RPC301] [--rules]
     repro-advisor incremental --database db.json --disks disks.json \\
                              --workload w.sql --current rec.json \\
                              [--budget 0.2] [--save-plan plan.json] ...
@@ -36,6 +39,13 @@ Subcommands::
 for every ``ALR0xx`` rule); its exit code is 0 when clean (or info
 only), 1 with warnings, 2 with errors.  ``lint --rules`` lists every
 registered rule.
+
+``selfcheck`` runs the same machinery over the advisor's *source*: the
+``RPC0xx`` AST rules (determinism, concurrency/resources, telemetry
+contracts, numeric hygiene — same doc).  Exit codes match ``lint``;
+``--format sarif`` emits a SARIF 2.1.0 log for code-scanning UIs, and
+findings are suppressed per line with a justified
+``# repro: noqa RPCxxx -- reason`` pragma.
 
 Performance (see ``docs/performance.md``): ``--method portfolio`` runs
 several search trajectories (seeded TS-GREEDY multi-starts plus
@@ -340,7 +350,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="constraint set JSON")
     lint.add_argument("--layout", type=Path,
                       help="layout JSON (checked even when invalid)")
-    lint.add_argument("--format", choices=["text", "json"],
+    lint.add_argument("--format", choices=["text", "json", "sarif"],
                       default="text",
                       help="output format (default: text)")
     lint.add_argument("--rules", action="store_true",
@@ -348,6 +358,25 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("-v", "--verbose", action="count", default=0,
                       help="enable INFO (-v) / DEBUG (-vv) logging")
     _add_obs_outputs(lint)
+
+    selfc = sub.add_parser(
+        "selfcheck",
+        help="statically analyze the advisor's own source "
+             "(RPC0xx contract rules)")
+    selfc.add_argument("paths", nargs="*", type=Path,
+                       default=[Path("src")],
+                       help="Python files/directories to scan "
+                            "(default: src)")
+    selfc.add_argument("--format", choices=["text", "json", "sarif"],
+                       default="text",
+                       help="output format (default: text)")
+    selfc.add_argument("--select", metavar="PREFIXES",
+                       help="comma-separated rule-ID prefixes to run "
+                            "(e.g. RPC1,RPC301; default: all)")
+    selfc.add_argument("--rules", action="store_true",
+                       help="list every registered code rule and exit")
+    selfc.add_argument("-v", "--verbose", action="count", default=0,
+                       help="enable INFO (-v) / DEBUG (-vv) logging")
 
     inc = sub.add_parser(
         "incremental",
@@ -667,12 +696,65 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
     if args.format == "json":
         print(json.dumps(report.to_dict(), indent=2))
+    elif args.format == "sarif":
+        print(json.dumps(analysis.to_sarif(report), indent=2))
     elif report:
         print(report.render_text())
     else:
         print("clean: no diagnostics")
     _obs_finish(args, obs, status="ok" if report.exit_code == 0
                 else "diagnostics")
+    return report.exit_code
+
+
+def cmd_selfcheck(args: argparse.Namespace) -> int:
+    """``selfcheck``: the RPC0xx contract linter over advisor source.
+
+    Mirrors ``lint``'s UX (``--format``, ``--rules``, exit code =
+    :attr:`AnalysisReport.exit_code`) but lints the codebase itself:
+    determinism, concurrency/resource, telemetry-contract and
+    numeric-hygiene rules over the AST.  CI runs it over ``src/`` and
+    requires zero unsuppressed findings.
+    """
+    import json
+
+    from repro import analysis
+
+    if args.rules:
+        rules = sorted(analysis.code_rules(),
+                       key=lambda rule: rule.rule_id)
+        if args.format == "json":
+            print(json.dumps([
+                {"rule": r.rule_id, "severity": r.severity.value,
+                 "category": r.category, "title": r.title}
+                for r in rules], indent=2))
+        else:
+            for rule in rules:
+                print(f"{rule.rule_id}  {rule.severity.value:7s} "
+                      f"{rule.category:11s} {rule.title}")
+        return 0
+
+    select = None
+    if args.select:
+        select = [part for part in args.select.split(",")
+                  if part.strip()]
+    result = analysis.analyze_paths(args.paths, select=select)
+    report = result.report
+    if args.format == "json":
+        payload = report.to_dict()
+        payload["files"] = result.files
+        payload["suppressed"] = [d.to_dict()
+                                 for d in result.suppressed]
+        print(json.dumps(payload, indent=2))
+    elif args.format == "sarif":
+        print(json.dumps(analysis.to_sarif(report), indent=2))
+    else:
+        if report:
+            print(report.render_text())
+        else:
+            print("clean: no diagnostics")
+        print(f"checked {result.files} file(s); "
+              f"{len(result.suppressed)} suppressed finding(s)")
     return report.exit_code
 
 
@@ -812,6 +894,7 @@ _COMMANDS = {
     "estimate": cmd_estimate,
     "simulate": cmd_simulate,
     "lint": cmd_lint,
+    "selfcheck": cmd_selfcheck,
     "incremental": cmd_incremental,
     "drift": cmd_drift,
     "inspect": cmd_inspect,

@@ -23,6 +23,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.core.tolerance import EPS_GAIN
 from repro.errors import LayoutError
 from repro.obs import NULL_METRICS
 from repro.workload.access_graph import AccessGraph
@@ -131,7 +132,7 @@ def partition_access_graph(graph: AccessGraph, p: int,
                 if q == current:
                     continue
                 gain = internal - connection(name, q)
-                if gain > best_gain + 1e-12:
+                if gain > best_gain + EPS_GAIN:
                     best_gain, best_part = gain, q
             if best_part != current:
                 assign[name] = best_part
@@ -164,7 +165,7 @@ def _swap_pass(graph: AccessGraph, ordered: Sequence[str],
             if pu == pv:
                 continue
             gain = _swap_gain(graph, assign, u, v)
-            if gain > 1e-12:
+            if gain > EPS_GAIN:
                 assign[u], assign[v] = pv, pu
                 applied += 1
     return applied

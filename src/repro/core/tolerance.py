@@ -31,3 +31,9 @@ EPS_ZERO = 1e-9
 
 #: Minimum cost decrease the search accepts as a strict improvement.
 EPS_COST = 1e-9
+
+#: Minimum cut-weight gain the KL refinement accepts for a move or
+#: swap.  Tighter than :data:`EPS_COST`: gains are differences of a
+#: handful of edge weights, so there is almost no accumulated error,
+#: and a looser threshold would reject real single-edge improvements.
+EPS_GAIN = 1e-12

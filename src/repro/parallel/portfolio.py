@@ -244,6 +244,11 @@ class PortfolioSearch:
             worker's own event stream into the parent timeline in
             trajectory order — so a ``jobs=N`` run reconstructs to the
             same ordered timeline as ``jobs=1``.
+        clock: Monotonic time source for elapsed-time accounting;
+            injectable for tests (defaults to ``time.perf_counter``).
+        sleep: Retry-backoff sleeper; injectable for tests (defaults
+            to ``time.sleep``).  Neither affects search results — only
+            timing telemetry and backoff pacing.
     """
 
     def __init__(self, farm: DiskFarm, evaluator: WorkloadCostEvaluator,
@@ -253,7 +258,8 @@ class PortfolioSearch:
                  jobs: int = 1, tracer=None, metrics=None,
                  deadline=None, retry: RetryPolicy | None = None,
                  trajectory_timeout_s: float | None = None,
-                 faults: FaultPlan | None = None, recorder=None):
+                 faults: FaultPlan | None = None, recorder=None,
+                 clock=time.perf_counter, sleep=time.sleep):
         if jobs < 0:
             raise LayoutError("jobs must be >= 0 (0 = auto)")
         if trajectory_timeout_s is not None and trajectory_timeout_s <= 0:
@@ -277,6 +283,8 @@ class PortfolioSearch:
         if faults is None:
             faults = FaultPlan.from_env()
         self._faults = None if faults is None or faults.empty else faults
+        self._clock = clock
+        self._sleep = sleep
 
     @property
     def specs(self) -> tuple[TrajectorySpec, ...]:
@@ -301,7 +309,7 @@ class PortfolioSearch:
             initial_layout: Optional starting layout for incremental
                 mode (forwarded to every TS-GREEDY trajectory).
         """
-        start = time.perf_counter()
+        start = self._clock()
         deadline = Deadline.coerce(self._deadline_spec)
         jobs = max(1, min(self._jobs, len(self._specs)))
         context = TrajectoryContext(
@@ -327,7 +335,7 @@ class PortfolioSearch:
                     self._raise_total_failure(failures, errors,
                                               deadline)
                 result = self._merge(payloads, failures, jobs)
-                result.elapsed_s = time.perf_counter() - start
+                result.elapsed_s = self._clock() - start
                 span.set("best_cost", round(result.cost, 6))
                 span.set("best_trajectory",
                          int(result.extras["best_trajectory"]))
@@ -529,7 +537,7 @@ class PortfolioSearch:
             if pause > 0.0:
                 pause = min(pause, deadline.remaining())
                 if pause > 0.0:
-                    time.sleep(pause)
+                    self._sleep(pause)
             attempt += 1
             if attempt > 1:
                 self._metrics.inc("resilience.retries")

@@ -75,11 +75,15 @@ def reap_orphans() -> list[str]:
         try:
             segment = shared_memory.SharedMemory(name=name)
         except FileNotFoundError:
-            continue  # already gone; ledger was just stale
+            logger.debug("stale ledger entry %r: segment already gone",
+                         name)
+            continue
         segment.close()
         try:
             segment.unlink()
         except FileNotFoundError:
+            logger.debug("segment %r unlinked by another path during "
+                         "reap", name)
             continue
         logger.warning("reaped orphaned shared-memory segment %r "
                        "(creator never unlinked it)", name)
@@ -152,7 +156,7 @@ class SharedEvaluatorState:
         shm.close()
         try:
             shm.unlink()
-        except FileNotFoundError:  # already unlinked elsewhere
+        except FileNotFoundError:  # repro: noqa RPC202 -- idempotent unlink race: reap_orphans or a crashing owner got there first; nothing to log on the happy double-close path
             pass
 
     def __enter__(self) -> "SharedEvaluatorState":
@@ -219,7 +223,7 @@ def _reclaim(shm: shared_memory.SharedMemory) -> None:
     shm.close()
     try:
         shm.unlink()
-    except FileNotFoundError:
+    except FileNotFoundError:  # repro: noqa RPC202 -- idempotent unlink race on an already-failing path; the original error is what gets raised
         pass
 
 

@@ -36,10 +36,10 @@ if TYPE_CHECKING:
 # repro.storage is a lower layer than repro.core (core imports storage),
 # so the shared capacity tolerance cannot be imported at module load;
 # mirror repro.core.tolerance.EPS_CAPACITY here (test-asserted equal).
-EPS_CAPACITY = 1e-9
+EPS_CAPACITY = 1e-9  # repro: noqa RPC401 -- layering: storage cannot import core/tolerance; mirrored value is test-asserted equal
 
 #: Block deltas below this are treated as zero (float-fraction noise).
-EPS_BLOCKS = 1e-6
+EPS_BLOCKS = 1e-6  # repro: noqa RPC401 -- storage-local rounding unit (block-count noise floor), not a core tolerance
 
 
 @dataclass(frozen=True)

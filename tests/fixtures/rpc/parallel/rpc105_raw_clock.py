@@ -1,0 +1,9 @@
+"""RPC105: raw time calls in the parallel engine dodge fake clocks."""
+
+import time
+
+
+def timed_step():
+    start = time.perf_counter()
+    time.sleep(0.01)
+    return time.perf_counter() - start

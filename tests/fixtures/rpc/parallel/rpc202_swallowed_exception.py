@@ -1,0 +1,9 @@
+"""RPC202: silently swallowed errors on a worker/drain path."""
+
+
+def drain(queue) -> None:
+    while True:
+        try:
+            queue.get_nowait()
+        except Exception:
+            pass

@@ -1,0 +1,4 @@
+"""RPC203: fork-hostile mutable module global in the parallel engine."""
+
+pending: list[str] = []
+results = {}

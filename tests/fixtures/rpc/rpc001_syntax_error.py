@@ -1,0 +1,3 @@
+# RPC001: an unparseable file cannot be contract-checked.
+def broken(:
+    return None

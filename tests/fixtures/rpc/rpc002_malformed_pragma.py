@@ -1,0 +1,4 @@
+"""RPC002: pragmas must name rule IDs and carry a justification."""
+
+blanket = 1  # repro: noqa
+salted = hash("key")  # repro: noqa RPC103

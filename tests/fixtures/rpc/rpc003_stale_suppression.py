@@ -1,0 +1,3 @@
+"""RPC003: a suppression whose rule does not fire here is stale."""
+
+plain = 1  # repro: noqa RPC103 -- nothing on this line calls hash()

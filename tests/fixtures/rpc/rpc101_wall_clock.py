@@ -1,0 +1,8 @@
+"""RPC101: wall-clock reads break run-to-run reproducibility."""
+
+import time
+from datetime import datetime
+
+
+def stamp() -> tuple[float, datetime]:
+    return time.time(), datetime.now()

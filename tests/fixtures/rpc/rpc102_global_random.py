@@ -1,0 +1,7 @@
+"""RPC102: module-level random consumes shared, unseeded RNG state."""
+
+import random
+
+
+def jitter(base: float) -> float:
+    return base * random.random() + random.uniform(0.0, 1.0)

@@ -1,0 +1,5 @@
+"""RPC103: builtin hash() is salted per process (PYTHONHASHSEED)."""
+
+
+def bucket(name: str, buckets: int) -> int:
+    return hash(name) % buckets

@@ -1,0 +1,9 @@
+"""RPC104: set iteration order escaping into ordered consumers."""
+
+
+def leaks_order(names):
+    unique = [n for n in set(names)]
+    listed = list({"b", "a", "c"})
+    for name in {"x", "y"}:
+        listed.append(name)
+    return unique, listed

@@ -1,0 +1,8 @@
+"""RPC201: shared memory created outside the crash-recovery ledger."""
+
+from multiprocessing import shared_memory
+
+
+def publish(size: int) -> str:
+    shm = shared_memory.SharedMemory(create=True, size=size)
+    return shm.name

@@ -1,0 +1,5 @@
+"""RPC301: metric emission with no METRIC_CATALOG declaration."""
+
+
+def record(metrics) -> None:
+    metrics.inc("made.up.counter")

@@ -1,0 +1,9 @@
+"""RPC302: emission method disagreeing with the declared kind.
+
+``greedy.evaluations`` is declared a counter; setting it as a gauge
+compiles and even passes strict-mode runtime checks on name alone.
+"""
+
+
+def record(metrics) -> None:
+    metrics.set_gauge("greedy.evaluations", 1.0)

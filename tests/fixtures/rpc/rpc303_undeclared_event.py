@@ -1,0 +1,5 @@
+"""RPC303: event emission with no EVENT_TYPES declaration."""
+
+
+def record(recorder) -> None:
+    recorder.emit("made-up-event", detail=1)

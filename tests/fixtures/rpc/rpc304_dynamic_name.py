@@ -1,0 +1,5 @@
+"""RPC304: computed telemetry names defeat the static contract check."""
+
+
+def record(metrics, name: str) -> None:
+    metrics.inc(name)

@@ -1,0 +1,7 @@
+"""RPC401: ad-hoc epsilons drift apart; tolerance.py is their home."""
+
+EPS_LOCAL = 1e-9
+
+
+def close(a: float, b: float) -> bool:
+    return abs(a - b) < 1e-9

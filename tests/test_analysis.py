@@ -62,12 +62,19 @@ class TestRegistry:
             "ALR010", "ALR011", "ALR012", "ALR013", "ALR014", "ALR015",
             "ALR020", "ALR021", "ALR022", "ALR023", "ALR024",
             "ALR030", "ALR031", "ALR032", "ALR033",
+            # The RPC0xx code-contract rules (docs/static-analysis.md).
+            "RPC001", "RPC002", "RPC003",
+            "RPC101", "RPC102", "RPC103", "RPC104", "RPC105",
+            "RPC201", "RPC202", "RPC203",
+            "RPC301", "RPC302", "RPC303", "RPC304",
+            "RPC401",
         }
         assert set(REGISTRY) == expected
 
     def test_categories(self):
         assert {r.category for r in REGISTRY.values()} == {
-            "engine", "layout", "constraints", "workload", "audit"}
+            "engine", "layout", "constraints", "workload", "audit",
+            "code"}
         assert all(r.category == "layout"
                    for r in rules_by_category("layout"))
 

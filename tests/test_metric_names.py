@@ -1,4 +1,14 @@
-"""The metric-name registry: one catalog, no undeclared emissions."""
+"""The telemetry contracts: one catalog, no undeclared emissions.
+
+The source-wide scan is the AST contract checker (``RPC301``–``RPC304``
+in :mod:`repro.analysis.code.telemetry`), which replaced the regex
+scrape this file used to run: string literals in comments/docstrings no
+longer count, multi-line calls resolve, the method must agree with the
+declared kind, and the same pass covers ``EventRecorder.emit`` against
+``EVENT_TYPES``.  The adversarial cases prove each rule still catches
+a planted violation; the strict-registry tests remain the runtime
+backstop for dynamic names the static pass cannot resolve.
+"""
 
 from __future__ import annotations
 
@@ -7,8 +17,10 @@ from pathlib import Path
 
 import pytest
 
+from repro.analysis.code import analyze_paths
 from repro.core.advisor import LayoutAdvisor
 from repro.obs import METRIC_CATALOG, MetricsRegistry
+from repro.obs.events import EVENT_TYPES
 from repro.obs.names import (
     COUNTER,
     GAUGE,
@@ -19,21 +31,9 @@ from repro.obs.names import (
 
 SRC = Path(__file__).parent.parent / "src" / "repro"
 
-#: Literal metric emissions in library source: ``.inc("name"`` /
-#: ``.set_gauge("name"`` / ``.observe("name"``.
-_EMISSION = re.compile(
-    r"\.(inc|set_gauge|observe)\(\s*[\"']([a-z0-9_.]+)[\"']")
 
-_EXPECTED_KIND = {"inc": COUNTER, "set_gauge": GAUGE,
-                  "observe": HISTOGRAM}
-
-
-def _emissions():
-    for path in sorted(SRC.rglob("*.py")):
-        if path.name in ("metrics.py", "names.py"):
-            continue  # the registry machinery itself
-        for method, name in _EMISSION.findall(path.read_text()):
-            yield path.relative_to(SRC), method, name
+def telemetry_findings(path: Path):
+    return analyze_paths([path], select=["RPC30"]).report.diagnostics
 
 
 class TestCatalog:
@@ -43,35 +43,70 @@ class TestCatalog:
             assert help_text, f"{name} has no help text"
             assert re.fullmatch(r"[a-z0-9_.]+", name), name
 
+    def test_event_types_are_well_formed(self):
+        for name, description in EVENT_TYPES.items():
+            assert description, f"{name} has no description"
+            assert re.fullmatch(r"[a-z0-9-]+", name), name
+
     def test_helpers_answer_for_every_entry(self):
         for name in METRIC_CATALOG:
             assert metric_kind(name)
             assert metric_help(name)
 
-    def test_every_source_emission_is_declared(self):
-        undeclared = [
-            f"{path}: {method}({name!r})"
-            for path, method, name in _emissions()
-            if name not in METRIC_CATALOG]
-        assert not undeclared, \
-            "metric emissions missing from METRIC_CATALOG:\n  " \
-            + "\n  ".join(undeclared)
 
-    def test_every_source_emission_matches_declared_kind(self):
-        mismatched = [
-            f"{path}: {method}({name!r}) vs catalog "
-            f"{METRIC_CATALOG[name][0]}"
-            for path, method, name in _emissions()
-            if name in METRIC_CATALOG
-            and METRIC_CATALOG[name][0] != _EXPECTED_KIND[method]]
-        assert not mismatched, \
-            "metric emissions disagree with METRIC_CATALOG kind:\n  " \
-            + "\n  ".join(mismatched)
+class TestStaticContract:
+    """The RPC3xx AST pass over the real tree plus planted violations."""
 
-    def test_source_scan_finds_emissions_at_all(self):
-        # Guard the regex itself: if the emission idiom changes, this
-        # scan must fail loudly rather than silently check nothing.
-        assert sum(1 for _ in _emissions()) >= 20
+    def test_source_tree_has_no_telemetry_violations(self):
+        findings = telemetry_findings(SRC)
+        rendered = "\n".join(d.render() for d in findings)
+        assert not findings, \
+            f"telemetry contract violations in src/:\n{rendered}"
+
+    def test_undeclared_metric_caught(self, tmp_path):
+        planted = tmp_path / "planted.py"
+        planted.write_text("def f(m):\n    m.inc('made.up.counter')\n")
+        (finding,) = telemetry_findings(planted)
+        assert finding.rule_id == "RPC301"
+
+    def test_kind_mismatch_caught(self, tmp_path):
+        planted = tmp_path / "planted.py"
+        planted.write_text(
+            "def f(m):\n"
+            "    m.set_gauge('greedy.evaluations', 1.0)\n")
+        (finding,) = telemetry_findings(planted)
+        assert finding.rule_id == "RPC302"
+
+    def test_undeclared_event_caught(self, tmp_path):
+        planted = tmp_path / "planted.py"
+        planted.write_text(
+            "def f(r):\n    r.emit('made-up-event', n=1)\n")
+        (finding,) = telemetry_findings(planted)
+        assert finding.rule_id == "RPC303"
+
+    def test_dynamic_name_reported(self, tmp_path):
+        planted = tmp_path / "planted.py"
+        planted.write_text("def f(m, name):\n    m.inc(name)\n")
+        (finding,) = telemetry_findings(planted)
+        assert finding.rule_id == "RPC304"
+
+    def test_multiline_emission_resolves(self, tmp_path):
+        # The old regex scrape missed these; the AST pass must not.
+        planted = tmp_path / "planted.py"
+        planted.write_text(
+            "def f(m):\n"
+            "    m.inc(\n"
+            "        'made.up.counter',\n"
+            "        2)\n")
+        (finding,) = telemetry_findings(planted)
+        assert finding.rule_id == "RPC301"
+
+    def test_docstring_mention_is_not_an_emission(self, tmp_path):
+        planted = tmp_path / "planted.py"
+        planted.write_text(
+            '"""Docs quoting m.inc("made.up.counter") literally."""\n'
+            "# comment: m.observe('also.not.real')\n")
+        assert not telemetry_findings(planted)
 
 
 class TestStrictRegistry:

@@ -1,0 +1,299 @@
+"""The RPC contract linter: engine, pragmas, CLI, SARIF, and the gate.
+
+Covers the suppression lifecycle (unsuppressed fails, justified
+suppression passes, stale suppression is itself reported), the
+``selfcheck`` CLI's formats and exit codes, SARIF round-tripping
+through the shape validator, and the acceptance scenario: injecting an
+unseeded ``random.random()`` into a copy of ``core/greedy.py`` must
+turn the selfcheck red.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import to_sarif, validate_sarif
+from repro.analysis.code import (
+    analyze_paths,
+    code_rules,
+    count_telemetry_sites,
+    load_source,
+    parse_suppressions,
+)
+from repro.cli import main
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def run(tmp_path, text, name="sample.py", select=None):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return analyze_paths([path], select=select)
+
+
+class TestEngine:
+    def test_clean_file_reports_nothing(self, tmp_path):
+        result = run(tmp_path, "def f(x):\n    return x + 1\n")
+        assert result.files == 1
+        assert not result.report.diagnostics
+        assert not result.suppressed
+        assert result.report.exit_code == 0
+
+    def test_violation_reports_rule_and_location(self, tmp_path):
+        result = run(tmp_path, "value = hash('a')\n")
+        (diagnostic,) = result.report.diagnostics
+        assert diagnostic.rule_id == "RPC103"
+        assert diagnostic.location.endswith("sample.py:1")
+        assert result.report.exit_code == 2
+
+    def test_syntax_error_becomes_rpc001(self, tmp_path):
+        result = run(tmp_path, "def broken(:\n")
+        (diagnostic,) = result.report.diagnostics
+        assert diagnostic.rule_id == "RPC001"
+        assert result.report.exit_code == 2
+
+    def test_select_filters_by_prefix(self, tmp_path):
+        text = "import random\nv = random.random()\nh = hash(v)\n"
+        all_rules = run(tmp_path, text)
+        only_hash = run(tmp_path, text, select=["RPC103"])
+        assert {d.rule_id for d in all_rules.report.diagnostics} == {
+            "RPC102", "RPC103"}
+        assert {d.rule_id for d in only_hash.report.diagnostics} == {
+            "RPC103"}
+
+    def test_duplicate_findings_deduplicated(self, tmp_path):
+        result = run(tmp_path, "a = hash('x'); b = hash('y')\n")
+        assert len(result.report.diagnostics) == 1
+
+    def test_directory_scan_is_sorted_and_skips_caches(self, tmp_path):
+        (tmp_path / "b.py").write_text("x = hash('b')\n")
+        (tmp_path / "a.py").write_text("x = hash('a')\n")
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "c.py").write_text("x = hash('c')\n")
+        result = analyze_paths([tmp_path])
+        assert result.files == 2
+        locations = [d.location for d in result.report.diagnostics]
+        assert locations == sorted(locations)
+
+
+class TestSuppression:
+    def test_justified_pragma_suppresses(self, tmp_path):
+        result = run(
+            tmp_path,
+            "v = hash('a')  # repro: noqa RPC103 -- test fixture\n")
+        assert not result.report.diagnostics
+        assert [d.rule_id for d in result.suppressed] == ["RPC103"]
+        assert result.report.exit_code == 0
+
+    def test_pragma_without_justification_is_rpc002(self, tmp_path):
+        result = run(tmp_path, "v = hash('a')  # repro: noqa RPC103\n")
+        assert {d.rule_id for d in result.report.diagnostics} == {
+            "RPC002"}
+        assert result.report.exit_code == 2
+
+    def test_blanket_pragma_is_rpc002(self, tmp_path):
+        result = run(tmp_path, "v = 1  # repro: noqa\n")
+        assert {d.rule_id for d in result.report.diagnostics} == {
+            "RPC002"}
+
+    def test_stale_pragma_is_rpc003(self, tmp_path):
+        result = run(
+            tmp_path, "v = 1  # repro: noqa RPC103 -- nothing here\n")
+        assert {d.rule_id for d in result.report.diagnostics} == {
+            "RPC003"}
+        assert result.report.exit_code == 1
+
+    def test_unknown_rule_id_is_rpc003(self, tmp_path):
+        result = run(
+            tmp_path, "v = 1  # repro: noqa RPC999 -- no such rule\n")
+        assert {d.rule_id for d in result.report.diagnostics} == {
+            "RPC003"}
+
+    def test_out_of_scope_rule_is_not_stale(self, tmp_path):
+        # RPC105 only runs under parallel/; suppressing it elsewhere
+        # cannot be judged stale because the checker never ran.
+        result = run(
+            tmp_path,
+            "import time\n"
+            "t = time.monotonic()  # repro: noqa RPC105 -- scoped\n")
+        assert not result.report.diagnostics
+
+    def test_pragma_inside_string_is_not_a_suppression(self, tmp_path):
+        result = run(
+            tmp_path,
+            "doc = '# repro: noqa RPC103 -- example text'\n"
+            "v = hash('a')\n")
+        assert {d.rule_id for d in result.report.diagnostics} == {
+            "RPC103"}
+        assert not result.suppressed
+
+    def test_parse_suppressions_reads_comments_only(self):
+        suppressions = parse_suppressions((
+            "x = 1  # repro: noqa RPC101, RPC202 -- two rules",
+            "y = '# repro: noqa RPC103 -- not a comment'",
+        ))
+        (pragma,) = suppressions
+        assert pragma.line == 1
+        assert pragma.rule_ids == ("RPC101", "RPC202")
+        assert pragma.justification == "two rules"
+
+
+class TestSourceTreeGate:
+    def test_src_tree_has_zero_unsuppressed_findings(self):
+        result = analyze_paths([SRC])
+        rendered = "\n".join(
+            d.render() for d in result.report.diagnostics)
+        assert result.report.exit_code == 0, (
+            f"selfcheck found violations in src/:\n{rendered}")
+
+    def test_src_suppressions_all_carry_justifications(self):
+        for path in sorted(SRC.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            for pragma in parse_suppressions(
+                    load_source(path).lines):
+                assert pragma.rule_ids, f"{path}:{pragma.line}"
+                assert pragma.justification, f"{path}:{pragma.line}"
+
+    def test_injected_global_random_turns_greedy_red(self, tmp_path):
+        # Acceptance check from the issue: copy core/greedy.py, add an
+        # unseeded random.random() call, and the selfcheck must fail.
+        greedy = SRC / "repro" / "core" / "greedy.py"
+        clean = run(tmp_path, greedy.read_text(), name="greedy.py")
+        assert clean.report.exit_code == 0
+        sabotaged = greedy.read_text() + (
+            "\n\nimport random\n\n"
+            "def _jitter() -> float:\n"
+            "    return random.random()\n")
+        result = run(tmp_path, sabotaged, name="greedy_sabotaged.py")
+        assert {d.rule_id for d in result.report.diagnostics} == {
+            "RPC102"}
+        assert result.report.exit_code == 2
+
+    def test_telemetry_emission_idiom_still_scanned(self):
+        # Self-guard: if the emission idiom changes shape, the RPC3xx
+        # checks would silently check nothing; the site count collapses
+        # first and fails loudly here.
+        assert count_telemetry_sites([SRC]) >= 30
+
+
+class TestCli:
+    def test_selfcheck_clean_exit_zero(self, tmp_path, capsys):
+        path = tmp_path / "ok.py"
+        path.write_text("x = 1\n")
+        assert main(["selfcheck", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+        assert "checked 1 file(s)" in out
+
+    def test_selfcheck_error_exit_two(self, tmp_path, capsys):
+        path = tmp_path / "bad.py"
+        path.write_text("import time\nt = time.time()\n")
+        assert main(["selfcheck", str(path)]) == 2
+        assert "RPC101" in capsys.readouterr().out
+
+    def test_selfcheck_json_payload(self, tmp_path, capsys):
+        path = tmp_path / "bad.py"
+        path.write_text(
+            "v = hash('a')  # repro: noqa RPC103 -- fixture\n"
+            "w = hash(('b',))\n")
+        assert main(["selfcheck", str(path), "--format", "json"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files"] == 1
+        assert [d["rule"] for d in payload["suppressed"]] == ["RPC103"]
+        assert payload["summary"]["error"] == 1
+
+    def test_selfcheck_select(self, tmp_path, capsys):
+        path = tmp_path / "bad.py"
+        path.write_text("import random\nv = random.random()\n"
+                        "h = hash(v)\n")
+        assert main(["selfcheck", str(path), "--select", "RPC102",
+                     "--format", "json"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert [d["rule"] for d in payload["diagnostics"]] == ["RPC102"]
+
+    def test_selfcheck_rules_lists_every_code_rule(self, capsys):
+        assert main(["selfcheck", "--rules", "--format", "json"]) == 0
+        listed = {entry["rule"]
+                  for entry in json.loads(capsys.readouterr().out)}
+        assert listed == {rule.rule_id for rule in code_rules()}
+
+    def test_selfcheck_over_src_is_the_ci_gate(self, capsys):
+        assert main(["selfcheck", str(SRC)]) == 0
+
+
+class TestSarif:
+    def make_report(self, tmp_path):
+        path = tmp_path / "bad.py"
+        path.write_text("import time\n"
+                        "t = time.time()\n"
+                        "v = hash('a')\n"
+                        "ok = abs(t) < 1e-9\n")
+        return analyze_paths([path]).report
+
+    def test_round_trip_validates(self, tmp_path):
+        document = json.loads(json.dumps(
+            to_sarif(self.make_report(tmp_path))))
+        assert validate_sarif(document) == []
+
+    def test_results_map_rules_and_locations(self, tmp_path):
+        report = self.make_report(tmp_path)
+        document = to_sarif(report)
+        (run_obj,) = document["runs"]
+        rules = run_obj["tool"]["driver"]["rules"]
+        assert [r["id"] for r in rules] == sorted(
+            {d.rule_id for d in report.diagnostics})
+        for result in run_obj["results"]:
+            index = result["ruleIndex"]
+            assert rules[index]["id"] == result["ruleId"]
+            physical = result["locations"][0]["physicalLocation"]
+            assert physical["artifactLocation"]["uri"].endswith(
+                "bad.py")
+            assert physical["region"]["startLine"] >= 1
+
+    def test_logical_locations_for_data_lint(self):
+        from repro.analysis.diagnostics import REGISTRY, AnalysisReport
+        rule = next(iter(REGISTRY.values()))
+        report = AnalysisReport()
+        report.extend([rule.diagnostic(
+            "synthetic", location="constraint:CoLocated(a, b)")])
+        document = to_sarif(report)
+        (result,) = document["runs"][0]["results"]
+        (logical,) = result["locations"][0]["logicalLocations"]
+        assert logical["fullyQualifiedName"] == \
+            "constraint:CoLocated(a, b)"
+        assert validate_sarif(document) == []
+
+    def test_validator_rejects_broken_documents(self, tmp_path):
+        document = to_sarif(self.make_report(tmp_path))
+        assert validate_sarif({"version": "1.0"})
+        mangled = json.loads(json.dumps(document))
+        mangled["runs"][0]["results"][0]["level"] = "catastrophic"
+        assert any("level" in problem
+                   for problem in validate_sarif(mangled))
+        reindexed = json.loads(json.dumps(document))
+        reindexed["runs"][0]["results"][0]["ruleIndex"] = 99
+        assert any("ruleIndex" in problem
+                   for problem in validate_sarif(reindexed))
+
+    def test_lint_sarif_format(self, tmp_path, capsys, mini_db):
+        # The data-level linter shares the SARIF path end to end.
+        from repro.catalog.io import save_database
+        db = tmp_path / "db.json"
+        save_database(mini_db, db)
+        code = main(["lint", "--database", str(db),
+                     "--format", "sarif"])
+        document = json.loads(capsys.readouterr().out)
+        assert validate_sarif(document) == []
+        assert code in (0, 1, 2)
+
+
+@pytest.mark.parametrize("rule", code_rules(),
+                         ids=lambda rule: rule.rule_id)
+def test_code_rules_are_well_formed(rule):
+    assert rule.category == "code"
+    assert rule.title
+    assert rule.rule_id.startswith("RPC")

@@ -1,0 +1,65 @@
+"""Every registered ``RPC0xx`` rule fires on its adversarial fixture.
+
+This is the regression gate for the contract linter itself: a refactor
+that silently breaks a checker (pattern drift, scoping mistake, a rule
+accidentally unregistered) fails here instead of letting real
+violations through the CI selfcheck unnoticed.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.code import analyze_paths, code_rules
+
+FIXTURES = Path(__file__).parent / "fixtures" / "rpc"
+
+#: rule ID -> the fixture (relative to ``tests/fixtures/rpc``) that
+#: must make exactly that rule fire.  ``parallel/`` placement matters:
+#: RPC105/RPC202/RPC203 are path-scoped to parallel sources.
+FIXTURE_FOR = {
+    "RPC001": "rpc001_syntax_error.py",
+    "RPC002": "rpc002_malformed_pragma.py",
+    "RPC003": "rpc003_stale_suppression.py",
+    "RPC101": "rpc101_wall_clock.py",
+    "RPC102": "rpc102_global_random.py",
+    "RPC103": "rpc103_builtin_hash.py",
+    "RPC104": "rpc104_set_iteration.py",
+    "RPC105": "parallel/rpc105_raw_clock.py",
+    "RPC201": "rpc201_unledgered_shm.py",
+    "RPC202": "parallel/rpc202_swallowed_exception.py",
+    "RPC203": "parallel/rpc203_mutable_global.py",
+    "RPC301": "rpc301_undeclared_metric.py",
+    "RPC302": "rpc302_kind_mismatch.py",
+    "RPC303": "rpc303_undeclared_event.py",
+    "RPC304": "rpc304_dynamic_name.py",
+    "RPC401": "rpc401_epsilon_literal.py",
+}
+
+
+def test_every_registered_rule_has_a_fixture():
+    registered = {rule.rule_id for rule in code_rules()}
+    assert registered == set(FIXTURE_FOR), (
+        "fixture map out of date: add a fixture (and an entry here) "
+        "for every newly registered RPC rule")
+
+
+@pytest.mark.parametrize("rule_id", sorted(FIXTURE_FOR))
+def test_rule_fires_on_its_fixture(rule_id):
+    fixture = FIXTURES / FIXTURE_FOR[rule_id]
+    assert fixture.is_file(), f"missing fixture {fixture}"
+    result = analyze_paths([fixture])
+    fired = {d.rule_id for d in result.report.diagnostics} \
+        | {d.rule_id for d in result.suppressed}
+    assert rule_id in fired, (
+        f"{rule_id} no longer fires on {fixture.name}; fired: "
+        f"{sorted(fired)}")
+
+
+def test_fixture_findings_carry_locations():
+    result = analyze_paths([FIXTURES])
+    assert result.files == len(FIXTURE_FOR)
+    for diagnostic in result.report.diagnostics:
+        path, _, line = diagnostic.location.rpartition(":")
+        assert path.endswith(".py")
+        assert line.isdigit() and int(line) >= 0
