@@ -1,6 +1,6 @@
 """SRCH — search-speed benchmark: pruning and the portfolio engine.
 
-Times four configurations of the layout search on a synthetic
+Times five configurations of the layout search on a synthetic
 paper-scale workload (TPC-H schema, seeded query generator):
 
 1. TS-GREEDY with bound-based pruning disabled (the pre-optimization
@@ -8,8 +8,17 @@ paper-scale workload (TPC-H schema, seeded query generator):
 2. TS-GREEDY with pruning enabled — must return the bit-identical
    layout and cost while fully evaluating fewer candidates;
 3. the trajectory portfolio run serially (``jobs=1``);
-4. the same portfolio on worker processes (``jobs=N``) — must return
-   the bit-identical result of the serial portfolio.
+4. the same portfolio on a thread pool over evaluator clones
+   (``backend="thread"``) — must return the bit-identical result of
+   the serial portfolio;
+5. the same portfolio on worker processes (``backend="process"``) —
+   likewise bit-identical.
+
+A separate micro-benchmark isolates the evaluator kernel itself: the
+per-candidate ``cost_with_row`` loop (the pre-fusion access pattern)
+against one fused ``best_for_rows`` call over the same candidate
+rows, reported as ``eval_throughput_candidates_per_s`` and the
+speedup ratio.
 
 Writes a machine-readable ``BENCH_search.json`` at the repo root (wall
 times, evaluation/pruning counts, speedups, drift, and — since
@@ -48,11 +57,14 @@ Run directly::
 from __future__ import annotations
 
 import argparse
+import itertools
 import json
 import os
 import sys
 import time
 from pathlib import Path
+
+import numpy as np
 
 sys.path.insert(0, str(Path(__file__).parent))  # for conftest helpers
 from conftest import full_scale, write_result  # noqa: E402
@@ -61,6 +73,7 @@ from repro.benchdb import tpch  # noqa: E402
 from repro.benchdb.synth import synthetic_workload  # noqa: E402
 from repro.core.costmodel import WorkloadCostEvaluator  # noqa: E402
 from repro.core.greedy import TsGreedySearch  # noqa: E402
+from repro.core.layout import stripe_fractions  # noqa: E402
 from repro.experiments import common  # noqa: E402
 from repro.obs import EventRecorder, MetricsRegistry, Tracer  # noqa: E402
 from repro.obs.profile import PROFILE_VERSION, phase_breakdown  # noqa: E402
@@ -143,8 +156,103 @@ def measure_telemetry_overhead(farm, evaluator, sizes, graph,
             "overhead_pct": round(overhead_pct, 2)}
 
 
+def measure_eval_throughput(farm, evaluator, sizes, graph,
+                            repeats: int = 7,
+                            max_candidates: int = 2048,
+                            layout=None) -> dict:
+    """Candidate-evaluation throughput: per-row loop vs fused kernel.
+
+    Measures the evaluator at the search's steady state: the base is
+    the *converged* pruned-greedy layout and the incumbent is its cost
+    — exactly what the kernel sees when greedy revisits an object late
+    in the search, when the running best is tight enough for the
+    transfer-only bound to do real work.  (From a fresh full-striping
+    base nothing has been learned yet, no bound can fire, and the
+    measurement degenerates to batch arithmetic alone.)
+
+    Builds a deterministic candidate set for the object with the most
+    touching subplans (every striped disk subset, capped), then times
+    two arms over the identical rows:
+
+    * ``loop`` — one ``cost_with_rows({name: row})`` call per
+      candidate plus a Python running-minimum: the pre-fusion
+      per-candidate access pattern (the dict path re-gathers the
+      touched subplans on every call, exactly as ``cost_with_row``
+      did before it was routed through the batched kernel);
+    * ``fused`` — a single :meth:`best_for_rows` call (vectorized
+      bounds prune + chunked batch evaluation of the survivors).
+
+    Both arms process every candidate (the fused arm's pruned rows
+    count as processed — disposing of them via the bound *is* the
+    optimization; the pruned count itself is deterministic), so
+    throughput is candidates/s over the same input.  The arms are
+    timed interleaved, best-of-``repeats`` each, so a machine-wide
+    stall (noisy-neighbor CI runners) cannot bias one arm; they agree
+    on the winning cost by construction (asserted).
+
+    Args:
+        layout: The converged layout to measure at; computed with a
+            fresh pruned greedy search when ``None`` (the bench passes
+            its own greedy run's result in).
+    """
+    if layout is None:
+        layout = TsGreedySearch(farm, evaluator, sizes,
+                                prune=True).search(graph).layout
+    matrix = evaluator.matrix_of(layout)
+    base_cost = evaluator.set_base(matrix)
+    name = max(evaluator.object_names,
+               key=lambda n: evaluator.touching_count(n))
+    m = len(farm)
+    subsets = itertools.chain.from_iterable(
+        itertools.combinations(range(m), size)
+        for size in range(1, m + 1))
+    rows = np.array([
+        stripe_fractions(list(subset), farm)
+        for subset in itertools.islice(subsets, max_candidates)])
+
+    def run_loop():
+        best = base_cost
+        for row in rows:
+            cost = evaluator.cost_with_rows({name: row})
+            if cost < best:
+                best = cost
+        return best
+
+    pruned = {"n": 0}
+
+    def run_fused():
+        best, index, n_pruned = evaluator.best_for_rows(
+            name, rows, base_cost)
+        pruned["n"] = n_pruned
+        return best if index >= 0 else base_cost
+
+    run_loop(), run_fused()  # warm the slice/bound caches
+    timings = [(_timed(run_loop), _timed(run_fused))
+               for _ in range(repeats)]
+    loop_best, loop_s = min((t[0] for t in timings),
+                            key=lambda r: r[1])
+    fused_best, fused_s = min((t[1] for t in timings),
+                              key=lambda r: r[1])
+    assert abs(loop_best - fused_best) < 1e-9, \
+        f"fused kernel disagrees with the loop: {loop_best} " \
+        f"vs {fused_best}"
+    n = len(rows)
+    loop_tp = n / max(loop_s, 1e-9)
+    fused_tp = n / max(fused_s, 1e-9)
+    return {
+        "candidates": n,
+        "object": name,
+        "pruned": pruned["n"],
+        "loop_s": round(loop_s, 6),
+        "fused_s": round(fused_s, 6),
+        "loop_candidates_per_s": round(loop_tp, 1),
+        "fused_candidates_per_s": round(fused_tp, 1),
+        "speedup": round(fused_tp / max(loop_tp, 1e-9), 2),
+    }
+
+
 def run_bench(jobs: int = 0, mode: str | None = None) -> dict:
-    """Run all four configurations; return the BENCH_search payload."""
+    """Run all five configurations; return the BENCH_search payload."""
     mode = resolve_mode(mode)
     if mode not in MODES:
         raise ValueError(f"unknown bench mode {mode!r}; "
@@ -181,20 +289,29 @@ def run_bench(jobs: int = 0, mode: str | None = None) -> dict:
         == plain.layout.fractions_of(name)
         for name in plain.layout.object_names)
 
-    # 3/4 — the portfolio, serial vs pooled.
+    # 3/4/5 — the portfolio: serial, thread pool, process pool.
     metrics_serial = MetricsRegistry()
     tracer_serial = Tracer()
     serial, t_serial = _timed(lambda: PortfolioSearch(
         farm, evaluator, sizes, specs=specs, jobs=1,
         tracer=tracer_serial,
         metrics=metrics_serial).search(graph))
+    metrics_thread = MetricsRegistry()
+    tracer_thread = Tracer()
+    threaded, t_thread = _timed(lambda: PortfolioSearch(
+        farm, evaluator, sizes, specs=specs, jobs=jobs,
+        backend="thread", tracer=tracer_thread,
+        metrics=metrics_thread).search(graph))
     metrics_pooled = MetricsRegistry()
     tracer_pooled = Tracer()
     pooled, t_pooled = _timed(lambda: PortfolioSearch(
         farm, evaluator, sizes, specs=specs, jobs=jobs,
-        tracer=tracer_pooled,
+        backend="process", tracer=tracer_pooled,
         metrics=metrics_pooled).search(graph))
     portfolio_drift = abs(pooled.cost - serial.cost)
+    portfolio_drift_thread = abs(threaded.cost - serial.cost)
+    throughput = measure_eval_throughput(farm, evaluator, sizes, graph,
+                                         layout=pruned_run.layout)
 
     return {
         "mode": mode,
@@ -222,23 +339,39 @@ def run_bench(jobs: int = 0, mode: str | None = None) -> dict:
             "wall_s": round(t_serial, 4),
             "evaluations": serial.evaluations,
             "cost": serial.cost,
+            "backend": "serial",
             "phases": phase_breakdown(tracer_serial, metrics_serial),
+        },
+        "portfolio_thread": {
+            "wall_s": round(t_thread, 4),
+            "evaluations": threaded.evaluations,
+            "cost": threaded.cost,
+            "backend": "thread",
+            "phases": phase_breakdown(tracer_thread, metrics_thread),
         },
         "portfolio_parallel": {
             "wall_s": round(t_pooled, 4),
             "evaluations": pooled.evaluations,
             "cost": pooled.cost,
+            "backend": "process",
             "phases": phase_breakdown(tracer_pooled, metrics_pooled),
         },
         "telemetry_overhead": measure_telemetry_overhead(
             farm, evaluator, sizes, graph),
+        "eval_throughput": throughput,
+        "eval_throughput_candidates_per_s":
+            throughput["fused_candidates_per_s"],
+        "eval_throughput_speedup": throughput["speedup"],
         "prune_eval_reduction": round(
             1.0 - pruned_run.evaluations / max(plain.evaluations, 1), 4),
         "prune_speedup": round(t_noprune / max(t_prune, 1e-9), 3),
         "parallel_speedup": round(t_serial / max(t_pooled, 1e-9), 3),
+        "parallel_speedup_thread": round(
+            t_serial / max(t_thread, 1e-9), 3),
         "prune_drift": prune_drift,
         "prune_same_layout": same_layout,
         "portfolio_drift": portfolio_drift,
+        "portfolio_drift_thread": portfolio_drift_thread,
     }
 
 
@@ -259,10 +392,19 @@ def check_invariants(payload: dict) -> None:
     assert payload["prune_same_layout"], "pruning changed the layout"
     assert payload["portfolio_drift"] == 0.0, \
         f"jobs>1 changed the cost by {payload['portfolio_drift']}"
+    assert payload["portfolio_drift_thread"] == 0.0, \
+        f"the thread backend changed the cost by " \
+        f"{payload['portfolio_drift_thread']}"
     assert payload["greedy_prune"]["evaluations"] \
         < payload["greedy_noprune"]["evaluations"]
     if payload["mode"] == "small":
         return
+    # The fused kernel must dominate the per-candidate loop it
+    # replaced: one vectorized bounds pass plus chunked batch
+    # evaluation of the survivors, against len(rows) Python calls.
+    assert payload["eval_throughput_speedup"] >= 10.0, \
+        f"fused kernel is only " \
+        f"{payload['eval_throughput_speedup']}x the per-candidate loop"
     # Pruning must be net-positive: most full evaluations skipped, and
     # the cheap bound evaluations must not eat the saving (>= 0.85
     # rather than > 1.0 leaves room for timer noise on a sub-second
@@ -289,27 +431,42 @@ def check_invariants(payload: dict) -> None:
         assert payload["parallel_speedup"] > floor, \
             f"no speedup on {payload['cores']} cores: " \
             f"{payload['parallel_speedup']}x"
+        assert payload["parallel_speedup_thread"] >= 1.0, \
+            f"thread backend slower than serial on " \
+            f"{payload['cores']} cores: " \
+            f"{payload['parallel_speedup_thread']}x"
 
 
 def _render(payload: dict) -> str:
     rows = [
         [name, f"{payload[name]['wall_s']:.3f}s",
          payload[name]["evaluations"],
-         f"{payload[name]['cost']:.4f}"]
+         f"{payload[name]['cost']:.4f}",
+         payload[name].get("backend", "-")]
         for name in ("greedy_noprune", "greedy_prune",
-                     "portfolio_serial", "portfolio_parallel")]
+                     "portfolio_serial", "portfolio_thread",
+                     "portfolio_parallel")]
     table = common.format_table(
-        ["configuration", "wall", "evaluations", "cost"], rows)
+        ["configuration", "wall", "evaluations", "cost", "backend"],
+        rows)
+    throughput = payload["eval_throughput"]
     return (f"{table}\n"
             f"pruned {payload['greedy_prune']['pruned_candidates']} "
             f"candidates "
             f"({100 * payload['prune_eval_reduction']:.1f}% fewer full "
             f"evaluations), prune speedup "
             f"{payload['prune_speedup']}x, parallel speedup "
-            f"{payload['parallel_speedup']}x on {payload['cores']} "
-            f"core(s) with jobs={payload['jobs']}, drift 0.0, "
-            f"telemetry overhead "
-            f"{payload['telemetry_overhead']['overhead_pct']}%")
+            f"{payload['parallel_speedup']}x (thread "
+            f"{payload['parallel_speedup_thread']}x) on "
+            f"{payload['cores']} core(s) with jobs={payload['jobs']}, "
+            f"drift 0.0, telemetry overhead "
+            f"{payload['telemetry_overhead']['overhead_pct']}%\n"
+            f"fused kernel: "
+            f"{throughput['fused_candidates_per_s']:,.0f} "
+            f"candidates/s over {throughput['candidates']} rows of "
+            f"{throughput['object']} "
+            f"({payload['eval_throughput_speedup']}x the "
+            f"per-candidate loop)")
 
 
 def test_search_speed():

@@ -16,7 +16,8 @@ Two classes of check:
   matter how fast the run was.
 * **Wall-clock** (skippable with ``--skip-wall``): each configuration's
   wall time must be within ``--max-regression`` (default 25%) of the
-  baseline.  Only meaningful when baseline and candidate ran on
+  baseline, and the fused kernel's candidate-evaluation throughput
+  must not fall below the baseline's by more than the same allowance.  Only meaningful when baseline and candidate ran on
   comparable hardware — CI skips it when falling back to the committed
   baseline, which was recorded on a different machine.  When both
   payloads carry the per-phase breakdown (``phases_version`` 1), a
@@ -45,8 +46,13 @@ sys.path.insert(0, str(Path(__file__).parent))  # for bench helpers
 from bench_search_speed import check_invariants  # noqa: E402
 
 #: Configurations whose wall/evaluations/cost are compared.
-CONFIGS = ("greedy_noprune", "greedy_prune",
-           "portfolio_serial", "portfolio_parallel")
+CONFIGS = ("greedy_noprune", "greedy_prune", "portfolio_serial",
+           "portfolio_thread", "portfolio_parallel")
+
+#: Configurations older baselines may predate (added with the thread
+#: backend).  Missing from the *baseline* -> skipped, not a violation;
+#: missing from the candidate is always a violation.
+OPTIONAL_BASELINE_CONFIGS = frozenset({"portfolio_thread"})
 
 #: Absolute tolerance for cost comparisons across runs.  The search is
 #: seeded and deterministic; this only absorbs float-accumulation
@@ -107,6 +113,10 @@ def compare(baseline: dict, candidate: dict,
 
     for name in CONFIGS:
         base, cand = baseline.get(name), candidate.get(name)
+        if base is None and name in OPTIONAL_BASELINE_CONFIGS:
+            # The stored baseline predates this configuration; the
+            # candidate's own invariants still cover it.
+            continue
         if base is None or cand is None:
             violations.append(f"{name}: missing from "
                               f"{'baseline' if base is None else 'candidate'}")
@@ -140,6 +150,20 @@ def compare(baseline: dict, candidate: dict,
             violations.append(
                 f"prune_eval_reduction eroded "
                 f"{base_red:.1%} -> {cand_red:.1%}")
+    if not skip_wall:
+        # Fused-kernel candidate throughput must not fall below the
+        # baseline's by more than the wall allowance.  Only checked
+        # when both payloads carry the field (added with the fused
+        # kernel) — it is a machine-dependent rate, like wall time.
+        base_tp = baseline.get("eval_throughput_candidates_per_s")
+        cand_tp = candidate.get("eval_throughput_candidates_per_s")
+        if base_tp is not None and cand_tp is not None:
+            floor = float(base_tp) / (1.0 + max_regression)
+            if float(cand_tp) < floor:
+                violations.append(
+                    f"eval throughput dropped {float(base_tp):,.0f} -> "
+                    f"{float(cand_tp):,.0f} candidates/s (floor "
+                    f"{floor:,.0f} at {max_regression:.0%} allowance)")
     return violations
 
 

@@ -50,8 +50,11 @@ findings are suppressed per line with a justified
 Performance (see ``docs/performance.md``): ``--method portfolio`` runs
 several search trajectories (seeded TS-GREEDY multi-starts plus
 annealing restarts) and keeps the best layout; ``--jobs N`` spreads
-them over ``N`` worker processes sharing one cost evaluator in shared
-memory.  The recommendation is bit-identical for any ``--jobs`` value.
+them over ``N`` workers — ``--backend`` picks threads (evaluator
+clones, GIL-free numpy kernels), worker processes (one cost evaluator
+in shared memory), or the deterministic ``auto`` size heuristic.  The
+recommendation is bit-identical for any ``--jobs``/``--backend``
+combination.
 
 Resilience (see ``docs/resilience.md``): ``--deadline S`` bounds the
 portfolio search's wall clock; on expiry (or worker crashes) the
@@ -267,9 +270,17 @@ def build_parser() -> argparse.ArgumentParser:
     rec.add_argument("--k", type=int, default=1,
                      help="TS-GREEDY widening parameter")
     rec.add_argument("--jobs", type=int, default=1, metavar="N",
-                     help="worker processes for --method portfolio "
+                     help="workers for --method portfolio "
                           "(1 = serial in-process, 0 = all cores; "
                           "the result is identical either way)")
+    rec.add_argument("--backend", default="auto",
+                     choices=["auto", "thread", "process"],
+                     help="parallel backend for --method portfolio "
+                          "with --jobs != 1: thread pool over "
+                          "evaluator clones, worker processes over "
+                          "shared memory, or a deterministic size "
+                          "heuristic (default: auto); the result is "
+                          "bit-identical either way")
     rec.add_argument("--portfolio", type=int, default=None,
                      metavar="N",
                      help="trajectory count for --method portfolio "
@@ -522,7 +533,8 @@ def cmd_recommend(args: argparse.Namespace) -> int:
             warnings.simplefilter("ignore", DegradedResult)
             recommendation = advisor.recommend(
                 workload, current_layout=current, method=method,
-                k=args.k, jobs=args.jobs, portfolio=args.portfolio,
+                k=args.k, jobs=args.jobs, backend=args.backend,
+                portfolio=args.portfolio,
                 deadline=args.deadline, retry=retry,
                 trajectory_timeout_s=args.trajectory_timeout,
                 faults=faults, movement_budget=args.budget)

@@ -190,7 +190,7 @@ class LayoutAdvisor:
     def recommend(self, workload: Workload | AnalyzedWorkload,
                   current_layout: Layout | None = None,
                   method: str = "ts-greedy",
-                  k: int = 1, jobs: int = 1,
+                  k: int = 1, jobs: int = 1, backend: str = "auto",
                   portfolio=None, deadline=None, retry=None,
                   trajectory_timeout_s: float | None = None,
                   faults=None,
@@ -207,9 +207,13 @@ class LayoutAdvisor:
                 ``"incremental"``, ``"full-striping"`` or
                 ``"exhaustive"``.
             k: TS-GREEDY's widening parameter.
-            jobs: Worker processes for ``method="portfolio"`` (1 runs
+            jobs: Worker count for ``method="portfolio"`` (1 runs
                 the portfolio serially in-process, 0 auto-sizes to the
                 machine; results are identical either way).
+            backend: For ``method="portfolio"`` with ``jobs != 1``:
+                ``"thread"``, ``"process"``, or ``"auto"`` (default —
+                a deterministic workload-size heuristic).  Results are
+                bit-identical across backends; only wall time differs.
             portfolio: For ``method="portfolio"``: a trajectory count,
                 a sequence of :class:`repro.parallel.TrajectorySpec`,
                 or ``None`` for the default portfolio.
@@ -276,7 +280,8 @@ class LayoutAdvisor:
                 graph = self.access_graph(analyzed)
                 result = self._portfolio_search(
                     evaluator, sizes, graph, current_layout, k, jobs,
-                    portfolio, deadline=deadline, retry=retry,
+                    portfolio, backend=backend, deadline=deadline,
+                    retry=retry,
                     trajectory_timeout_s=trajectory_timeout_s,
                     faults=faults)
                 if result.degraded:
@@ -375,7 +380,8 @@ class LayoutAdvisor:
     def _portfolio_search(self, evaluator: WorkloadCostEvaluator,
                           sizes: dict[str, int], graph: AccessGraph,
                           current_layout: Layout, k: int, jobs: int,
-                          portfolio, deadline=None, retry=None,
+                          portfolio, backend: str = "auto",
+                          deadline=None, retry=None,
                           trajectory_timeout_s: float | None = None,
                           faults=None) -> SearchResult:
         """Run the multi-start portfolio engine (method="portfolio")."""
@@ -396,6 +402,7 @@ class LayoutAdvisor:
         engine = PortfolioSearch(self._farm, evaluator, sizes,
                                  constraints=self._constraints,
                                  specs=specs, jobs=jobs,
+                                 backend=backend,
                                  tracer=self._tracer,
                                  metrics=self._metrics,
                                  deadline=deadline, retry=retry,

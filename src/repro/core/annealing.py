@@ -137,8 +137,9 @@ def annealing_search(farm: DiskFarm,
                 accepted += 1
                 current[name] = list(row)
                 disk_used += delta_use
-                matrix = np.array([current[n] for n in names])
-                cost = evaluator.set_base(matrix)
+                # O(Δ) adoption: re-cost only the subplans touching the
+                # moved object (bit-identical to a full set_base).
+                cost = evaluator.commit_rows({name: row})
                 if cost < best_cost:
                     best_cost = cost
                     best = {n: tuple(r) for n, r in current.items()}

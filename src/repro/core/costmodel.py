@@ -34,7 +34,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.layout import Layout
-from repro.core.tolerance import EPS_ZERO
+from repro.core.tolerance import EPS_COST, EPS_ZERO
 from repro.errors import LayoutError
 from repro.obs import NULL_METRICS
 from repro.optimizer.planner import TEMPDB
@@ -44,6 +44,27 @@ from repro.workload.access import (
     AnalyzedWorkload,
     SubplanAccess,
 )
+
+#: Byte budget for the candidate tensor of one vectorized evaluation
+#: pass.  :meth:`WorkloadCostEvaluator.costs_for_rows` sizes its chunk
+#: so the ``(chunk, S_affected, K, m)`` working set stays near this
+#: figure — small problems get large chunks (fewer Python iterations),
+#: paper-scale problems keep the old memory profile.  Sized to sit in
+#: the L2 cache: measured on the SRCH bench, throughput peaks with
+#: ~128 KB working sets and falls ~20% by 1 MB (the reduction passes
+#: re-stream the tensor from L3/DRAM instead).
+_CHUNK_TARGET_BYTES = 128 << 10
+
+#: Chunk bounds for the auto-sizer: the floor matches the historical
+#: fixed chunk (never slower than before), the ceiling bounds peak
+#: memory when a workload barely touches an object.
+_CHUNK_MIN = 16
+_CHUNK_MAX = 1024
+
+#: The read-only packed arrays every evaluator clone / shared-memory
+#: attach shares; mutable per-search state is never in this list.
+PACKED_ARRAYS = ("_idx", "_blocks", "_mask", "_inv", "_weights",
+                 "_seeks")
 
 
 class CostModel:
@@ -199,18 +220,76 @@ class WorkloadCostEvaluator:
             rows = np.nonzero(((self._idx == i) & self._mask)
                               .any(axis=1))[0]
             self._touching.append(rows)
-        self._base_matrix: np.ndarray | None = None
-        self._base_costs: np.ndarray | None = None
-        self._base_total: float = 0.0
-        #: per-object cache of sliced arrays for batched delta eval
-        self._slice_cache: dict[int, tuple] = {}
-        #: per-object cache of sliced arrays for batched lower bounds
-        self._bound_cache: dict[int, tuple] = {}
+        self._init_mutable_state()
         self._metrics.set_gauge("costmodel.subplans", self._n_subplans)
         self._metrics.set_gauge("costmodel.subplans_raw",
                                 self.n_compressed_from)
 
+    def _init_mutable_state(self) -> None:
+        """Fresh per-search mutable state (base matrix and caches).
+
+        Shared by ``__init__``, :meth:`clone` and the shared-memory
+        attach path — anything mutable an evaluator owns starts here,
+        so clones and attached replicas can never alias search state.
+        """
+        self._base_matrix: np.ndarray | None = None
+        self._base_costs: np.ndarray | None = None
+        self._base_total: float = 0.0
+        #: Monotone counter identifying the current base layout; bumped
+        #: by :meth:`set_base` and :meth:`commit_rows`.  Base-dependent
+        #: cache entries are tagged with the epoch they were built at
+        #: and are valid only while the tags match.
+        self._base_epoch: int = 0
+        #: per-object base-independent slices for batched delta eval:
+        #: ``i -> (idx, blocks_mask, inv, is_target, weights)``
+        self._slice_static: dict[int, tuple] = {}
+        #: per-object base-dependent slice state:
+        #: ``i -> (epoch, base_sub, affected_base)``
+        self._slice_base: dict[int, tuple] = {}
+        #: per-object base-independent bound slices:
+        #: ``i -> (target_coeff, weights, idx, blocks_mask, inv,
+        #: is_target)``
+        self._bound_static: dict[int, tuple] = {}
+        #: per-object base-dependent bound state:
+        #: ``i -> (epoch, other_transfer, affected_base)``
+        self._bound_base: dict[int, tuple] = {}
+
     # -- matrix plumbing -----------------------------------------------------
+
+    def clone(self) -> "WorkloadCostEvaluator":
+        """A twin sharing the packed arrays but no mutable state.
+
+        The packed ``(S, K, m)`` arrays and the touching-set index are
+        immutable after construction, so clones reference them without
+        copying; the base matrix, the per-object caches and the metrics
+        binding are private per clone.  This is what lets the
+        thread-backed portfolio run trajectories concurrently: numpy
+        kernels release the GIL, and each trajectory mutates only its
+        own clone.
+        """
+        twin = WorkloadCostEvaluator.__new__(WorkloadCostEvaluator)
+        twin._metrics = NULL_METRICS
+        twin._farm = self._farm
+        twin._names = list(self._names)
+        twin._index = dict(self._index)
+        for attr in PACKED_ARRAYS:
+            setattr(twin, attr, getattr(self, attr))
+        twin._n_subplans = self._n_subplans
+        twin.n_compressed_from = self.n_compressed_from
+        twin._touching = self._touching
+        twin._init_mutable_state()
+        return twin
+
+    @property
+    def packed_nbytes(self) -> int:
+        """Total bytes of the packed evaluation arrays.
+
+        The deterministic size signal the portfolio's ``backend="auto"``
+        heuristic keys on: small packings favor the thread backend
+        (nothing worth paying process spawn + shared memory for).
+        """
+        return int(sum(getattr(self, attr).nbytes
+                       for attr in PACKED_ARRAYS))
 
     def bind_metrics(self, metrics) -> None:
         """Swap the registry recording ``costmodel.*`` counters.
@@ -239,6 +318,14 @@ class WorkloadCostEvaluator:
         """The layout's fraction matrix in this evaluator's row order."""
         return np.array([layout.fractions_of(name)
                          for name in self._names])
+
+    def touching_count(self, object_name: str) -> int:
+        """How many subplans read ``object_name``.
+
+        The object's delta-evaluation cost is proportional to this;
+        benchmarks use it to pick the hottest object.
+        """
+        return int(self._touching[self._index[object_name]].size)
 
     # -- evaluation ------------------------------------------------------------
 
@@ -288,14 +375,79 @@ class WorkloadCostEvaluator:
         self._base_matrix = matrix.copy()
         self._base_costs = self._subplan_costs(matrix)
         self._base_total = float(self._base_costs @ self._weights)
-        self._slice_cache.clear()
-        self._bound_cache.clear()
+        # New base: every base-dependent cache entry is stale (the
+        # static slices survive — they never depend on the base).
+        self._base_epoch += 1
+        return self._base_total
+
+    def commit_rows(self, rows: dict[str, np.ndarray]) -> float:
+        """Adopt row replacements into the base in O(Δ); return the total.
+
+        Equivalent to rebuilding the full matrix and calling
+        :meth:`set_base` — bit-identical ``_base_costs`` and total, by
+        construction: only the subplans touching a committed object are
+        recomputed (each subplan's cost is elementwise-independent of
+        the rest), and the total is re-derived as the full dot product
+        over the patched per-subplan costs rather than accumulated
+        incrementally.  Base-dependent cache entries for objects whose
+        subplans are disjoint from the committed ones stay valid and
+        are re-tagged to the new epoch; everything else lazily rebuilds
+        on next use.
+
+        This is what makes an adopted search move cheap: greedy and
+        annealing call this after every accepted move instead of
+        re-evaluating all ``S`` subplans from scratch.
+        """
+        if self._base_matrix is None or self._base_costs is None:
+            raise LayoutError("set_base() must be called before "
+                              "commit_rows()")
+        self._metrics.inc("costmodel.commit_evaluations")
+        affected: np.ndarray | None = None
+        for name, row in rows.items():
+            i = self._index[name]
+            affected = self._touching[i] if affected is None else \
+                np.union1d(affected, self._touching[i])
+            self._base_matrix[i] = row
+        previous = self._base_epoch
+        self._base_epoch += 1
+        if affected is None or affected.size == 0:
+            # No subplan reads the committed objects: costs, total and
+            # the current epoch's cache entries are untouched — carry
+            # them over.  Entries left from an older epoch stay stale.
+            for cache in (self._slice_base, self._bound_base):
+                for j, entry in cache.items():
+                    if entry[0] == previous:
+                        cache[j] = (self._base_epoch,) + entry[1:]
+            return self._base_total
+        self._base_costs[affected] = self._subplan_costs(
+            self._base_matrix, rows=affected)
+        self._base_total = float(self._base_costs @ self._weights)
+        for cache in (self._slice_base, self._bound_base):
+            for j in list(cache):
+                entry = cache[j]
+                if entry[0] != previous or np.intersect1d(
+                        self._touching[j], affected,
+                        assume_unique=True).size:
+                    del cache[j]
+                else:
+                    cache[j] = (self._base_epoch,) + entry[1:]
         return self._base_total
 
     def cost_with_row(self, object_name: str,
                       row: np.ndarray) -> float:
-        """Cost of (base matrix with one object's row replaced)."""
-        return self.cost_with_rows({object_name: row})
+        """Cost of (base matrix with one object's row replaced).
+
+        Routed through the batched kernel (:meth:`costs_for_rows`) so
+        repeated single-row probes of the same object — annealing's
+        proposal loop — reuse the epoch-keyed slice cache instead of
+        re-gathering the touched subplans per call.
+        """
+        if self._base_matrix is None or self._base_costs is None:
+            raise LayoutError("set_base() must be called before "
+                              "cost_with_row()")
+        self._metrics.inc("costmodel.delta_evaluations")
+        row = np.asarray(row, dtype=float)
+        return float(self.costs_for_rows(object_name, row[None])[0])
 
     def cost_with_rows(self, rows: dict[str, np.ndarray]) -> float:
         """Cost of the base matrix with several rows replaced at once.
@@ -326,8 +478,56 @@ class WorkloadCostEvaluator:
             self._base_matrix[i] = old_row
         return self._base_total + delta
 
+    def _slice_parts(self, i: int) -> tuple[tuple, tuple]:
+        """Static and base-dependent slice state for object ``i``.
+
+        The static tuple (gathered subplan arrays) only depends on the
+        packed workload, so it survives every base change; the base
+        tuple (``base_sub`` — the base layout's stream spread — and the
+        affected subplans' share of the base total) is tagged with the
+        epoch it was built at and rebuilt lazily after
+        :meth:`set_base` / :meth:`commit_rows` invalidated it.
+        """
+        affected = self._touching[i]
+        static = self._slice_static.get(i)
+        if static is None:
+            idx = self._idx[affected]
+            static = (
+                idx,
+                self._blocks[affected][:, :, None]
+                * self._mask[affected][:, :, None],   # (S, K, 1)
+                self._inv[affected],                  # (S, K, m)
+                (idx == i),                           # (S, K)
+                self._weights[affected],
+            )
+            self._slice_static[i] = static
+        based = self._slice_base.get(i)
+        if based is None or based[0] != self._base_epoch:
+            idx, blocks_mask = static[0], static[1]
+            based = (
+                self._base_epoch,
+                self._base_matrix[idx] * blocks_mask,  # (S, K, m)
+                float(self._base_costs[affected]
+                      @ self._weights[affected]),
+            )
+            self._slice_base[i] = based
+        return static, based
+
+    def _auto_chunk(self, n_affected: int) -> int:
+        """Deterministic chunk size for one vectorized pass.
+
+        Sized so the ``(chunk, S_affected, K, m)`` float64 candidate
+        tensor stays near :data:`_CHUNK_TARGET_BYTES`; clamped to
+        ``[_CHUNK_MIN, _CHUNK_MAX]``.  Depends only on array shapes, so
+        results and evaluation counts never vary with the machine.
+        """
+        k_max = max(1, self._idx.shape[1] if self._idx.ndim == 2 else 1)
+        per_row = max(1, n_affected) * k_max * max(1, len(self._farm)) * 8
+        return max(_CHUNK_MIN, min(_CHUNK_MAX,
+                                   _CHUNK_TARGET_BYTES // per_row))
+
     def costs_for_rows(self, object_name: str, rows: np.ndarray,
-                       chunk: int = 16) -> np.ndarray:
+                       chunk: int | None = None) -> np.ndarray:
         """Costs of many single-row deviations from the base, batched.
 
         Equivalent to ``[cost_with_row(object_name, r) for r in rows]``
@@ -337,7 +537,9 @@ class WorkloadCostEvaluator:
         Args:
             object_name: The object whose fraction row varies.
             rows: Candidate rows, shape ``(C, m)``.
-            chunk: Candidates per vectorized pass (bounds memory).
+            chunk: Candidates per vectorized pass (bounds memory);
+                ``None`` auto-sizes from the affected-subplan count so
+                the working set stays near a fixed byte budget.
 
         Returns:
             Array of ``C`` total workload costs.
@@ -352,22 +554,11 @@ class WorkloadCostEvaluator:
         rows = np.asarray(rows, dtype=float)
         if affected.size == 0:
             return np.full(len(rows), self._base_total)
-        cached = self._slice_cache.get(i)
-        if cached is None:
-            idx = self._idx[affected]
-            cached = (
-                idx,
-                self._blocks[affected][:, :, None]
-                * self._mask[affected][:, :, None],   # (S, K, 1)
-                self._inv[affected],                  # (S, K, m)
-                (idx == i),                           # (S, K)
-                self._weights[affected],
-                float(self._base_costs[affected]
-                      @ self._weights[affected]),
-            )
-            self._slice_cache[i] = cached
-        idx, blocks_mask, inv, is_target, weights, affected_base = cached
-        base_sub = self._base_matrix[idx] * blocks_mask      # (S, K, m)
+        static, based = self._slice_parts(i)
+        idx, blocks_mask, inv, is_target, weights = static
+        _, base_sub, affected_base = based
+        if chunk is None:
+            chunk = self._auto_chunk(affected.size)
         out = np.empty(len(rows))
         for start in range(0, len(rows), chunk):
             batch = rows[start:start + chunk]                # (C, m)
@@ -429,35 +620,105 @@ class WorkloadCostEvaluator:
         affected = self._touching[i]
         if affected.size == 0:
             return np.full(len(rows), self._base_total)
-        cached = self._bound_cache.get(i)
-        if cached is None:
+        static = self._bound_static.get(i)
+        if static is None:
             idx = self._idx[affected]
             blocks_mask = self._blocks[affected][:, :, None] \
                 * self._mask[affected][:, :, None]
             inv = self._inv[affected]
             is_target = (idx == i)[:, :, None]           # (S, K, 1)
+            # The candidate-scaled half of the transfer split; the
+            # base-dependent half lives in the epoch-tagged entry.
+            target_coeff = (np.where(is_target, blocks_mask, 0.0)
+                            * inv).sum(axis=1)           # (S, m)
+            static = (target_coeff, self._weights[affected],
+                      idx, blocks_mask, inv, is_target)
+            self._bound_static[i] = static
+        target_coeff, weights, idx, blocks_mask, inv, is_target = static
+        based = self._bound_base.get(i)
+        if based is None or based[0] != self._base_epoch:
             base_sub = self._base_matrix[idx] * blocks_mask
             # Transfer per disk split into the target object's streams
             # (scales with the candidate row) and everything else
             # (constant across candidates).
             other_transfer = (np.where(is_target, 0.0, base_sub)
                               * inv).sum(axis=1)         # (S, m)
-            target_coeff = (np.where(is_target, blocks_mask, 0.0)
-                            * inv).sum(axis=1)           # (S, m)
-            cached = (
+            based = (
+                self._base_epoch,
                 other_transfer,
-                target_coeff,
-                self._weights[affected],
                 float(self._base_costs[affected]
                       @ self._weights[affected]),
             )
-            self._bound_cache[i] = cached
-        other_transfer, target_coeff, weights, affected_base = cached
+            self._bound_base[i] = based
+        _, other_transfer, affected_base = based
         # (C, S, m): candidate transfer time per subplan and disk.
         transfer = other_transfer[None] \
             + rows[:, None, :] * target_coeff[None]
         bound = transfer.max(axis=2) @ weights            # (C,)
         return self._base_total - affected_base + bound
+
+    # -- fused prune + evaluate --------------------------------------------------
+
+    def best_for_rows(self, object_name: str, rows: np.ndarray,
+                      incumbent: float, prune: bool = True,
+                      ) -> tuple[float, int, int]:
+        """Fused prune+evaluate: the best single-row deviation, one call.
+
+        Computes transfer-only lower bounds for all ``C`` candidates in
+        one vectorized pass, fully evaluates only the survivors (bound
+        below the incumbent), and replays the search's sequential
+        epsilon acceptance over the survivor costs — so the selected
+        candidate, the winning cost, and the pruned count are
+        bit-identical to the unfused ``bounds_for_rows`` →
+        ``costs_for_rows`` → Python-loop composition it replaces.
+
+        Args:
+            object_name: The object whose fraction row varies.
+            rows: Candidate rows, shape ``(C, m)``.
+            incumbent: The cost to beat (the search's running best).
+            prune: Disable to evaluate every candidate (results are
+                identical; only the evaluation count changes).
+
+        Returns:
+            ``(best_cost, best_index, n_pruned)``.  ``best_index`` is
+            the index into ``rows`` of the accepted candidate, or
+            ``-1`` when nothing beats the incumbent by ``EPS_COST`` —
+            in which case ``best_cost`` is the incumbent, unchanged.
+        """
+        rows = np.asarray(rows, dtype=float)
+        self._metrics.inc("costmodel.fused_evaluations")
+        if len(rows) == 0:
+            return float(incumbent), -1, 0
+        if prune:
+            bounds = self.bounds_for_rows(object_name, rows)
+            keep = np.nonzero(bounds < incumbent - EPS_COST)[0]
+            pruned = len(rows) - int(keep.size)
+        else:
+            keep = np.arange(len(rows))
+            pruned = 0
+        if keep.size == 0:
+            return float(incumbent), -1, pruned
+        costs = self.costs_for_rows(object_name, rows[keep])
+        best_cost = float(incumbent)
+        best_index = -1
+        # Sequential epsilon acceptance, not argmin: each later
+        # candidate must beat the *running* best by EPS_COST, exactly
+        # the tie-breaking the greedy loop has always used.  An
+        # accepted candidate is strictly below every earlier cost
+        # (accepted ones by > EPS_COST; rejected ones were >= the
+        # then-best - EPS_COST, which the acceptance undercuts), so
+        # only strict prefix minima can be accepted — the Python loop
+        # replaying the rule runs over those few, not all survivors.
+        running_min = np.minimum.accumulate(costs)
+        contender = np.empty(costs.size, dtype=bool)
+        contender[0] = True
+        np.less(costs[1:], running_min[:-1], out=contender[1:])
+        for position in np.nonzero(contender)[0]:
+            candidate_cost = costs[position]
+            if candidate_cost < best_cost - EPS_COST:
+                best_cost = float(candidate_cost)
+                best_index = int(keep[position])
+        return best_cost, best_index, pruned
 
     # -- shared-memory plumbing --------------------------------------------------
 

@@ -465,27 +465,21 @@ class TsGreedySearch:
                 if not feasible:
                     continue
                 if len(group) == 1:
-                    # Single-object moves: one vectorized batch.
+                    # Single-object moves: one fused prune+evaluate
+                    # call — bounds for every candidate, full costs
+                    # for the survivors, selection inside the kernel.
                     rows = np.array([change[name]
                                      for change in feasible])
-                    if self._prune:
-                        bounds = self._evaluator.bounds_for_rows(name,
-                                                                 rows)
-                        keep = np.nonzero(
-                            bounds < best_cost - EPS_COST)[0]
-                        pruned_total += len(feasible) - keep.size
-                    else:
-                        keep = np.arange(len(feasible))
-                    if keep.size == 0:
-                        continue
-                    result.evaluations += int(keep.size)
-                    iteration_evals += int(keep.size)
-                    costs = self._evaluator.costs_for_rows(name,
-                                                           rows[keep])
-                    for index, candidate_cost in zip(keep, costs):
-                        if candidate_cost < best_cost - EPS_COST:
-                            best_cost = float(candidate_cost)
-                            best_change = feasible[index]
+                    candidate_cost, index, pruned = \
+                        self._evaluator.best_for_rows(
+                            name, rows, best_cost, prune=self._prune)
+                    pruned_total += pruned
+                    evaluated = len(feasible) - pruned
+                    result.evaluations += evaluated
+                    iteration_evals += evaluated
+                    if index >= 0:
+                        best_cost = candidate_cost
+                        best_change = feasible[index]
                 else:
                     result.evaluations += len(feasible)
                     iteration_evals += len(feasible)
@@ -508,8 +502,9 @@ class TsGreedySearch:
             for name, row in best_change.items():
                 disk_used += self._sizes[name] * (row - current[name])
                 current[name] = row
-            matrix = np.array([current[n] for n in self._names])
-            cost = self._evaluator.set_base(matrix)
+            # O(Δ) adoption: only the subplans touching the moved
+            # objects are re-costed (bit-identical to a full set_base).
+            cost = self._evaluator.commit_rows(dict(best_change))
             result.steps.append(GreedyStep(
                 iteration=result.iterations, candidates=iteration_evals,
                 best_cost=float(cost), accepted=True,

@@ -159,8 +159,12 @@ def render_search_diagnostics(search, max_steps: int = 8) -> str:
         best = int(extras.pop("best_trajectory", 0))
         extras.pop("best_trajectory_cost", None)
         extras.pop("failed_trajectories", None)
+        backend = {-1.0: "serial", 0.0: "thread", 1.0: "process"}.get(
+            extras.pop("backend", None))
+        via = f" via {backend} backend" if backend else ""
         lines.append(f"portfolio: {trajectories} trajectories on "
-                     f"{workers} worker(s); winner: trajectory {best}")
+                     f"{workers} worker(s){via}; "
+                     f"winner: trajectory {best}")
         failures = list(getattr(search, "failures", ()) or ())
         if getattr(search, "degraded", False) or failures:
             causes = ", ".join(sorted({f.cause for f in failures})) \
@@ -177,6 +181,12 @@ def render_search_diagnostics(search, max_steps: int = 8) -> str:
         if bound_evals is not None:
             line += f" via {int(bound_evals)} lower-bound evaluations"
         lines.append(line + " (result unchanged by construction)")
+    evaluations = int(getattr(search, "evaluations", 0) or 0)
+    elapsed_s = float(getattr(search, "elapsed_s", 0.0) or 0.0)
+    if evaluations > 0 and elapsed_s > 0:
+        lines.append(f"throughput: {evaluations / elapsed_s:,.0f} "
+                     f"candidates/s ({evaluations} evaluated in "
+                     f"{elapsed_s:.3f}s)")
     if kl_passes or cut_weights:
         trail = " -> ".join(f"{w:.0f}" for w in cut_weights)
         lines.append(f"partitioning: {kl_passes} KL pass(es), "

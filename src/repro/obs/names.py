@@ -63,8 +63,12 @@ METRIC_CATALOG: dict[str, tuple[str, str]] = {
         COUNTER, "candidate rows evaluated across batches"),
     "costmodel.bound_evaluations": (
         COUNTER, "lower-bound evaluations used to prune candidates"),
+    "costmodel.commit_evaluations": (
+        COUNTER, "O(delta) base-cost commits of adopted moves"),
     "costmodel.delta_evaluations": (
         COUNTER, "incremental delta cost evaluations"),
+    "costmodel.fused_evaluations": (
+        COUNTER, "fused prune+evaluate kernel invocations"),
     "costmodel.full_evaluations": (
         COUNTER, "full layout cost evaluations"),
     "costmodel.subplans": (
@@ -121,6 +125,8 @@ METRIC_CATALOG: dict[str, tuple[str, str]] = {
     "partition.swaps": (
         COUNTER, "node-pair KL swaps applied"),
     # -- portfolio engine -----------------------------------------------
+    "portfolio.backend": (
+        GAUGE, "backend of the last run (-1 serial, 0 thread, 1 process)"),
     "portfolio.best_trajectory": (
         GAUGE, "index of the winning trajectory"),
     "portfolio.trajectories": (

@@ -1,15 +1,17 @@
 """Deterministic per-phase profiling for the bench and the perf gate.
 
 Aggregates a run's tracer spans and metric counts into a fixed set of
-algorithm phases — the same six the paper's pipeline decomposes into —
-so `BENCH_search.json` can carry a versioned per-phase breakdown and
-the CI perf gate can attribute a wall-time regression to the phase
-that grew (see :func:`repro.perf_gate` — the violation message names
-the slowest-growing phase).
+algorithm phases — the paper's pipeline decomposition plus the fused
+evaluator kernel — so `BENCH_search.json` can carry a versioned
+per-phase breakdown and the CI perf gate can attribute a wall-time
+regression to the phase that grew (see :func:`repro.perf_gate` — the
+violation message names the slowest-growing phase).
 
 The phase set is deliberately closed and stable: every breakdown
-contains all six phases (zeroed when a phase did not run), so gate
-comparisons never have to reconcile schemas.
+contains all seven phases (zeroed when a phase did not run), so gate
+comparisons never have to reconcile schemas.  Version 2 added the
+``evaluate`` phase (batched candidate-row evaluations inside the
+fused kernel — count-only, like ``bound-prune``).
 """
 
 from __future__ import annotations
@@ -17,11 +19,11 @@ from __future__ import annotations
 from typing import Any
 
 #: Schema version of the ``phases`` block in bench payloads.
-PROFILE_VERSION = 1
+PROFILE_VERSION = 2
 
 #: The closed set of profiled phases, in pipeline order.
-PHASES = ("expand", "kl", "greedy", "bound-prune", "anneal",
-          "migration-plan")
+PHASES = ("expand", "kl", "greedy", "evaluate", "bound-prune",
+          "anneal", "migration-plan")
 
 #: span name -> phase.  Spans not listed here (orchestration wrappers
 #: like ``recommend`` or ``portfolio``) are walked for their children
@@ -38,12 +40,14 @@ _SPAN_PHASE: dict[str, str] = {
 }
 
 #: phase -> counter whose value is the phase's work count.  The
-#: bound-prune phase has no span of its own (pruning happens inside the
-#: greedy loop), so it contributes counts with zero attributed time.
+#: bound-prune and evaluate phases have no spans of their own (both
+#: happen inside the greedy/annealing loops), so they contribute
+#: counts with zero attributed time.
 _PHASE_COUNTER: dict[str, str] = {
     "expand": "analyze.statements",
     "kl": "partition.kl_passes",
     "greedy": "greedy.evaluations",
+    "evaluate": "costmodel.batch_rows",
     "bound-prune": "costmodel.bound_evaluations",
     "anneal": "annealing.proposals",
     "migration-plan": "incremental.migration_steps",

@@ -42,7 +42,9 @@ from repro.storage.disk import DiskFarm
 
 logger = logging.getLogger("repro.parallel.shared")
 
-#: Evaluator attributes published in the shared segment, in layout order.
+#: Evaluator attributes published in the shared segment, in layout
+#: order.  Mirrors ``repro.core.costmodel.PACKED_ARRAYS`` (asserted at
+#: share time) without importing core at module load.
 _SHARED_ARRAYS = ("_idx", "_blocks", "_mask", "_inv", "_weights",
                   "_seeks")
 
@@ -179,6 +181,14 @@ def share_evaluator(evaluator) -> SharedEvaluatorState:
         A :class:`SharedEvaluatorState`; the caller owns (and must
         close) it.
     """
+    # Deferred import (see attach_evaluator): catch drift between the
+    # local layout list and the evaluator's own packing declaration.
+    from repro.core.costmodel import PACKED_ARRAYS
+    if tuple(PACKED_ARRAYS) != _SHARED_ARRAYS:
+        raise SharedStateError(
+            f"shared-array layout drifted: evaluator packs "
+            f"{PACKED_ARRAYS}, shared publisher expects "
+            f"{_SHARED_ARRAYS}")
     specs: list[SharedArraySpec] = []
     offset = 0
     for attr in _SHARED_ARRAYS:
@@ -268,9 +278,5 @@ def attach_evaluator(spec: SharedEvaluatorSpec, metrics=None):
         np.nonzero(((evaluator._idx == i) & evaluator._mask)
                    .any(axis=1))[0]
         for i in range(len(spec.names))]
-    evaluator._base_matrix = None
-    evaluator._base_costs = None
-    evaluator._base_total = 0.0
-    evaluator._slice_cache = {}
-    evaluator._bound_cache = {}
+    evaluator._init_mutable_state()
     return evaluator

@@ -339,7 +339,8 @@ class TestFaultTolerance:
         metrics = MetricsRegistry()
         engine = PortfolioSearch(
             farm, evaluator, sizes, specs=specs, jobs=2,
-            metrics=metrics, faults=FaultPlan(fail_shm_attach=True))
+            backend="process", metrics=metrics,
+            faults=FaultPlan(fail_shm_attach=True))
         result = engine.search(graph)
         # Every worker died attaching; the serial fallback recovered
         # every trajectory, so the run is NOT degraded and the result
@@ -419,7 +420,8 @@ class TestFaultTolerance:
         monkeypatch.setattr("repro.parallel.portfolio.share_evaluator",
                             capturing)
         engine = PortfolioSearch(farm, evaluator, sizes,
-                                 specs=default_portfolio(2), jobs=2)
+                                 specs=default_portfolio(2), jobs=2,
+                                 backend="process")
 
         def interrupted(*args, **kwargs):
             raise KeyboardInterrupt

@@ -34,15 +34,24 @@ def payload(mode="ci"):
             "pruned_candidates": 6586, "bound_evaluations": 9000,
             "cost": 54.7029},
         "portfolio_serial": {
-            "wall_s": 1.2, "evaluations": 11448, "cost": 54.7029},
+            "wall_s": 1.2, "evaluations": 11448, "cost": 54.7029,
+            "backend": "serial"},
+        "portfolio_thread": {
+            "wall_s": 0.9, "evaluations": 11448, "cost": 54.7029,
+            "backend": "thread"},
         "portfolio_parallel": {
-            "wall_s": 0.8, "evaluations": 11448, "cost": 54.7029},
+            "wall_s": 0.8, "evaluations": 11448, "cost": 54.7029,
+            "backend": "process"},
+        "eval_throughput_candidates_per_s": 400_000.0,
+        "eval_throughput_speedup": 15.0,
         "prune_eval_reduction": 0.836,
         "prune_speedup": 1.11,
         "parallel_speedup": 1.5,
+        "parallel_speedup_thread": 1.3,
         "prune_drift": 0.0,
         "prune_same_layout": True,
         "portfolio_drift": 0.0,
+        "portfolio_drift_thread": 0.0,
     }
 
 
