@@ -38,6 +38,7 @@ from repro.analysis.diagnostics import (
 )
 from repro.analysis.engine import (
     analyze_inputs,
+    audit_journal,
     audit_migration,
     audit_recommendation,
     constraint_construction_diagnostic,
@@ -46,7 +47,12 @@ from repro.analysis.engine import (
 from repro.analysis.layout_rules import check_layout
 from repro.analysis.constraint_rules import check_constraints
 from repro.analysis.workload_rules import check_workload
-from repro.analysis.audit_rules import check_migration, check_recommendation
+from repro.analysis.audit_rules import (
+    check_journal,
+    check_migration,
+    check_recommendation,
+    check_rollback,
+)
 from repro.analysis.code import CodeReport, analyze_paths, code_rules
 from repro.analysis.sarif import to_sarif, validate_sarif
 
@@ -59,6 +65,7 @@ __all__ = [
     "register",
     "rules_by_category",
     "analyze_inputs",
+    "audit_journal",
     "audit_migration",
     "audit_recommendation",
     "constraint_construction_diagnostic",
@@ -66,8 +73,10 @@ __all__ = [
     "check_layout",
     "check_constraints",
     "check_workload",
+    "check_journal",
     "check_migration",
     "check_recommendation",
+    "check_rollback",
     "CodeReport",
     "analyze_paths",
     "code_rules",

@@ -40,6 +40,12 @@ ALR032 = register(
 ALR033 = register(
     "ALR033", Severity.ERROR, "audit",
     "Migration plan overflows a disk at an intermediate step")
+ALR034 = register(
+    "ALR034", Severity.ERROR, "audit",
+    "Migration journal disagrees with its plan or source layout")
+ALR035 = register(
+    "ALR035", Severity.ERROR, "audit",
+    "Rollback from the journaled state is not capacity-safe")
 
 
 def check_recommendation(layout: Layout,
@@ -148,3 +154,77 @@ def check_migration(plan: MigrationPlan, current: Layout,
             return
         used[step.dst] += step.blocks
         used[step.src] -= step.blocks
+
+
+def check_journal(records: list[dict], plan: MigrationPlan | None = None,
+                  source: Layout | None = None) -> Iterator[Diagnostic]:
+    """ALR034: audit an execution journal against its plan and source.
+
+    Wraps :func:`repro.storage.executor.validate_journal`: structural
+    problems (grammar, sequencing, intent/done pairing) and semantic
+    ones (digest binding to the plan and source layout, per-step field
+    agreement, replayed state digests) each become one finding.
+
+    Args:
+        records: Parsed journal records
+            (:func:`repro.storage.executor.read_journal` output).
+        plan: The plan the journal claims to execute; ``None`` limits
+            the audit to structure and internal digests.
+        source: The layout the journal's replay starts from.
+    """
+    from repro.storage.executor import validate_journal
+    for problem in validate_journal(records, plan=plan, source=source):
+        yield ALR034.diagnostic(
+            f"journal inconsistency: {problem}",
+            location="migration:journal",
+            suggestion="re-check that the journal belongs to this "
+                       "plan and source layout; a tampered or mixed-up "
+                       "journal must not be resumed")
+
+
+def check_rollback(records: list[dict], plan: MigrationPlan,
+                   source: Layout) -> Iterator[Diagnostic]:
+    """ALR035: prove the journaled state can roll back to the source.
+
+    Replays the journal to its proven intermediate state, plans the
+    reverse migration back to ``source``, and verifies the reverse plan
+    is capacity-safe against the intermediate layout — i.e. a
+    ``rollback()`` started now cannot overflow any disk at any step.
+
+    Args:
+        records: Parsed journal records.
+        plan: The forward plan the journal executes.
+        source: The layout rollback must restore.
+    """
+    from repro.errors import LayoutError, MigrationExecutionError
+    from repro.storage.executor import replay_journal
+    from repro.storage.migration import plan_migration
+    try:
+        replay = replay_journal(records, plan=plan, source=source)
+    except MigrationExecutionError as bad:
+        yield ALR035.diagnostic(
+            f"journal cannot be replayed for rollback analysis: {bad}",
+            location="migration:journal",
+            suggestion="fix the journal/plan/source mismatch first "
+                       "(see ALR034)")
+        return
+    if replay.closed == "complete":
+        return
+    intermediate = replay.state.to_layout()
+    try:
+        reverse = plan_migration(intermediate, source)
+    except LayoutError as blocked:
+        yield ALR035.diagnostic(
+            f"no capacity-safe reverse path from the journaled state "
+            f"back to the source: {blocked}",
+            location="migration:rollback",
+            suggestion="free scratch space (or add a staging disk) "
+                       "before attempting rollback")
+        return
+    if not reverse.is_capacity_safe(intermediate):
+        yield ALR035.diagnostic(
+            "the planned reverse path overflows a disk at an "
+            "intermediate step",
+            location="migration:rollback",
+            suggestion="this is a reverse-planner bug; do not run "
+                       "rollback() until it is fixed")

@@ -20,8 +20,10 @@ import logging
 from typing import Any, Mapping, Sequence
 
 from repro.analysis.audit_rules import (
+    check_journal,
     check_migration,
     check_recommendation,
+    check_rollback,
 )
 from repro.analysis.constraint_rules import ALR015, check_constraints
 from repro.analysis.diagnostics import (
@@ -236,6 +238,38 @@ def audit_migration(plan, current: Layout,
         report = AnalysisReport()
         report.extend(check_migration(plan, current,
                                       movement_budget=movement_budget))
+        span.set("findings", len(report))
+        metrics.inc("analysis.migration_findings", len(report))
+    return report
+
+
+def audit_journal(records, plan=None, source: Layout | None = None,
+                  tracer: Any = None, metrics: Any = None,
+                  ) -> AnalysisReport:
+    """Audit a migration execution journal (ALR034/ALR035).
+
+    ALR034 proves the journal is internally consistent and belongs to
+    the given plan and source layout; ALR035 proves the journaled
+    intermediate state still has a capacity-safe reverse path back to
+    the source (rollback feasibility is checked only when both ``plan``
+    and ``source`` are supplied).  Records
+    ``analysis.migration_findings`` in ``metrics``.
+
+    Args:
+        records: Parsed journal records
+            (:func:`repro.storage.executor.read_journal` output).
+        plan: The forward :class:`~repro.storage.migration.MigrationPlan`
+            the journal executes.
+        source: The layout the journal's replay starts from.
+    """
+    tracer = tracer if tracer is not None else NULL_TRACER
+    metrics = metrics if metrics is not None else NULL_METRICS
+    with tracer.span("audit-journal") as span:
+        report = AnalysisReport()
+        report.extend(check_journal(records, plan=plan, source=source))
+        if not report.errors and plan is not None \
+                and source is not None:
+            report.extend(check_rollback(records, plan, source))
         span.set("findings", len(report))
         metrics.inc("analysis.migration_findings", len(report))
     return report

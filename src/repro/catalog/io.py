@@ -426,10 +426,21 @@ def migration_plan_from_dict(data: dict[str, Any],
             path=location) from None
 
 
-def save_migration_plan(plan: MigrationPlan, path: str | Path) -> None:
-    """Write a migration plan as JSON."""
-    Path(path).write_text(
-        json.dumps(migration_plan_to_dict(plan), indent=2))
+def save_migration_plan(plan: MigrationPlan, path: str | Path,
+                        run_id: str | None = None) -> None:
+    """Write a migration plan as JSON.
+
+    Args:
+        plan: The plan to persist.
+        path: Destination file.
+        run_id: Optional flight-recorder run identifier to stamp into
+            the payload as provenance; round-trips through
+            :func:`load_migration_plan` as ``plan.run_id``.
+    """
+    data = migration_plan_to_dict(plan)
+    if run_id:
+        data["run_id"] = str(run_id)
+    Path(path).write_text(json.dumps(data, indent=2))
 
 
 def load_migration_plan(path: str | Path) -> MigrationPlan:
@@ -484,10 +495,21 @@ def drift_report_from_dict(data: dict[str, Any],
             path=location) from None
 
 
-def save_drift_report(report: DriftReport, path: str | Path) -> None:
-    """Write a drift report as JSON."""
-    Path(path).write_text(
-        json.dumps(drift_report_to_dict(report), indent=2))
+def save_drift_report(report: DriftReport, path: str | Path,
+                      run_id: str | None = None) -> None:
+    """Write a drift report as JSON.
+
+    Args:
+        report: The report to persist.
+        path: Destination file.
+        run_id: Optional flight-recorder run identifier to stamp into
+            the payload as provenance; round-trips through
+            :func:`load_drift_report` as ``report.run_id``.
+    """
+    data = drift_report_to_dict(report)
+    if run_id:
+        data["run_id"] = str(run_id)
+    Path(path).write_text(json.dumps(data, indent=2))
 
 
 def load_drift_report(path: str | Path) -> DriftReport:

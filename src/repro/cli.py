@@ -32,7 +32,14 @@ Subcommands::
     repro-advisor drift      --database db.json --before old.sql \\
                              --after new.sql [--threshold 0.1] \\
                              [--format text|json] [--save report.json]
-    repro-advisor inspect    events.jsonl [--top 10] \\
+    repro-advisor migrate    --disks disks.json --current l.json \\
+                             (--plan plan.json | --target t.json) \\
+                             --journal j.jsonl \\
+                             [--execute|--resume|--rollback] \\
+                             [--throttle MB_S] [--faults SPEC] \\
+                             [--retries N] [--deadline S] \\
+                             [--database db.json --workload w.sql]
+    repro-advisor inspect    events.jsonl|journal.jsonl [--top 10] \\
                              [--format text|json]
 
 ``lint`` statically analyzes the inputs (see ``docs/static-analysis.md``
@@ -73,6 +80,17 @@ saved recommendation JSON) while keeping the moved fraction of the
 database within ``--budget``, and prints/saves the capacity-safe
 migration plan.
 
+Migration execution (see ``docs/migration.md``): ``migrate`` runs a
+saved plan step by step with a crash-safe JSONL journal.  A killed or
+fault-injected run exits 3 (resumable) and leaves a valid journal
+prefix; ``--resume`` continues it to a bit-identical final layout and
+``--rollback`` executes the capacity-safe reverse path to the exact
+source.  With ``--database``/``--workload`` the run also simulates
+executing the plan under live traffic and reports per-window foreground
+degradation plus time-to-benefit (``--throttle`` caps the migration
+bandwidth).  ``inspect`` recognizes journal files and renders/validates
+them (exit 2 on an inconsistent journal).
+
 Observability (see ``docs/observability.md``): every subcommand takes
 ``--events out.jsonl`` (stream the run's flight-recorder timeline as
 structured JSONL events) and ``--prom out.prom`` (dump the metric
@@ -100,6 +118,7 @@ from repro.catalog.io import (
     load_database,
     load_farm,
     load_layout,
+    load_migration_plan,
     load_recommendation,
     save_drift_report,
     save_layout,
@@ -109,8 +128,13 @@ from repro.catalog.io import (
 from repro.core.advisor import LayoutAdvisor
 from repro.core.costmodel import CostModel
 from repro.core.fullstripe import full_striping
-from repro.core.report import render_filegroup_script, render_report
-from repro.errors import DegradedResult, ReproError
+from repro.core.report import (
+    render_filegroup_script,
+    render_migration_execution,
+    render_online_migration,
+    render_report,
+)
+from repro.errors import DegradedResult, MigrationInterrupted, ReproError
 from repro.obs import (
     EVENT_SCHEMA_VERSION,
     EventRecorder,
@@ -444,12 +468,67 @@ def build_parser() -> argparse.ArgumentParser:
                      help="enable INFO (-v) / DEBUG (-vv) logging")
     _add_obs_outputs(drf)
 
+    mig = sub.add_parser(
+        "migrate",
+        help="execute a migration plan with a crash-safe journal; "
+             "resume or roll back an interrupted one")
+    mig.add_argument("--disks", required=True, type=Path,
+                     help="disk-drive list JSON")
+    mig.add_argument("--current", required=True, type=Path,
+                     help="the source layout: a layout JSON or a "
+                          "saved recommendation JSON")
+    what = mig.add_mutually_exclusive_group(required=True)
+    what.add_argument("--plan", type=Path,
+                      help="migration plan JSON (incremental "
+                           "--save-plan output)")
+    what.add_argument("--target", type=Path,
+                      help="target layout JSON; the plan is derived "
+                           "with the capacity-safe planner")
+    mig.add_argument("--journal", required=True, type=Path,
+                     help="JSONL execution journal (created by "
+                          "--execute, required by --resume/--rollback)")
+    verb = mig.add_mutually_exclusive_group()
+    verb.add_argument("--execute", action="store_true",
+                      help="run the plan from step 0 (default)")
+    verb.add_argument("--resume", action="store_true",
+                      help="continue an interrupted journal to a "
+                           "bit-identical final layout")
+    verb.add_argument("--rollback", action="store_true",
+                      help="execute the capacity-safe reverse path "
+                           "back to the exact source layout")
+    mig.add_argument("--throttle", type=float, metavar="MB_S",
+                     help="migration bandwidth cap for the online "
+                          "impact simulation")
+    mig.add_argument("--faults", metavar="SPEC",
+                     help="inject deterministic migration faults "
+                          "(fail_step=N[:TIMES], crash_after_intent=N, "
+                          "crash_before_done=N, stall_step=N[:S]); "
+                          "falls back to $REPRO_FAULTS")
+    mig.add_argument("--retries", type=int, default=0, metavar="N",
+                     help="per-step retries for transient transfer "
+                          "failures (default: 0)")
+    mig.add_argument("--deadline", type=float, metavar="SECONDS",
+                     help="overall wall-clock bound; expiry leaves a "
+                          "resumable journal and exits 3")
+    mig.add_argument("--database", type=Path,
+                     help="database catalog JSON; with --workload, "
+                          "simulate the migration under live traffic")
+    mig.add_argument("--workload", type=Path,
+                     help="foreground workload SQL for the online "
+                          "impact simulation")
+    mig.add_argument("--metrics", action="store_true",
+                     help="print the metric summary after the report")
+    mig.add_argument("-v", "--verbose", action="count", default=0,
+                     help="enable INFO (-v) / DEBUG (-vv) logging")
+    _add_obs_outputs(mig)
+
     ins = sub.add_parser(
         "inspect",
-        help="render a flight-recorder event log (--events output) as "
-             "a timeline with a phase hotspot table")
+        help="render a flight-recorder event log (--events output) or "
+             "a migration journal as a timeline with validation")
     ins.add_argument("events", type=Path,
-                     help="events JSONL file written by --events")
+                     help="events JSONL file written by --events, or "
+                          "a migration journal written by migrate")
     ins.add_argument("--top", type=int, default=10, metavar="N",
                      help="hotspot-table rows (default: 10)")
     ins.add_argument("--format", choices=["text", "json"],
@@ -807,7 +886,10 @@ def cmd_incremental(args: argparse.Namespace) -> int:
         k=args.k, movement_budget=args.budget)
     print(render_report(recommendation))
     if args.save_plan:
-        save_migration_plan(recommendation.migration, args.save_plan)
+        run_id = obs.recorder.run_id if obs.recorder is not None \
+            else None
+        save_migration_plan(recommendation.migration, args.save_plan,
+                            run_id=run_id)
         print(f"\nmigration plan written to {args.save_plan}")
     if args.save_layout:
         save_layout(recommendation.layout, args.save_layout)
@@ -861,12 +943,126 @@ def cmd_drift(args: argparse.Namespace) -> int:
     else:
         print(report.describe())
     if args.save:
-        save_drift_report(report, args.save)
+        run_id = obs.recorder.run_id if obs.recorder is not None \
+            else None
+        save_drift_report(report, args.save, run_id=run_id)
         if args.format != "json":
             print(f"\ndrift report written to {args.save}")
     _obs_finish(args, obs, status="drift" if report.relayout_recommended
                 else "ok")
     return 1 if report.relayout_recommended else 0
+
+
+def cmd_migrate(args: argparse.Namespace) -> int:
+    """``migrate``: journaled execution of a migration plan.
+
+    Exit codes: 0 on success, 2 on a permanent error (corrupt journal,
+    mismatched inputs, exhausted retries), and 3 when execution was
+    interrupted with a resumable journal (deadline expiry or an
+    injected crash) — rerun with ``--resume`` to finish, or
+    ``--rollback`` to undo.
+    """
+    from repro.storage import MigrationExecutor, plan_migration
+    farm = load_farm(args.disks)
+    current = _load_current_for_incremental(args.current, farm)
+    obs = _obs_begin(args, "migrate")
+    if args.plan:
+        plan = load_migration_plan(args.plan)
+        target = None
+    else:
+        target = load_layout(args.target, farm)
+        plan = plan_migration(current, target, tracer=obs.tracer,
+                              metrics=obs.metrics,
+                              recorder=obs.recorder)
+    faults = FaultPlan.from_spec(args.faults) if args.faults \
+        else FaultPlan.from_env()
+    retry = RetryPolicy(attempts=args.retries + 1) if args.retries \
+        else None
+    executor = MigrationExecutor(
+        plan, current, journal_path=str(args.journal), target=target,
+        retry=retry, deadline=args.deadline, faults=faults,
+        tracer=obs.tracer, metrics=obs.metrics, recorder=obs.recorder)
+    try:
+        if args.rollback:
+            result = executor.rollback()
+        elif args.resume:
+            result = executor.resume()
+        else:
+            result = executor.execute()
+    except MigrationInterrupted as stop:
+        print(f"interrupted: {stop}", file=sys.stderr)
+        print(f"the journal at {args.journal} is a valid prefix; "
+              f"rerun with --resume to finish or --rollback to undo",
+              file=sys.stderr)
+        _obs_finish(args, obs, status="interrupted")
+        return 3
+    print(render_migration_execution(result))
+    if args.database and args.workload and result.status == "complete":
+        db = load_database(args.database)
+        workload = Workload.load(args.workload)
+        analyzed = analyze_workload(workload, db, tracer=obs.tracer,
+                                    metrics=obs.metrics)
+        from repro.simulator import OnlineMigrationSimulator
+        simulator = OnlineMigrationSimulator(tracer=obs.tracer,
+                                             metrics=obs.metrics)
+        online = simulator.run_online(
+            analyzed, current, plan, target=target,
+            throttle_mb_s=args.throttle, recorder=obs.recorder)
+        print()
+        print(render_online_migration(online))
+    if args.metrics and obs.metrics is not None:
+        print()
+        print(obs.metrics.render())
+    _obs_finish(args, obs)
+    return 0
+
+
+def _looks_like_journal(path: Path) -> bool:
+    """Whether a JSONL file is a migration journal (vs. an event log).
+
+    Journal records carry a ``kind`` field; flight-recorder events
+    carry ``type``.  Sniffs only the first line, cheaply.
+    """
+    import json
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            first = handle.readline()
+        record = json.loads(first)
+    except (OSError, ValueError):
+        return False
+    return isinstance(record, dict) and "kind" in record
+
+
+def _inspect_journal(args: argparse.Namespace) -> int:
+    """``inspect`` on a migration journal: render and validate."""
+    from repro.storage import (
+        read_journal,
+        render_journal,
+        validate_journal,
+    )
+    records = read_journal(args.events)
+    problems = validate_journal(records)
+    if args.format == "json":
+        import json
+        counts: dict[str, int] = {}
+        for record in records:
+            kind = str(record.get("kind"))
+            counts[kind] = counts.get(kind, 0) + 1
+        closes = [r for r in records if r.get("kind") == "close"]
+        print(json.dumps({
+            "records": len(records),
+            "kinds": dict(sorted(counts.items())),
+            "status": closes[-1].get("status") if closes
+            else "in-flight",
+            "problems": problems,
+        }, indent=2))
+    else:
+        print(render_journal(records, problems))
+    if problems:
+        for problem in problems:
+            print(f"invalid: {problem}", file=sys.stderr)
+        return 2
+    return 0
 
 
 def cmd_inspect(args: argparse.Namespace) -> int:
@@ -877,7 +1073,12 @@ def cmd_inspect(args: argparse.Namespace) -> int:
     by a per-phase hotspot table; JSON mode prints a machine-readable
     summary.  Exit code 2 on a malformed log (missing fields, broken
     sequence order, undeclared event types).
+
+    Migration journals (``migrate --journal`` output) are recognized
+    by their ``kind`` field and rendered/validated as journals instead.
     """
+    if _looks_like_journal(args.events):
+        return _inspect_journal(args)
     events = read_events(args.events)
     problems = validate_events(events)
     if problems:
@@ -909,6 +1110,7 @@ _COMMANDS = {
     "selfcheck": cmd_selfcheck,
     "incremental": cmd_incremental,
     "drift": cmd_drift,
+    "migrate": cmd_migrate,
     "inspect": cmd_inspect,
 }
 

@@ -126,6 +126,61 @@ def render_migration(plan, farm=None,
     return "\n".join(lines)
 
 
+def render_migration_execution(result) -> str:
+    """An execution outcome, rendered for the DBA.
+
+    Args:
+        result: A :class:`repro.storage.executor.ExecutionResult`
+            (duck-typed; any object with the same fields renders).
+    """
+    lines = ["--- migration execution ---"]
+    lines.append(f"status: {result.status}")
+    lines.append(f"  executed: {result.executed_steps} steps"
+                 + (f"  (skipped {result.skipped_steps} already done)"
+                    if result.skipped_steps else ""))
+    if result.retried_steps:
+        lines.append(f"  retried: {result.retried_steps} steps needed "
+                     f"more than one attempt")
+    lines.append(f"  transfer: est. {result.transfer_seconds:.1f}s")
+    lines.append(f"  state:    {result.state_digest}")
+    lines.append(f"  journal:  {result.journal_path}")
+    return "\n".join(lines)
+
+
+def render_online_migration(report) -> str:
+    """Live-traffic impact of a migration, rendered for the DBA.
+
+    Args:
+        report: A
+            :class:`repro.simulator.concurrent.OnlineMigrationReport`
+            (duck-typed).
+    """
+    lines = ["--- online migration impact ---"]
+    throttle = "unthrottled" if report.throttle_mb_s is None \
+        else f"{report.throttle_mb_s:.0f} MB/s throttle"
+    lines.append(f"foreground pass: {report.baseline_s:.2f}s before, "
+                 f"{report.target_s:.2f}s after migration "
+                 f"({throttle})")
+    for window, factor in zip(report.windows, report.degradation):
+        lines.append(f"  window {window.index + 1:3d}: "
+                     f"{window.foreground_s:8.2f}s foreground "
+                     f"({factor:5.2f}x baseline), "
+                     f"{window.migration_blocks:10.0f} blocks moved")
+    lines.append(f"mean degradation: {report.mean_degradation:.2f}x  "
+                 f"peak: {report.peak_degradation:.2f}x  "
+                 f"overhead: {report.overhead_s:.2f}s")
+    benefit = report.time_to_benefit_s
+    if benefit is None:
+        lines.append("time to benefit: never (the target layout is "
+                     "not faster on this workload)")
+    else:
+        lines.append(f"time to benefit: {benefit:.1f}s of "
+                     f"post-migration work repays the overhead "
+                     f"(each pass saves "
+                     f"{report.per_pass_saving_s:.2f}s)")
+    return "\n".join(lines)
+
+
 def _percentile(values: list[int], pct: float) -> float:
     """Nearest-rank percentile (matches the metric histograms)."""
     ordered = sorted(values)

@@ -152,6 +152,79 @@ class RecommendationFormatError(CatalogError):
         self.key = key
 
 
+class MigrationExecutionError(ReproError):
+    """Executing a migration plan failed.
+
+    Raised by :class:`repro.storage.executor.MigrationExecutor` when a
+    step cannot be completed (retries exhausted, target mismatch, a
+    journal that belongs to a different plan or source layout).  The
+    journal is always left consistent — every message carries the
+    recovery guidance, and :attr:`step` / :attr:`journal` locate the
+    failure for tooling.
+
+    Attributes:
+        step: 0-based index of the step that failed, when known.
+        journal: The journal's file path, when known.
+    """
+
+    def __init__(self, message: str, step: int | None = None,
+                 journal: str | None = None):
+        details = []
+        if step is not None:
+            details.append(f"step {step}")
+        if journal is not None:
+            details.append(f"journal {journal!r}")
+        if details:
+            message = f"{message} ({', '.join(details)})"
+        super().__init__(message)
+        self.step = step
+        self.journal = journal
+
+
+class MigrationInterrupted(MigrationExecutionError):
+    """A migration execution stopped mid-plan with a resumable journal.
+
+    Raised by injected crash faults (``crash_after_intent`` /
+    ``crash_before_done``) and by deadline expiry between steps — the
+    situations where stopping is the *correct* behavior, not a bug.
+    The journal on disk is a valid truncated prefix; ``resume()`` (CLI:
+    ``repro-advisor migrate --resume``) replays it and continues to the
+    same final state an uninterrupted run would have reached, and
+    ``rollback()`` returns to the exact source layout.  The CLI maps
+    this error to exit code 3 (resumable), not 2 (input error).
+    """
+
+
+class JournalFormatError(MigrationExecutionError):
+    """A migration journal (JSONL) is corrupt or malformed.
+
+    Raised by :func:`repro.storage.executor.read_journal` when the file
+    cannot be read or parsed, and by replay when the record grammar is
+    broken.  A corrupt journal cannot be resumed; the recovery path is
+    ``rollback`` from a backup or re-planning from the actual farm
+    state.
+
+    Attributes:
+        path: The journal's file path, when known.
+        line: 1-based line number of the offending record, when known.
+    """
+
+    def __init__(self, message: str, path: str | None = None,
+                 line: int | None = None):
+        details = []
+        if path is not None:
+            details.append(f"file {path!r}")
+        if line is not None:
+            details.append(f"line {line}")
+        if details:
+            message = f"{message} ({', '.join(details)})"
+        Exception.__init__(self, message)
+        self.step = None
+        self.journal = path
+        self.path = path
+        self.line = line
+
+
 class EventLogFormatError(ReproError):
     """A flight-recorder event log (JSONL) is malformed.
 

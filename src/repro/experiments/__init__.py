@@ -31,6 +31,7 @@ from repro.experiments.figure11 import run_figure11
 from repro.experiments.figure12 import run_figure12
 from repro.experiments.wkscale import run_wkscale
 from repro.experiments.concurrency import run_concurrency_study
+from repro.experiments.migration import run_migration_study
 from repro.experiments.ablations import (
     run_greedy_vs_exhaustive,
     run_k_sweep,
@@ -53,4 +54,5 @@ __all__ = [
     "run_temp_aware_error",
     "run_wkscale",
     "run_concurrency_study",
+    "run_migration_study",
 ]

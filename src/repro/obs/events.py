@@ -90,6 +90,21 @@ EVENT_TYPES: dict[str, str] = {
                       "moved_blocks, staged_blocks, est_seconds)",
     "migration-step": "one planned move (step, obj, src, dst, blocks, "
                       "staged)",
+    "migration-exec-start": "a journaled migration execution began "
+                            "(mode, steps, journal)",
+    "migration-intent": "a step's intent record was journaled (step, "
+                        "phase, obj, src, dst, blocks, staged)",
+    "migration-step-done": "a step's transfer completed and was "
+                           "journaled (step, phase, attempts)",
+    "migration-exec-end": "a journaled migration execution finished "
+                          "(status, executed, skipped)",
+    "migration-resume": "execution resumed from a journal (done, "
+                        "pending)",
+    "migration-rollback": "a capacity-safe reverse path was planned "
+                          "(steps, from_step)",
+    "migration-window": "one online-migration foreground window "
+                        "(window, foreground_s, baseline_s, "
+                        "migration_blocks)",
     "note": "free-form annotation (message)",
 }
 
@@ -368,6 +383,8 @@ _TIMELINE_TYPES = frozenset({
     "trajectory-start", "trajectory-end", "trajectory-failed",
     "retry", "timeout", "worker-crash", "serial-fallback", "degraded",
     "drift-score", "migration-plan",
+    "migration-exec-start", "migration-exec-end",
+    "migration-resume", "migration-rollback",
 })
 
 
@@ -417,7 +434,10 @@ def render_timeline(events: Sequence[dict[str, Any]],
                          f"({data.get('wall_s', 0.0):.4f}s)")
     iteration_counts = {t: n for t, n in sorted(counts.items())
                         if t in ("greedy-iteration", "kl-pass",
-                                 "anneal-step", "migration-step")}
+                                 "anneal-step", "migration-step",
+                                 "migration-intent",
+                                 "migration-step-done",
+                                 "migration-window")}
     if iteration_counts:
         summary = ", ".join(f"{n} {t}" for t, n
                             in iteration_counts.items())

@@ -115,6 +115,25 @@ METRIC_CATALOG: dict[str, tuple[str, str]] = {
         COUNTER, "candidate placements projected onto the movement budget"),
     "incremental.staged_blocks": (
         GAUGE, "blocks staged through scratch space"),
+    # -- migration execution / online impact ----------------------------
+    "migration.executed_steps": (
+        COUNTER, "plan steps executed and journaled as done"),
+    "migration.foreground_degradation": (
+        GAUGE, "mean foreground slowdown factor while migrating"),
+    "migration.resumes": (
+        COUNTER, "executions resumed from an interrupted journal"),
+    "migration.rollbacks": (
+        COUNTER, "journaled rollbacks executed back to the source"),
+    "migration.skipped_steps": (
+        COUNTER, "already-done steps skipped by a resume"),
+    "migration.step_retries": (
+        COUNTER, "step re-attempts after transient transfer failures"),
+    "migration.time_to_benefit_s": (
+        GAUGE, "post-migration seconds until the overhead pays back"),
+    "migration.transfer_seconds": (
+        GAUGE, "estimated transfer time of the executed steps"),
+    "migration.windows": (
+        GAUGE, "foreground workload windows the migration spanned"),
     # -- KL partitioning ------------------------------------------------
     "partition.cut_weight": (
         GAUGE, "final cut weight of the KL partition"),

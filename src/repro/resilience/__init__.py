@@ -19,13 +19,14 @@ See ``docs/resilience.md`` for deadline semantics, the degradation
 contract and the fault-injection cookbook.
 """
 
-from repro.resilience.faults import ENV_VAR, FaultPlan
+from repro.resilience.faults import ENV_VAR, FAULT_KINDS, FaultPlan
 from repro.resilience.policy import Budget, Deadline, RetryPolicy
 
 __all__ = [
     "Budget",
     "Deadline",
     "ENV_VAR",
+    "FAULT_KINDS",
     "FaultPlan",
     "RetryPolicy",
 ]

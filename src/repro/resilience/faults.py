@@ -16,6 +16,19 @@ environment variable and the CLI ``--faults`` flag::
     fail_shm_attach               # attach_evaluator raises
     kill_worker=1,delay=2:0.5     # faults compose with commas
 
+Migration-executor faults (see ``docs/migration.md``) target a *step
+index* of the plan being executed instead of a trajectory::
+
+    fail_step=3                   # step 3's transfer raises on its
+                                  # first attempt (then succeeds)
+    fail_step=3:0                 # ... on every attempt
+    crash_after_intent=2          # die right after step 2's intent
+                                  # record hits the journal
+    crash_before_done=2           # die after the transfer, before the
+                                  # done record is journaled
+    stall_step=1:0.5              # step 1's transfer hangs 0.5s
+                                  # (exercises the deadline path)
+
 Injection points call the ``fire_*`` hooks below.  ``fire_kill`` only
 hard-exits when running inside a *worker* process
 (``multiprocessing.parent_process()`` is not ``None``); in the parent
@@ -36,7 +49,12 @@ import time
 from dataclasses import dataclass, replace
 from typing import Mapping
 
-from repro.errors import FaultSpecError, SharedStateError, WorkerCrash
+from repro.errors import (
+    FaultSpecError,
+    MigrationInterrupted,
+    SharedStateError,
+    WorkerCrash,
+)
 
 logger = logging.getLogger("repro.resilience.faults")
 
@@ -46,6 +64,12 @@ ENV_VAR = "REPRO_FAULTS"
 #: Process-exit code used by an injected worker kill (diagnosable in
 #: logs; any non-zero code breaks the pool identically).
 KILL_EXIT_CODE = 86
+
+#: Every fault kind :meth:`FaultPlan.from_spec` accepts; unknown-kind
+#: errors list exactly this tuple.
+FAULT_KINDS = ("kill_worker", "delay", "fail_eval", "fail_shm_attach",
+               "fail_step", "crash_after_intent", "crash_before_done",
+               "stall_step")
 
 
 @dataclass(frozen=True)
@@ -65,6 +89,18 @@ class FaultPlan:
         fail_shm_attach: Make :func:`repro.parallel.shared.attach_evaluator`
             raise :class:`SharedStateError` (exercises the
             broken-pool -> serial-fallback path).
+        fail_step: Migration step whose transfer raises
+            :class:`WorkerCrash` (a transient, retryable failure).
+        fail_step_times: How many attempts of ``fail_step`` fail before
+            it succeeds; ``0`` means every attempt fails.
+        crash_after_intent: Migration step at which execution dies
+            immediately after the intent record is journaled (raises
+            :class:`~repro.errors.MigrationInterrupted`).
+        crash_before_done: Migration step at which execution dies after
+            the transfer but before the done record is journaled.
+        stall_step: Migration step whose transfer sleeps ``stall_s``
+            first (exercises the executor's deadline path).
+        stall_s: Sleep length for ``stall_step``.
     """
 
     kill_worker: int | None = None
@@ -73,13 +109,23 @@ class FaultPlan:
     fail_eval: int | None = None
     fail_eval_times: int = 0
     fail_shm_attach: bool = False
+    fail_step: int | None = None
+    fail_step_times: int = 1
+    crash_after_intent: int | None = None
+    crash_before_done: int | None = None
+    stall_step: int | None = None
+    stall_s: float = 0.0
 
     @property
     def empty(self) -> bool:
         return (self.kill_worker is None
                 and self.delay_trajectory is None
                 and self.fail_eval is None
-                and not self.fail_shm_attach)
+                and not self.fail_shm_attach
+                and self.fail_step is None
+                and self.crash_after_intent is None
+                and self.crash_before_done is None
+                and self.stall_step is None)
 
     @classmethod
     def from_spec(cls, spec: str) -> "FaultPlan":
@@ -108,9 +154,23 @@ class FaultPlan:
                         plan,
                         fail_shm_attach=value.lower()
                         not in ("0", "false", "no") if value else True)
+                elif name == "fail_step":
+                    index, _, times = value.partition(":")
+                    plan = replace(plan, fail_step=int(index),
+                                   fail_step_times=int(times)
+                                   if times else 1)
+                elif name == "crash_after_intent":
+                    plan = replace(plan, crash_after_intent=int(value))
+                elif name == "crash_before_done":
+                    plan = replace(plan, crash_before_done=int(value))
+                elif name == "stall_step":
+                    index, _, seconds = value.partition(":")
+                    plan = replace(plan, stall_step=int(index),
+                                   stall_s=float(seconds or 1.0))
                 else:
                     raise FaultSpecError(
-                        f"unknown fault {name!r} in spec {spec!r}")
+                        f"unknown fault {name!r} in spec {spec!r}; "
+                        f"valid kinds: {', '.join(FAULT_KINDS)}")
             except (ValueError, TypeError) as bad:
                 raise FaultSpecError(
                     f"malformed fault entry {entry!r} in spec "
@@ -210,3 +270,68 @@ def fire_shm_attach(segment_name: str) -> None:
     raise SharedStateError(
         f"fault injection: refusing to attach shared segment "
         f"{segment_name!r}")
+
+
+# -- migration-executor hooks --------------------------------------------------
+
+#: Fallback per-process count of fail_step firings; the executor passes
+#: its own per-run counter so repeated runs in one process stay
+#: independent and deterministic.
+_STEP_FIRED: dict[int, int] = {}
+
+
+def fire_step_fail(plan: FaultPlan | None, index: int,
+                   fired: dict[int, int] | None = None) -> None:
+    """Fail migration step ``index``'s transfer (a transient error).
+
+    Honors ``fail_step_times`` via the ``fired`` counter (the
+    executor's per-run attempt ledger): with a positive limit the fault
+    fires only on the first N attempts, letting a
+    :class:`~repro.resilience.policy.RetryPolicy` demonstrate recovery
+    deterministically.
+    """
+    if plan is None or plan.fail_step != index:
+        return
+    counter = fired if fired is not None else _STEP_FIRED
+    count = counter.get(index, 0)
+    if plan.fail_step_times and count >= plan.fail_step_times:
+        return
+    counter[index] = count + 1
+    raise WorkerCrash(
+        f"fault injection: transfer failed for migration step "
+        f"{index} (attempt {count + 1})")
+
+
+def fire_step_crash(plan: FaultPlan | None, index: int,
+                    when: str, journal: str | None = None) -> None:
+    """Crash migration execution at a journaled step boundary.
+
+    ``when`` is ``"after_intent"`` (the intent record is durable, the
+    transfer has not run) or ``"before_done"`` (the transfer ran, the
+    done record was never written).  Both leave the journal ending in a
+    dangling intent — exactly what a SIGKILLed executor leaves behind —
+    so resume re-executes the step idempotently.
+    """
+    if plan is None:
+        return
+    target = plan.crash_after_intent if when == "after_intent" \
+        else plan.crash_before_done
+    if target != index:
+        return
+    logger.warning("fault injection: crashing migration executor at "
+                   "step %d (%s)", index, when)
+    raise MigrationInterrupted(
+        f"fault injection: executor crashed {when.replace('_', ' ')} "
+        f"at step {index}; the journal is a valid prefix — resume "
+        f"with 'repro-advisor migrate --resume'",
+        step=index, journal=journal)
+
+
+def fire_step_stall(plan: FaultPlan | None, index: int,
+                    sleep=time.sleep) -> None:
+    """Stall migration step ``index``'s transfer for ``stall_s``."""
+    if plan is None or plan.stall_step != index:
+        return
+    logger.warning("fault injection: stalling migration step %d "
+                   "by %.3fs", index, plan.stall_s)
+    sleep(plan.stall_s)

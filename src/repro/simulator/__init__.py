@@ -28,6 +28,9 @@ from repro.simulator.measure import (
 from repro.simulator.concurrent import (
     ConcurrentReport,
     ConcurrentWorkloadSimulator,
+    MigrationWindow,
+    OnlineMigrationReport,
+    OnlineMigrationSimulator,
 )
 
 __all__ = [
@@ -40,4 +43,7 @@ __all__ = [
     "WorkloadSimulator",
     "ConcurrentReport",
     "ConcurrentWorkloadSimulator",
+    "MigrationWindow",
+    "OnlineMigrationReport",
+    "OnlineMigrationSimulator",
 ]

@@ -17,6 +17,17 @@ from repro.storage.disk import (
     winbench_farm,
 )
 from repro.storage.allocation import Extent, MaterializedLayout
+from repro.storage.executor import (
+    ExecutionResult,
+    FarmState,
+    JournalReplay,
+    MigrationExecutor,
+    plan_digest,
+    read_journal,
+    render_journal,
+    replay_journal,
+    validate_journal,
+)
 from repro.storage.migration import (
     MigrationPlan,
     MigrationStep,
@@ -33,6 +44,15 @@ __all__ = [
     "winbench_farm",
     "Extent",
     "MaterializedLayout",
+    "ExecutionResult",
+    "FarmState",
+    "JournalReplay",
+    "MigrationExecutor",
+    "plan_digest",
+    "read_journal",
+    "render_journal",
+    "replay_journal",
+    "validate_journal",
     "MigrationPlan",
     "MigrationStep",
     "plan_migration",

@@ -97,6 +97,9 @@ class MigrationPlan:
             steps run sequentially.
         moved_fraction: ``moved_blocks`` over the database's total
             blocks.
+        run_id: Flight-recorder run identifier of the run that produced
+            the plan, when saved with provenance (see
+            :func:`repro.catalog.io.save_migration_plan`).
     """
 
     steps: list[MigrationStep] = field(default_factory=list)
@@ -104,6 +107,7 @@ class MigrationPlan:
     staged_blocks: float = 0.0
     est_seconds: float = 0.0
     moved_fraction: float = 0.0
+    run_id: str | None = None
 
     def __len__(self) -> int:
         return len(self.steps)
@@ -118,24 +122,29 @@ class MigrationPlan:
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready form (inverse: :meth:`from_dict`)."""
-        return {
+        out: dict[str, Any] = {
             "steps": [s.to_dict() for s in self.steps],
             "moved_blocks": float(self.moved_blocks),
             "staged_blocks": float(self.staged_blocks),
             "est_seconds": float(self.est_seconds),
             "moved_fraction": float(self.moved_fraction),
         }
+        if self.run_id:
+            out["run_id"] = str(self.run_id)
+        return out
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "MigrationPlan":
         """Rebuild a plan from :meth:`to_dict` output."""
+        run_id = data.get("run_id")
         return cls(
             steps=[MigrationStep.from_dict(s)
                    for s in data.get("steps", ())],
             moved_blocks=float(data["moved_blocks"]),
             staged_blocks=float(data.get("staged_blocks", 0.0)),
             est_seconds=float(data["est_seconds"]),
-            moved_fraction=float(data.get("moved_fraction", 0.0)))
+            moved_fraction=float(data.get("moved_fraction", 0.0)),
+            run_id=str(run_id) if run_id else None)
 
     def is_capacity_safe(self, current: "Layout") -> bool:
         """Whether no disk overflows at any point while executing.

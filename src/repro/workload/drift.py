@@ -107,6 +107,9 @@ class DriftReport:
             (objects with zero delta are omitted).
         edges: Per-edge deltas, largest absolute change first (edges
             with zero delta are omitted).
+        run_id: Flight-recorder run identifier of the run that produced
+            the report, when saved with provenance (see
+            :func:`repro.catalog.io.save_drift_report`).
     """
 
     score: float
@@ -115,6 +118,7 @@ class DriftReport:
     threshold: float = RELAYOUT_THRESHOLD
     objects: list[ObjectDrift] = field(default_factory=list)
     edges: list[EdgeDrift] = field(default_factory=list)
+    run_id: str | None = None
 
     @property
     def relayout_recommended(self) -> bool:
@@ -123,7 +127,7 @@ class DriftReport:
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready form (inverse: :meth:`from_dict`)."""
-        return {
+        out: dict[str, Any] = {
             "score": float(self.score),
             "node_drift": float(self.node_drift),
             "edge_drift": float(self.edge_drift),
@@ -132,10 +136,14 @@ class DriftReport:
             "objects": [o.to_dict() for o in self.objects],
             "edges": [e.to_dict() for e in self.edges],
         }
+        if self.run_id:
+            out["run_id"] = str(self.run_id)
+        return out
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "DriftReport":
         """Rebuild a report from :meth:`to_dict` output."""
+        run_id = data.get("run_id")
         return cls(
             score=float(data["score"]),
             node_drift=float(data["node_drift"]),
@@ -144,7 +152,8 @@ class DriftReport:
             objects=[ObjectDrift.from_dict(o)
                      for o in data.get("objects", ())],
             edges=[EdgeDrift.from_dict(e)
-                   for e in data.get("edges", ())])
+                   for e in data.get("edges", ())],
+            run_id=str(run_id) if run_id else None)
 
     def describe(self, top: int = 8) -> str:
         """Human-readable rendering for the CLI and logs."""

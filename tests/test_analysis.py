@@ -61,7 +61,8 @@ class TestRegistry:
             "ALR001", "ALR002", "ALR003", "ALR004", "ALR005", "ALR006",
             "ALR010", "ALR011", "ALR012", "ALR013", "ALR014", "ALR015",
             "ALR020", "ALR021", "ALR022", "ALR023", "ALR024",
-            "ALR030", "ALR031", "ALR032", "ALR033",
+            "ALR030", "ALR031", "ALR032", "ALR033", "ALR034",
+            "ALR035",
             # The RPC0xx code-contract rules (docs/static-analysis.md).
             "RPC001", "RPC002", "RPC003",
             "RPC101", "RPC102", "RPC103", "RPC104", "RPC105",

@@ -288,3 +288,102 @@ class TestDriftReportIo:
         with pytest.raises(RecommendationFormatError,
                            match="node_drift"):
             load_drift_report(path)
+
+
+class TestRunIdProvenance:
+    """Saved plans and drift reports carry the producing run's id."""
+
+    def test_migration_plan_run_id_round_trips(self, incremental_rec,
+                                               tmp_path):
+        from repro.catalog.io import (
+            load_migration_plan,
+            save_migration_plan,
+        )
+        path = tmp_path / "plan.json"
+        save_migration_plan(incremental_rec.migration, path,
+                            run_id="run-1234abcd")
+        assert json.loads(path.read_text())["run_id"] == "run-1234abcd"
+        rebuilt = load_migration_plan(path)
+        assert rebuilt.run_id == "run-1234abcd"
+        # Provenance is metadata: the plan content is untouched.
+        stripped = rebuilt.to_dict()
+        stripped.pop("run_id")
+        assert stripped == incremental_rec.migration.to_dict()
+
+    def test_drift_report_run_id_round_trips(self, tmp_path):
+        from repro.catalog.io import (
+            load_drift_report,
+            save_drift_report,
+        )
+        from repro.workload.access_graph import AccessGraph
+        from repro.workload.drift import detect_drift
+        before, after = AccessGraph(["a"]), AccessGraph(["a"])
+        before.add_node_weight("a", 100.0)
+        after.add_node_weight("a", 80.0)
+        report = detect_drift(before, after)
+        path = tmp_path / "drift.json"
+        save_drift_report(report, path, run_id="run-feedbeef")
+        rebuilt = load_drift_report(path)
+        assert rebuilt.run_id == "run-feedbeef"
+
+    def test_unstamped_files_load_with_no_run_id(self, incremental_rec,
+                                                 tmp_path):
+        from repro.catalog.io import (
+            load_migration_plan,
+            save_migration_plan,
+        )
+        path = tmp_path / "plan.json"
+        save_migration_plan(incremental_rec.migration, path)
+        assert "run_id" not in json.loads(path.read_text())
+        assert load_migration_plan(path).run_id is None
+
+
+class TestMigrationPlanProperties:
+    """Property test: staged plans round-trip through disk exactly."""
+
+    from hypothesis import HealthCheck, given, settings
+    from hypothesis import strategies as st
+
+    steps = st.lists(
+        st.builds(
+            dict,
+            obj=st.sampled_from(["lineitem", "orders", "partsupp"]),
+            src=st.integers(min_value=0, max_value=7),
+            dst=st.integers(min_value=0, max_value=7),
+            blocks=st.floats(min_value=0.0, max_value=1e7,
+                             allow_nan=False, allow_infinity=False),
+            est_seconds=st.floats(min_value=0.0, max_value=1e5,
+                                  allow_nan=False,
+                                  allow_infinity=False),
+            staged=st.booleans()),
+        max_size=12)
+
+    # tmp_path is only used as a scratch file that each example fully
+    # overwrites, so reusing it across examples is safe.
+    @settings(max_examples=50, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(raw=steps)
+    def test_staged_plan_round_trips_exactly(self, raw, tmp_path):
+        from repro.catalog.io import (
+            load_migration_plan,
+            save_migration_plan,
+        )
+        from repro.storage.migration import MigrationPlan, MigrationStep
+        steps = [MigrationStep(**fields) for fields in raw]
+        plan = MigrationPlan(
+            steps=steps,
+            moved_blocks=sum(s.blocks for s in steps
+                             if not s.staged),
+            staged_blocks=sum(s.blocks for s in steps if s.staged),
+            est_seconds=sum(s.est_seconds for s in steps))
+        path = tmp_path / "plan.json"
+        save_migration_plan(plan, path)
+        rebuilt = load_migration_plan(path)
+        # Exact: JSON round-trips Python floats bit-for-bit.
+        assert [s.to_dict() for s in rebuilt.steps] == \
+            [s.to_dict() for s in plan.steps]
+        assert [s.staged for s in rebuilt.steps] == \
+            [s.staged for s in plan.steps]
+        assert rebuilt.est_seconds == plan.est_seconds
+        assert rebuilt.moved_blocks == plan.moved_blocks
+        assert rebuilt.staged_blocks == plan.staged_blocks

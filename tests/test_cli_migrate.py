@@ -1,0 +1,125 @@
+"""End-to-end CLI tests for ``repro-advisor migrate`` and journal
+inspection: the crash → exit 3 → resume → exit 0 cycle the chaos CI
+job drives, plus rollback and the online impact report."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.catalog.io import save_database, save_farm, save_layout
+from repro.cli import main
+from repro.core.fullstripe import full_striping
+from repro.core.layout import Layout, stripe_fractions
+from repro.storage.disk import winbench_farm
+
+
+@pytest.fixture
+def files(tmp_path, mini_db):
+    farm = winbench_farm(8)
+    sizes = mini_db.object_sizes()
+    source = full_striping(sizes, farm)
+    fractions = {name: stripe_fractions(range(len(farm)), farm)
+                 for name in sizes}
+    fractions["big"] = stripe_fractions([0, 1, 2, 3], farm)
+    fractions["mid"] = stripe_fractions([4, 5, 6], farm)
+    target = Layout(farm, sizes, fractions)
+    save_database(mini_db, tmp_path / "db.json")
+    save_farm(farm, tmp_path / "disks.json")
+    save_layout(source, tmp_path / "current.json")
+    save_layout(target, tmp_path / "target.json")
+    (tmp_path / "w.sql").write_text(
+        "-- name: S1\nSELECT COUNT(*) FROM big b;\n")
+    return tmp_path
+
+
+def _migrate(files, *extra):
+    return ["migrate",
+            "--disks", str(files / "disks.json"),
+            "--current", str(files / "current.json"),
+            "--target", str(files / "target.json"),
+            "--journal", str(files / "journal.jsonl"), *extra]
+
+
+class TestMigrateCycle:
+    def test_execute_completes(self, files, capsys):
+        rc = main(_migrate(files, "--execute"))
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "migration execution" in out
+        assert "complete" in out
+
+    def test_crash_resume_inspect_cycle(self, files, capsys):
+        rc = main(_migrate(files, "--execute",
+                           "--faults", "crash_after_intent=1"))
+        assert rc == 3  # interrupted, journal is a resumable prefix
+        err = capsys.readouterr().err
+        assert "--resume" in err
+        assert (files / "journal.jsonl").exists()
+
+        rc = main(_migrate(files, "--resume"))
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "complete" in out
+        assert "skipped" in out
+
+        rc = main(["inspect", str(files / "journal.jsonl")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "migration journal" in out
+        assert "status: complete" in out
+
+    def test_crash_then_rollback(self, files, capsys):
+        rc = main(_migrate(files, "--execute",
+                           "--faults", "crash_before_done=1"))
+        assert rc == 3
+        capsys.readouterr()
+        rc = main(_migrate(files, "--rollback"))
+        assert rc == 0
+        assert "rolled-back" in capsys.readouterr().out
+
+    def test_permanent_failure_exits_two(self, files, capsys):
+        rc = main(_migrate(files, "--execute",
+                           "--faults", "fail_step=0:9999"))
+        assert rc == 2
+        assert "failed permanently" in capsys.readouterr().err
+
+    def test_retries_recover_transient_failures(self, files, capsys):
+        rc = main(_migrate(files, "--execute", "--retries", "2",
+                           "--faults", "fail_step=1:2"))
+        assert rc == 0
+        assert "retried" in capsys.readouterr().out
+
+    def test_online_impact_report(self, files, capsys):
+        rc = main(_migrate(files, "--execute",
+                           "--database", str(files / "db.json"),
+                           "--workload", str(files / "w.sql")))
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "online migration impact" in out
+        assert "window" in out
+
+    def test_inspect_json_summary(self, files, capsys):
+        main(_migrate(files, "--execute"))
+        capsys.readouterr()
+        rc = main(["inspect", str(files / "journal.jsonl"),
+                   "--format", "json"])
+        assert rc == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["status"] == "complete"
+        assert summary["kinds"]["open"] == 1
+        assert not summary["problems"]
+
+    def test_inspect_flags_tampered_journal(self, files, capsys):
+        main(_migrate(files, "--execute"))
+        capsys.readouterr()
+        journal = files / "journal.jsonl"
+        records = [json.loads(line) for line
+                   in journal.read_text().splitlines()]
+        records[-1]["state"] = "0" * 16  # forge the close digest
+        journal.write_text("".join(json.dumps(r) + "\n"
+                                   for r in records))
+        rc = main(["inspect", str(journal)])
+        assert rc == 2
+        assert "invalid" in capsys.readouterr().err

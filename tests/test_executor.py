@@ -1,0 +1,336 @@
+"""Chaos tests for the crash-safe migration executor.
+
+The acceptance contract: kill the executor at *every* journaled step
+boundary (after the intent record, and after the transfer but before
+the done record), then show that ``resume()`` converges to a final
+state bit-identical to an uninterrupted run, and that ``rollback()``
+from every interruption point restores the exact source layout without
+a capacity overflow (ALR035).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import audit_journal
+from repro.core.layout import Layout, stripe_fractions
+from repro.errors import (
+    JournalFormatError,
+    MigrationExecutionError,
+    MigrationInterrupted,
+)
+from repro.resilience import Deadline, FaultPlan, RetryPolicy
+from repro.storage.disk import uniform_farm
+from repro.storage.executor import (
+    FarmState,
+    MigrationExecutor,
+    plan_digest,
+    read_journal,
+    render_journal,
+    replay_journal,
+    validate_journal,
+)
+from repro.storage.migration import plan_migration
+
+
+def _case():
+    """A 4-disk migration with several steps to crash in between."""
+    farm = uniform_farm(4, capacity_gb=2.0)
+    cap = farm[0].capacity_blocks
+    sizes = {"a": int(cap * 0.8), "b": int(cap * 0.6),
+             "c": int(cap * 0.5)}
+    source = Layout(farm, sizes, {
+        "a": stripe_fractions([0], farm),
+        "b": stripe_fractions([1], farm),
+        "c": stripe_fractions([2], farm),
+    })
+    target = Layout(farm, sizes, {
+        "a": stripe_fractions([2, 3], farm),
+        "b": stripe_fractions([0, 3], farm),
+        "c": stripe_fractions([0, 1], farm),
+    })
+    return source, target, plan_migration(source, target)
+
+
+SOURCE, TARGET, PLAN = _case()
+N_STEPS = len(PLAN.steps)
+TARGET_DIGEST = FarmState.from_layout(TARGET).digest()
+SOURCE_DIGEST = FarmState.from_layout(SOURCE).digest()
+
+CRASH_KINDS = ("crash_after_intent", "crash_before_done")
+
+
+def _executor(path, **kw):
+    kw.setdefault("target", TARGET)
+    return MigrationExecutor(PLAN, SOURCE, journal_path=str(path), **kw)
+
+
+class TestExecute:
+    def test_plan_is_interesting(self):
+        """The fixture plan must have enough steps to crash inside."""
+        assert N_STEPS >= 3
+
+    def test_uninterrupted_run_reaches_target(self, tmp_path):
+        result = _executor(tmp_path / "j.jsonl").execute()
+        assert result.status == "complete"
+        assert result.executed_steps == N_STEPS
+        assert result.state_digest == TARGET_DIGEST
+        assert result.layout is TARGET
+        records = read_journal(result.journal_path)
+        assert not validate_journal(records, plan=PLAN, source=SOURCE)
+        assert records[-1] == {"seq": len(records) - 1,
+                               "kind": "close", "status": "complete",
+                               "state": TARGET_DIGEST}
+
+    def test_without_target_builds_equivalent_layout(self, tmp_path):
+        result = MigrationExecutor(
+            PLAN, SOURCE, journal_path=str(tmp_path / "j.jsonl")
+        ).execute()
+        assert result.state_digest == TARGET_DIGEST
+        built = FarmState.from_layout(result.layout)
+        assert built.matches(FarmState.from_layout(TARGET))
+
+    def test_execute_refuses_nonempty_journal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _executor(path).execute()
+        with pytest.raises(MigrationExecutionError,
+                           match="already has records"):
+            _executor(path).execute()
+
+    def test_resume_and_rollback_need_a_journal(self, tmp_path):
+        with pytest.raises(MigrationExecutionError, match="no journal"):
+            _executor(tmp_path / "missing.jsonl").resume()
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(MigrationExecutionError, match="empty"):
+            _executor(empty).rollback()
+
+
+class TestChaosMatrix:
+    """Kill at every step boundary; resume must converge bit-identical."""
+
+    @pytest.mark.parametrize("kind", CRASH_KINDS)
+    @pytest.mark.parametrize("step", range(N_STEPS))
+    def test_resume_converges_bit_identical(self, tmp_path, kind, step):
+        path = tmp_path / "j.jsonl"
+        faults = FaultPlan.from_spec(f"{kind}={step}")
+        with pytest.raises(MigrationInterrupted):
+            _executor(path, faults=faults).execute()
+        records = read_journal(path)
+        # The crash left a valid resumable prefix ending in an intent.
+        assert not validate_journal(records, plan=PLAN, source=SOURCE)
+        assert records[-1]["kind"] == "intent"
+        assert records[-1]["step"] == step
+
+        result = _executor(path).resume()
+        assert result.status == "complete"
+        assert result.state_digest == TARGET_DIGEST  # bit-identical
+        assert result.skipped_steps == step
+        assert result.executed_steps == N_STEPS - step
+        final = read_journal(path)
+        assert not validate_journal(final, plan=PLAN, source=SOURCE)
+
+    @pytest.mark.parametrize("kind", CRASH_KINDS)
+    @pytest.mark.parametrize("step", range(N_STEPS))
+    def test_rollback_restores_exact_source(self, tmp_path, kind, step):
+        path = tmp_path / "j.jsonl"
+        faults = FaultPlan.from_spec(f"{kind}={step}")
+        with pytest.raises(MigrationInterrupted):
+            _executor(path, faults=faults).execute()
+
+        result = _executor(path).rollback()
+        assert result.status == "rolled-back"
+        assert result.state_digest == SOURCE_DIGEST  # exact source
+        assert result.layout is SOURCE
+        records = read_journal(path)
+        assert not validate_journal(records, plan=PLAN, source=SOURCE)
+        assert records[-1] == {"seq": len(records) - 1,
+                               "kind": "close",
+                               "status": "rolled-back",
+                               "state": SOURCE_DIGEST}
+        # ALR034/ALR035: journal consistent, rollback capacity-safe.
+        report = audit_journal(records, plan=PLAN, source=SOURCE)
+        assert not report.errors
+
+    @pytest.mark.parametrize("step", range(N_STEPS))
+    def test_rollback_is_capacity_safe_from_every_prefix(
+            self, tmp_path, step):
+        """ALR035 on the *interrupted* journal: a capacity-safe
+        reverse path must exist from every intermediate state."""
+        path = tmp_path / "j.jsonl"
+        faults = FaultPlan.from_spec(f"crash_after_intent={step}")
+        with pytest.raises(MigrationInterrupted):
+            _executor(path, faults=faults).execute()
+        records = read_journal(path)
+        report = audit_journal(records, plan=PLAN, source=SOURCE)
+        assert not report.errors
+
+    def test_crashed_rollback_is_resumable(self, tmp_path):
+        """A rollback can itself crash; resume() finishes it."""
+        path = tmp_path / "j.jsonl"
+        faults = FaultPlan.from_spec(f"crash_after_intent={N_STEPS - 1}")
+        with pytest.raises(MigrationInterrupted):
+            _executor(path, faults=faults).execute()
+        crash_rollback = FaultPlan.from_spec("crash_before_done=0")
+        with pytest.raises(MigrationInterrupted):
+            _executor(path, faults=crash_rollback).rollback()
+
+        result = _executor(path).resume()  # continues the rollback
+        assert result.status == "rolled-back"
+        assert result.state_digest == SOURCE_DIGEST
+        records = read_journal(path)
+        assert not validate_journal(records, plan=PLAN, source=SOURCE)
+
+
+class TestRetriesAndDeadlines:
+    def test_fail_step_recovers_under_retry_policy(self, tmp_path):
+        faults = FaultPlan.from_spec("fail_step=1:2")
+        result = _executor(
+            tmp_path / "j.jsonl", faults=faults,
+            retry=RetryPolicy(attempts=3, base_delay_s=0.0),
+            sleep=lambda _s: None).execute()
+        assert result.status == "complete"
+        assert result.retried_steps == 1
+        assert result.state_digest == TARGET_DIGEST
+        done = [r for r in read_journal(result.journal_path)
+                if r["kind"] == "done" and r["step"] == 1]
+        assert done[0]["attempts"] == 3
+
+    def test_fail_step_without_retries_then_resume(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        faults = FaultPlan.from_spec("fail_step=2:1")
+        with pytest.raises(MigrationExecutionError,
+                           match="failed permanently"):
+            _executor(path, faults=faults).execute()
+        assert read_journal(path)[-1]["kind"] == "intent"
+        result = _executor(path).resume()
+        assert result.status == "complete"
+        assert result.state_digest == TARGET_DIGEST
+
+    def test_stalled_step_hits_deadline_and_resumes(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        clock = [0.0]
+
+        def advance(seconds):
+            clock[0] += seconds
+
+        deadline = Deadline(5.0, clock=lambda: clock[0])
+        faults = FaultPlan.from_spec("stall_step=1:10")
+        with pytest.raises(MigrationInterrupted, match="deadline"):
+            _executor(path, faults=faults, deadline=deadline,
+                      sleep=advance).execute()
+        result = _executor(path).resume()
+        assert result.status == "complete"
+        assert result.state_digest == TARGET_DIGEST
+
+
+class TestResumeIdempotence:
+    def test_resume_of_complete_journal_is_a_no_op(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        first = _executor(path).execute()
+        again = _executor(path).resume()
+        assert again.status == "complete"
+        assert again.executed_steps == 0
+        assert again.skipped_steps == N_STEPS
+        assert again.state_digest == first.state_digest
+        assert read_journal(path) == read_journal(first.journal_path)
+
+    def test_rollback_of_rolled_back_journal_is_a_no_op(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        faults = FaultPlan.from_spec("crash_after_intent=1")
+        with pytest.raises(MigrationInterrupted):
+            _executor(path, faults=faults).execute()
+        _executor(path).rollback()
+        before = read_journal(path)
+        again = _executor(path).rollback()
+        assert again.status == "rolled-back"
+        assert read_journal(path) == before
+        # resume() honors the rollback too instead of re-executing.
+        resumed = _executor(path).resume()
+        assert resumed.status == "rolled-back"
+
+    def test_rollback_after_completion_is_refused(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _executor(path).execute()
+        with pytest.raises(MigrationExecutionError,
+                           match="fresh migration"):
+            _executor(path).rollback()
+
+
+class TestJournalIntegrity:
+    def test_corrupt_middle_line_raises_format_error(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _executor(path).execute()
+        lines = path.read_text().splitlines()
+        lines[2] = "{not json"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalFormatError, match="line 3"):
+            read_journal(str(path))
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        """A crash mid-append leaves a partial last line; the reader
+        must treat everything before it as durable truth."""
+        path = tmp_path / "j.jsonl"
+        faults = FaultPlan.from_spec("crash_after_intent=2")
+        with pytest.raises(MigrationInterrupted):
+            _executor(path, faults=faults).execute()
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"seq": 99, "kind": "don')  # torn write
+        result = _executor(path).resume()
+        assert result.status == "complete"
+        assert result.state_digest == TARGET_DIGEST
+
+    def test_tampered_done_digest_is_caught_on_resume(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        faults = FaultPlan.from_spec("crash_after_intent=2")
+        with pytest.raises(MigrationInterrupted):
+            _executor(path, faults=faults).execute()
+        records = [json.loads(line) for line
+                   in path.read_text().splitlines()]
+        for record in records:
+            if record["kind"] == "done":
+                record["state"] = "0" * 16
+        path.write_text("".join(json.dumps(r) + "\n" for r in records))
+        with pytest.raises(MigrationExecutionError, match="state"):
+            _executor(path).resume()
+
+    def test_wrong_plan_is_rejected_and_audited(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _executor(path).execute()
+        other = plan_migration(TARGET, SOURCE)
+        records = read_journal(path)
+        problems = validate_journal(records, plan=other, source=TARGET)
+        assert problems
+        executor = MigrationExecutor(other, SOURCE,
+                                     journal_path=str(path))
+        with pytest.raises(MigrationExecutionError):
+            executor.resume()
+        report = audit_journal(records, plan=other, source=TARGET)
+        assert report.errors
+        assert any(d.rule_id == "ALR034" for d in report)
+
+    def test_render_journal_smoke(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _executor(path).execute()
+        records = read_journal(path)
+        text = render_journal(records)
+        assert "migration journal" in text
+        assert f"records: {len(records)}" in text
+
+    def test_plan_digest_ignores_run_id(self):
+        stamped = plan_migration(SOURCE, TARGET)
+        stamped.run_id = "r-123"
+        assert plan_digest(stamped) == plan_digest(PLAN)
+
+    def test_replay_reports_dangling_intent(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        faults = FaultPlan.from_spec("crash_after_intent=1")
+        with pytest.raises(MigrationInterrupted):
+            _executor(path, faults=faults).execute()
+        replay = replay_journal(read_journal(path), plan=PLAN,
+                                source=SOURCE)
+        assert replay.dangling_intent == 1
+        assert len(replay.done_steps) == 1
+        assert replay.closed is None

@@ -111,3 +111,16 @@ class TestHarnesses:
     def test_k_sweep_rows(self):
         result = run_k_sweep(k_values=(1, 2), workload=ctrl.wk_ctrl1())
         assert [row[0] for row in result.rows] == [1, 2]
+
+    def test_migration_study_smoke(self):
+        from repro.experiments.migration import run_migration_study
+        result = run_migration_study(throttles=(None,))
+        assert result.plan_steps > 0
+        assert result.moved_blocks > 0
+        # The separated target must beat striping on this workload,
+        # so the single unthrottled window pays back eventually.
+        assert result.target_s < result.baseline_s
+        row = result.rows[0]
+        assert row.windows == 1
+        assert row.peak_degradation > 1.0
+        assert row.time_to_benefit_s is not None

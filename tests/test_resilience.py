@@ -211,6 +211,29 @@ class TestFaultPlan:
         with pytest.raises(FaultSpecError, match="malformed"):
             FaultPlan.from_spec("delay=1:fast")
 
+    def test_unknown_kind_error_lists_valid_kinds(self):
+        from repro.resilience import FAULT_KINDS
+        with pytest.raises(FaultSpecError) as caught:
+            FaultPlan.from_spec("crash_after_inten=2")  # typo
+        message = str(caught.value)
+        for kind in FAULT_KINDS:
+            assert kind in message
+
+    def test_from_spec_parses_migration_faults(self):
+        plan = FaultPlan.from_spec(
+            "fail_step=2:3, crash_after_intent=1, "
+            "crash_before_done=4, stall_step=0:2.5")
+        assert plan.fail_step == 2
+        assert plan.fail_step_times == 3
+        assert plan.crash_after_intent == 1
+        assert plan.crash_before_done == 4
+        assert plan.stall_step == 0
+        assert plan.stall_s == pytest.approx(2.5)
+        assert not plan.empty
+        # Kind-specific defaults.
+        assert FaultPlan.from_spec("fail_step=2").fail_step_times == 1
+        assert FaultPlan.from_spec("stall_step=1").stall_s == 1.0
+
     def test_from_env(self):
         assert FaultPlan.from_env({}) is None
         assert FaultPlan.from_env({"REPRO_FAULTS": "  "}) is None
