@@ -1,0 +1,78 @@
+"""One place that reads the ``REPRO_BENCH_*`` environment.
+
+Before this module existed, ``conftest.py``, ``bench_search_speed.py``
+and the perf gate each parsed ``REPRO_BENCH_MODE`` /
+``REPRO_BENCH_JOBS`` / ``REPRO_BENCH_FULL`` independently — with
+subtly different fallbacks, and with ``int()`` crashes on a typo'd
+value.  Every benchmark (and ``bench_server.py``) now resolves its
+environment here:
+
+* invalid values *warn and fall back to the default* instead of
+  blowing up a CI job with a traceback ten minutes into a run;
+* precedence is uniform: an explicit CLI/keyword value always beats
+  the environment, ``REPRO_BENCH_FULL=1`` beats ``REPRO_BENCH_MODE``
+  (backward compatibility), and the default is the cheapest setting.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+#: Benchmark sizes every ``REPRO_BENCH_MODE`` consumer agrees on.
+BENCH_MODES = ("small", "ci", "full")
+
+
+def resolve_full_scale() -> bool:
+    """``REPRO_BENCH_FULL=1`` selects the paper-scale sweeps."""
+    return os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+def resolve_mode(mode: str | None = None,
+                 default: str = "small") -> str:
+    """Benchmark size: explicit ``mode`` > env > ``default``.
+
+    ``REPRO_BENCH_FULL=1`` (the pre-``REPRO_BENCH_MODE`` switch) still
+    means ``full``.  An unknown mode — explicit or from the
+    environment — warns and falls back to ``default``.
+    """
+    if not mode:
+        if resolve_full_scale():
+            return "full"
+        mode = os.environ.get("REPRO_BENCH_MODE", "") or default
+    if mode not in BENCH_MODES:
+        warnings.warn(
+            f"unknown bench mode {mode!r} (REPRO_BENCH_MODE); "
+            f"expected one of {', '.join(BENCH_MODES)} — "
+            f"falling back to {default!r}",
+            RuntimeWarning, stacklevel=2)
+        return default
+    return mode
+
+
+def resolve_jobs(jobs: int | None = None, default: int = 0) -> int:
+    """Worker count: explicit ``jobs`` > ``REPRO_BENCH_JOBS`` > default.
+
+    ``0`` means "let the benchmark pick" everywhere.  A non-integer or
+    negative environment value warns and falls back to ``default``.
+    """
+    if jobs is not None and jobs > 0:
+        return jobs
+    raw = os.environ.get("REPRO_BENCH_JOBS", "") or ""
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        warnings.warn(
+            f"REPRO_BENCH_JOBS={raw!r} is not an integer — "
+            f"falling back to {default}",
+            RuntimeWarning, stacklevel=2)
+        return default
+    if value < 0:
+        warnings.warn(
+            f"REPRO_BENCH_JOBS={value} is negative — "
+            f"falling back to {default}",
+            RuntimeWarning, stacklevel=2)
+        return default
+    return value

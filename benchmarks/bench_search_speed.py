@@ -59,7 +59,6 @@ from __future__ import annotations
 import argparse
 import itertools
 import json
-import os
 import sys
 import time
 from pathlib import Path
@@ -67,7 +66,8 @@ from pathlib import Path
 import numpy as np
 
 sys.path.insert(0, str(Path(__file__).parent))  # for conftest helpers
-from conftest import full_scale, write_result  # noqa: E402
+from bench_env import resolve_jobs, resolve_mode  # noqa: E402
+from conftest import write_result  # noqa: E402
 
 from repro.benchdb import tpch  # noqa: E402
 from repro.benchdb.synth import synthetic_workload  # noqa: E402
@@ -93,15 +93,6 @@ MODES = {
     "ci": (80, 12, 6),
     "full": (120, 16, 6),
 }
-
-
-def resolve_mode(mode: str | None = None) -> str:
-    """CLI/env mode resolution (``REPRO_BENCH_FULL=1`` means full)."""
-    if mode:
-        return mode
-    if full_scale():
-        return "full"
-    return os.environ.get("REPRO_BENCH_MODE", "") or "small"
 
 
 def _case(mode: str):
@@ -254,9 +245,6 @@ def measure_eval_throughput(farm, evaluator, sizes, graph,
 def run_bench(jobs: int = 0, mode: str | None = None) -> dict:
     """Run all five configurations; return the BENCH_search payload."""
     mode = resolve_mode(mode)
-    if mode not in MODES:
-        raise ValueError(f"unknown bench mode {mode!r}; "
-                         f"pick one of {sorted(MODES)}")
     evaluator, graph, sizes, farm = _case(mode)
     n_trajectories = MODES[mode][2]
     cores = available_workers()
@@ -471,8 +459,7 @@ def _render(payload: dict) -> str:
 
 def test_search_speed():
     """Pytest entry: run the bench (mode from the environment)."""
-    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "0") or 0)
-    payload = run_bench(jobs=jobs)
+    payload = run_bench(jobs=resolve_jobs())
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
     write_result("search_speed", _render(payload))
     check_invariants(payload)

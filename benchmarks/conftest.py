@@ -11,17 +11,20 @@ Set ``REPRO_BENCH_FULL=1`` to run the full-size scalability sweeps
 
 from __future__ import annotations
 
-import os
+import sys
 from pathlib import Path
 
 import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+from bench_env import resolve_full_scale, resolve_jobs  # noqa: E402
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
 def full_scale() -> bool:
     """Whether to run the full-size (paper-scale) sweeps."""
-    return os.environ.get("REPRO_BENCH_FULL", "") == "1"
+    return resolve_full_scale()
 
 
 def bench_jobs() -> int:
@@ -32,7 +35,7 @@ def bench_jobs() -> int:
     portfolio engine on ``N`` worker processes (results stay
     deterministic; only the wall clock changes).
     """
-    return int(os.environ.get("REPRO_BENCH_JOBS", "0") or 0)
+    return resolve_jobs()
 
 
 def write_result(name: str, text: str) -> None:

@@ -1,9 +1,19 @@
-"""Perf-regression gate: compare two BENCH_search payloads.
+"""Perf-regression gate: compare two benchmark payloads.
 
-CI's ``perf-gate`` job runs :mod:`bench_search_speed` in ``ci`` mode
-and feeds the fresh payload through this comparator against a stored
-baseline — the previous successful run's artifact when one is cached,
-else the committed ``benchmarks/results/baseline.json``.
+CI's ``perf-gate`` job runs :mod:`bench_search_speed` and
+:mod:`bench_server` in ``ci`` mode and feeds each fresh payload
+through this comparator against a stored baseline — the previous
+successful run's artifact when one is cached, else the committed
+``benchmarks/results/baseline.json`` /
+``benchmarks/results/baseline_server.json``.
+
+The payload kind is self-describing: ``bench_server`` payloads carry
+``"bench": "server"`` and dispatch to :func:`compare_server`
+(machine-independent: zero errors, request counts, cache-hit-ratio
+floor; wall-clock: throughput floor and p95 latency ceiling);
+everything else is a BENCH_search payload handled by
+:func:`compare`.  Mixing kinds across ``--baseline``/``--candidate``
+is itself a violation.
 
 Two classes of check:
 
@@ -44,6 +54,9 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))  # for bench helpers
 from bench_search_speed import check_invariants  # noqa: E402
+from bench_server import (  # noqa: E402
+    check_invariants as check_server_invariants,
+)
 
 #: Configurations whose wall/evaluations/cost are compared.
 CONFIGS = ("greedy_noprune", "greedy_prune", "portfolio_serial",
@@ -167,6 +180,76 @@ def compare(baseline: dict, candidate: dict,
     return violations
 
 
+#: Allowed erosion of the cache hit ratio relative to the baseline
+#: (absolute).  The ratio is a property of the traffic shape, not the
+#: machine, so the slack only absorbs in-flight races at ramp-up.
+HIT_RATIO_SLACK = 0.05
+
+
+def payload_kind(payload: dict) -> str:
+    """``"server"`` for bench_server payloads, ``"search"`` otherwise."""
+    return "server" if payload.get("bench") == "server" else "search"
+
+
+def compare_server(baseline: dict, candidate: dict,
+                   max_regression: float = DEFAULT_MAX_REGRESSION,
+                   skip_wall: bool = False) -> list[str]:
+    """All gate violations of a BENCH_server candidate.
+
+    Machine-independent (always on): the candidate's own invariants
+    (zero errors, completion, hit-ratio floor), mode and request-count
+    agreement with the baseline, and no hit-ratio erosion beyond
+    :data:`HIT_RATIO_SLACK`.  Wall-clock (skippable): sustained
+    throughput must not fall below the baseline's by more than
+    ``max_regression``, and p95 latency must not exceed it by more.
+    """
+    violations: list[str] = []
+    try:
+        check_server_invariants(candidate)
+    except AssertionError as exc:
+        violations.append(f"candidate invariants: {exc}")
+
+    same_mode = baseline.get("mode") == candidate.get("mode")
+    if not same_mode:
+        violations.append(
+            f"mode mismatch: baseline ran {baseline.get('mode')!r}, "
+            f"candidate ran {candidate.get('mode')!r} — request "
+            f"volumes are not comparable")
+    if same_mode and candidate.get("requests") \
+            != baseline.get("requests"):
+        violations.append(
+            f"request count drifted {baseline.get('requests')} -> "
+            f"{candidate.get('requests')} — the bench itself changed")
+
+    base_ratio = float(baseline.get("cache_hit_ratio", 0.0))
+    cand_ratio = float(candidate.get("cache_hit_ratio", 0.0))
+    if cand_ratio < base_ratio - HIT_RATIO_SLACK:
+        violations.append(
+            f"cache hit ratio eroded {base_ratio:.1%} -> "
+            f"{cand_ratio:.1%} (slack {HIT_RATIO_SLACK:.0%})")
+
+    if not skip_wall:
+        base_tp = float(baseline.get("throughput_rps", 0.0))
+        cand_tp = float(candidate.get("throughput_rps", 0.0))
+        floor = base_tp / (1.0 + max_regression)
+        if cand_tp < floor:
+            violations.append(
+                f"throughput dropped {base_tp:,.1f} -> "
+                f"{cand_tp:,.1f} req/s (floor {floor:,.1f} at "
+                f"{max_regression:.0%} allowance)")
+        base_p95 = float(baseline.get("latency_s", {})
+                         .get("p95", 0.0))
+        cand_p95 = float(candidate.get("latency_s", {})
+                         .get("p95", 0.0))
+        limit = base_p95 * (1.0 + max_regression)
+        if base_p95 > 0.0 and cand_p95 > limit:
+            violations.append(
+                f"p95 latency {cand_p95 * 1e3:.1f}ms exceeds "
+                f"{base_p95 * 1e3:.1f}ms + {max_regression:.0%} "
+                f"allowance ({limit * 1e3:.1f}ms)")
+    return violations
+
+
 def load_payload(path: Path, role: str) -> dict:
     try:
         data = json.loads(path.read_text())
@@ -197,17 +280,28 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     baseline = load_payload(args.baseline, "baseline")
     candidate = load_payload(args.candidate, "candidate")
-    violations = compare(baseline, candidate,
-                         max_regression=args.max_regression,
-                         skip_wall=args.skip_wall)
+    kind = payload_kind(candidate)
+    if payload_kind(baseline) != kind:
+        print("perf-gate: FAIL (1 violation(s))")
+        print(f"  - payload kind mismatch: baseline is "
+              f"{payload_kind(baseline)!r}, candidate is {kind!r}")
+        return 1
+    comparator = compare_server if kind == "server" else compare
+    violations = comparator(baseline, candidate,
+                            max_regression=args.max_regression,
+                            skip_wall=args.skip_wall)
     if violations:
         print(f"perf-gate: FAIL ({len(violations)} violation(s))")
         for violation in violations:
             print(f"  - {violation}")
         return 1
-    checked = "counts+costs+invariants" \
-        if args.skip_wall else "counts+costs+invariants+wall"
-    print(f"perf-gate: PASS ({checked}; baseline "
+    if kind == "server":
+        checked = "errors+hit-ratio+invariants" if args.skip_wall \
+            else "errors+hit-ratio+invariants+throughput+p95"
+    else:
+        checked = "counts+costs+invariants" \
+            if args.skip_wall else "counts+costs+invariants+wall"
+    print(f"perf-gate: PASS ({kind}: {checked}; baseline "
           f"{baseline.get('mode')} mode vs candidate "
           f"{candidate.get('mode')} mode)")
     return 0

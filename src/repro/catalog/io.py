@@ -13,6 +13,7 @@ the inverse of the corresponding ``dump_*``.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Any
@@ -36,6 +37,40 @@ from repro.errors import CatalogError, RecommendationFormatError
 from repro.storage.disk import Availability, DiskFarm, DiskSpec
 from repro.storage.migration import MigrationPlan
 from repro.workload.drift import DriftReport
+
+# -- canonical fingerprints ------------------------------------------------------
+
+
+def canonical_dumps(data: Any) -> str:
+    """The canonical JSON serialization of ``data``.
+
+    Keys sorted, separators fixed, NaN rejected — two structurally
+    equal payloads always serialize to the same bytes, regardless of
+    insertion order.  This is the form every content fingerprint is
+    computed over.
+    """
+    return json.dumps(data, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+def payload_fingerprint(*parts: Any) -> str:
+    """A sha256 content fingerprint over canonicalized ``parts``.
+
+    Each part is serialized with :func:`canonical_dumps` and fed to the
+    hash with a length prefix (so part boundaries cannot alias:
+    ``("ab", "c")`` and ``("a", "bc")`` differ).  The digest is stable
+    across processes and machines — unlike builtin ``hash()`` — which
+    is what makes it usable as a cache key for the advisor service
+    (:mod:`repro.server`).
+    """
+    digest = hashlib.sha256()
+    for part in parts:
+        canonical = canonical_dumps(part).encode("utf-8")
+        digest.update(str(len(canonical)).encode("ascii"))
+        digest.update(b":")
+        digest.update(canonical)
+    return digest.hexdigest()
+
 
 # -- column statistics ---------------------------------------------------------
 

@@ -110,6 +110,7 @@ from __future__ import annotations
 import argparse
 import logging
 import sys
+import threading
 import warnings
 from pathlib import Path
 
@@ -535,6 +536,29 @@ def build_parser() -> argparse.ArgumentParser:
                      default="text",
                      help="output format (default: text)")
     ins.add_argument("-v", "--verbose", action="count", default=0,
+                     help="enable INFO (-v) / DEBUG (-vv) logging")
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the advisor as a multi-tenant HTTP service (JSON "
+             "API: upload catalogs/workloads, submit jobs, poll "
+             "results; see docs/server.md)")
+    srv.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default: 127.0.0.1)")
+    srv.add_argument("--port", type=int, default=8734,
+                     help="TCP port; 0 picks a free ephemeral port "
+                          "(default: 8734)")
+    srv.add_argument("--workers", type=int, default=2,
+                     help="search worker threads (default: 2)")
+    srv.add_argument("--max-queue", type=int, default=16,
+                     help="jobs allowed to wait before submissions "
+                          "get 429 (default: 16)")
+    srv.add_argument("--max-cache", type=int, default=128,
+                     help="fingerprint-cache capacity (default: 128)")
+    srv.add_argument("--events", type=Path, metavar="OUT_JSONL",
+                     help="stream the service's flight-recorder "
+                          "timeline to a JSONL file as it runs")
+    srv.add_argument("-v", "--verbose", action="count", default=0,
                      help="enable INFO (-v) / DEBUG (-vv) logging")
     return parser
 
@@ -1101,6 +1125,49 @@ def cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``serve``: run the advisor service until SIGINT/SIGTERM.
+
+    Prints the bound address on stdout once listening (port 0 resolves
+    to the actual ephemeral port), then blocks.  Both SIGINT and
+    SIGTERM trigger a graceful shutdown: the HTTP listener stops, the
+    job queue drains every admitted job, and the flight recorder is
+    sealed — an accepted job is never dropped by a restart.
+    """
+    import signal
+
+    from repro.obs.events import new_run_id
+    from repro.server import AdvisorService, make_server
+
+    recorder = EventRecorder(run_id=new_run_id(), source="server",
+                             path=getattr(args, "events", None))
+    service = AdvisorService(workers=args.workers,
+                             max_queue=args.max_queue,
+                             max_cache=args.max_cache,
+                             recorder=recorder)
+    server = make_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"repro-advisor serving on http://{host}:{port} "
+          f"(workers={args.workers}, max_queue={args.max_queue})",
+          flush=True)
+
+    def _stop(signum, frame) -> None:
+        # shutdown() must not run on the serve_forever thread; hand it
+        # to a helper so the signal handler returns immediately.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGINT, _stop)
+    signal.signal(signal.SIGTERM, _stop)
+    try:
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        server.server_close()
+        service.close(drain=True)
+        if getattr(args, "events", None):
+            print(f"events written to {args.events}", file=sys.stderr)
+    return 0
+
+
 _COMMANDS = {
     "recommend": cmd_recommend,
     "analyze": cmd_analyze,
@@ -1112,6 +1179,7 @@ _COMMANDS = {
     "drift": cmd_drift,
     "migrate": cmd_migrate,
     "inspect": cmd_inspect,
+    "serve": cmd_serve,
 }
 
 

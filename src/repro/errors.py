@@ -225,6 +225,40 @@ class JournalFormatError(MigrationExecutionError):
         self.line = line
 
 
+class ServerError(ReproError):
+    """An advisor-service request cannot be satisfied.
+
+    Base class for errors raised by :mod:`repro.server`; the HTTP layer
+    maps subclasses onto status codes (see ``docs/server.md``).
+    """
+
+
+class QueueFull(ServerError):
+    """The service's job queue is saturated.
+
+    Raised by :meth:`repro.server.jobs.JobQueue.submit` when admitting
+    another job would exceed ``max_queue``; the HTTP layer maps it to a
+    ``429 Too Many Requests`` response with a ``Retry-After`` hint.
+
+    Attributes:
+        retry_after_s: Suggested client back-off in whole seconds.
+    """
+
+    def __init__(self, message: str, retry_after_s: int = 1):
+        super().__init__(message)
+        self.retry_after_s = int(retry_after_s)
+
+
+class UnknownResource(ServerError):
+    """A request referenced a tenant, workload or job that does not
+    exist.  The HTTP layer maps it to ``404 Not Found``."""
+
+
+class BadRequest(ServerError):
+    """A request body or parameter is malformed.  The HTTP layer maps
+    it to ``400 Bad Request``."""
+
+
 class EventLogFormatError(ReproError):
     """A flight-recorder event log (JSONL) is malformed.
 

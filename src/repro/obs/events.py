@@ -105,6 +105,21 @@ EVENT_TYPES: dict[str, str] = {
     "migration-window": "one online-migration foreground window "
                         "(window, foreground_s, baseline_s, "
                         "migration_blocks)",
+    "server-start": "the advisor service began accepting requests "
+                    "(workers, max_queue)",
+    "server-stop": "the advisor service drained and shut down "
+                   "(jobs_completed)",
+    "server-tenant": "a tenant catalog or workload was uploaded "
+                     "(tenant, kind)",
+    "server-job-queued": "a job was admitted to the queue (job_id, "
+                         "tenant, method, fingerprint, depth)",
+    "server-job-started": "a worker picked a job up (job_id)",
+    "server-job-finished": "a job completed (job_id, status, degraded, "
+                           "cache)",
+    "server-job-rejected": "a submission was bounced with 429 (tenant, "
+                           "depth, retry_after_s)",
+    "server-cache-hit": "a submission was served from the fingerprint "
+                        "cache (job_id, fingerprint)",
     "note": "free-form annotation (message)",
 }
 
@@ -385,6 +400,9 @@ _TIMELINE_TYPES = frozenset({
     "drift-score", "migration-plan",
     "migration-exec-start", "migration-exec-end",
     "migration-resume", "migration-rollback",
+    "server-start", "server-stop", "server-tenant",
+    "server-job-queued", "server-job-started", "server-job-finished",
+    "server-job-rejected", "server-cache-hit",
 })
 
 

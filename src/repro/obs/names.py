@@ -163,6 +163,37 @@ METRIC_CATALOG: dict[str, tuple[str, str]] = {
         COUNTER, "trajectories abandoned at their deadline"),
     "resilience.worker_crashes": (
         COUNTER, "trajectories lost to dead worker processes"),
+    # -- advisor service (repro.server) ---------------------------------
+    "server.cache_entries": (
+        GAUGE, "recommendation/analysis cache entries resident"),
+    "server.cache_hits": (
+        COUNTER, "job submissions served from the fingerprint cache"),
+    "server.cache_misses": (
+        COUNTER, "job submissions that had to compute fresh"),
+    "server.errors": (
+        COUNTER, "requests answered with a 4xx/5xx status"),
+    "server.job_latency_s": (
+        HISTOGRAM, "submit-to-completion job latency in seconds"),
+    "server.job_wait_s": (
+        HISTOGRAM, "queue wait before a worker picked the job up"),
+    "server.jobs_completed": (
+        COUNTER, "jobs that finished with a usable recommendation"),
+    "server.jobs_degraded": (
+        COUNTER, "completed jobs whose recommendation was degraded"),
+    "server.jobs_failed": (
+        COUNTER, "jobs that raised instead of producing a result"),
+    "server.jobs_rejected": (
+        COUNTER, "job submissions bounced with 429 (queue full)"),
+    "server.jobs_submitted": (
+        COUNTER, "job submissions admitted to the queue"),
+    "server.queue_depth": (
+        GAUGE, "jobs waiting for a worker right now"),
+    "server.requests": (
+        COUNTER, "HTTP requests routed to the service"),
+    "server.tenants": (
+        GAUGE, "tenant catalogs resident in memory"),
+    "server.workers": (
+        GAUGE, "job-queue worker threads configured"),
     # -- I/O simulator --------------------------------------------------
     "sim.blocks": (
         COUNTER, "blocks requested from the simulated disks"),

@@ -1,0 +1,686 @@
+"""The advisor service: multi-tenant state, routing, job lifecycle.
+
+:class:`AdvisorService` is the whole service with the transport
+peeled off: :meth:`~AdvisorService.handle` takes ``(method, path,
+body)`` and returns ``(status, payload, headers)``.  The HTTP layer
+(:mod:`repro.server.app`) is a thin adapter over it, which keeps the
+entire API surface — routing, validation, status-code mapping, job
+lifecycle, caching, telemetry — testable without opening a socket.
+
+Resources (all JSON; see ``docs/server.md`` for the curl cookbook)::
+
+    GET    /v1/health
+    GET    /v1/stats
+    GET    /metrics                      (Prometheus text)
+    GET    /v1/events                    (flight-recorder timeline)
+    GET    /v1/tenants
+    POST   /v1/tenants                   {"tenant": name}
+    GET    /v1/tenants/{t}
+    DELETE /v1/tenants/{t}
+    PUT    /v1/tenants/{t}/database      (catalog JSON)
+    PUT    /v1/tenants/{t}/disks        (disk farm JSON)
+    PUT    /v1/tenants/{t}/constraints  (constraint JSON)
+    PUT    /v1/tenants/{t}/layout       (current layout JSON)
+    PUT    /v1/tenants/{t}/workloads/{w} {"sql": ...} or {"statements": ...}
+    POST   /v1/tenants/{t}/jobs         (job request, below)
+    GET    /v1/jobs
+    GET    /v1/jobs/{id}
+    GET    /v1/jobs/{id}/result
+    GET    /v1/jobs/{id}/plan
+    GET    /v1/jobs/{id}/events
+
+A job request names an uploaded workload and rides the advisor's
+existing parameters: ``{"workload": "w", "method": "greedy",
+"k": 2, "jobs": 4, "deadline": 30, "retries": 2,
+"movement_budget": 0.25, "faults": "spec"}``.  SLO mapping onto the
+resilience layer (``docs/resilience.md``): ``deadline`` becomes a
+:class:`repro.resilience.Deadline` for the search, ``retries`` a
+:class:`~repro.resilience.RetryPolicy`, and a degraded portfolio
+result is returned as HTTP 200 with ``"degraded": true`` — partial
+answers beat no answers, exactly as in the library API.
+
+Concurrency model: worker threads run searches; one re-entrant lock
+serializes *all* mutable service state — tenant tables, job records,
+and crucially every ``recorder.emit`` / metrics write (the flight
+recorder assigns ``seq`` by append position, so unserialized emission
+from worker threads would corrupt the timeline's total order).
+Searches themselves run outside the lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+from repro.catalog.io import (
+    constraints_from_dict,
+    database_from_dict,
+    database_to_dict,
+    farm_from_dict,
+    farm_to_dict,
+    layout_from_dict,
+    recommendation_to_dict,
+)
+from repro.core.advisor import LayoutAdvisor
+from repro.errors import (
+    BadRequest,
+    QueueFull,
+    ReproError,
+    ServerError,
+    UnknownResource,
+)
+from repro.obs.events import EventRecorder, new_run_id
+from repro.obs.export import to_prometheus
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience import Deadline, FaultPlan, RetryPolicy
+from repro.server.cache import FingerprintCache
+from repro.server.fingerprint import catalog_fingerprint, job_fingerprint
+from repro.server.jobs import DONE, FAILED, QUEUED, RUNNING, Job, JobQueue
+from repro.workload.workload import Workload
+
+#: ``method`` values a job may request.  ``greedy`` is accepted as an
+#: alias for the library's ``ts-greedy``.
+METHODS = ("ts-greedy", "greedy", "portfolio", "incremental",
+           "full-striping", "exhaustive")
+
+_JSON = {"Content-Type": "application/json"}
+_TEXT = {"Content-Type": "text/plain; version=0.0.4; charset=utf-8"}
+
+
+class Tenant:
+    """One tenant's in-memory catalog: database, disks, constraints,
+    current layout, named workloads.
+
+    The raw JSON payloads are kept alongside the parsed objects — they
+    are the canonical fingerprint inputs, so caching is a pure
+    function of what the client uploaded, not of our object graph.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.db = None
+        self.db_payload: dict[str, Any] | None = None
+        self.farm = None
+        self.farm_payload: list[dict[str, Any]] | None = None
+        self.constraints = None
+        self.constraints_payload: dict[str, Any] | None = None
+        self.current_layout = None
+        self.layout_payload: dict[str, Any] | None = None
+        self.workloads: dict[str, Workload] = {}
+
+    def ready(self) -> bool:
+        return self.db is not None and self.farm is not None
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "tenant": self.name,
+            "database": (self.db.name if self.db is not None else None),
+            "disks": (len(self.farm) if self.farm is not None else 0),
+            "constraints": self.constraints_payload is not None,
+            "current_layout": self.layout_payload is not None,
+            "workloads": {name: len(wl)
+                          for name, wl in sorted(self.workloads.items())},
+            "ready": self.ready(),
+        }
+
+
+class AdvisorService:
+    """The multi-tenant advisor daemon (transport-agnostic core).
+
+    Args:
+        workers: Search worker threads.
+        max_queue: Bounded queue depth; beyond it submissions get 429.
+        max_cache: Fingerprint-cache capacity (recommendations).
+        recorder: Flight recorder; a fresh one is created by default.
+        metrics: Strict metrics registry by default.
+    """
+
+    def __init__(self, workers: int = 2, max_queue: int = 16,
+                 max_cache: int = 128,
+                 recorder: EventRecorder | None = None,
+                 metrics: MetricsRegistry | None = None):
+        self._lock = threading.RLock()
+        self.metrics = metrics if metrics is not None \
+            else MetricsRegistry(strict=True)
+        self.recorder = recorder if recorder is not None \
+            else EventRecorder(run_id=new_run_id(), source="server")
+        self._tenants: dict[str, Tenant] = {}
+        self._jobs: dict[str, Job] = {}
+        self.cache = FingerprintCache(capacity=max_cache)
+        self.queue = JobQueue(runner=self._run_job, workers=workers,
+                              max_queue=max_queue,
+                              cancelled=self._cancel_job)
+        self._closed = False
+        with self._lock:
+            self.metrics.set_gauge("server.workers", workers)
+            self.metrics.set_gauge("server.queue_depth", 0)
+            self.metrics.set_gauge("server.tenants", 0)
+            self.metrics.set_gauge("server.cache_entries", 0)
+            self.recorder.emit("server-start", workers=workers,
+                               max_queue=max_queue)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self, drain: bool = True) -> None:
+        """Drain (or abandon) the queue, stop workers, seal telemetry."""
+        if self._closed:
+            return
+        self.queue.close(drain=drain)
+        with self._lock:
+            self._closed = True
+            completed = self.metrics.value("server.jobs_completed")
+            self.recorder.emit("server-stop",
+                               jobs_completed=int(completed))
+            self.recorder.close()
+
+    def __enter__(self) -> "AdvisorService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- routing ----------------------------------------------------------
+
+    def handle(self, method: str, path: str,
+               body: Any = None,
+               ) -> tuple[int, Any, dict[str, str]]:
+        """Serve one request; returns ``(status, payload, headers)``.
+
+        ``payload`` is a JSON-ready dict (or a ``str`` for text
+        endpoints).  Never raises for client errors — every
+        :class:`ServerError` is mapped to its status code here, so
+        the HTTP adapter stays a dumb pipe.
+        """
+        with self._lock:
+            self.metrics.inc("server.requests")
+        try:
+            status, payload, headers = self._route(
+                method.upper(), path.rstrip("/") or "/", body)
+        except QueueFull as exc:
+            headers = dict(_JSON)
+            headers["Retry-After"] = str(exc.retry_after_s)
+            status, payload = 429, {
+                "error": str(exc), "retry_after_s": exc.retry_after_s}
+        except BadRequest as exc:
+            status, payload, headers = 400, {"error": str(exc)}, _JSON
+        except UnknownResource as exc:
+            status, payload, headers = 404, {"error": str(exc)}, _JSON
+        except ServerError as exc:
+            status, payload, headers = 400, {"error": str(exc)}, _JSON
+        except ReproError as exc:
+            # Library-level validation failure (bad catalog, bad SQL…)
+            # — the client's fault, not ours.
+            status, payload, headers = 400, {
+                "error": f"{type(exc).__name__}: {exc}"}, _JSON
+        if status >= 400:
+            with self._lock:
+                self.metrics.inc("server.errors")
+        return status, payload, headers
+
+    def _route(self, method: str, path: str, body: Any,
+               ) -> tuple[int, Any, dict[str, str]]:
+        parts = [p for p in path.split("/") if p]
+        if path in ("/metrics", "/v1/metrics") and method == "GET":
+            with self._lock:
+                text = to_prometheus(self.metrics)
+            return 200, text, dict(_TEXT)
+        if not parts or parts[0] != "v1":
+            raise UnknownResource(f"no such resource: {path}")
+        tail = parts[1:]
+        if tail == ["health"] and method == "GET":
+            return 200, self._health(), _JSON
+        if tail == ["stats"] and method == "GET":
+            return 200, self._stats(), _JSON
+        if tail == ["events"] and method == "GET":
+            with self._lock:
+                events = self.recorder.snapshot()
+                run_id = self.recorder.run_id
+            return 200, {"run_id": run_id, "events": events}, _JSON
+        if tail and tail[0] == "tenants":
+            return self._route_tenants(method, tail[1:], body)
+        if tail and tail[0] == "jobs":
+            return self._route_jobs(method, tail[1:], body)
+        raise UnknownResource(f"no such resource: {path}")
+
+    # -- health / stats ----------------------------------------------------
+
+    def _health(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "status": "ok",
+                "run_id": self.recorder.run_id,
+                "tenants": len(self._tenants),
+                "jobs": len(self._jobs),
+                "queue_depth": self.queue.depth(),
+                "workers": self.queue.workers,
+            }
+
+    def _stats(self) -> dict[str, Any]:
+        with self._lock:
+            jobs_by_status: dict[str, int] = {}
+            for job in self._jobs.values():
+                jobs_by_status[job.status] = \
+                    jobs_by_status.get(job.status, 0) + 1
+            return {
+                "tenants": len(self._tenants),
+                "jobs": {status: jobs_by_status[status]
+                         for status in sorted(jobs_by_status)},
+                "queue": {"depth": self.queue.depth(),
+                          "max": self.queue.max_queue,
+                          "workers": self.queue.workers},
+                "cache": {"entries": len(self.cache),
+                          "capacity": self.cache.capacity,
+                          "hits": self.cache.hits,
+                          "misses": self.cache.misses,
+                          "hit_ratio": round(self.cache.hit_ratio, 4)},
+            }
+
+    # -- tenant resources --------------------------------------------------
+
+    def _route_tenants(self, method: str, tail: list[str], body: Any,
+                       ) -> tuple[int, Any, dict[str, str]]:
+        if not tail:
+            if method == "GET":
+                with self._lock:
+                    listing = [self._tenants[name].describe()
+                               for name in sorted(self._tenants)]
+                return 200, {"tenants": listing}, _JSON
+            if method == "POST":
+                name = str(_require(body, "tenant"))
+                return 201, self._create_tenant(name), _JSON
+            raise BadRequest(f"unsupported method {method} on /v1/tenants")
+        name = tail[0]
+        if len(tail) == 1:
+            if method == "GET":
+                return 200, self._tenant(name).describe(), _JSON
+            if method == "DELETE":
+                with self._lock:
+                    if name not in self._tenants:
+                        raise UnknownResource(f"no such tenant: {name}")
+                    del self._tenants[name]
+                    self.metrics.set_gauge("server.tenants",
+                                           len(self._tenants))
+                return 200, {"tenant": name, "deleted": True}, _JSON
+            raise BadRequest(f"unsupported method {method} on tenant")
+        kind = tail[1]
+        if kind == "jobs" and len(tail) == 2 and method == "POST":
+            return self._submit(name, body or {})
+        if kind == "workloads":
+            if len(tail) == 3 and method == "PUT":
+                return 200, self._put_workload(name, tail[2],
+                                              body or {}), _JSON
+            if len(tail) == 2 and method == "GET":
+                tenant = self._tenant(name)
+                with self._lock:
+                    listing = {w: len(tenant.workloads[w])
+                               for w in sorted(tenant.workloads)}
+                return 200, {"workloads": listing}, _JSON
+            raise BadRequest("workloads supports PUT "
+                             "/v1/tenants/{t}/workloads/{name}")
+        if method == "PUT" and kind in ("database", "disks",
+                                        "constraints", "layout"):
+            return 200, self._put_catalog(name, kind, body), _JSON
+        raise UnknownResource(f"no such tenant resource: {kind}")
+
+    def _tenant(self, name: str) -> Tenant:
+        with self._lock:
+            tenant = self._tenants.get(name)
+        if tenant is None:
+            raise UnknownResource(f"no such tenant: {name}")
+        return tenant
+
+    def _create_tenant(self, name: str) -> dict[str, Any]:
+        if not name or "/" in name:
+            raise BadRequest(f"invalid tenant name: {name!r}")
+        with self._lock:
+            tenant = self._tenants.get(name)
+            if tenant is None:
+                tenant = Tenant(name)
+                self._tenants[name] = tenant
+                self.metrics.set_gauge("server.tenants",
+                                       len(self._tenants))
+                self.recorder.emit("server-tenant", tenant=name,
+                                   kind="created")
+            return tenant.describe()
+
+    def _put_catalog(self, name: str, kind: str,
+                     body: Any) -> dict[str, Any]:
+        if body is None:
+            raise BadRequest(f"{kind} upload requires a JSON body")
+        tenant = self._tenant(name)
+        if kind == "database":
+            db = _parse(kind, database_from_dict, body)
+            with self._lock:
+                tenant.db = db
+                tenant.db_payload = database_to_dict(db)
+        elif kind == "disks":
+            farm = _parse(kind, farm_from_dict, body)
+            with self._lock:
+                tenant.farm = farm
+                tenant.farm_payload = farm_to_dict(farm)
+        elif kind == "constraints":
+            with self._lock:
+                if not tenant.ready():
+                    raise BadRequest(
+                        "upload database and disks before constraints")
+                tenant.constraints = _parse(
+                    kind,
+                    lambda data: constraints_from_dict(
+                        data, farm=tenant.farm,
+                        object_sizes=tenant.db.object_sizes()),
+                    body)
+                tenant.constraints_payload = body
+        else:  # layout
+            with self._lock:
+                if tenant.farm is None:
+                    raise BadRequest("upload disks before a layout")
+                tenant.current_layout = _parse(
+                    kind,
+                    lambda data: layout_from_dict(data, tenant.farm),
+                    body)
+                tenant.layout_payload = body
+        with self._lock:
+            self.recorder.emit("server-tenant", tenant=name, kind=kind)
+            return tenant.describe()
+
+    def _put_workload(self, name: str, workload_name: str,
+                      body: dict[str, Any]) -> dict[str, Any]:
+        tenant = self._tenant(name)
+        if "statements" in body:
+            workload = Workload(name=workload_name)
+            for entry in body["statements"]:
+                if isinstance(entry, str):
+                    workload.add(entry)
+                else:
+                    workload.add(str(entry["sql"]),
+                                 weight=float(entry.get("weight", 1.0)),
+                                 name=entry.get("name"))
+        elif "sql" in body:
+            workload = Workload.loads(str(body["sql"]),
+                                      name=workload_name)
+        else:
+            raise BadRequest(
+                "workload upload needs 'statements' or 'sql'")
+        if len(workload) == 0:
+            raise BadRequest("workload has no statements")
+        with self._lock:
+            tenant.workloads[workload_name] = workload
+            self.recorder.emit("server-tenant", tenant=name,
+                               kind=f"workload:{workload_name}")
+        return {"tenant": name, "workload": workload_name,
+                "statements": len(workload)}
+
+    # -- job submission ----------------------------------------------------
+
+    def _route_jobs(self, method: str, tail: list[str],
+                    body: dict[str, Any] | None,
+                    ) -> tuple[int, Any, dict[str, str]]:
+        if method != "GET":
+            raise BadRequest("jobs are submitted via "
+                             "POST /v1/tenants/{t}/jobs")
+        if not tail:
+            with self._lock:
+                listing = [self._jobs[job_id].describe()
+                           for job_id in self._jobs]
+            return 200, {"jobs": listing}, _JSON
+        job = self._job(tail[0])
+        if len(tail) == 1:
+            with self._lock:
+                return 200, job.describe(), _JSON
+        sub = tail[1]
+        if sub == "result":
+            with self._lock:
+                if job.status == FAILED:
+                    return 500, {"job": job.describe(),
+                                 "error": job.error}, _JSON
+                if job.status != DONE or job.payload is None:
+                    return 409, {"job": job.describe(),
+                                 "error": "result not ready"}, _JSON
+                return 200, {"job": job.describe(),
+                             "degraded": job.degraded,
+                             "recommendation": job.payload}, _JSON
+        if sub == "plan":
+            with self._lock:
+                if job.status != DONE or job.payload is None:
+                    return 409, {"job": job.describe(),
+                                 "error": "result not ready"}, _JSON
+                plan = job.payload.get("migration")
+                if plan is None:
+                    raise UnknownResource(
+                        f"job {job.job_id} produced no migration plan")
+                return 200, {"job_id": job.job_id,
+                             "migration": plan}, _JSON
+        if sub == "events":
+            with self._lock:
+                events = [e for e in self.recorder.snapshot()
+                          if e["data"].get("job_id") == job.job_id]
+            return 200, {"job_id": job.job_id, "events": events}, _JSON
+        raise UnknownResource(f"no such job resource: {sub}")
+
+    def _job(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise UnknownResource(f"no such job: {job_id}")
+        return job
+
+    def _submit(self, name: str, body: dict[str, Any],
+                ) -> tuple[int, Any, dict[str, str]]:
+        tenant = self._tenant(name)
+        workload_name = str(_require(body, "workload"))
+        with self._lock:
+            if not tenant.ready():
+                raise BadRequest(
+                    f"tenant {name!r} has no database/disks uploaded")
+            workload = tenant.workloads.get(workload_name)
+        if workload is None:
+            raise UnknownResource(
+                f"tenant {name!r} has no workload {workload_name!r}")
+        params = self._job_params(body)
+        catalog_fp = catalog_fingerprint(
+            tenant.db_payload, tenant.farm_payload, workload.statements,
+            tenant.constraints_payload)
+        params["current_layout"] = tenant.layout_payload
+        fingerprint = job_fingerprint(catalog_fp, params)
+        job = Job(job_id=new_run_id(), tenant=name,
+                  workload=workload_name, method=params["method"],
+                  fingerprint=fingerprint, params=params)
+
+        payload, present = self.cache.get(fingerprint)
+        if present:
+            # O(1) fast path: complete synchronously, skip the queue.
+            job.submitted_at = time.monotonic()
+            job.started_at = job.submitted_at
+            job.finished_at = time.monotonic()
+            job.status = DONE
+            job.cache = "hit"
+            job.payload = payload
+            job.degraded = bool(
+                payload.get("search", {}).get("degraded", False))
+            with self._lock:
+                self._jobs[job.job_id] = job
+                self.metrics.inc("server.jobs_submitted")
+                self.metrics.inc("server.cache_hits")
+                self.metrics.inc("server.jobs_completed")
+                self.metrics.observe("server.job_latency_s",
+                                     job.latency_s or 0.0)
+                self.recorder.emit("server-cache-hit",
+                                   job_id=job.job_id,
+                                   fingerprint=fingerprint)
+            return 200, job.describe(), _JSON
+
+        try:
+            self.queue.submit(job)
+        except QueueFull as exc:
+            with self._lock:
+                self.metrics.inc("server.jobs_rejected")
+                self.recorder.emit("server-job-rejected", tenant=name,
+                                   depth=self.queue.depth(),
+                                   retry_after_s=exc.retry_after_s)
+            raise
+        with self._lock:
+            self._jobs[job.job_id] = job
+            depth = self.queue.depth()
+            self.metrics.inc("server.jobs_submitted")
+            self.metrics.set_gauge("server.queue_depth", depth)
+            self.recorder.emit("server-job-queued", job_id=job.job_id,
+                               tenant=name, method=job.method,
+                               fingerprint=fingerprint, depth=depth)
+        return 202, job.describe(), _JSON
+
+    def _job_params(self, body: dict[str, Any]) -> dict[str, Any]:
+        method = str(body.get("method", "ts-greedy"))
+        if method not in METHODS:
+            raise BadRequest(
+                f"unknown method {method!r}; expected one of "
+                f"{', '.join(METHODS)}")
+        if method == "greedy":
+            method = "ts-greedy"
+        params: dict[str, Any] = {
+            "method": method,
+            "k": int(body.get("k", 1)),
+            "jobs": int(body.get("jobs", 1)),
+            "backend": str(body.get("backend", "auto")),
+            "deadline": _number(body, "deadline"),
+            "retries": _integer(body, "retries"),
+            "movement_budget": _number(body, "movement_budget"),
+            "portfolio": body.get("portfolio"),
+            "faults": body.get("faults"),
+        }
+        if params["k"] < 1:
+            raise BadRequest("k must be >= 1")
+        if params["jobs"] < 1:
+            raise BadRequest("jobs must be >= 1")
+        if params["faults"] is not None:
+            FaultPlan.from_spec(str(params["faults"]))  # validate early
+        return params
+
+    # -- job execution (worker threads) ------------------------------------
+
+    def _run_job(self, job: Job) -> None:
+        with self._lock:
+            job.started_at = time.monotonic()
+            job.status = RUNNING
+            self.metrics.observe("server.job_wait_s", job.wait_s or 0.0)
+            self.metrics.set_gauge("server.queue_depth",
+                                   self.queue.depth())
+            self.recorder.emit("server-job-started", job_id=job.job_id)
+        try:
+            payload, verdict = self.cache.get_or_compute(
+                job.fingerprint, lambda: self._compute(job),
+                cacheable=lambda result: not result.get(
+                    "search", {}).get("degraded", False))
+        except Exception as exc:  # noqa: BLE001 - job boundary
+            with self._lock:
+                job.finished_at = time.monotonic()
+                job.status = FAILED
+                job.error = f"{type(exc).__name__}: {exc}"
+                self.metrics.inc("server.jobs_failed")
+                self.recorder.emit("server-job-finished",
+                                   job_id=job.job_id, status=FAILED,
+                                   degraded=False, cache="miss")
+            return
+        with self._lock:
+            job.finished_at = time.monotonic()
+            job.status = DONE
+            job.cache = verdict
+            job.payload = payload
+            job.degraded = bool(
+                payload.get("search", {}).get("degraded", False))
+            self.metrics.inc("server.jobs_completed")
+            if verdict == "miss":
+                self.metrics.inc("server.cache_misses")
+            else:
+                self.metrics.inc("server.cache_hits")
+            if job.degraded:
+                self.metrics.inc("server.jobs_degraded")
+            self.metrics.observe("server.job_latency_s",
+                                 job.latency_s or 0.0)
+            self.metrics.set_gauge("server.cache_entries",
+                                   len(self.cache))
+            self.recorder.emit("server-job-finished", job_id=job.job_id,
+                               status=DONE, degraded=job.degraded,
+                               cache=verdict)
+
+    def _compute(self, job: Job) -> dict[str, Any]:
+        """Run the actual advisor search for a cache miss."""
+        tenant = self._tenant(job.tenant)
+        with self._lock:
+            db, farm = tenant.db, tenant.farm
+            constraints = tenant.constraints
+            current_layout = tenant.current_layout
+            workload = tenant.workloads.get(job.workload)
+        if db is None or farm is None or workload is None:
+            raise UnknownResource(
+                f"tenant {job.tenant!r} catalog changed while "
+                f"job {job.job_id} was queued")
+        params = job.params
+        # No shared metrics/recorder: the library's instruments are not
+        # thread-safe across concurrent searches, and interleaved
+        # search telemetry would be unattributable anyway.  The server
+        # keeps its own `server.*` view of the work.
+        advisor = LayoutAdvisor(db, farm, constraints=constraints)
+        faults = params.get("faults")
+        recommendation = advisor.recommend(
+            workload,
+            current_layout=current_layout,
+            method=params["method"],
+            k=params["k"],
+            jobs=params["jobs"],
+            backend=params["backend"],
+            deadline=(Deadline.coerce(params["deadline"])
+                      if params["deadline"] is not None else None),
+            retry=(RetryPolicy(attempts=1 + params["retries"])
+                   if params["retries"] is not None else None),
+            faults=(FaultPlan.from_spec(str(faults))
+                    if faults is not None else None),
+            movement_budget=params["movement_budget"])
+        return recommendation_to_dict(recommendation,
+                                      run_id=self.recorder.run_id)
+
+    def _cancel_job(self, job: Job) -> None:
+        with self._lock:
+            job.finished_at = time.monotonic()
+            job.status = FAILED
+            job.error = "service shut down before the job started"
+            self.metrics.inc("server.jobs_failed")
+            self.recorder.emit("server-job-finished", job_id=job.job_id,
+                               status=FAILED, degraded=False,
+                               cache="miss")
+
+
+def _parse(kind: str, parser, payload: Any) -> Any:
+    """Run a catalog deserializer, mapping shape errors to 400."""
+    try:
+        return parser(payload)
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise BadRequest(
+            f"malformed {kind} payload: "
+            f"{type(exc).__name__}: {exc}") from exc
+
+
+def _require(body: dict[str, Any] | None, key: str) -> Any:
+    if not body or key not in body:
+        raise BadRequest(f"request body needs {key!r}")
+    return body[key]
+
+
+def _number(body: dict[str, Any], key: str) -> float | None:
+    value = body.get(key)
+    if value is None:
+        return None
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        raise BadRequest(f"{key!r} must be a number") from None
+
+
+def _integer(body: dict[str, Any], key: str) -> int | None:
+    value = body.get(key)
+    if value is None:
+        return None
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        raise BadRequest(f"{key!r} must be an integer") from None

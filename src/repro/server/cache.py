@@ -1,0 +1,158 @@
+"""Single-flight LRU cache keyed by workload fingerprint.
+
+The advisor service's dominant cost is the search itself; everything
+around it is bookkeeping.  :class:`FingerprintCache` makes repeat
+submissions O(1) and — just as important under concurrency — makes
+*simultaneous* identical submissions cost one search, not N:
+
+* **LRU**: entries live in an ``OrderedDict``; a hit refreshes
+  recency, inserts beyond ``capacity`` evict the least recently used
+  entry.  Capacity bounds memory for long-lived daemons.
+* **Single-flight**: the first caller for a missing key becomes the
+  *leader* and computes outside the lock; concurrent callers for the
+  same key become *followers* and block on the leader's
+  :class:`threading.Event` instead of recomputing.  The compute
+  callable runs exactly once per miss, which the service's tests
+  assert directly with a call counter.
+* **Failure propagation**: if the leader's compute raises, every
+  follower re-raises the same exception and the in-flight slot is
+  cleared, so the next submission retries fresh instead of caching a
+  failure.
+* **Selective admission**: the leader can mark a value uncacheable
+  (the service does this for degraded results) — followers already
+  waiting still receive it, but it is not stored, so the next
+  submission recomputes.
+
+Thread-safe; every public method may be called from any worker or
+HTTP handler thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable
+
+#: Admission verdicts returned by :meth:`FingerprintCache.get_or_compute`.
+HIT = "hit"
+MISS = "miss"
+
+
+class _InFlight:
+    """Rendezvous between one leader and any number of followers."""
+
+    __slots__ = ("done", "value", "error", "cacheable")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.value: Any = None
+        self.error: BaseException | None = None
+        self.cacheable = True
+
+
+class FingerprintCache:
+    """Bounded LRU with single-flight computation.
+
+    Args:
+        capacity: Maximum resident entries; 0 disables storage (every
+            call computes) while keeping single-flight dedup.
+    """
+
+    def __init__(self, capacity: int = 128):
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+        self._inflight: dict[str, _InFlight] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get_or_compute(self, key: str, compute: Callable[[], Any],
+                       cacheable: Callable[[Any], bool] | None = None,
+                       ) -> tuple[Any, str]:
+        """Return ``(value, verdict)`` where verdict is HIT or MISS.
+
+        A follower that waited on another thread's computation reports
+        HIT — from the caller's point of view the work was already
+        paid for.  Only the leader that actually ran ``compute``
+        reports MISS.
+        """
+        while True:
+            with self._lock:
+                if key in self._entries:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    return self._entries[key], HIT
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = _InFlight()
+                    self._inflight[key] = flight
+                    leader = True
+                    self.misses += 1
+                else:
+                    leader = False
+                    self.hits += 1
+            if not leader:
+                flight.done.wait()
+                if flight.error is not None:
+                    raise flight.error
+                return flight.value, HIT
+            return self._lead(key, flight, compute, cacheable), MISS
+
+    def _lead(self, key: str, flight: _InFlight,
+              compute: Callable[[], Any],
+              cacheable: Callable[[Any], bool] | None) -> Any:
+        try:
+            value = compute()
+            flight.value = value
+            if cacheable is not None and not cacheable(value):
+                flight.cacheable = False
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+                if flight.error is None and flight.cacheable \
+                        and self.capacity > 0:
+                    self._entries[key] = flight.value
+                    self._entries.move_to_end(key)
+                    while len(self._entries) > self.capacity:
+                        self._entries.popitem(last=False)
+            flight.done.set()
+        return value
+
+    def get(self, key: str) -> tuple[Any, bool]:
+        """Counting lookup: ``(value, present)``.
+
+        A present key counts as a hit and refreshes LRU recency; an
+        absent key counts nothing (the caller is expected to follow up
+        with :meth:`get_or_compute`, which does the miss accounting).
+        Never waits on an in-flight leader.
+        """
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key], True
+            return None, False
+
+    def peek(self, key: str) -> tuple[Any, bool]:
+        """Non-mutating lookup: ``(value, present)``; no LRU refresh,
+        no hit/miss accounting, never waits on an in-flight leader."""
+        with self._lock:
+            if key in self._entries:
+                return self._entries[key], True
+            return None, False
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,79 @@
+"""Canonical workload fingerprints for the advisor service.
+
+The service caches expensive artifacts — analyzed workloads, access
+graphs, full recommendations — keyed by *content*, not by upload
+identity: two tenants (or the same tenant twice) submitting the same
+catalog + workload + parameters must map to the same cache entry, and
+any change to any input must miss.
+
+Fingerprints are sha256 digests over the canonical JSON serialization
+of the inputs (:func:`repro.catalog.io.canonical_dumps` /
+:func:`~repro.catalog.io.payload_fingerprint`): key order never
+matters, builtin ``hash()`` (process-salted) is never involved, and
+the digests are stable across machines — so a warm cache can in
+principle be shipped between replicas.
+
+Two granularities:
+
+* :func:`catalog_fingerprint` — database + disk farm + workload +
+  constraints.  Keys the *analysis* cache (analyzed workload, access
+  graph): anything that changes plans or co-access invalidates it.
+* :func:`job_fingerprint` — the catalog fingerprint plus the search
+  parameters that can change the recommendation (method, k,
+  trajectory portfolio, movement budget, current layout).  Keys the
+  *recommendation* cache.  SLO-only parameters (deadline, retries,
+  trajectory timeout) are deliberately **excluded**: they bound how
+  long the service may spend, not what the search computes, so a
+  repeat submission with a tighter deadline can still be served from
+  cache instantly — the best possible way to meet the deadline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.catalog.io import payload_fingerprint
+
+#: Search parameters that participate in the job fingerprint — these
+#: (and only these) can change the recommendation's content.  ``jobs``
+#: and ``backend`` are excluded on purpose: the portfolio engine is
+#: bit-identical across worker counts and backends, so they are
+#: execution detail, not content.
+CONTENT_PARAMS = ("method", "k", "portfolio", "movement_budget",
+                  "current_layout")
+
+#: Schema tag mixed into every fingerprint so a format change in the
+#: serialized inputs can never collide with digests from an older
+#: service build.
+FINGERPRINT_VERSION = 1
+
+
+def workload_payload(statements) -> list[list[Any]]:
+    """JSON-ready canonical form of a workload's statements.
+
+    Statement *order* is preserved — the cost model weights statements
+    individually so order does not change results, but preserving it
+    keeps the fingerprint a pure function of what the client sent.
+    """
+    return [[s.sql, float(s.weight), s.name or ""] for s in statements]
+
+
+def catalog_fingerprint(db_payload: Any, farm_payload: Any,
+                        statements, constraints_payload: Any = None,
+                        ) -> str:
+    """Fingerprint of everything that feeds the workload analysis."""
+    return payload_fingerprint(
+        FINGERPRINT_VERSION, db_payload, farm_payload,
+        workload_payload(statements), constraints_payload)
+
+
+def job_fingerprint(catalog_fp: str,
+                    params: Mapping[str, Any]) -> str:
+    """Fingerprint of a recommendation job: inputs + content params.
+
+    ``params`` may carry any request keys; only :data:`CONTENT_PARAMS`
+    participate, each normalized to ``None`` when absent so explicit
+    defaults and omissions fingerprint identically.
+    """
+    content = {key: params.get(key) for key in CONTENT_PARAMS}
+    return payload_fingerprint(FINGERPRINT_VERSION, catalog_fp, content)

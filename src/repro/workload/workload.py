@@ -99,7 +99,19 @@ class Workload:
     def load(cls, path: str | Path, name: str | None = None) -> "Workload":
         """Read a workload file written by :meth:`save` (or by hand)."""
         path = Path(path)
-        workload = cls(name=name or path.stem)
+        try:
+            return cls.loads(path.read_text(), name=name or path.stem)
+        except WorkloadError as exc:
+            raise WorkloadError(f"{exc} (file {path})") from None
+
+    @classmethod
+    def loads(cls, text: str, name: str = "workload") -> "Workload":
+        """Parse workload text (the :meth:`save` format) from a string.
+
+        The advisor service accepts workload uploads as raw SQL text;
+        this is the path-free twin of :meth:`load`.
+        """
+        workload = cls(name=name)
         weight = 1.0
         stmt_name: str | None = None
         buffer: list[str] = []
@@ -113,7 +125,7 @@ class Workload:
             weight = 1.0
             stmt_name = None
 
-        for line in path.read_text().splitlines():
+        for line in text.splitlines():
             stripped = line.strip()
             weight_match = _WEIGHT_RE.match(stripped)
             if weight_match:
@@ -132,7 +144,7 @@ class Workload:
                 buffer.append(stripped)
         flush()
         if len(workload) == 0:
-            raise WorkloadError(f"workload file {path} has no statements")
+            raise WorkloadError(f"workload {name!r} has no statements")
         return workload
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -10,7 +10,18 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
 
-from perf_gate import _attribute_phase, compare, main  # noqa: E402
+from bench_env import (  # noqa: E402
+    resolve_full_scale,
+    resolve_jobs,
+    resolve_mode,
+)
+from perf_gate import (  # noqa: E402
+    _attribute_phase,
+    compare,
+    compare_server,
+    main,
+    payload_kind,
+)
 
 from repro.core.costmodel import WorkloadCostEvaluator
 from repro.core.greedy import TsGreedySearch
@@ -259,3 +270,188 @@ def test_real_small_bench_payload_passes_gate():
     # And a tightened copy of itself fails, as the CI demo documents.
     baseline["greedy_noprune"]["wall_s"] = 1e-6
     assert compare(baseline, candidate, skip_wall=False)
+
+
+def server_payload(mode="ci"):
+    """A well-formed BENCH_server payload that passes every invariant."""
+    return {
+        "bench": "server",
+        "mode": mode,
+        "clients": 8,
+        "workers": 4,
+        "distinct_workloads": 4,
+        "requests": 240,
+        "completed": 240,
+        "errors": 0,
+        "warm_errors": 0,
+        "error_samples": [],
+        "warm_s": 1.0,
+        "measured_s": 1.3,
+        "throughput_rps": 180.0,
+        "latency_s": {"mean": 0.02, "p50": 0.014, "p95": 0.03,
+                      "p99": 0.05, "max": 0.4},
+        "cache_hit_ratio": 1.0,
+        "server_stats": {"cache": {"entries": 4}},
+        "prometheus_lines": 41,
+    }
+
+
+class TestPayloadKind:
+    def test_server_marker(self):
+        assert payload_kind(server_payload()) == "server"
+
+    def test_search_by_default(self):
+        assert payload_kind(payload()) == "search"
+        assert payload_kind({}) == "search"
+
+
+class TestCompareServer:
+    def test_identical_payloads_pass(self):
+        assert compare_server(server_payload(), server_payload()) == []
+
+    def test_small_regression_within_allowance(self):
+        candidate = server_payload()
+        candidate["throughput_rps"] = 150.0  # -17% < 25% allowance
+        assert compare_server(server_payload(), candidate) == []
+
+    def test_throughput_floor(self):
+        candidate = server_payload()
+        candidate["throughput_rps"] = 90.0  # half the baseline
+        violations = compare_server(server_payload(), candidate)
+        assert any("throughput dropped" in v for v in violations)
+
+    def test_p95_ceiling(self):
+        candidate = server_payload()
+        candidate["latency_s"] = dict(candidate["latency_s"], p95=0.2)
+        violations = compare_server(server_payload(), candidate)
+        assert any("p95 latency" in v for v in violations)
+
+    def test_skip_wall_ignores_machine_speed(self):
+        candidate = server_payload()
+        candidate["throughput_rps"] = 55.0
+        candidate["latency_s"] = dict(candidate["latency_s"], p95=0.9)
+        assert compare_server(server_payload(), candidate,
+                              skip_wall=True) == []
+
+    def test_hit_ratio_erosion_survives_skip_wall(self):
+        candidate = server_payload()
+        candidate["cache_hit_ratio"] = 0.90  # beyond the 5% slack
+        violations = compare_server(server_payload(), candidate,
+                                    skip_wall=True)
+        assert any("hit ratio eroded" in v for v in violations)
+
+    def test_hit_ratio_slack_tolerated(self):
+        candidate = server_payload()
+        candidate["cache_hit_ratio"] = 0.97  # within the 5% slack
+        assert compare_server(server_payload(), candidate) == []
+
+    def test_mode_mismatch(self):
+        violations = compare_server(server_payload("full"),
+                                    server_payload("ci"))
+        assert any("mode mismatch" in v for v in violations)
+
+    def test_request_count_drift(self):
+        candidate = server_payload()
+        candidate["requests"] = 120
+        candidate["completed"] = 120
+        violations = compare_server(server_payload(), candidate)
+        assert any("request count drifted" in v for v in violations)
+
+    def test_candidate_invariant_failure(self):
+        candidate = server_payload()
+        candidate["errors"] = 3
+        violations = compare_server(server_payload(), candidate,
+                                    skip_wall=True)
+        assert any("candidate invariants" in v for v in violations)
+
+    def test_committed_server_baseline_is_gate_compatible(self):
+        committed = Path(__file__).parent.parent / "benchmarks" / \
+            "results" / "baseline_server.json"
+        data = json.loads(committed.read_text())
+        assert payload_kind(data) == "server"
+        assert data["mode"] == "ci"
+        assert compare_server(data, copy.deepcopy(data)) == []
+
+
+class TestCliServer:
+    def _write(self, tmp_path, name, data):
+        path = tmp_path / name
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_server_pass_exit_zero(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", server_payload())
+        cand = self._write(tmp_path, "cand.json", server_payload())
+        assert main(["--baseline", base, "--candidate", cand]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "server" in out
+
+    def test_server_regression_exit_one(self, tmp_path, capsys):
+        slow = server_payload()
+        slow["throughput_rps"] = 60.0
+        base = self._write(tmp_path, "base.json", server_payload())
+        cand = self._write(tmp_path, "cand.json", slow)
+        assert main(["--baseline", base, "--candidate", cand]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_kind_mismatch_exit_one(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", payload())
+        cand = self._write(tmp_path, "cand.json", server_payload())
+        assert main(["--baseline", base, "--candidate", cand]) == 1
+        assert "kind mismatch" in capsys.readouterr().out
+
+
+class TestBenchEnv:
+    """The shared REPRO_BENCH_* resolver every benchmark rides."""
+
+    @pytest.fixture(autouse=True)
+    def clean_env(self, monkeypatch):
+        for key in ("REPRO_BENCH_MODE", "REPRO_BENCH_JOBS",
+                    "REPRO_BENCH_FULL"):
+            monkeypatch.delenv(key, raising=False)
+
+    def test_mode_default(self):
+        assert resolve_mode() == "small"
+        assert resolve_mode(default="ci") == "ci"
+
+    def test_mode_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_MODE", "full")
+        assert resolve_mode("ci") == "ci"
+
+    def test_mode_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_MODE", "ci")
+        assert resolve_mode() == "ci"
+
+    def test_full_switch_beats_mode_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_FULL", "1")
+        monkeypatch.setenv("REPRO_BENCH_MODE", "ci")
+        assert resolve_full_scale()
+        assert resolve_mode() == "full"
+
+    def test_invalid_env_mode_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_MODE", "enormous")
+        with pytest.warns(RuntimeWarning, match="enormous"):
+            assert resolve_mode() == "small"
+
+    def test_invalid_explicit_mode_warns_too(self):
+        with pytest.warns(RuntimeWarning, match="turbo"):
+            assert resolve_mode("turbo", default="ci") == "ci"
+
+    def test_jobs_default_and_env(self, monkeypatch):
+        assert resolve_jobs() == 0
+        monkeypatch.setenv("REPRO_BENCH_JOBS", "6")
+        assert resolve_jobs() == 6
+
+    def test_jobs_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_JOBS", "6")
+        assert resolve_jobs(2) == 2
+
+    def test_jobs_non_integer_warns(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_JOBS", "many")
+        with pytest.warns(RuntimeWarning, match="not an integer"):
+            assert resolve_jobs(default=4) == 4
+
+    def test_jobs_negative_warns(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_JOBS", "-2")
+        with pytest.warns(RuntimeWarning, match="negative"):
+            assert resolve_jobs() == 0

@@ -67,3 +67,41 @@ class TestWorkload:
         path.write_text("-- nothing here\n")
         with pytest.raises(WorkloadError):
             Workload.load(path)
+
+
+class TestWorkloadLoads:
+    """`Workload.loads` — the path-free twin of `load` used by the
+    advisor service's text workload uploads."""
+
+    def test_parses_annotated_text(self):
+        workload = Workload.loads(
+            "-- name: q1\n-- weight: 4\nSELECT a FROM t WHERE x = 1;\n"
+            "SELECT b\nFROM u;\n", name="upload")
+        assert workload.name == "upload"
+        assert len(workload) == 2
+        assert workload[0].name == "q1"
+        assert workload[0].weight == 4.0
+        assert workload[1].weight == 1.0
+        assert "FROM u" in workload[1].sql
+
+    def test_default_name(self):
+        assert Workload.loads("SELECT 1 FROM t;").name == "workload"
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(WorkloadError, match="no statements"):
+            Workload.loads("-- just a comment\n", name="empty")
+
+    def test_load_error_carries_file_path(self, tmp_path):
+        path = tmp_path / "empty.sql"
+        path.write_text("-- nothing\n")
+        with pytest.raises(WorkloadError, match=r"empty\.sql"):
+            Workload.load(path)
+
+    def test_loads_matches_load(self, tmp_path):
+        text = "-- weight: 2\nSELECT a FROM t;\nSELECT b FROM u;\n"
+        path = tmp_path / "w.sql"
+        path.write_text(text)
+        from_text = Workload.loads(text, name="w")
+        from_file = Workload.load(path)
+        assert [(s.sql, s.weight, s.name) for s in from_text] \
+            == [(s.sql, s.weight, s.name) for s in from_file]
